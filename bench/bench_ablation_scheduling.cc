@@ -1,0 +1,89 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Ablation: the two merge parallelization schemes of §6.2.1 —
+//   (i)  columns as tasks on a shared queue (load-balanced across columns)
+//   (ii) one column at a time, each merge parallelized internally
+// — against the serial baseline, on a many-column table with skewed
+// per-column dictionary sizes (the imbalance that motivates the task
+// queue).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/table.h"
+
+using namespace deltamerge;
+using namespace deltamerge::bench;
+
+namespace {
+
+std::unique_ptr<Table> BuildSkewedTable(const BenchConfig& cfg, uint64_t nm,
+                                        uint64_t nd, int columns) {
+  std::vector<ColumnBuildSpec> specs;
+  for (int c = 0; c < columns; ++c) {
+    ColumnBuildSpec s;
+    s.value_width = 8;
+    // Skew: a few expensive (high-cardinality) columns among many cheap
+    // ones — the imbalance §6.2.1 says the task queue absorbs.
+    s.main_unique = (c % 8 == 0) ? 1.0 : 0.01;
+    s.delta_unique = s.main_unique;
+    specs.push_back(s);
+  }
+  return BuildTable(nm, nd, specs, 909);
+}
+
+}  // namespace
+
+int main() {
+  const BenchConfig cfg = BenchConfig::FromEnv();
+  PrintHeader("Ablation: merge scheduling — column tasks vs intra-column",
+              cfg);
+
+  const uint64_t nm = cfg.Scaled(20'000'000);
+  const uint64_t nd = nm / 50;
+  const int columns = 24;
+
+  struct Mode {
+    const char* name;
+    int threads;
+    MergeParallelism par;
+  } modes[] = {
+      {"serial", 1, MergeParallelism::kColumnTasks},
+      {"scheme (i): column task queue", cfg.threads,
+       MergeParallelism::kColumnTasks},
+      {"scheme (ii): intra-column teams", cfg.threads,
+       MergeParallelism::kIntraColumn},
+  };
+
+  std::printf("table: %d columns x %s main rows (+%s delta), cardinality "
+              "skewed 100:1\n\n",
+              columns, HumanCount(nm).c_str(), HumanCount(nd).c_str());
+  std::printf("%-36s %14s %12s\n", "mode", "wall cycles", "cpt");
+  double serial_wall = 0;
+  for (const auto& m : modes) {
+    auto table = BuildSkewedTable(cfg, nm, nd, columns);
+    TableMergeOptions options;
+    options.num_threads = m.threads;
+    options.parallelism = m.par;
+    auto result = table->Merge(options);
+    if (!result.ok()) std::abort();
+    const TableMergeReport& report = result.ValueOrDie();
+    const double cpt =
+        static_cast<double>(report.wall_cycles) /
+        static_cast<double>((nm + nd) * static_cast<uint64_t>(columns));
+    std::printf("%-36s %14llu %12.2f", m.name,
+                static_cast<unsigned long long>(report.wall_cycles), cpt);
+    if (m.threads == 1) {
+      serial_wall = static_cast<double>(report.wall_cycles);
+      std::printf("\n");
+    } else {
+      std::printf("  (%.1fx vs serial)\n",
+                  serial_wall / static_cast<double>(report.wall_cycles));
+    }
+  }
+
+  std::printf("\npaper: with tens-to-hundreds of columns and few threads, "
+              "both schemes scale similarly (§6.2.1); scheme (ii) wins for "
+              "very few columns.\n");
+  return 0;
+}

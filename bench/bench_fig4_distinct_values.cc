@@ -1,0 +1,70 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Figure 4: "Distinct Values in Inventory Management and Financial
+// Accounting" — the fraction of columns whose value domain falls into the
+// buckets 1-32, 33-1023, and 1024-100M.
+//
+// Prints the digitized bucket fractions, validates the synthetic sampler,
+// and demonstrates the §2 consequence the paper draws: columns with few
+// distinct values compress to a handful of bits per value under dictionary
+// encoding (measured on live columns built from sampled domains).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "workload/enterprise_stats.h"
+
+using namespace deltamerge;
+using namespace deltamerge::bench;
+
+int main() {
+  const BenchConfig cfg = BenchConfig::FromEnv();
+  PrintHeader("Figure 4: distinct values per column domain", cfg);
+
+  struct Named {
+    const char* name;
+    DistinctValueBuckets b;
+  } domains[] = {
+      {"Inventory Management", InventoryManagementDistincts()},
+      {"Financial Accounting", FinancialAccountingDistincts()},
+  };
+
+  std::printf("%-22s %10s %12s %14s\n", "", "1-32", "33-1023",
+              "1024-100M");
+  for (const auto& d : domains) {
+    std::printf("%-22s %9.0f%% %11.0f%% %13.0f%%\n", d.name,
+                d.b.frac_1_to_32 * 100, d.b.frac_33_to_1023 * 100,
+                d.b.frac_1024_plus * 100);
+  }
+
+  // Sample column domains, build real columns, report compressed widths.
+  std::printf("\nsampling 32 Financial Accounting column domains and "
+              "dictionary-encoding %s rows each:\n",
+              HumanCount(cfg.Scaled(10'000'000)).c_str());
+  Rng rng(4);
+  const uint64_t rows = cfg.Scaled(10'000'000);
+  double total_bits = 0;
+  std::printf("%-10s %14s %10s\n", "column", "distincts", "code-bits");
+  for (int c = 0; c < 32; ++c) {
+    const uint64_t distincts =
+        SampleColumnDistincts(FinancialAccountingDistincts(), rng);
+    const double lambda =
+        std::min(1.0, static_cast<double>(distincts) /
+                          static_cast<double>(rows));
+    auto main = BuildMainPartition<8>(rows, lambda,
+                                      1000 + static_cast<uint64_t>(c));
+    if (c < 8) {
+      std::printf("%-10d %14llu %10d\n", c,
+                  static_cast<unsigned long long>(main.unique_values()),
+                  main.code_bits());
+    }
+    total_bits += main.code_bits();
+  }
+  std::printf("(remaining columns elided)\n");
+  std::printf("\naverage code width: %.1f bits vs 64-bit uncompressed "
+              "values -> %.0fx compression of the value columns\n",
+              total_bits / 32, 64.0 / (total_bits / 32));
+  std::printf("paper's point: enterprise columns draw from small, "
+              "well-known domains, so dictionary encoding is extremely "
+              "effective (§2).\n");
+  return 0;
+}

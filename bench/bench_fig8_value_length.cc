@@ -1,0 +1,54 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Figure 8: "Update Costs for Various Value-Lengths for two delta sizes with
+// 100 million tuples in the main partition for 1% and 100% unique values."
+//
+// Paper parameters: E_j ∈ {4, 8, 16} bytes, N_D ∈ {1M, 3M}, N_M = 100M,
+// λ ∈ {1%, 100%}, N_C = 300.
+// Expected shape: delta-update time grows with value length and delta size
+// and dominates at 16 bytes; Step 2 is ~constant in value length (it moves
+// codes, not values) but jumps when the auxiliary structures stop fitting in
+// cache (1% vs 100% unique); Step 1 grows with unique fraction.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace deltamerge;
+using namespace deltamerge::bench;
+
+int main() {
+  const BenchConfig cfg = BenchConfig::FromEnv();
+  PrintHeader("Figure 8: update cost vs value-length (N_M=100M/scale, "
+              "N_D={1M,3M}/scale, lambda={1%,100%})",
+              cfg);
+
+  const uint64_t nm = cfg.Scaled(100'000'000);
+
+  for (double lambda : {0.01, 1.0}) {
+    std::printf("\n(%s) %.0f%% unique values\n",
+                lambda == 0.01 ? "a" : "b", lambda * 100);
+    std::printf("%-8s %-6s %10s %10s %10s %10s\n", "delta", "E_j",
+                "upd-delta", "step1", "step2", "total");
+    for (uint64_t paper_nd : {1'000'000ull, 3'000'000ull}) {
+      const uint64_t nd = cfg.Scaled(paper_nd);
+      for (size_t width : {size_t{4}, size_t{8}, size_t{16}}) {
+        const CellResult r = MeasureUpdateCostW(
+            cfg, width, nm, nd, lambda, lambda, MergeAlgorithm::kLinear,
+            cfg.threads, /*seed=*/2000 + width + paper_nd / 1000);
+        std::printf("%-8s %-6zu %10.2f %10.2f %10.2f %10.2f\n",
+                    HumanCount(nd).c_str(), width, r.update_delta_cpt,
+                    r.step1_cpt, r.step2_cpt, r.total_cpt());
+      }
+    }
+  }
+
+  std::printf(
+      "\n-- shape checks (paper expectations) --\n"
+      "* delta-update cpt rises with E_j and with N_D (paper: 1.0 -> 3.3 "
+      "cycles at 16B/1%%; 5.1 -> 12.9 at 16B/100%%)\n"
+      "* step2 cpt roughly independent of E_j; higher at 100%% unique "
+      "(aux structures fall out of cache; paper: ~1.0 vs ~8.3 cycles)\n"
+      "* step1 cpt grows with unique fraction (paper: 0.1 -> 3.3 cycles at "
+      "8B, 1M delta)\n");
+  return 0;
+}

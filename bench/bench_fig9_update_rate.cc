@@ -1,0 +1,76 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Figure 9: "Update Rates for optimized merge with varying main partition
+// sizes (1 million to 1 billion tuples) and varying percentage of unique
+// values (0.1% to 100%). The delta partition size is fixed at 1% of the main
+// partition. The two dashed lines show our low and high target update rates
+// of 3,000 and 18,000 updates/second."
+//
+// Paper parameters: E_j = 8 bytes, N_C = 300, N_D = 1% N_M.
+// Expected shape: high plateau (paper: >81K upd/s) while the auxiliary
+// translation structures fit in the LLC, a sharp knee where they cross the
+// cache size, and a bandwidth-limited floor (paper: ~7.1K upd/s) that still
+// clears the 3K low-water target even at 1B tuples / 100% unique.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "model/machine_profile.h"
+#include "workload/enterprise_stats.h"
+
+using namespace deltamerge;
+using namespace deltamerge::bench;
+
+int main() {
+  const BenchConfig cfg = BenchConfig::FromEnv();
+  PrintHeader("Figure 9: update rate vs unique fraction and main size "
+              "(N_D = 1% N_M, E_j=8B, N_C=300)",
+              cfg);
+
+  const uint64_t paper_nm[] = {1'000'000, 10'000'000, 100'000'000,
+                               1'000'000'000};
+  const double lambdas[] = {0.001, 0.01, 0.10, 1.0};
+  const uint64_t nc = 300;
+  const uint64_t llc = DetectLlcBytes();
+
+  std::printf("LLC detected: %.1f MB (the knee should fall where "
+              "E'_C x (|U_M|+|U_D|) crosses it)\n\n",
+              static_cast<double>(llc) / (1024 * 1024));
+  std::printf("%-10s %-10s %12s %12s %10s %8s\n", "N_M", "unique",
+              "K upd/s", "aux(MB)", "aux-cached", "targets");
+
+  for (double lambda : lambdas) {
+    for (uint64_t pnm : paper_nm) {
+      const uint64_t nm = cfg.Scaled(pnm);
+      const uint64_t nd = nm / 100 == 0 ? 1 : nm / 100;
+      const CellResult r = MeasureUpdateCostW(
+          cfg, 8, nm, nd, lambda, lambda, MergeAlgorithm::kLinear,
+          cfg.threads, /*seed=*/static_cast<uint64_t>(lambda * 1000) + pnm);
+      const double rate = r.UpdatesPerSecond(nc);
+      const double aux_mb = static_cast<double>(r.stats.ec_bits_new) / 8.0 *
+                            static_cast<double>(r.stats.um + r.stats.ud) /
+                            (1024 * 1024);
+      const char* targets =
+          rate >= kHighTargetUpdatesPerSec ? "high+low"
+          : rate >= kLowTargetUpdatesPerSec ? "low"
+                                            : "below";
+      char unique_label[16];
+      std::snprintf(unique_label, sizeof(unique_label), "%.1f%%",
+                    lambda * 100);
+      std::printf("%-10s %-10s %12.1f %12.2f %10s %8s\n",
+                  HumanCount(nm).c_str(), unique_label, rate / 1000.0,
+                  aux_mb,
+                  aux_mb * 1024 * 1024 < static_cast<double>(llc) ? "yes"
+                                                                  : "no",
+                  targets);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "-- paper reference (dual X5680, 24 MB LLC) --\n"
+      "cached-aux plateau >81K upd/s; uncached floor ~7.1K upd/s; low "
+      "target (3K) met everywhere, high target (18K) met up to 100M rows "
+      "at <=1%% unique. Dashed targets: %.0f / %.0f upd/s.\n",
+      kLowTargetUpdatesPerSec, kHighTargetUpdatesPerSec);
+  return 0;
+}

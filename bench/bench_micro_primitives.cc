@@ -1,0 +1,144 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// google-benchmark micro-benchmarks of the library's hot primitives:
+// packed-vector access, CSB+ insert/lookup, dictionary merge, merge-path
+// splits. These are the per-operation costs behind the figure benches.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/merge_algorithms.h"
+#include "parallel/merge_path.h"
+#include "storage/csb_tree.h"
+#include "storage/packed_vector.h"
+#include "util/random.h"
+#include "workload/table_builder.h"
+#include "workload/value_generator.h"
+
+namespace deltamerge {
+namespace {
+
+void BM_PackedVectorGet(benchmark::State& state) {
+  const uint8_t bits = static_cast<uint8_t>(state.range(0));
+  const uint64_t n = 1 << 20;
+  PackedVector v(n, bits);
+  Rng rng(1);
+  for (uint64_t i = 0; i < n; ++i) {
+    v.Set(i, static_cast<uint32_t>(rng.Next() & LowBitsMask(bits)));
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.Get(i));
+    i = (i + 997) & (n - 1);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PackedVectorGet)->Arg(7)->Arg(17)->Arg(27);
+
+void BM_PackedVectorSequentialRead(benchmark::State& state) {
+  const uint8_t bits = static_cast<uint8_t>(state.range(0));
+  const uint64_t n = 1 << 20;
+  PackedVector v(n, bits);
+  for (auto _ : state) {
+    PackedVector::Reader r(v);
+    uint64_t sum = 0;
+    for (uint64_t i = 0; i < n; ++i) sum += r.Next();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_PackedVectorSequentialRead)->Arg(7)->Arg(27);
+
+void BM_CsbTreeInsert(benchmark::State& state) {
+  const uint64_t domain = static_cast<uint64_t>(state.range(0));
+  Rng rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    CsbTree<8> tree;
+    state.ResumeTiming();
+    for (uint32_t i = 0; i < 100000; ++i) {
+      tree.Insert(Value8::FromKey(rng.Below(domain)), i);
+    }
+    benchmark::DoNotOptimize(tree.unique_keys());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 100000);
+}
+BENCHMARK(BM_CsbTreeInsert)->Arg(1000)->Arg(100000)->Arg(100000000);
+
+void BM_CsbTreeLookup(benchmark::State& state) {
+  CsbTree<8> tree;
+  Rng rng(3);
+  std::vector<uint64_t> keys;
+  for (uint32_t i = 0; i < 100000; ++i) {
+    const uint64_t k = rng.Next();
+    keys.push_back(k);
+    tree.Insert(Value8::FromKey(k), i);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.CountOf(Value8::FromKey(keys[i])));
+    i = (i + 131) % keys.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CsbTreeLookup);
+
+void BM_DictionaryMerge(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  auto ka = GenerateDistinctKeys(n, 8, 4);
+  auto kb = GenerateDistinctKeys(n / 10, 8, 5);
+  std::sort(ka.begin(), ka.end());
+  std::sort(kb.begin(), kb.end());
+  std::vector<Value8> a, b;
+  for (uint64_t k : ka) a.push_back(Value8::FromKey(k));
+  for (uint64_t k : kb) b.push_back(Value8::FromKey(k));
+  for (auto _ : state) {
+    auto out = MergeDictionaries<8>(a, b, /*fill_aux=*/true);
+    benchmark::DoNotOptimize(out.merged.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n + n / 10));
+}
+BENCHMARK(BM_DictionaryMerge)->Arg(100000)->Arg(1000000);
+
+void BM_MergePathSplit(benchmark::State& state) {
+  auto ka = GenerateDistinctKeys(1 << 20, 8, 6);
+  auto kb = GenerateDistinctKeys(1 << 18, 8, 7);
+  std::sort(ka.begin(), ka.end());
+  std::sort(kb.begin(), kb.end());
+  std::vector<Value8> a, b;
+  for (uint64_t k : ka) a.push_back(Value8::FromKey(k));
+  for (uint64_t k : kb) b.push_back(Value8::FromKey(k));
+  std::span<const Value8> as(a), bs(b);
+  Rng rng(8);
+  for (auto _ : state) {
+    const uint64_t d = rng.Below(a.size() + b.size());
+    benchmark::DoNotOptimize(MergePathSplit(as, bs, d));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MergePathSplit);
+
+void BM_FullColumnMerge(benchmark::State& state) {
+  const uint64_t nm = static_cast<uint64_t>(state.range(0));
+  const double lambda = 0.1;
+  auto main = BuildMainPartition<8>(nm, lambda, 9);
+  DeltaPartition<8> delta;
+  for (uint64_t k : GenerateColumnKeys(nm / 100, lambda, 8, 10)) {
+    delta.Insert(Value8::FromKey(k));
+  }
+  for (auto _ : state) {
+    auto merged =
+        MergeColumnPartitions<8>(main, delta, MergeOptions{});
+    benchmark::DoNotOptimize(merged.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(nm + nm / 100));
+}
+BENCHMARK(BM_FullColumnMerge)->Arg(1 << 20)->Arg(1 << 22);
+
+}  // namespace
+}  // namespace deltamerge
+
+BENCHMARK_MAIN();

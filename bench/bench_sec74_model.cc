@@ -1,0 +1,105 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// §7.4 "Comparison With Analytical Model": the model's projected cycles per
+// tuple versus measured performance.
+//
+// Two instantiations:
+//  1. The paper's machine constants (3.3 GHz, 7 B/c stream, 5 B/c random,
+//     24 MB LLC, 6 cores) — reproduces the printed arithmetic exactly:
+//     Step 1(a) = 0.306 cpt, Step 2 uncached ≈ 14.2 cpt, cached ≈ 1.73 cpt.
+//  2. This host's measured profile (stream/random micro-benchmarks) against
+//     the actually measured merge — the "within 1-10%" claim, on our metal.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "model/cost_model.h"
+#include "model/machine_profile.h"
+
+using namespace deltamerge;
+using namespace deltamerge::bench;
+
+namespace {
+
+void CompareRow(const char* label, double model_cpt, double measured_cpt) {
+  const double err = measured_cpt > 0
+                         ? (measured_cpt - model_cpt) / measured_cpt * 100.0
+                         : 0.0;
+  std::printf("%-26s %10.2f %10.2f %9.1f%%\n", label, model_cpt,
+              measured_cpt, err);
+}
+
+}  // namespace
+
+int main() {
+  const BenchConfig cfg = BenchConfig::FromEnv();
+  PrintHeader("Section 7.4: analytical model vs measured", cfg);
+
+  // --- Part 1: the paper's worked arithmetic (machine-independent). ---
+  {
+    const MachineProfile paper = MachineProfile::Paper();
+    std::printf("\n[paper constants] %s\n", paper.ToString().c_str());
+
+    MergeShape s100;
+    s100.nm = 100'000'000;
+    s100.nd = 1'000'000;
+    s100.um = 100'000'000;
+    s100.ud = 1'000'000;
+    s100.u_merged = 101'000'000;
+    s100.ej = 8;
+    s100.DeriveCodeBits();
+    const CostProjection p100 = ProjectMergeCost(s100, paper, 6);
+    std::printf("100%% unique: step1a=%.3f cpt (paper Eq.17: 0.306), "
+                "step2=%.2f cpt (paper: 14.2, measured 15.0)\n",
+                p100.step1a_cpt, p100.step2_cpt);
+    std::printf("             step1 total=%.2f cpt (paper model: 6.9, "
+                "measured 6.97; see EXPERIMENTS.md on the 1b term)\n",
+                p100.step1a_cpt + p100.step1b_cpt);
+
+    MergeShape s1 = MergeShape::FromParameters(100'000'000, 1'000'000,
+                                               0.01, 0.01, 8);
+    const CostProjection p1 = ProjectMergeCost(s1, paper, 6);
+    std::printf("1%% unique:   step2=%.2f cpt (paper Eq.18: 1.73, "
+                "measured 1.85)\n",
+                p1.step2_cpt);
+  }
+
+  // --- Part 2: host profile vs host measurement. ---
+  std::printf("\n[host profile] measuring stream/random bandwidth...\n");
+  const MachineProfile host = MachineProfile::Measure(cfg.threads);
+  std::printf("%s\n\n", host.ToString().c_str());
+
+  const uint64_t nm = cfg.Scaled(100'000'000);
+  const uint64_t nd = cfg.Scaled(1'000'000);
+
+  std::printf("%-26s %10s %10s %10s\n", "configuration/step", "model",
+              "measured", "delta");
+  for (double lambda : {0.01, 1.0}) {
+    const CellResult r = MeasureUpdateCostW(cfg, 8, nm, nd, lambda, lambda,
+                                            MergeAlgorithm::kLinear,
+                                            cfg.threads, 7400);
+    MergeShape s;
+    s.nm = r.stats.nm;
+    s.nd = r.stats.nd;
+    s.um = r.stats.um;
+    s.ud = r.stats.ud;
+    s.u_merged = r.stats.u_merged;
+    s.ej = 8;
+    s.DeriveCodeBits();
+    const CostProjection p = ProjectMergeCost(s, host, cfg.threads);
+
+    char label[64];
+    std::snprintf(label, sizeof(label), "%.0f%% unique: step1a",
+                  lambda * 100);
+    CompareRow(label, p.step1a_cpt, r.stats.Step1aCyclesPerTuple());
+    std::snprintf(label, sizeof(label), "%.0f%% unique: step1b",
+                  lambda * 100);
+    CompareRow(label, p.step1b_cpt, r.stats.Step1bCyclesPerTuple());
+    std::snprintf(label, sizeof(label), "%.0f%% unique: step2 (%s)",
+                  lambda * 100, p.aux_fits_cache ? "cached" : "gather");
+    CompareRow(label, p.step2_cpt, r.step2_cpt);
+  }
+
+  std::printf("\npaper claim: implementation within 1-10%% of the model's "
+              "binding bound on the X5680.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Merge explorer: an interactive-style CLI around the analytical model and
+// the measured merge — "what would the update cost be for MY table?"
+//
+// Give it a table shape and it prints (a) the model's projected per-step
+// costs on the paper's reference machine and on this host, and (b) an
+// actual measured merge of that shape (scaled to fit in RAM if needed).
+//
+// Usage:
+//   merge_explorer [nm] [nd] [unique_pct] [value_bytes] [columns] [threads]
+// Defaults: nm=10000000 nd=100000 unique=10 bytes=8 columns=300 threads=2
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "deltamerge.h"
+
+using namespace deltamerge;
+
+int main(int argc, char** argv) {
+  const uint64_t nm = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                               : 10'000'000;
+  const uint64_t nd = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                               : 100'000;
+  const double unique = (argc > 3 ? std::atof(argv[3]) : 10.0) / 100.0;
+  const size_t width = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 8;
+  const uint64_t nc = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 300;
+  const int threads = argc > 6 ? std::atoi(argv[6]) : 2;
+
+  if (width != 4 && width != 8 && width != 16) {
+    std::fprintf(stderr, "value_bytes must be 4, 8 or 16\n");
+    return 1;
+  }
+
+  std::printf("table shape: N_M=%llu, N_D=%llu, %.1f%% unique, E_j=%zu B, "
+              "N_C=%llu, N_T=%d\n\n",
+              (unsigned long long)nm, (unsigned long long)nd, unique * 100,
+              width, (unsigned long long)nc, threads);
+
+  // --- model projections ----------------------------------------------------
+  MergeShape shape = MergeShape::FromParameters(nm, nd, unique, unique,
+                                                static_cast<double>(width));
+  const MachineProfile paper = MachineProfile::Paper();
+  const CostProjection on_paper = ProjectMergeCost(shape, paper, threads);
+  std::printf("[model: paper X5680]  %s\n", ToString(on_paper).c_str());
+  std::printf("  auxiliary structures: %.2f MB (%s the 24 MB LLC)\n",
+              AuxiliaryStructureBytes(shape) / (1 << 20),
+              on_paper.aux_fits_cache ? "fit in" : "exceed");
+  std::printf("  projected update rate at N_C=%llu: %.0f updates/s "
+              "(targets: %.0f low / %.0f high)\n\n",
+              (unsigned long long)nc,
+              ProjectUpdateRate(shape, paper, threads, nc,
+                                /*delta_update_cpt=*/1.0),
+              kLowTargetUpdatesPerSec, kHighTargetUpdatesPerSec);
+
+  std::printf("[model: this host]    measuring bandwidth...\n");
+  const MachineProfile host = MachineProfile::Measure(threads);
+  std::printf("  %s\n", host.ToString().c_str());
+  const CostProjection on_host = ProjectMergeCost(shape, host, threads);
+  std::printf("  %s\n\n", ToString(on_host).c_str());
+
+  // --- measured merge -------------------------------------------------------
+  // Cap the measured size so the example never needs more than ~2 GB.
+  uint64_t run_nm = nm, run_nd = nd;
+  const uint64_t budget = 64'000'000;
+  if (run_nm > budget) {
+    run_nd = run_nd * budget / run_nm;
+    run_nm = budget;
+    std::printf("[measured] (scaled to N_M=%llu to fit in memory)\n",
+                (unsigned long long)run_nm);
+  } else {
+    std::printf("[measured]\n");
+  }
+
+  MergeStats stats;
+  uint64_t delta_cycles = 0;
+  {
+    ThreadTeam team(threads < 1 ? 1 : threads);
+    auto run = [&](auto tag) {
+      constexpr size_t W = decltype(tag)::value;
+      auto main = BuildMainPartition<W>(run_nm, unique, 42);
+      const auto keys = GenerateColumnKeys(run_nd, unique, W, 43);
+      DeltaPartition<W> delta;
+      const uint64_t t0 = CycleClock::Now();
+      for (uint64_t k : keys) delta.Insert(FixedValue<W>::FromKey(k));
+      delta_cycles = CycleClock::Now() - t0;
+      auto merged = MergeColumnPartitions<W>(
+          main, delta, MergeOptions{}, threads > 1 ? &team : nullptr,
+          &stats);
+      if (merged.size() != run_nm + run_nd) std::abort();
+    };
+    switch (width) {
+      case 4:
+        run(std::integral_constant<size_t, 4>{});
+        break;
+      case 16:
+        run(std::integral_constant<size_t, 16>{});
+        break;
+      default:
+        run(std::integral_constant<size_t, 8>{});
+        break;
+    }
+  }
+
+  const double tuples = static_cast<double>(stats.nm + stats.nd);
+  const double delta_cpt = static_cast<double>(delta_cycles) / tuples;
+  std::printf("  update-delta %.2f cpt | step1 %.2f | step2 %.2f | merge "
+              "total %.2f cpt\n",
+              delta_cpt,
+              stats.Step1aCyclesPerTuple() + stats.Step1bCyclesPerTuple(),
+              stats.Step2CyclesPerTuple(), stats.CyclesPerTuple());
+  const double cycles_full = (delta_cpt + stats.CyclesPerTuple()) * tuples *
+                             static_cast<double>(nc);
+  std::printf("  measured update rate at N_C=%llu: %.0f updates/s\n",
+              (unsigned long long)nc,
+              static_cast<double>(stats.nd) * CycleClock::FrequencyHz() /
+                  cycles_full);
+  std::printf("  |U'_M| = %llu -> %llu-bit codes\n",
+              (unsigned long long)stats.u_merged,
+              (unsigned long long)stats.ec_bits_new);
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Sales orders: a scaled replay of the paper's §2 "Merge Duration" scenario.
+//
+// The paper's motivating measurement: the VBAP sales-order-line table (33M
+// rows, 230 columns) accumulates ~750K new rows per month; the naive merge
+// takes 12 minutes of full CPU — ~20 hours/month across a 1.5 TB system.
+// This example ingests "one month" of orders into a VBAP-shaped table
+// (scaled by DM_SCALE), runs both merge implementations, and reports what
+// the month-end merge costs before and after the paper's optimization.
+//
+// Usage: ./build/examples/sales_orders  (env: DM_SCALE, DM_THREADS)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "deltamerge.h"
+
+using namespace deltamerge;
+
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? fallback
+                                      : std::strtoull(v, nullptr, 10);
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t scale = EnvU64("DM_FULL", 0) ? 1 : EnvU64("DM_SCALE", 100);
+  const int threads = static_cast<int>(EnvU64("DM_THREADS", 2));
+  const VbapScenario vbap = PaperVbapScenario();
+
+  const uint64_t rows = vbap.rows / scale;
+  const uint64_t month = vbap.delta_rows / scale;
+  // 230 columns is the real VBAP; build a representative 16-column slice
+  // (mixing the §2 cardinality profile) and normalize per column.
+  const size_t nc_built = 16;
+
+  std::printf("VBAP-shaped table: %llu rows x %zu columns (of %u), "
+              "1/%llu scale\n",
+              (unsigned long long)rows, nc_built, vbap.columns,
+              (unsigned long long)scale);
+
+  std::vector<ColumnBuildSpec> specs;
+  Rng domain_rng(11);
+  for (size_t c = 0; c < nc_built; ++c) {
+    ColumnBuildSpec s;
+    s.value_width = (c % 5 == 0) ? 16 : (c % 2 == 0) ? 8 : 4;
+    // Draw the column's distinct-value profile from Figure 4's Inventory
+    // Management distribution.
+    const uint64_t distincts =
+        SampleColumnDistincts(InventoryManagementDistincts(), domain_rng);
+    s.main_unique = std::min(
+        1.0, static_cast<double>(distincts) / static_cast<double>(rows));
+    s.delta_unique = s.main_unique;
+    specs.push_back(s);
+  }
+  auto table = BuildTable(rows, 0, specs, 3003);
+
+  // Ingest one month of sales orders through the real write path.
+  std::printf("ingesting one month: %llu order lines...\n",
+              (unsigned long long)month);
+  std::vector<std::vector<uint64_t>> col_keys;
+  for (size_t c = 0; c < nc_built; ++c) {
+    col_keys.push_back(GenerateColumnKeys(month, specs[c].delta_unique,
+                                          specs[c].value_width,
+                                          9000 + c));
+  }
+  std::vector<uint64_t> row(nc_built);
+  const uint64_t t0 = CycleClock::Now();
+  for (uint64_t r = 0; r < month; ++r) {
+    for (size_t c = 0; c < nc_built; ++c) row[c] = col_keys[c][r];
+    table->InsertRow(row);
+  }
+  const double ingest_s = CycleClock::ToSeconds(CycleClock::Now() - t0);
+  std::printf("ingest: %.2f s (%.0f rows/s); delta now %llu rows\n",
+              ingest_s, static_cast<double>(month) / ingest_s,
+              (unsigned long long)table->delta_rows());
+
+  // Month-end merge, the §2 pain point: naive first.
+  struct Run {
+    const char* name;
+    MergeAlgorithm algo;
+    int threads;
+    double seconds = 0;
+  } runs[] = {
+      {"naive merge (paper's initial impl)", MergeAlgorithm::kNaive, 1},
+      {"optimized parallel merge (this paper)", MergeAlgorithm::kLinear,
+       threads},
+  };
+
+  for (auto& run : runs) {
+    // Rebuild the same table state for a fair second run.
+    auto t = BuildTable(rows, 0, specs, 3003);
+    for (uint64_t r = 0; r < month; ++r) {
+      for (size_t c = 0; c < nc_built; ++c) row[c] = col_keys[c][r];
+      t->InsertRow(row);
+    }
+    TableMergeOptions options;
+    options.merge.algorithm = run.algo;
+    options.num_threads = run.threads;
+    options.parallelism = MergeParallelism::kIntraColumn;
+    auto result = t->Merge(options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "merge failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const TableMergeReport& report = result.ValueOrDie();
+    run.seconds = CycleClock::ToSeconds(report.wall_cycles);
+
+    // Normalize to the full 230-column, full-size VBAP the way §2 does.
+    const double full_cycles =
+        report.stats.CyclesPerTuple() *
+        static_cast<double>(vbap.rows + vbap.delta_rows) *
+        static_cast<double>(vbap.columns);
+    const double full_minutes =
+        full_cycles / CycleClock::FrequencyHz() / 60;
+    const double upd_per_s =
+        static_cast<double>(vbap.delta_rows) /
+        (full_cycles / CycleClock::FrequencyHz());
+    std::printf("\n%s:\n", run.name);
+    std::printf("  measured: %.2f s for %zu columns (%.1f cpt)\n",
+                run.seconds, nc_built, report.stats.CyclesPerTuple());
+    std::printf("  projected full VBAP (33M x 230): %.1f min  -> %.0f "
+                "merged updates/s\n",
+                full_minutes, upd_per_s);
+  }
+
+  std::printf("\npaper reference: naive = 12 min, ~1,000 upd/s; optimized "
+              "cuts the merge ~30x (12-core X5680).\n");
+  std::printf("speedup here: %.1fx (bounded by %d thread(s))\n",
+              runs[0].seconds / runs[1].seconds, threads);
+
+  // The data survives it all.
+  const uint64_t mid = rows + month / 2;
+  std::printf("\nspot check: row %llu column 0 key = %llu (still readable "
+              "after merges)\n",
+              (unsigned long long)mid,
+              (unsigned long long)table->GetKey(0, mid));
+  return 0;
+}

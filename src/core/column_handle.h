@@ -1,0 +1,179 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Type-erased column handle. Tables mix columns of different value-lengths
+// (§2's analysis: 2..399 columns per table, E_j in {4, 8, 16}); ColumnBase
+// erases the width so Table can hold a heterogeneous vector, while
+// ColumnHandle<W> carries the typed storage and dispatches to the templated
+// merge and query code. Virtual dispatch appears only at per-operation
+// granularity (a whole merge step, a whole scan), never per tuple.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/merge_algorithms.h"
+#include "core/merge_types.h"
+#include "query/aggregate.h"
+#include "query/lookup.h"
+#include "query/range_select.h"
+#include "storage/column.h"
+#include "util/macros.h"
+
+namespace deltamerge {
+
+class ColumnBase {
+ public:
+  virtual ~ColumnBase() = default;
+
+  // --- shape ---
+  virtual size_t value_width() const = 0;
+  virtual uint64_t size() const = 0;
+  virtual uint64_t main_size() const = 0;
+  virtual uint64_t delta_size() const = 0;
+  virtual uint64_t frozen_size() const = 0;
+  virtual uint64_t main_unique() const = 0;
+  virtual uint64_t delta_unique() const = 0;
+  virtual size_t memory_bytes() const = 0;
+
+  // --- writes (row id comes from the table; values are ordering keys) ---
+  virtual uint64_t InsertKey(uint64_t key) = 0;
+
+  // --- reads ---
+  /// The integer ordering key stored at `row` (across all partitions).
+  virtual uint64_t GetKey(uint64_t row) const = 0;
+  /// Tuples (all partitions) whose value key equals `key`.
+  virtual uint64_t CountEqualsKey(uint64_t key) const = 0;
+  /// Tuples (all partitions) whose value key lies in [lo, hi].
+  virtual uint64_t CountRangeKeys(uint64_t lo, uint64_t hi) const = 0;
+  /// Sum of value keys over all partitions (modulo 2^64 for convenience).
+  virtual uint64_t SumKeys() const = 0;
+
+  // --- merge protocol (driven by Table / MergeManager) ---
+  virtual void FreezeDelta() = 0;
+  /// Runs the merge of main + frozen into a staged main partition. Must be
+  /// preceded by FreezeDelta(); safe without the table lock.
+  virtual MergeStats PrepareMerge(const MergeOptions& options,
+                                  ThreadTeam* team) = 0;
+  /// Installs the staged partition. O(1); called under the table lock.
+  virtual void CommitMerge() = 0;
+  virtual void AbortMerge() = 0;
+  virtual bool merge_in_progress() const = 0;
+};
+
+template <size_t W>
+class ColumnHandle final : public ColumnBase {
+ public:
+  using Value = FixedValue<W>;
+
+  ColumnHandle() = default;
+  explicit ColumnHandle(Column<W> column) : column_(std::move(column)) {}
+
+  Column<W>& column() { return column_; }
+  const Column<W>& column() const { return column_; }
+
+  size_t value_width() const override { return W; }
+  uint64_t size() const override { return column_.size(); }
+  uint64_t main_size() const override { return column_.main_size(); }
+  uint64_t delta_size() const override { return column_.delta_size(); }
+  uint64_t frozen_size() const override { return column_.frozen_size(); }
+  uint64_t main_unique() const override {
+    return column_.main().unique_values();
+  }
+  uint64_t delta_unique() const override {
+    return column_.delta().unique_values();
+  }
+  size_t memory_bytes() const override { return column_.memory_bytes(); }
+
+  uint64_t InsertKey(uint64_t key) override {
+    return column_.Insert(Value::FromKey(key));
+  }
+
+  uint64_t GetKey(uint64_t row) const override {
+    return column_.Get(row).key();
+  }
+
+  uint64_t CountEqualsKey(uint64_t key) const override {
+    const Value v = Value::FromKey(key);
+    uint64_t n = query::CountEqualsMain(column_.main(), v) +
+                 query::CountEqualsDelta(column_.delta(), v);
+    if (column_.frozen() != nullptr) {
+      n += query::CountEqualsDelta(*column_.frozen(), v);
+    }
+    return n;
+  }
+
+  uint64_t CountRangeKeys(uint64_t lo, uint64_t hi) const override {
+    const Value vlo = Value::FromKey(lo);
+    const Value vhi = Value::FromKey(hi);
+    uint64_t n = query::CountRangeMain(column_.main(), vlo, vhi) +
+                 query::CountRangeDelta(column_.delta(), vlo, vhi);
+    if (column_.frozen() != nullptr) {
+      n += query::CountRangeDelta(*column_.frozen(), vlo, vhi);
+    }
+    return n;
+  }
+
+  uint64_t SumKeys() const override {
+    unsigned __int128 sum = query::SumKeysMain(column_.main()) +
+                            query::SumKeysDelta(column_.delta());
+    if (column_.frozen() != nullptr) {
+      sum += query::SumKeysDelta(*column_.frozen());
+    }
+    return static_cast<uint64_t>(sum);
+  }
+
+  void FreezeDelta() override { column_.FreezeDelta(); }
+
+  MergeStats PrepareMerge(const MergeOptions& options,
+                          ThreadTeam* team) override {
+    DM_CHECK_MSG(column_.merge_in_progress(),
+                 "PrepareMerge requires FreezeDelta first");
+    MergeStats stats;
+    staged_ = MergeColumnPartitions<W>(column_.main(), *column_.frozen(),
+                                       options, team, &stats);
+    has_staged_ = true;
+    return stats;
+  }
+
+  void CommitMerge() override {
+    DM_CHECK_MSG(has_staged_, "CommitMerge without PrepareMerge");
+    column_.CommitMerge(std::move(staged_));
+    staged_ = MainPartition<W>();
+    has_staged_ = false;
+  }
+
+  void AbortMerge() override {
+    column_.AbortMerge();
+    staged_ = MainPartition<W>();
+    has_staged_ = false;
+  }
+
+  bool merge_in_progress() const override {
+    return column_.merge_in_progress();
+  }
+
+ private:
+  Column<W> column_;
+  MainPartition<W> staged_;
+  bool has_staged_ = false;
+};
+
+/// Factory for the supported widths.
+std::unique_ptr<ColumnBase> MakeColumn(size_t value_width);
+
+inline std::unique_ptr<ColumnBase> MakeColumn(size_t value_width) {
+  switch (value_width) {
+    case 4:
+      return std::make_unique<ColumnHandle<4>>();
+    case 8:
+      return std::make_unique<ColumnHandle<8>>();
+    case 16:
+      return std::make_unique<ColumnHandle<16>>();
+    default:
+      DM_CHECK_MSG(false, "unsupported value width (use 4, 8 or 16)");
+      return nullptr;
+  }
+}
+
+}  // namespace deltamerge

@@ -1,0 +1,95 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+
+#include "core/merge_scheduler.h"
+
+#include <chrono>
+
+namespace deltamerge {
+
+bool ShouldMerge(const Table& table, const MergeTriggerPolicy& policy) {
+  const uint64_t nd = table.delta_rows();
+  if (nd < policy.min_delta_rows) return false;
+  const uint64_t nm =
+      table.num_columns() == 0 ? 0 : table.column(0).main_size();
+  return static_cast<double>(nd) >
+         policy.delta_fraction * static_cast<double>(nm);
+}
+
+MergeScheduler::MergeScheduler(Table* table, MergeTriggerPolicy policy,
+                               TableMergeOptions options)
+    : table_(table), policy_(policy), options_(options) {
+  DM_CHECK(table != nullptr);
+}
+
+MergeScheduler::~MergeScheduler() { Stop(); }
+
+void MergeScheduler::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void MergeScheduler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+void MergeScheduler::Nudge() { wake_.notify_all(); }
+
+void MergeScheduler::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void MergeScheduler::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  wake_.notify_all();
+}
+
+bool MergeScheduler::paused() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return paused_;
+}
+
+MergeStats MergeScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return accumulated_;
+}
+
+void MergeScheduler::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // Poll at millisecond granularity; Nudge() short-circuits the wait.
+      wake_.wait_for(lock, std::chrono::milliseconds(1),
+                     [this] { return stop_requested_; });
+      if (stop_requested_) return;
+      if (paused_) continue;
+    }
+    if (!ShouldMerge(*table_, policy_)) continue;
+
+    auto result = table_->Merge(options_);
+    if (!result.ok()) continue;  // another merger won the race; retry later
+    const TableMergeReport& report = result.ValueOrDie();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      accumulated_.Accumulate(report.stats);
+    }
+    merges_completed_.fetch_add(1, std::memory_order_relaxed);
+    rows_merged_.fetch_add(report.rows_merged, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace deltamerge

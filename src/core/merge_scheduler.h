@@ -1,0 +1,91 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Merge scheduling. "In our system, we trigger the merging of partitions
+// when the number of tuples N_D in the delta partition is greater than a
+// certain pre-defined fraction of tuples in the main partition N_M" (§4).
+// §3 sketches two strategies: (a) merge with all available resources, and
+// (b) constantly merge in the background with minimal resources; the
+// scheduler implements the trigger plus a background thread that can run
+// either way (the thread count in the merge options is the resource knob).
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "core/merge_types.h"
+#include "core/table.h"
+
+namespace deltamerge {
+
+/// When to merge.
+struct MergeTriggerPolicy {
+  /// Merge once N_D > delta_fraction * N_M (§4's pre-defined fraction;
+  /// the paper's Figure 9 experiment uses 1%).
+  double delta_fraction = 0.01;
+  /// Floor so freshly created tables don't merge on every insert.
+  uint64_t min_delta_rows = 1024;
+};
+
+/// True if the policy says the table's delta is due for merging.
+bool ShouldMerge(const Table& table, const MergeTriggerPolicy& policy);
+
+/// Background merge driver for one table. Polls the trigger; when it fires,
+/// runs Table::Merge with the configured options. Inserts and queries
+/// continue during the merge (§3's online property); only the freeze and
+/// commit instants take the table lock.
+class MergeScheduler {
+ public:
+  MergeScheduler(Table* table, MergeTriggerPolicy policy,
+                 TableMergeOptions options);
+  ~MergeScheduler();
+
+  DM_DISALLOW_COPY_AND_MOVE(MergeScheduler);
+
+  void Start();
+  /// Stops the poller; an in-flight merge completes first.
+  void Stop();
+
+  /// Wakes the poller immediately (e.g. after a large batch insert).
+  void Nudge();
+
+  /// Suspends merging without tearing the thread down (§3/§9: "a scheduling
+  /// algorithm can detect a good point in time to start and even pause and
+  /// resume the merge process"). An in-flight merge completes; no new merge
+  /// starts until Resume().
+  void Pause();
+  void Resume();
+  bool paused() const;
+
+  uint64_t merges_completed() const {
+    return merges_completed_.load(std::memory_order_relaxed);
+  }
+  uint64_t rows_merged() const {
+    return rows_merged_.load(std::memory_order_relaxed);
+  }
+
+  /// Accumulated merge statistics (valid while no merge is running).
+  MergeStats stats() const;
+
+ private:
+  void Loop();
+
+  Table* table_;
+  MergeTriggerPolicy policy_;
+  TableMergeOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_;
+  bool stop_requested_ = false;
+  bool paused_ = false;
+  bool running_ = false;
+  std::thread thread_;
+
+  std::atomic<uint64_t> merges_completed_{0};
+  std::atomic<uint64_t> rows_merged_{0};
+  MergeStats accumulated_;
+};
+
+}  // namespace deltamerge

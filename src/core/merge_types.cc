@@ -1,0 +1,92 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+
+#include "core/merge_types.h"
+
+#include <cstdio>
+
+#include "util/cycle_clock.h"
+
+namespace deltamerge {
+
+std::string_view MergeAlgorithmToString(MergeAlgorithm algo) {
+  switch (algo) {
+    case MergeAlgorithm::kNaive:
+      return "naive";
+    case MergeAlgorithm::kLinear:
+      return "linear";
+  }
+  return "unknown";
+}
+
+void MergeStats::Accumulate(const MergeStats& other) {
+  cycles_step1a += other.cycles_step1a;
+  cycles_step1b += other.cycles_step1b;
+  cycles_step2 += other.cycles_step2;
+  cycles_total += other.cycles_total;
+  columns += other.columns;
+  nm += other.nm;
+  nd += other.nd;
+  um += other.um;
+  ud += other.ud;
+  u_merged += other.u_merged;
+  ec_bits_old += other.ec_bits_old;
+  ec_bits_new += other.ec_bits_new;
+}
+
+namespace {
+double PerTuple(uint64_t cycles, uint64_t tuples) {
+  return tuples == 0 ? 0.0
+                     : static_cast<double>(cycles) /
+                           static_cast<double>(tuples);
+}
+}  // namespace
+
+// nm/nd are summed across columns, so (nm + nd) is already
+// tuples-times-columns; dividing total cycles by it yields the paper's
+// per-tuple-per-column unit.
+double MergeStats::CyclesPerTuple() const {
+  return PerTuple(cycles_total, nm + nd);
+}
+double MergeStats::Step1aCyclesPerTuple() const {
+  return PerTuple(cycles_step1a, nm + nd);
+}
+double MergeStats::Step1bCyclesPerTuple() const {
+  return PerTuple(cycles_step1b, nm + nd);
+}
+double MergeStats::Step2CyclesPerTuple() const {
+  return PerTuple(cycles_step2, nm + nd);
+}
+
+std::string MergeStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "MergeStats{cols=%llu, nm=%llu, nd=%llu, |U'|=%llu, "
+                "cpt=%.2f (1a=%.2f, 1b=%.2f, 2=%.2f)}",
+                static_cast<unsigned long long>(columns),
+                static_cast<unsigned long long>(nm),
+                static_cast<unsigned long long>(nd),
+                static_cast<unsigned long long>(u_merged), CyclesPerTuple(),
+                Step1aCyclesPerTuple(), Step1bCyclesPerTuple(),
+                Step2CyclesPerTuple());
+  return std::string(buf);
+}
+
+double UpdateCostReport::UpdatesPerSecond() const {
+  const uint64_t cycles = cycles_delta_update + merge.cycles_total;
+  if (cycles == 0) return 0.0;
+  const double seconds = CycleClock::ToSeconds(cycles);
+  return static_cast<double>(updates) / seconds;
+}
+
+double UpdateCostReport::UpdateDeltaCyclesPerTuple() const {
+  const uint64_t tuples = merge.nm + merge.nd;
+  return tuples == 0 ? 0.0
+                     : static_cast<double>(cycles_delta_update) /
+                           static_cast<double>(tuples);
+}
+
+double UpdateCostReport::TotalCyclesPerTuple() const {
+  return UpdateDeltaCyclesPerTuple() + merge.CyclesPerTuple();
+}
+
+}  // namespace deltamerge

@@ -1,0 +1,89 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Shared types for the merge subsystem: algorithm selection, options, and
+// the per-step statistics every experiment in §7 reports.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace deltamerge {
+
+/// Which Step 2 strategy a merge uses.
+///
+/// kNaive  — §5.2: for every tuple, materialize the value (dictionary lookup
+///           for main tuples) and binary-search the merged dictionary;
+///           O(N_M + (N_M + N_D) log |U'_M|) (Eq. 5). The paper's baseline.
+/// kLinear — §5.3: translation tables X_M / X_D built during the dictionary
+///           merge turn each tuple update into one array gather;
+///           O(N_M + N_D + |U_M| + |U_D|) (Eq. 6). The paper's contribution.
+enum class MergeAlgorithm : uint8_t {
+  kNaive = 0,
+  kLinear = 1,
+};
+
+std::string_view MergeAlgorithmToString(MergeAlgorithm algo);
+
+/// Options controlling a merge run. Parallelism is orthogonal to the
+/// algorithm: either algorithm runs serially or on a ThreadTeam (the paper's
+/// Figure 7 compares the *parallelized* unoptimized code against the
+/// parallelized optimized code).
+struct MergeOptions {
+  MergeAlgorithm algorithm = MergeAlgorithm::kLinear;
+
+  /// If true, Step 1(a) additionally re-encodes the delta partition into
+  /// fixed-width codes (the paper's "modified Step 1(a)"). Only meaningful
+  /// for kLinear; kNaive searches raw delta values as in §5.2.
+  bool recode_delta = true;
+};
+
+/// Cycle and cardinality accounting for one merge (or an accumulation over
+/// the columns of a table). Cycle fields use the calibrated TSC.
+struct MergeStats {
+  // --- step timing (cycles) ---
+  uint64_t cycles_step1a = 0;  ///< delta dictionary extraction (+ recode)
+  uint64_t cycles_step1b = 0;  ///< dictionary merge (+ auxiliary tables)
+  uint64_t cycles_step2 = 0;   ///< compressed-value update
+  uint64_t cycles_total = 0;   ///< whole merge, including glue
+
+  // --- shapes (summed across columns when accumulated) ---
+  uint64_t columns = 0;
+  uint64_t nm = 0;        ///< main tuples merged
+  uint64_t nd = 0;        ///< delta tuples merged
+  uint64_t um = 0;        ///< |U_M| before merge
+  uint64_t ud = 0;        ///< |U_D|
+  uint64_t u_merged = 0;  ///< |U'_M|
+  uint64_t ec_bits_old = 0;
+  uint64_t ec_bits_new = 0;
+
+  void Accumulate(const MergeStats& other);
+
+  /// Cycles per tuple per column over N_M + N_D tuples — the paper's
+  /// normalized "update cost" unit for the merge part (§7). Returns 0 when
+  /// no tuples were merged.
+  double CyclesPerTuple() const;
+  double Step1aCyclesPerTuple() const;
+  double Step1bCyclesPerTuple() const;
+  double Step2CyclesPerTuple() const;
+
+  std::string ToString() const;
+};
+
+/// End-to-end update accounting: T_U (delta insert time) plus T_M (merge
+/// time) over N_D updates (§4 Eq. 1).
+struct UpdateCostReport {
+  uint64_t cycles_delta_update = 0;  ///< T_U in cycles, all columns
+  MergeStats merge;                  ///< T_M breakdown
+  uint64_t updates = 0;              ///< N_D
+
+  /// Update Rate = N_D / (T_U + T_M) in updates/second (Eq. 1), using the
+  /// calibrated TSC frequency.
+  double UpdatesPerSecond() const;
+
+  /// Amortized cycles per tuple per column including delta update time
+  /// (the unit of Figures 7 and 8).
+  double UpdateDeltaCyclesPerTuple() const;
+  double TotalCyclesPerTuple() const;
+};
+
+}  // namespace deltamerge

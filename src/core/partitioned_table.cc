@@ -1,0 +1,113 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+
+#include "core/partitioned_table.h"
+
+#include "core/merge_scheduler.h"
+
+namespace deltamerge {
+
+PartitionedTable::PartitionedTable(Schema schema, uint64_t segment_capacity)
+    : schema_(std::move(schema)), segment_capacity_(segment_capacity) {
+  DM_CHECK_MSG(segment_capacity_ >= 1, "segment capacity must be positive");
+  segments_.push_back(std::make_unique<Table>(schema_));
+}
+
+size_t PartitionedTable::num_segments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segments_.size();
+}
+
+uint64_t PartitionedTable::num_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t rows = 0;
+  for (const auto& s : segments_) rows += s->num_rows();
+  return rows;
+}
+
+void PartitionedTable::RollOverIfFullLocked() {
+  if (segments_.back()->num_rows() >= segment_capacity_) {
+    segments_.push_back(std::make_unique<Table>(schema_));
+  }
+}
+
+uint64_t PartitionedTable::InsertRow(std::span<const uint64_t> keys) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RollOverIfFullLocked();
+  uint64_t base = 0;
+  for (size_t i = 0; i + 1 < segments_.size(); ++i) {
+    base += segments_[i]->num_rows();
+  }
+  return base + segments_.back()->InsertRow(keys);
+}
+
+uint64_t PartitionedTable::GetKey(size_t col, uint64_t global_row) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t row = global_row;
+  for (const auto& s : segments_) {
+    const uint64_t n = s->num_rows();
+    if (row < n) return s->GetKey(col, row);
+    row -= n;
+  }
+  DM_CHECK_MSG(false, "global row id beyond table size");
+  return 0;
+}
+
+uint64_t PartitionedTable::CountEquals(size_t col, uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const auto& s : segments_) n += s->CountEquals(col, key);
+  return n;
+}
+
+uint64_t PartitionedTable::CountRange(size_t col, uint64_t lo,
+                                      uint64_t hi) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const auto& s : segments_) n += s->CountRange(col, lo, hi);
+  return n;
+}
+
+uint64_t PartitionedTable::SumColumn(size_t col) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t sum = 0;
+  for (const auto& s : segments_) sum += s->SumColumn(col);
+  return sum;
+}
+
+uint64_t PartitionedTable::delta_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const auto& s : segments_) n += s->delta_rows();
+  return n;
+}
+
+TableMergeReport PartitionedTable::MergeDueSegments(
+    const MergeTriggerPolicy& policy, const TableMergeOptions& options) {
+  // Snapshot the segment pointers; segments are never removed, and the
+  // per-segment Table handles its own concurrency.
+  std::vector<Table*> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& s : segments_) snapshot.push_back(s.get());
+  }
+  TableMergeReport total;
+  for (Table* s : snapshot) {
+    if (!ShouldMerge(*s, policy)) continue;
+    auto result = s->Merge(options);
+    if (!result.ok()) continue;  // segment merge already running; skip
+    const TableMergeReport& r = result.ValueOrDie();
+    total.stats.Accumulate(r.stats);
+    total.wall_cycles += r.wall_cycles;
+    total.rows_merged += r.rows_merged;
+  }
+  return total;
+}
+
+TableMergeReport PartitionedTable::MergeAll(const TableMergeOptions& options) {
+  MergeTriggerPolicy everything;
+  everything.delta_fraction = 0.0;
+  everything.min_delta_rows = 1;
+  return MergeDueSegments(everything, options);
+}
+
+}  // namespace deltamerge

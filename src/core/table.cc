@@ -1,0 +1,217 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+
+#include "core/table.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "util/cycle_clock.h"
+
+namespace deltamerge {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  DM_CHECK_MSG(!schema_.columns.empty(), "a table needs at least one column");
+  columns_.reserve(schema_.columns.size());
+  for (const ColumnSpec& spec : schema_.columns) {
+    columns_.push_back(MakeColumn(spec.value_width));
+  }
+}
+
+std::unique_ptr<Table> Table::FromColumns(
+    Schema schema, std::vector<std::unique_ptr<ColumnBase>> columns) {
+  auto t = std::make_unique<Table>(schema);
+  DM_CHECK_MSG(columns.size() == t->columns_.size(),
+               "column count does not match schema");
+  const uint64_t rows = columns.empty() ? 0 : columns[0]->size();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    DM_CHECK_MSG(columns[i]->value_width() == schema.columns[i].value_width,
+                 "column width does not match schema");
+    DM_CHECK_MSG(columns[i]->size() == rows, "columns have unequal row counts");
+  }
+  t->columns_ = std::move(columns);
+  t->validity_.Append(rows);
+  return t;
+}
+
+uint64_t Table::num_rows() const {
+  std::shared_lock lock(mu_);
+  return validity_.size();
+}
+
+uint64_t Table::valid_rows() const {
+  std::shared_lock lock(mu_);
+  return validity_.valid_count();
+}
+
+size_t Table::memory_bytes() const {
+  std::shared_lock lock(mu_);
+  size_t total = 0;
+  for (const auto& c : columns_) total += c->memory_bytes();
+  return total;
+}
+
+uint64_t Table::InsertRow(std::span<const uint64_t> keys) {
+  DM_CHECK_MSG(keys.size() == columns_.size(),
+               "key count does not match column count");
+  std::unique_lock lock(mu_);
+  const uint64_t t0 = CycleClock::Now();
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c]->InsertKey(keys[c]);
+  }
+  const uint64_t row = validity_.Append(1);
+  delta_update_cycles_.fetch_add(CycleClock::Now() - t0,
+                                 std::memory_order_relaxed);
+  return row;
+}
+
+uint64_t Table::InsertRows(std::span<const uint64_t> row_major_keys,
+                           uint64_t num_rows, TaskQueue* queue) {
+  const size_t nc = columns_.size();
+  DM_CHECK_MSG(row_major_keys.size() == num_rows * nc,
+               "batch size does not match row count x column count");
+  std::unique_lock lock(mu_);
+  const uint64_t t0 = CycleClock::Now();
+  if (queue == nullptr) {
+    for (uint64_t r = 0; r < num_rows; ++r) {
+      for (size_t c = 0; c < nc; ++c) {
+        columns_[c]->InsertKey(row_major_keys[r * nc + c]);
+      }
+    }
+  } else {
+    // Delta-update parallelization (§7.2): one task per column applies the
+    // whole batch. Columns are independent, so no further locking is needed.
+    for (size_t c = 0; c < nc; ++c) {
+      queue->Submit([this, row_major_keys, num_rows, nc, c] {
+        for (uint64_t r = 0; r < num_rows; ++r) {
+          columns_[c]->InsertKey(row_major_keys[r * nc + c]);
+        }
+      });
+    }
+    queue->WaitAll();
+  }
+  const uint64_t first = validity_.Append(num_rows);
+  delta_update_cycles_.fetch_add(CycleClock::Now() - t0,
+                                 std::memory_order_relaxed);
+  return first;
+}
+
+uint64_t Table::UpdateRow(uint64_t row, std::span<const uint64_t> keys) {
+  DM_CHECK_MSG(keys.size() == columns_.size(),
+               "key count does not match column count");
+  std::unique_lock lock(mu_);
+  const uint64_t t0 = CycleClock::Now();
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c]->InsertKey(keys[c]);
+  }
+  const uint64_t new_row = validity_.Append(1);
+  if (row < new_row) validity_.Invalidate(row);
+  delta_update_cycles_.fetch_add(CycleClock::Now() - t0,
+                                 std::memory_order_relaxed);
+  return new_row;
+}
+
+Status Table::DeleteRow(uint64_t row) {
+  std::unique_lock lock(mu_);
+  if (row >= validity_.size()) {
+    return Status::OutOfRange("row id beyond table size");
+  }
+  validity_.Invalidate(row);
+  return Status::OK();
+}
+
+bool Table::IsRowValid(uint64_t row) const {
+  std::shared_lock lock(mu_);
+  return row < validity_.size() && validity_.IsValid(row);
+}
+
+uint64_t Table::GetKey(size_t col, uint64_t row) const {
+  std::shared_lock lock(mu_);
+  return columns_[col]->GetKey(row);
+}
+
+uint64_t Table::CountEquals(size_t col, uint64_t key) const {
+  std::shared_lock lock(mu_);
+  return columns_[col]->CountEqualsKey(key);
+}
+
+uint64_t Table::CountRange(size_t col, uint64_t lo, uint64_t hi) const {
+  std::shared_lock lock(mu_);
+  return columns_[col]->CountRangeKeys(lo, hi);
+}
+
+uint64_t Table::SumColumn(size_t col) const {
+  std::shared_lock lock(mu_);
+  return columns_[col]->SumKeys();
+}
+
+uint64_t Table::delta_rows() const {
+  std::shared_lock lock(mu_);
+  // All columns receive every row, so any column's delta size is the count.
+  return columns_.empty() ? 0 : columns_[0]->delta_size();
+}
+
+Result<TableMergeReport> Table::Merge(const TableMergeOptions& options) {
+  bool expected = false;
+  if (!merge_running_.compare_exchange_strong(expected, true)) {
+    return Status::FailedPrecondition("a merge is already in progress");
+  }
+
+  const uint64_t t0 = CycleClock::Now();
+  TableMergeReport report;
+
+  // Phase A (brief exclusive lock): freeze every column's delta.
+  {
+    std::unique_lock lock(mu_);
+    for (auto& c : columns_) c->FreezeDelta();
+    report.rows_merged = columns_.empty() ? 0 : columns_[0]->frozen_size();
+  }
+
+  // Phase B (no lock): merge each column against its frozen snapshot.
+  // Inserts continue into the fresh active deltas; readers see main +
+  // frozen + active.
+  if (options.parallelism == MergeParallelism::kColumnTasks &&
+      options.num_threads > 1) {
+    TaskQueue queue(options.num_threads);
+    std::mutex stats_mu;
+    for (auto& c : columns_) {
+      ColumnBase* col = c.get();
+      queue.Submit([col, &options, &stats_mu, &report] {
+        MergeStats s = col->PrepareMerge(options.merge, nullptr);
+        std::lock_guard<std::mutex> g(stats_mu);
+        report.stats.Accumulate(s);
+      });
+    }
+    queue.WaitAll();
+  } else if (options.parallelism == MergeParallelism::kIntraColumn &&
+             options.num_threads > 1) {
+    ThreadTeam team(options.num_threads);
+    for (auto& c : columns_) {
+      report.stats.Accumulate(c->PrepareMerge(options.merge, &team));
+      if (options.inter_column_delay_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(options.inter_column_delay_us));
+      }
+    }
+  } else {
+    for (auto& c : columns_) {
+      report.stats.Accumulate(c->PrepareMerge(options.merge, nullptr));
+      if (options.inter_column_delay_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(options.inter_column_delay_us));
+      }
+    }
+  }
+
+  // Phase C (brief exclusive lock): atomically install all merged mains.
+  {
+    std::unique_lock lock(mu_);
+    for (auto& c : columns_) c->CommitMerge();
+  }
+
+  report.wall_cycles = CycleClock::Now() - t0;
+  merge_running_.store(false);
+  return report;
+}
+
+}  // namespace deltamerge

@@ -1,0 +1,169 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Table: N_C columns with aligned row ids, an insert-only write path, and
+// the transactionally-safe online merge protocol of §3:
+//
+//   * updates are new inserts; deletes invalidate rows in a validity bitmap;
+//   * the implicit tuple offset is valid for all attributes of the table;
+//   * a merge freezes the deltas (brief exclusive lock), runs against the
+//     frozen snapshot with no lock held while new writes land in the fresh
+//     active deltas, and commits atomically (brief exclusive lock again).
+//
+// Concurrency model: single writer at a time (delta appends take the
+// exclusive lock), arbitrarily many readers, and one merger. The merge body
+// — the expensive part — runs entirely outside the lock.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/column_handle.h"
+#include "core/merge_types.h"
+#include "parallel/task_queue.h"
+#include "parallel/thread_team.h"
+#include "storage/validity.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace deltamerge {
+
+/// Column declaration: a value width in bytes (4, 8, or 16) and a name.
+struct ColumnSpec {
+  size_t value_width = 8;
+  std::string name;
+};
+
+/// Table schema: the ordered column declarations.
+struct Schema {
+  std::vector<ColumnSpec> columns;
+
+  static Schema Uniform(size_t num_columns, size_t value_width) {
+    Schema s;
+    s.columns.resize(num_columns);
+    for (size_t i = 0; i < num_columns; ++i) {
+      s.columns[i].value_width = value_width;
+      s.columns[i].name = "col" + std::to_string(i);
+    }
+    return s;
+  }
+};
+
+/// How a table-level merge distributes work over threads (§6.2.1):
+/// kColumnTasks  — scheme (i): each column is a task on a shared queue; a
+///                 column's merge itself runs single-threaded.
+/// kIntraColumn  — scheme (ii): columns merge one after another, each merge
+///                 parallelized internally (merge-path Step 1(b), chunked
+///                 Step 2).
+enum class MergeParallelism : uint8_t {
+  kColumnTasks = 0,
+  kIntraColumn = 1,
+};
+
+struct TableMergeOptions {
+  MergeOptions merge;
+  int num_threads = 1;
+  MergeParallelism parallelism = MergeParallelism::kColumnTasks;
+
+  /// Resource throttling (§3 strategy (b), §9): sleep this long between
+  /// column merges so a background merge leaves headroom for foreground
+  /// queries. 0 = merge with all available resources (§3 strategy (a)).
+  /// Applies to the serial and intra-column paths (column-task merges are
+  /// already interleaved by the queue).
+  uint64_t inter_column_delay_us = 0;
+};
+
+/// Outcome of a table merge.
+struct TableMergeReport {
+  MergeStats stats;           ///< accumulated over all columns
+  uint64_t wall_cycles = 0;   ///< end-to-end, including freeze/commit
+  uint64_t rows_merged = 0;   ///< frozen-delta rows folded into main
+};
+
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  /// Assembles a table from pre-built columns (all the same row count);
+  /// the fast path for workload builders. (Tables hold synchronization
+  /// state and are therefore heap-allocated and pinned.)
+  static std::unique_ptr<Table> FromColumns(
+      Schema schema, std::vector<std::unique_ptr<ColumnBase>> columns);
+
+  DM_DISALLOW_COPY_AND_MOVE(Table);
+
+  // --- shape ---
+  size_t num_columns() const { return columns_.size(); }
+  uint64_t num_rows() const;
+  uint64_t valid_rows() const;
+  const Schema& schema() const { return schema_; }
+  ColumnBase& column(size_t i) { return *columns_[i]; }
+  const ColumnBase& column(size_t i) const { return *columns_[i]; }
+  size_t memory_bytes() const;
+
+  // --- write path (insert-only, §3) ---
+
+  /// Appends a row; keys.size() must equal num_columns(). Returns the row id.
+  uint64_t InsertRow(std::span<const uint64_t> keys);
+  uint64_t InsertRow(std::initializer_list<uint64_t> keys) {
+    return InsertRow(std::span<const uint64_t>(keys.begin(), keys.size()));
+  }
+
+  /// Appends a batch of rows column-parallel: each column applies the whole
+  /// batch as one task on `queue` (the delta-update parallelization of §7.2:
+  /// "we parallelize over the different columns being updated"). With a null
+  /// queue the batch applies serially.
+  uint64_t InsertRows(std::span<const uint64_t> row_major_keys,
+                      uint64_t num_rows, TaskQueue* queue = nullptr);
+
+  /// Insert-only update: writes the new version as a fresh row and
+  /// invalidates the old one. Returns the new row id.
+  uint64_t UpdateRow(uint64_t row, std::span<const uint64_t> keys);
+  uint64_t UpdateRow(uint64_t row, std::initializer_list<uint64_t> keys) {
+    return UpdateRow(row,
+                     std::span<const uint64_t>(keys.begin(), keys.size()));
+  }
+
+  /// Invalidates a row.
+  Status DeleteRow(uint64_t row);
+
+  bool IsRowValid(uint64_t row) const;
+
+  // --- read path ---
+  uint64_t GetKey(size_t col, uint64_t row) const;
+  uint64_t CountEquals(size_t col, uint64_t key) const;
+  uint64_t CountRange(size_t col, uint64_t lo, uint64_t hi) const;
+  uint64_t SumColumn(size_t col) const;
+
+  // --- merge ---
+
+  /// Total tuples across all column deltas (the merge trigger input).
+  uint64_t delta_rows() const;
+
+  /// Runs the full online merge: freeze -> per-column merges -> commit.
+  /// Returns an error if a merge is already in progress.
+  Result<TableMergeReport> Merge(const TableMergeOptions& options);
+
+  /// Cycles spent inside delta inserts since the last ResetCounters() — the
+  /// T_U term of Eq. 1.
+  uint64_t delta_update_cycles() const {
+    return delta_update_cycles_.load(std::memory_order_relaxed);
+  }
+  void ResetCounters() {
+    delta_update_cycles_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  Schema schema_;
+  std::vector<std::unique_ptr<ColumnBase>> columns_;
+  ValidityVector validity_;
+  mutable std::shared_mutex mu_;
+  std::atomic<uint64_t> delta_update_cycles_{0};
+  std::atomic<bool> merge_running_{false};
+};
+
+}  // namespace deltamerge

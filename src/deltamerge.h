@@ -1,0 +1,30 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Umbrella header: the public API of the DeltaMerge library.
+//
+// DeltaMerge is a dictionary-compressed in-memory column store with a
+// write-optimized delta partition and a linear-time, multi-core merge,
+// reproducing Krueger et al., "Fast Updates on Read-Optimized Databases
+// Using Multi-Core CPUs", VLDB 2011. See README.md for a quickstart and
+// DESIGN.md for the architecture.
+
+#pragma once
+
+#include "core/column_handle.h"    // IWYU pragma: export
+#include "core/merge_algorithms.h" // IWYU pragma: export
+#include "core/merge_scheduler.h"  // IWYU pragma: export
+#include "core/merge_types.h"      // IWYU pragma: export
+#include "core/partitioned_table.h"// IWYU pragma: export
+#include "core/table.h"            // IWYU pragma: export
+#include "model/cost_model.h"      // IWYU pragma: export
+#include "model/machine_profile.h" // IWYU pragma: export
+#include "model/read_cost.h"       // IWYU pragma: export
+#include "query/aggregate.h"       // IWYU pragma: export
+#include "query/lookup.h"          // IWYU pragma: export
+#include "query/range_select.h"    // IWYU pragma: export
+#include "query/scan.h"            // IWYU pragma: export
+#include "storage/column.h"        // IWYU pragma: export
+#include "storage/unsorted_delta.h"// IWYU pragma: export
+#include "workload/enterprise_stats.h"  // IWYU pragma: export
+#include "workload/query_gen.h"    // IWYU pragma: export
+#include "workload/table_builder.h"// IWYU pragma: export
+#include "workload/value_generator.h"   // IWYU pragma: export

@@ -1,0 +1,156 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+
+#include "model/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/bit_util.h"
+#include "util/macros.h"
+
+namespace deltamerge {
+
+MergeShape& MergeShape::DeriveCodeBits() {
+  ec_bits = BitsForCardinality(um);
+  ec_new_bits = BitsForCardinality(u_merged);
+  return *this;
+}
+
+MergeShape MergeShape::FromParameters(uint64_t nm, uint64_t nd,
+                                      double unique_fraction_main,
+                                      double unique_fraction_delta,
+                                      double ej) {
+  MergeShape s;
+  s.nm = nm;
+  s.nd = nd;
+  s.um = std::max<uint64_t>(
+      1, static_cast<uint64_t>(static_cast<double>(nm) *
+                               unique_fraction_main));
+  s.ud = std::max<uint64_t>(
+      1, static_cast<uint64_t>(static_cast<double>(nd) *
+                               unique_fraction_delta));
+  s.u_merged = s.um + s.ud;
+  s.ej = ej;
+  s.DeriveCodeBits();
+  return s;
+}
+
+Traffic Step1aTraffic(const MergeShape& s) {
+  Traffic t;
+  // "4·E_j bytes per value (3·E_j bytes read and 1·E_j bytes written)" for
+  // the tree traversal + dictionary write...
+  t.stream_bytes = 4.0 * s.ej * static_cast<double>(s.ud);
+  // ...plus "(2·L + 4) bytes per tuple (including the read for the write
+  // component)" for the tuple-id driven scatter of new codes (Eq. 8).
+  t.random_bytes =
+      (2.0 * s.cache_line + 4.0) * static_cast<double>(s.nd);
+  return t;
+}
+
+double Step1bReadBytes(const MergeShape& s) {
+  // Eq. 9: E_j·(|U_M| + |U_D| + |U'_M|) + E'_C·(|X_M| + |X_D|)/8.
+  // The |U'_M| and auxiliary terms are the write-allocate reads of the
+  // output streams.
+  return s.ej * static_cast<double>(s.um + s.ud + s.u_merged) +
+         s.ec_new_bits * static_cast<double>(s.um + s.ud) / 8.0;
+}
+
+double Step1bWriteBytes(const MergeShape& s) {
+  // Eq. 10: E_j·|U'_M| + E'_C·(|X_M| + |X_D|)/8.
+  return s.ej * static_cast<double>(s.u_merged) +
+         s.ec_new_bits * static_cast<double>(s.um + s.ud) / 8.0;
+}
+
+double Step1bParallelExtraBytes(const MergeShape& s) {
+  // Eq. 15: E_j·(|U_M| + |U_D|) + 2·E_j·|U'_M| — phase 1 re-reads both
+  // dictionaries; phase 3 writes the output once more (write + allocate).
+  return s.ej * static_cast<double>(s.um + s.ud) +
+         2.0 * s.ej * static_cast<double>(s.u_merged);
+}
+
+double Step2AuxGatherBytes(const MergeShape& s) {
+  // Eq. 12: L·(N_M + N_D) — every tuple's translation gather can touch a
+  // fresh cache line when X does not fit on die.
+  return s.cache_line * static_cast<double>(s.nm + s.nd);
+}
+
+double Step2PartitionReadBytes(const MergeShape& s) {
+  // Eq. 13: E_C·(N_M + N_D)/8.
+  return s.ec_bits * static_cast<double>(s.nm + s.nd) / 8.0;
+}
+
+double Step2OutputWriteBytes(const MergeShape& s) {
+  // Eq. 14: 2·E'_C·(N_M + N_D)/8 (write + write-allocate read).
+  return 2.0 * s.ec_new_bits * static_cast<double>(s.nm + s.nd) / 8.0;
+}
+
+double AuxiliaryStructureBytes(const MergeShape& s) {
+  return s.ec_new_bits * static_cast<double>(s.um + s.ud) / 8.0;
+}
+
+CostProjection ProjectMergeCost(const MergeShape& s, const MachineProfile& m,
+                                int threads) {
+  DM_CHECK(threads >= 1);
+  CostProjection p;
+  const double tuples = static_cast<double>(s.total_tuples());
+  if (tuples == 0) return p;
+  const double stream = m.stream_bytes_per_cycle;
+  const double random = m.random_bytes_per_cycle;
+  const double ops_rate =
+      m.ops_per_cycle_per_core * static_cast<double>(threads);
+
+  // ---- Step 1(a): stream part + random scatter part (Eq. 17's shape).
+  const Traffic t1a = Step1aTraffic(s);
+  p.step1a_cpt = (t1a.stream_bytes / stream + t1a.random_bytes / random) /
+                 tuples;
+
+  // ---- Step 1(b): bandwidth bound vs compute bound; the binding resource
+  // is the larger time (§6.1).
+  double t1b_bytes = Step1bReadBytes(s) + Step1bWriteBytes(s);
+  if (threads > 1) t1b_bytes += Step1bParallelExtraBytes(s);
+  const double t1b_bw = t1b_bytes / stream;
+  double t1b_ops = kOpsPerDictMergeOutput *
+                   static_cast<double>(s.u_merged) / ops_rate;
+  if (threads > 1) t1b_ops *= 2.0;  // three-phase merge compares twice
+  p.step1b_compute_bound = t1b_ops > t1b_bw;
+  p.step1b_cpt = std::max(t1b_bw, t1b_ops) / tuples;
+
+  // ---- Step 2: dominated by whether X_M/X_D fit in cache (§7.3).
+  p.aux_fits_cache = AuxiliaryStructureBytes(s) <= m.llc_bytes;
+  const double stream_cpt =
+      (Step2PartitionReadBytes(s) + Step2OutputWriteBytes(s)) / stream /
+      tuples;
+  if (p.aux_fits_cache) {
+    // Eq. 18: compute-bound gathers from cache + streaming of the
+    // partitions.
+    p.step2_cpt = kOpsPerStep2Tuple / ops_rate + stream_cpt;
+  } else {
+    // Eq. 17-style: one line-sized gather per tuple at random bandwidth.
+    p.step2_cpt = Step2AuxGatherBytes(s) / random / tuples + stream_cpt;
+  }
+  return p;
+}
+
+double ProjectUpdateRate(const MergeShape& s, const MachineProfile& m,
+                         int threads, uint64_t nc, double delta_update_cpt) {
+  const CostProjection p = ProjectMergeCost(s, m, threads);
+  const double cpt = p.total_cpt() + delta_update_cpt;
+  // Eq. 16: rate = N_D · f / (cpt · (N_M + N_D) · N_C).
+  const double cycles = cpt * static_cast<double>(s.total_tuples()) *
+                        static_cast<double>(nc);
+  if (cycles == 0) return 0.0;
+  return static_cast<double>(s.nd) * m.frequency_hz / cycles;
+}
+
+std::string ToString(const CostProjection& p) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "CostProjection{1a=%.3f, 1b=%.3f%s, 2=%.3f%s, total=%.3f cpt}",
+                p.step1a_cpt, p.step1b_cpt,
+                p.step1b_compute_bound ? " (compute)" : " (bw)", p.step2_cpt,
+                p.aux_fits_cache ? " (cached)" : " (gather)", p.total_cpt());
+  return std::string(buf);
+}
+
+}  // namespace deltamerge

@@ -1,0 +1,127 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// The analytical cost model of §6 / §7.4: memory traffic per merge step
+// (Eqs. 8-15) and projected cycles-per-tuple given a MachineProfile.
+//
+// The model "defines upper bounds on the performance, if the implementation
+// was indeed bandwidth bound (and a different bound if compute bound)";
+// measured performance should match the lower of the two upper bounds —
+// i.e. the *larger* projected time (§6.1). §7.4 instantiates it:
+//
+//   Step 1(a), 100% unique, N_M=100M, N_D=1M, E_j=8:
+//       (4·8·1M / 7  +  (2·64+4)·1M / 5) / 101M           = 0.306 cpt
+//   Step 2, aux uncached:  64/5 + (27/8)/7 + (2·27/8)/7   ≈ 14.2  cpt
+//   Step 2, aux cached:    4 ops/6 cores + streams at 7    ≈ 1.73  cpt
+//
+// Unit tests reproduce these numbers exactly with MachineProfile::Paper().
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/machine_profile.h"
+
+namespace deltamerge {
+
+/// The input cardinalities of one column merge (Table 1's symbols).
+struct MergeShape {
+  uint64_t nm = 0;        ///< N_M: main tuples
+  uint64_t nd = 0;        ///< N_D: delta tuples
+  uint64_t um = 0;        ///< |U_M|
+  uint64_t ud = 0;        ///< |U_D|
+  uint64_t u_merged = 0;  ///< |U'_M|
+  double ej = 8;          ///< E_j: uncompressed value bytes
+  double ec_bits = 0;     ///< E_C: old code bits (ceil(log2 |U_M|))
+  double ec_new_bits = 0; ///< E'_C: new code bits (ceil(log2 |U'_M|))
+  double cache_line = 64; ///< L
+
+  uint64_t total_tuples() const { return nm + nd; }
+
+  /// Fills ec_bits / ec_new_bits from the cardinalities (Eq. 4) and returns
+  /// the shape for chaining.
+  MergeShape& DeriveCodeBits();
+
+  /// Convenience constructor from experiment parameters: unique fractions
+  /// are clamped to at least one distinct value. `overlap_free` dictionaries
+  /// are assumed (uniform random values barely collide), so
+  /// |U'_M| = |U_M| + |U_D| unless set explicitly.
+  static MergeShape FromParameters(uint64_t nm, uint64_t nd,
+                                   double unique_fraction_main,
+                                   double unique_fraction_delta, double ej);
+};
+
+/// Memory traffic (bytes) split by access pattern.
+struct Traffic {
+  double stream_bytes = 0;
+  double random_bytes = 0;
+
+  Traffic& operator+=(const Traffic& o) {
+    stream_bytes += o.stream_bytes;
+    random_bytes += o.random_bytes;
+    return *this;
+  }
+};
+
+// --- the printed equations -------------------------------------------------
+
+/// Eq. 8: Step 1(a) — tree traversal + dictionary write (streaming) plus the
+/// per-tuple scatter of new codes into the delta ((2L+4)·N_D, random).
+Traffic Step1aTraffic(const MergeShape& s);
+
+/// Eq. 9: Step 1(b) read traffic (dictionaries in, write-allocate reads for
+/// the outputs).
+double Step1bReadBytes(const MergeShape& s);
+
+/// Eq. 10: Step 1(b) write traffic (merged dictionary + auxiliary tables).
+double Step1bWriteBytes(const MergeShape& s);
+
+/// Eq. 15: extra traffic of the three-phase parallel Step 1(b) — the
+/// dictionaries are read twice and the output dictionary written once more.
+double Step1bParallelExtraBytes(const MergeShape& s);
+
+/// Eq. 12: Step 2 gathers of the auxiliary structures when they exceed the
+/// cache — one line per tuple.
+double Step2AuxGatherBytes(const MergeShape& s);
+
+/// Eq. 13: Step 2 streaming reads of the input code vectors.
+double Step2PartitionReadBytes(const MergeShape& s);
+
+/// Eq. 14: Step 2 streaming write (with write-allocate) of the output codes.
+double Step2OutputWriteBytes(const MergeShape& s);
+
+/// Bytes of the auxiliary translation tables X_M + X_D ((|U_M|+|U_D|)
+/// entries of E'_C bits) — what must fit in cache for the fast Step 2 path.
+double AuxiliaryStructureBytes(const MergeShape& s);
+
+// --- projections (§7.4 methodology) ----------------------------------------
+
+/// Instruction-count constants from the paper.
+inline constexpr double kOpsPerDictMergeOutput = 12.0;  // §6.1, citing [5]
+inline constexpr double kOpsPerStep2Tuple = 4.0;        // Eq. 18's "4/6"
+
+struct CostProjection {
+  double step1a_cpt = 0;
+  double step1b_cpt = 0;
+  double step2_cpt = 0;
+  bool aux_fits_cache = false;
+  bool step1b_compute_bound = false;
+
+  double total_cpt() const { return step1a_cpt + step1b_cpt + step2_cpt; }
+};
+
+/// Projects per-step cycles per tuple (over N_M + N_D) for a merge of shape
+/// `s` on machine `m` using `threads` workers. `parallel_step1b` adds
+/// Eq. 15's extra traffic (it is what the three-phase algorithm costs; pass
+/// threads > 1).
+CostProjection ProjectMergeCost(const MergeShape& s, const MachineProfile& m,
+                                int threads);
+
+/// Eq. 1 / Eq. 16: updates per second for a table of `nc` columns given the
+/// projected merge cost and a measured-or-projected delta-update cost.
+double ProjectUpdateRate(const MergeShape& s, const MachineProfile& m,
+                         int threads, uint64_t nc,
+                         double delta_update_cpt);
+
+std::string ToString(const CostProjection& p);
+
+}  // namespace deltamerge

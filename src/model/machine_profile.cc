@@ -1,0 +1,142 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+
+#include "model/machine_profile.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/aligned_buffer.h"
+#include "util/cycle_clock.h"
+#include "util/random.h"
+
+namespace deltamerge {
+
+MachineProfile MachineProfile::Paper() {
+  MachineProfile m;
+  m.frequency_hz = 3.3e9;
+  m.stream_bytes_per_cycle = 7.0;   // ≈23 GB/s at 3.3 GHz (§7.4)
+  m.random_bytes_per_cycle = 5.0;   // §7.4 gather micro-benchmark
+  m.llc_bytes = 24.0 * 1024 * 1024; // §7.3: "actual cache size ... is 24 MB"
+  m.cores = 6;
+  m.ops_per_cycle_per_core = 1.0;
+  return m;
+}
+
+MachineProfile MachineProfile::PaperTwoSocket() {
+  MachineProfile m = Paper();
+  m.stream_bytes_per_cycle *= 2;
+  m.random_bytes_per_cycle *= 2;
+  m.cores *= 2;
+  return m;
+}
+
+std::string MachineProfile::ToString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "MachineProfile{%.2f GHz, stream %.2f B/c, random %.2f B/c, "
+                "LLC %.1f MB, %d cores}",
+                frequency_hz / 1e9, stream_bytes_per_cycle,
+                random_bytes_per_cycle, llc_bytes / (1024.0 * 1024.0), cores);
+  return std::string(buf);
+}
+
+namespace {
+// Defeats dead-code elimination of the benchmark loops' results.
+volatile uint64_t g_bandwidth_sink = 0;
+}  // namespace
+
+double MeasureStreamBandwidth(size_t buffer_bytes, int threads) {
+  const size_t words_total = buffer_bytes / 8;
+  AlignedBuffer buffer(buffer_bytes);
+  auto* data = buffer.As<uint64_t>();
+  // Touch every page to fault the buffer in before timing.
+  for (size_t i = 0; i < words_total; i += 512) data[i] = i;
+
+  std::vector<uint64_t> sink(static_cast<size_t>(threads), 0);
+  const uint64_t t0 = CycleClock::Now();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const size_t begin = words_total * static_cast<size_t>(t) / threads;
+      const size_t end =
+          words_total * (static_cast<size_t>(t) + 1) / threads;
+      uint64_t sum = 0;
+      for (size_t i = begin; i < end; ++i) sum += data[i];
+      sink[static_cast<size_t>(t)] = sum;
+    });
+  }
+  for (auto& w : workers) w.join();
+  const uint64_t cycles = CycleClock::Now() - t0;
+  for (uint64_t s : sink) g_bandwidth_sink = g_bandwidth_sink + s;
+  if (cycles == 0) return 0.0;
+  return static_cast<double>(words_total * 8) / static_cast<double>(cycles);
+}
+
+double MeasureRandomGatherBandwidth(size_t buffer_bytes, int threads) {
+  const size_t words_total = buffer_bytes / 8;
+  AlignedBuffer buffer(buffer_bytes);
+  auto* data = buffer.As<uint64_t>();
+  for (size_t i = 0; i < words_total; i += 512) data[i] = i;
+
+  // Independent (non-chained) gathers: measures bandwidth with the memory-
+  // level parallelism the merge's Step 2 gathers actually get, not latency.
+  constexpr size_t kGathers = 1 << 21;
+  std::vector<uint64_t> sink(static_cast<size_t>(threads), 0);
+  const uint64_t t0 = CycleClock::Now();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(0xfeedULL + static_cast<uint64_t>(t));
+      uint64_t sum = 0;
+      for (size_t i = 0; i < kGathers / static_cast<size_t>(threads); ++i) {
+        sum += data[rng.Below(words_total)];
+      }
+      sink[static_cast<size_t>(t)] = sum;
+    });
+  }
+  for (auto& w : workers) w.join();
+  const uint64_t cycles = CycleClock::Now() - t0;
+  for (uint64_t s : sink) g_bandwidth_sink = g_bandwidth_sink + s;
+  if (cycles == 0) return 0.0;
+  // Each gather transfers one cache line from memory.
+  return static_cast<double>(kGathers * kCacheLineSize) /
+         static_cast<double>(cycles);
+}
+
+uint64_t DetectLlcBytes(uint64_t fallback) {
+  // Highest cache index present is the LLC.
+  for (int index = 4; index >= 0; --index) {
+    const std::string path = "/sys/devices/system/cpu/cpu0/cache/index" +
+                             std::to_string(index) + "/size";
+    std::ifstream in(path);
+    if (!in.good()) continue;
+    std::string text;
+    in >> text;
+    if (text.empty()) continue;
+    uint64_t multiplier = 1;
+    if (text.back() == 'K') multiplier = 1024;
+    if (text.back() == 'M') multiplier = 1024 * 1024;
+    if (multiplier != 1) text.pop_back();
+    const uint64_t v = std::strtoull(text.c_str(), nullptr, 10);
+    if (v != 0) return v * multiplier;
+  }
+  return fallback;
+}
+
+MachineProfile MachineProfile::Measure(int threads) {
+  MachineProfile m;
+  m.frequency_hz = CycleClock::FrequencyHz();
+  constexpr size_t kBufferBytes = 256ull * 1024 * 1024;
+  m.stream_bytes_per_cycle = MeasureStreamBandwidth(kBufferBytes, threads);
+  m.random_bytes_per_cycle =
+      MeasureRandomGatherBandwidth(kBufferBytes, threads);
+  m.llc_bytes = static_cast<double>(DetectLlcBytes());
+  m.cores = threads;
+  m.ops_per_cycle_per_core = 1.0;
+  return m;
+}
+
+}  // namespace deltamerge

@@ -1,0 +1,54 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// MachineProfile: the architectural constants the analytical model (§6, §7.4)
+// is parameterized on — clock, streaming and random-gather memory bandwidth
+// (in bytes per cycle), last-level cache capacity, and core count.
+//
+// Two instantiations matter:
+//  * Paper()   — the dual-socket Xeon X5680 testbed of §7: 3.3 GHz, ~23 GB/s
+//    streaming per socket (≈7 bytes/cycle), ≈5 bytes/cycle random gather,
+//    12 MB LLC per socket (24 MB across the platform), 6 cores per socket.
+//    §7.4's worked numbers (0.306 cpt, 14.2 cpt, 1.73 cpt) are derived from
+//    exactly these constants, so the model-side reproduction is
+//    hardware-independent.
+//  * Measure() — micro-benchmarks on the host (stream sum, dependent-free
+//    random gather) so the model can project host-side bounds.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace deltamerge {
+
+struct MachineProfile {
+  double frequency_hz = 3.3e9;
+  double stream_bytes_per_cycle = 7.0;
+  double random_bytes_per_cycle = 5.0;
+  /// Effective cache capacity available to the merge's auxiliary structures.
+  double llc_bytes = 24.0 * 1024 * 1024;
+  int cores = 6;
+  /// Sustained simple-op throughput per core (compares, adds, moves).
+  double ops_per_cycle_per_core = 1.0;
+
+  /// The paper's single-socket machine constants used throughout §7.4.
+  static MachineProfile Paper();
+
+  /// The paper's dual-socket platform (both sockets: 2x bandwidth/cores).
+  static MachineProfile PaperTwoSocket();
+
+  /// Measures stream/random bandwidth on this host with `threads` parallel
+  /// workers and reads the LLC size from sysfs (falls back to 32 MB).
+  static MachineProfile Measure(int threads = 1);
+
+  std::string ToString() const;
+};
+
+/// Host micro-benchmarks (also exposed for the bandwidth bench binary).
+/// Both return bytes per cycle aggregated across `threads` workers.
+double MeasureStreamBandwidth(size_t buffer_bytes, int threads);
+double MeasureRandomGatherBandwidth(size_t buffer_bytes, int threads);
+
+/// LLC capacity from sysfs, or `fallback` when unavailable.
+uint64_t DetectLlcBytes(uint64_t fallback = 32ull * 1024 * 1024);
+
+}  // namespace deltamerge

@@ -1,0 +1,147 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+
+#include "model/read_cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bit_util.h"
+#include "util/macros.h"
+
+namespace deltamerge {
+
+double ScanCycles(const MergeShape& s, const MachineProfile& m,
+                  int threads) {
+  DM_CHECK(threads >= 1);
+  const double stream =
+      m.stream_bytes_per_cycle;  // shared across threads already
+  // Main: E_C bits per tuple, streamed.
+  const double main_bytes = s.ec_bits / 8.0 * static_cast<double>(s.nm);
+  // Delta: E_j bytes per tuple, streamed — the uncompressed tax.
+  const double delta_bytes = s.ej * static_cast<double>(s.nd);
+  // Predicate evaluation: ~1 op per tuple, spread over threads.
+  const double compute = static_cast<double>(s.nm + s.nd) /
+                         (m.ops_per_cycle_per_core *
+                          static_cast<double>(threads));
+  return std::max((main_bytes + delta_bytes) / stream, compute);
+}
+
+double LookupCycles(const MergeShape& s, const MachineProfile& m,
+                    int threads) {
+  (void)threads;
+  // Dictionary binary search: log2 |U_M| dependent line accesses. Dependent
+  // loads pay latency, approximated as one line at random bandwidth each.
+  const double probes = s.um > 1 ? std::log2(static_cast<double>(s.um)) : 1;
+  const double dict_cycles =
+      probes * s.cache_line / m.random_bytes_per_cycle;
+  // Code scan of the main partition (sequential).
+  const double scan_cycles =
+      (s.ec_bits / 8.0 * static_cast<double>(s.nm)) /
+      m.stream_bytes_per_cycle;
+  // CSB+ descent on the delta: fanout of a cache-line node with E_j-byte
+  // keys, log_F(|U_D|) node lines.
+  const double fanout =
+      std::max(2.0, (s.cache_line - 8.0) / s.ej);
+  const double levels =
+      s.ud > 1 ? std::log(static_cast<double>(s.ud)) / std::log(fanout) : 1;
+  const double tree_cycles =
+      levels * s.cache_line / m.random_bytes_per_cycle;
+  return dict_cycles + scan_cycles + tree_cycles;
+}
+
+double DeltaScanTaxCyclesPerTuple(const MergeShape& s,
+                                  const MachineProfile& m, int threads) {
+  (void)threads;
+  // Each delta tuple adds E_j streamed bytes where a merged tuple would
+  // cost E'_C bits; the tax is the difference.
+  const double delta_bytes = s.ej;
+  const double merged_bytes = s.ec_new_bits / 8.0;
+  return (delta_bytes - merged_bytes) / m.stream_bytes_per_cycle;
+}
+
+double CyclesPerUpdateAt(uint64_t nd, const MergeShape& base,
+                         const MachineProfile& m, int threads,
+                         const ReadWriteProfile& profile) {
+  DM_CHECK(nd >= 1);
+  MergeShape s = base;
+  s.nd = nd;
+  // Dictionary growth: the delta's unique fraction of base applies.
+  const double lambda_d =
+      base.nd > 0 ? static_cast<double>(base.ud) /
+                        static_cast<double>(base.nd)
+                  : 1.0;
+  s.ud = std::max<uint64_t>(
+      1, static_cast<uint64_t>(lambda_d * static_cast<double>(nd)));
+  s.u_merged = s.um + s.ud;
+  s.DeriveCodeBits();
+
+  // One merge every nd updates: its cycles amortize over nd.
+  const CostProjection merge = ProjectMergeCost(s, m, threads);
+  const double merge_per_update =
+      merge.total_cpt() * static_cast<double>(s.nm + s.nd) /
+      static_cast<double>(nd);
+
+  // While the delta fills from 0 to nd, each scan pays the tax on the
+  // average fill level nd/2.
+  const double tax_per_update =
+      profile.scans_per_update * DeltaScanTaxCyclesPerTuple(s, m, threads) *
+      static_cast<double>(nd) / 2.0;
+
+  return merge_per_update + tax_per_update;
+}
+
+DeltaThreshold AdviseDeltaThreshold(const MergeShape& base,
+                                    const MachineProfile& m, int threads,
+                                    const ReadWriteProfile& profile) {
+  DeltaThreshold best;
+  best.cycles_per_update = -1;
+  // Log-grid sweep from 256 updates to 50% of the main partition, then one
+  // refinement pass around the grid winner.
+  const uint64_t lo = 256;
+  const uint64_t hi = std::max<uint64_t>(lo * 2, base.nm / 2);
+  uint64_t winner = lo;
+  for (uint64_t nd = lo; nd <= hi; nd = nd + nd / 2 + 1) {
+    const double c = CyclesPerUpdateAt(nd, base, m, threads, profile);
+    if (best.cycles_per_update < 0 || c < best.cycles_per_update) {
+      best.cycles_per_update = c;
+      winner = nd;
+    }
+  }
+  // Refine +/- 50% around the winner on a finer grid.
+  const uint64_t r_lo = std::max<uint64_t>(lo, winner / 2);
+  const uint64_t r_hi = std::min(hi, winner * 2);
+  for (uint64_t nd = r_lo; nd <= r_hi;
+       nd = nd + std::max<uint64_t>(1, nd / 16)) {
+    const double c = CyclesPerUpdateAt(nd, base, m, threads, profile);
+    if (c < best.cycles_per_update) {
+      best.cycles_per_update = c;
+      winner = nd;
+    }
+  }
+
+  best.optimal_nd = winner;
+  best.fraction_of_main =
+      base.nm == 0 ? 0
+                   : static_cast<double>(winner) /
+                         static_cast<double>(base.nm);
+  // Decompose at the optimum for reporting.
+  MergeShape s = base;
+  s.nd = winner;
+  const double lambda_d =
+      base.nd > 0 ? static_cast<double>(base.ud) /
+                        static_cast<double>(base.nd)
+                  : 1.0;
+  s.ud = std::max<uint64_t>(
+      1, static_cast<uint64_t>(lambda_d * static_cast<double>(winner)));
+  s.u_merged = s.um + s.ud;
+  s.DeriveCodeBits();
+  const CostProjection merge = ProjectMergeCost(s, m, threads);
+  best.merge_cycles_per_update = merge.total_cpt() *
+                                 static_cast<double>(s.nm + s.nd) /
+                                 static_cast<double>(winner);
+  best.read_tax_cycles_per_update =
+      best.cycles_per_update - best.merge_cycles_per_update;
+  return best;
+}
+
+}  // namespace deltamerge

@@ -1,0 +1,94 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Merge-path partitioning: given two sorted arrays, find for any output
+// diagonal d the unique split (i, j), i + j = d, such that a stable two-way
+// merge of a[0..i) and b[0..j) produces exactly the first d outputs.
+//
+// This is the N_T-quantile partitioning §6.2.1 uses to parallelize the
+// dictionary merge: "Since both dictionaries are sorted this can be achieved
+// in N_T log(|U_M|+|U_D|) steps [8] ... each thread can compute its start and
+// end indices in the two dictionaries and proceed with the merge" [5].
+//
+// Stability convention: on ties the element from `a` is emitted first. All of
+// Step 1(b) relies on this so that duplicate pairs (one value present in both
+// dictionaries) appear adjacently as (a-copy, b-copy).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "util/macros.h"
+
+namespace deltamerge {
+
+/// Returns the (i, j) split of `diag` for the stable merge of a and b.
+/// O(log(min(|a|, |b|, diag))).
+template <typename V>
+std::pair<uint64_t, uint64_t> MergePathSplit(std::span<const V> a,
+                                             std::span<const V> b,
+                                             uint64_t diag) {
+  const uint64_t n = a.size();
+  const uint64_t m = b.size();
+  DM_DCHECK(diag <= n + m);
+
+  // i ranges over [lo, hi]; j = diag - i.
+  uint64_t lo = diag > m ? diag - m : 0;
+  uint64_t hi = diag < n ? diag : n;
+  while (lo < hi) {
+    const uint64_t i = lo + (hi - lo) / 2;
+    const uint64_t j = diag - i;
+    if (i < n && j > 0 && b[j - 1] >= a[i]) {
+      // b[j-1] was emitted but a[i] (<= it under stability) was not: i small.
+      lo = i + 1;
+    } else if (i > 0 && j < m && a[i - 1] > b[j]) {
+      // a[i-1] was emitted but the strictly smaller b[j] was not: i too big.
+      hi = i - 1;
+    } else {
+      return {i, j};
+    }
+  }
+  return {lo, diag - lo};
+}
+
+/// The boundary-duplicate fix-up of §6.2.1 phase 1: each input is internally
+/// unique, so the only duplicate a range split can tear apart is a value
+/// present in both inputs whose a-copy ended the previous thread's range and
+/// whose b-copy starts this one. "This case is checked for by comparing the
+/// start elements in the two dictionaries with the previous elements in the
+/// respectively other dictionary. In case there is a match, the corresponding
+/// pointer is incremented before starting the merge process."
+///
+/// (The mirror case — a[i] equal to b[j-1] — cannot occur at a valid stable
+/// merge-path split, since stability emits the a-copy first.)
+template <typename V>
+void SkipBoundaryDuplicate(std::span<const V> a, uint64_t* i,
+                           std::span<const V> b, uint64_t* j,
+                           uint64_t b_end) {
+  if (*i > 0 && *j < b_end && b[*j] == a[*i - 1]) {
+    ++(*j);
+  }
+}
+
+/// Counts the distinct values a duplicate-removing stable merge of
+/// a[a0..a1) and b[b0..b1) emits. Callers must have applied
+/// SkipBoundaryDuplicate to (a0, b0) first. Phase 1 of the three-phase
+/// parallel merge: count only, no writes.
+template <typename V>
+uint64_t CountUniqueMergeRange(std::span<const V> a, uint64_t a0, uint64_t a1,
+                               std::span<const V> b, uint64_t b0,
+                               uint64_t b1) {
+  uint64_t i = a0, j = b0, count = 0;
+  while (i < a1 || j < b1) {
+    if (j >= b1 || (i < a1 && a[i] <= b[j])) {
+      const V v = a[i++];
+      if (j < b1 && b[j] == v) ++j;  // collapse the in-range b-copy
+    } else {
+      ++j;
+    }
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace deltamerge

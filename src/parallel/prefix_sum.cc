@@ -1,0 +1,60 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+
+#include "parallel/prefix_sum.h"
+
+#include <vector>
+
+#include "parallel/thread_team.h"
+
+namespace deltamerge {
+
+uint64_t ExclusivePrefixSum(std::span<uint64_t> data) {
+  uint64_t running = 0;
+  for (auto& v : data) {
+    const uint64_t x = v;
+    v = running;
+    running += x;
+  }
+  return running;
+}
+
+uint64_t ParallelExclusivePrefixSum(ThreadTeam& team,
+                                    std::span<uint64_t> data) {
+  const int nt = team.size();
+  const uint64_t n = data.size();
+  if (nt == 1 || n < 4096) {
+    return ExclusivePrefixSum(data);
+  }
+
+  std::vector<uint64_t> block_sums(static_cast<size_t>(nt), 0);
+
+  // Pass 1: per-block exclusive scans, recording each block's total.
+  team.Run([&](int tid) {
+    const uint64_t begin = n * static_cast<uint64_t>(tid) / nt;
+    const uint64_t end = n * (static_cast<uint64_t>(tid) + 1) / nt;
+    uint64_t running = 0;
+    for (uint64_t i = begin; i < end; ++i) {
+      const uint64_t x = data[i];
+      data[i] = running;
+      running += x;
+    }
+    block_sums[static_cast<size_t>(tid)] = running;
+  });
+
+  // Scan of the (tiny) block-sum array.
+  const uint64_t total = ExclusivePrefixSum(block_sums);
+
+  // Pass 2: add each block's offset.
+  team.Run([&](int tid) {
+    const uint64_t begin = n * static_cast<uint64_t>(tid) / nt;
+    const uint64_t end = n * (static_cast<uint64_t>(tid) + 1) / nt;
+    const uint64_t offset = block_sums[static_cast<size_t>(tid)];
+    for (uint64_t i = begin; i < end; ++i) {
+      data[i] += offset;
+    }
+  });
+
+  return total;
+}
+
+}  // namespace deltamerge

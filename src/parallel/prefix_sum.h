@@ -1,0 +1,24 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Prefix sums. Phase 2 of the parallel dictionary merge computes the prefix
+// sum of the per-thread unique counters "using the algorithm by Hillis et
+// al. [12]" (§6.2.1); the generic parallel version here follows the blocked
+// scan shape (local reduce, scan of block sums, local rescan).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace deltamerge {
+
+class ThreadTeam;
+
+/// In-place exclusive prefix sum; returns the total.
+uint64_t ExclusivePrefixSum(std::span<uint64_t> data);
+
+/// Parallel in-place exclusive prefix sum over the team; returns the total.
+/// Matches ExclusivePrefixSum bit-for-bit.
+uint64_t ParallelExclusivePrefixSum(ThreadTeam& team,
+                                    std::span<uint64_t> data);
+
+}  // namespace deltamerge

@@ -1,0 +1,66 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+
+#include "parallel/task_queue.h"
+
+namespace deltamerge {
+
+TaskQueue::TaskQueue(int num_threads) {
+  DM_CHECK_MSG(num_threads >= 1, "TaskQueue needs at least one thread");
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TaskQueue::~TaskQueue() {
+  WaitAll();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void TaskQueue::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+bool TaskQueue::RunOne(std::unique_lock<std::mutex>& lock) {
+  if (tasks_.empty()) return false;
+  auto task = std::move(tasks_.front());
+  tasks_.pop_front();
+  lock.unlock();
+  task();
+  lock.lock();
+  --in_flight_;
+  if (in_flight_ == 0) all_done_.notify_all();
+  return true;
+}
+
+void TaskQueue::WaitAll() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Help out instead of blocking: guarantees progress even when all workers
+  // are stuck behind this caller (e.g. nested WaitAll) and speeds up drains.
+  while (in_flight_ != 0) {
+    if (!RunOne(lock)) {
+      all_done_.wait(lock, [this] { return in_flight_ == 0 || !tasks_.empty(); });
+    }
+  }
+}
+
+void TaskQueue::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+    if (stopping_ && tasks_.empty()) return;
+    RunOne(lock);
+  }
+}
+
+}  // namespace deltamerge

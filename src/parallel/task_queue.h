@@ -1,0 +1,58 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// TaskQueue: a shared work queue over a fixed worker pool.
+//
+// Merge parallelization scheme (i) of §6.2.1: "we use a task queue based
+// parallelization scheme and enqueue each column as a separate task. If the
+// number of tasks is much larger than the number of threads ... the task
+// queue mechanism of migrating tasks between threads works well in practice
+// to achieve a good load balance." Columns differ in dictionary size, so the
+// queue (rather than a static split) is what load-balances the merge.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace deltamerge {
+
+class TaskQueue {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit TaskQueue(int num_threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~TaskQueue();
+
+  DM_DISALLOW_COPY_AND_MOVE(TaskQueue);
+
+  /// Enqueues a task. Tasks may Submit() further tasks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task (including transitively submitted
+  /// ones) has finished. The calling thread helps execute tasks while
+  /// waiting, so a 1-thread queue still makes progress from within WaitAll.
+  void WaitAll();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+  bool RunOne(std::unique_lock<std::mutex>& lock);
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> tasks_;
+  uint64_t in_flight_ = 0;  // queued + executing
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace deltamerge

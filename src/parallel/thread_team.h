@@ -1,0 +1,120 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// ThreadTeam: a reusable gang of N_T threads executing one SPMD job at a
+// time. The intra-column merge phases (§6.2.1's three-phase dictionary merge,
+// §6.2.2's chunked value update) are gang-scheduled: every thread runs
+// fn(thread_id) and Run() returns when all are done. A 1-thread team executes
+// inline, so serial baselines pay no synchronization cost.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace deltamerge {
+
+class ThreadTeam {
+ public:
+  explicit ThreadTeam(int num_threads) : size_(num_threads) {
+    DM_CHECK_MSG(num_threads >= 1, "ThreadTeam needs at least one thread");
+    // Thread 0 is the caller; spawn only the other size_-1 workers.
+    for (int tid = 1; tid < size_; ++tid) {
+      workers_.emplace_back([this, tid] { WorkerLoop(tid); });
+    }
+  }
+
+  ~ThreadTeam() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+      ++generation_;
+    }
+    start_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  DM_DISALLOW_COPY_AND_MOVE(ThreadTeam);
+
+  int size() const { return size_; }
+
+  /// Runs fn(tid) for tid in [0, size()); fn(0) executes on the caller.
+  /// Returns when every thread has finished. Not reentrant.
+  void Run(const std::function<void(int)>& fn) {
+    if (size_ == 1) {
+      fn(0);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = &fn;
+      done_count_ = 0;
+      ++generation_;
+    }
+    start_.notify_all();
+    fn(0);
+    std::unique_lock<std::mutex> lock(mu_);
+    ++done_count_;
+    if (done_count_ == size_) {
+      job_ = nullptr;
+    } else {
+      finished_.wait(lock, [this] { return done_count_ == size_; });
+    }
+  }
+
+ private:
+  void WorkerLoop(int tid) {
+    uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(int)>* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        start_.wait(lock, [&] { return generation_ != seen; });
+        seen = generation_;
+        if (stopping_) return;
+        job = job_;
+      }
+      (*job)(tid);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++done_count_;
+        if (done_count_ == size_) finished_.notify_all();
+      }
+    }
+  }
+
+  const int size_;
+  std::mutex mu_;
+  std::condition_variable start_;
+  std::condition_variable finished_;
+  const std::function<void(int)>* job_ = nullptr;
+  uint64_t generation_ = 0;
+  int done_count_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Splits [0, total) into team.size() near-equal chunks, optionally rounding
+/// chunk starts down to a multiple of `align` (the packed-vector word-safety
+/// requirement), and runs fn(begin, end, tid) on each thread.
+template <typename Fn>
+void ParallelFor(ThreadTeam& team, uint64_t total, uint64_t align, Fn&& fn) {
+  const int nt = team.size();
+  team.Run([&](int tid) {
+    uint64_t begin = total * static_cast<uint64_t>(tid) /
+                     static_cast<uint64_t>(nt);
+    uint64_t end = total * (static_cast<uint64_t>(tid) + 1) /
+                   static_cast<uint64_t>(nt);
+    if (align > 1) {
+      begin = begin / align * align;
+      end = (tid == nt - 1) ? total : end / align * align;
+    }
+    if (begin < end) fn(begin, end, tid);
+  });
+}
+
+}  // namespace deltamerge

@@ -1,0 +1,73 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Simple aggregations over a column, treating the value's integer key as the
+// measure. Used by the analytic legs of the example workloads ("complex read
+// operations on large sets of data with a projectivity on a few columns
+// only", §2).
+
+#pragma once
+
+#include <cstdint>
+
+#include "storage/delta_partition.h"
+#include "storage/main_partition.h"
+
+namespace deltamerge::query {
+
+/// Sum of value keys over the main partition. Exploits compression: sums per
+/// dictionary code are weighted by occurrence counts, touching the (small)
+/// dictionary once per distinct value instead of materializing every tuple.
+template <size_t W>
+unsigned __int128 SumKeysMain(const MainPartition<W>& main) {
+  if (main.empty()) return 0;
+  std::vector<uint64_t> histogram(main.unique_values(), 0);
+  PackedVector::Reader reader(main.codes());
+  for (uint64_t i = 0; i < main.size(); ++i) {
+    ++histogram[reader.Next()];
+  }
+  unsigned __int128 sum = 0;
+  const auto& dict = main.dictionary();
+  for (uint32_t c = 0; c < histogram.size(); ++c) {
+    sum += static_cast<unsigned __int128>(dict.At(c).key()) * histogram[c];
+  }
+  return sum;
+}
+
+/// Sum of value keys over the delta partition (direct reads).
+template <size_t W>
+unsigned __int128 SumKeysDelta(const DeltaPartition<W>& delta) {
+  unsigned __int128 sum = 0;
+  for (const auto& v : delta.values()) {
+    sum += v.key();
+  }
+  return sum;
+}
+
+/// Minimum / maximum over both partitions; returns false if the column holds
+/// no tuples.
+template <size_t W>
+bool MinMax(const MainPartition<W>& main, const DeltaPartition<W>& delta,
+            FixedValue<W>* min_out, FixedValue<W>* max_out) {
+  bool any = false;
+  FixedValue<W> mn = FixedValue<W>::Max();
+  FixedValue<W> mx = FixedValue<W>::Min();
+  if (!main.empty()) {
+    // Dictionary is sorted: first and last entries bound the partition.
+    mn = main.dictionary().At(0);
+    mx = main.dictionary().At(static_cast<uint32_t>(main.unique_values() - 1));
+    any = true;
+  }
+  if (!delta.empty()) {
+    delta.tree().ForEachSorted([&](const FixedValue<W>& v, PostingsCursor) {
+      if (!any || v < mn) mn = v;
+      if (!any || mx < v) mx = v;
+      any = true;
+    });
+  }
+  if (any) {
+    *min_out = mn;
+    *max_out = mx;
+  }
+  return any;
+}
+
+}  // namespace deltamerge::query

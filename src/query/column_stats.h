@@ -1,0 +1,78 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Per-column statistics and statistics-based scan pruning.
+//
+// The dictionary-compressed layout gives these away almost for free: min and
+// max are the first and last dictionary entries, the distinct count is the
+// dictionary size, and the average run of equal codes falls out of one
+// histogram pass. The delta contributes through its CSB+ tree bounds.
+// RangeMightMatch() lets the table-level scan skip whole columns/partitions
+// whose [min, max] cannot intersect a predicate — standard column-store
+// zone-map pruning applied at column granularity.
+
+#pragma once
+
+#include <cstdint>
+
+#include "storage/delta_partition.h"
+#include "storage/main_partition.h"
+
+namespace deltamerge::query {
+
+template <size_t W>
+struct ColumnStats {
+  uint64_t tuples = 0;
+  uint64_t distinct_main = 0;   ///< |U_M| (exact)
+  uint64_t distinct_delta = 0;  ///< |U_D| (exact; union with main unknown)
+  FixedValue<W> min = FixedValue<W>::Max();
+  FixedValue<W> max = FixedValue<W>::Min();
+  uint8_t code_bits = 0;
+  double avg_duplication = 0;   ///< N / distinct (main only)
+
+  bool empty() const { return tuples == 0; }
+
+  /// False only if no tuple can satisfy value in [lo, hi] — the pruning
+  /// test. True is conservative ("might match").
+  bool RangeMightMatch(const FixedValue<W>& lo,
+                       const FixedValue<W>& hi) const {
+    if (empty() || hi < lo) return false;
+    return !(hi < min || max < lo);
+  }
+
+  bool KeyMightMatch(const FixedValue<W>& v) const {
+    return RangeMightMatch(v, v);
+  }
+};
+
+/// Computes statistics for one column's partitions. O(|U_M| + |U_D|) — no
+/// tuple scan needed; everything derives from the dictionaries/tree.
+template <size_t W>
+ColumnStats<W> ComputeColumnStats(const MainPartition<W>& main,
+                                  const DeltaPartition<W>& delta) {
+  ColumnStats<W> s;
+  s.tuples = main.size() + delta.size();
+  s.distinct_main = main.unique_values();
+  s.distinct_delta = delta.unique_values();
+  s.code_bits = main.code_bits();
+  if (!main.empty()) {
+    s.min = main.dictionary().At(0);
+    s.max = main.dictionary().At(
+        static_cast<uint32_t>(main.unique_values() - 1));
+    s.avg_duplication = static_cast<double>(main.size()) /
+                        static_cast<double>(main.unique_values());
+  }
+  if (!delta.empty()) {
+    // The sorted traversal's first and last keys are the delta's extrema.
+    bool any = false;
+    FixedValue<W> dmin{}, dmax{};
+    delta.tree().ForEachSorted([&](const FixedValue<W>& v, PostingsCursor) {
+      if (!any) dmin = v;
+      dmax = v;
+      any = true;
+    });
+    if (main.empty() || dmin < s.min) s.min = dmin;
+    if (main.empty() || s.max < dmax) s.max = dmax;
+  }
+  return s;
+}
+
+}  // namespace deltamerge::query

@@ -1,0 +1,61 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Key lookup over a column's partitions.
+//
+// The read path the paper's design optimizes for (§3): on the main partition
+// a predicate value is binary-searched in the dictionary once (random
+// access), then the packed code vector is scanned for the encoded value
+// (sequential access). On the delta partition the CSB+ tree answers lookups
+// directly; the postings list enumerates matching tuple positions.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simd/simd_kernels.h"
+#include "storage/delta_partition.h"
+#include "storage/main_partition.h"
+
+namespace deltamerge::query {
+
+/// Number of main-partition tuples equal to `v`. The code scan is the
+/// SIMD-Scan pattern ([27]): one dictionary binary search, then a vectorized
+/// equality count directly on the packed codes.
+template <size_t W>
+uint64_t CountEqualsMain(const MainPartition<W>& main,
+                         const FixedValue<W>& v) {
+  const auto code = main.dictionary().Find(v);
+  if (!code.has_value()) return 0;
+  return simd::CountEqualPacked(main.codes(), 0, main.size(), *code);
+}
+
+/// Number of delta-partition tuples equal to `v` (CSB+ postings length).
+template <size_t W>
+uint64_t CountEqualsDelta(const DeltaPartition<W>& delta,
+                          const FixedValue<W>& v) {
+  return delta.tree().CountOf(v);
+}
+
+/// Appends the row positions (offset by `base`) of main tuples equal to `v`.
+template <size_t W>
+void CollectEqualsMain(const MainPartition<W>& main, const FixedValue<W>& v,
+                       uint64_t base, std::vector<uint64_t>* rows) {
+  const auto code = main.dictionary().Find(v);
+  if (!code.has_value()) return;
+  PackedVector::Reader reader(main.codes());
+  for (uint64_t i = 0; i < main.size(); ++i) {
+    if (reader.Next() == *code) rows->push_back(base + i);
+  }
+}
+
+/// Appends the row positions (offset by `base`) of delta tuples equal to `v`.
+template <size_t W>
+void CollectEqualsDelta(const DeltaPartition<W>& delta,
+                        const FixedValue<W>& v, uint64_t base,
+                        std::vector<uint64_t>* rows) {
+  for (PostingsCursor c = delta.tree().Find(v); !c.Done(); c.Advance()) {
+    rows->push_back(base + c.TupleId());
+  }
+}
+
+}  // namespace deltamerge::query

@@ -1,0 +1,73 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Range selection. On the main partition, a value range [lo, hi] maps to a
+// contiguous code range [dictionary.LowerBound(lo), dictionary.UpperBound(hi))
+// because the dictionary is sorted — the property §3 trades update cost for.
+// On the delta partition the CSB+ tree's pruned range traversal enumerates
+// matching keys and their postings.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simd/simd_kernels.h"
+#include "storage/delta_partition.h"
+#include "storage/main_partition.h"
+
+namespace deltamerge::query {
+
+/// Number of main tuples with value in [lo, hi]. Two dictionary binary
+/// searches turn the value range into a contiguous code range; the packed
+/// scan is vectorized (SIMD-Scan [27]).
+template <size_t W>
+uint64_t CountRangeMain(const MainPartition<W>& main, const FixedValue<W>& lo,
+                        const FixedValue<W>& hi) {
+  if (hi < lo || main.empty()) return 0;
+  const uint32_t c_lo = main.dictionary().LowerBound(lo);
+  const uint32_t c_hi = main.dictionary().UpperBound(hi);  // exclusive
+  if (c_lo >= c_hi) return 0;
+  return simd::CountRangePacked(main.codes(), 0, main.size(), c_lo,
+                                c_hi - 1);
+}
+
+/// Number of delta tuples with value in [lo, hi].
+template <size_t W>
+uint64_t CountRangeDelta(const DeltaPartition<W>& delta,
+                         const FixedValue<W>& lo, const FixedValue<W>& hi) {
+  uint64_t count = 0;
+  delta.tree().ForEachInRange(lo, hi,
+                              [&](const FixedValue<W>& v, PostingsCursor c) {
+                                (void)v;
+                                for (; !c.Done(); c.Advance()) ++count;
+                              });
+  return count;
+}
+
+/// Appends row positions (offset by `base`) of main tuples in [lo, hi].
+template <size_t W>
+void CollectRangeMain(const MainPartition<W>& main, const FixedValue<W>& lo,
+                      const FixedValue<W>& hi, uint64_t base,
+                      std::vector<uint64_t>* rows) {
+  if (hi < lo || main.empty()) return;
+  const uint32_t c_lo = main.dictionary().LowerBound(lo);
+  const uint32_t c_hi = main.dictionary().UpperBound(hi);
+  if (c_lo >= c_hi) return;
+  PackedVector::Reader reader(main.codes());
+  for (uint64_t i = 0; i < main.size(); ++i) {
+    const uint32_t code = reader.Next();
+    if (code >= c_lo && code < c_hi) rows->push_back(base + i);
+  }
+}
+
+/// Appends row positions (offset by `base`) of delta tuples in [lo, hi].
+template <size_t W>
+void CollectRangeDelta(const DeltaPartition<W>& delta, const FixedValue<W>& lo,
+                       const FixedValue<W>& hi, uint64_t base,
+                       std::vector<uint64_t>* rows) {
+  delta.tree().ForEachInRange(
+      lo, hi, [&](const FixedValue<W>&, PostingsCursor c) {
+        for (; !c.Done(); c.Advance()) rows->push_back(base + c.TupleId());
+      });
+}
+
+}  // namespace deltamerge::query

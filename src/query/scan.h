@@ -1,0 +1,59 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Full-column scans with arbitrary predicates on materialized values.
+//
+// Main-partition tuples must be materialized through the dictionary (one
+// random access per distinct code — cheap when the dictionary is cached);
+// delta tuples are read directly. These scans are the "complex, unpredictable
+// mostly read operations" leg of the mixed workload (§2) and the baseline
+// OLAP access pattern for the examples.
+
+#pragma once
+
+#include <cstdint>
+
+#include "storage/delta_partition.h"
+#include "storage/main_partition.h"
+
+namespace deltamerge::query {
+
+/// Calls fn(tuple_index, value) for every main tuple; returns tuples visited.
+template <size_t W, typename Fn>
+uint64_t ScanMain(const MainPartition<W>& main, Fn&& fn) {
+  PackedVector::Reader reader(main.codes());
+  const auto& dict = main.dictionary();
+  for (uint64_t i = 0; i < main.size(); ++i) {
+    fn(i, dict.At(reader.Next()));
+  }
+  return main.size();
+}
+
+/// Calls fn(tuple_index, value) for every delta tuple (uncompressed reads).
+template <size_t W, typename Fn>
+uint64_t ScanDelta(const DeltaPartition<W>& delta, Fn&& fn) {
+  const auto values = delta.values();
+  for (uint64_t i = 0; i < values.size(); ++i) {
+    fn(i, values[i]);
+  }
+  return values.size();
+}
+
+/// Predicate-counting scan over the main partition. The predicate is
+/// evaluated on dictionary codes where possible by the callers in
+/// range_select.h; this variant materializes, for predicates that need the
+/// value itself.
+template <size_t W, typename Pred>
+uint64_t CountIfMain(const MainPartition<W>& main, Pred&& pred) {
+  uint64_t count = 0;
+  ScanMain(main, [&](uint64_t, const FixedValue<W>& v) { count += pred(v); });
+  return count;
+}
+
+template <size_t W, typename Pred>
+uint64_t CountIfDelta(const DeltaPartition<W>& delta, Pred&& pred) {
+  uint64_t count = 0;
+  ScanDelta(delta,
+            [&](uint64_t, const FixedValue<W>& v) { count += pred(v); });
+  return count;
+}
+
+}  // namespace deltamerge::query

@@ -1,0 +1,106 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Column<W>: one attribute of a table — a compressed main partition, an
+// active write-optimized delta, and (while a merge is running) a frozen
+// delta snapshot.
+//
+// "During the merge, incoming updates are stored in a temporary second
+// delta, which becomes the primary delta when the merge result is committed"
+// (§3). Freeze/commit are O(1) pointer swaps; the merge itself runs against
+// immutable state, which is what lets it proceed without the table lock.
+//
+// Row addressing: the tuple offset is the implicit surrogate id (§3). Rows
+// [0, main.size()) live in main, then frozen-delta rows, then active-delta
+// rows. A merge concatenates main + frozen in order, so global row ids are
+// stable across merges.
+
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "storage/delta_partition.h"
+#include "storage/main_partition.h"
+#include "util/macros.h"
+
+namespace deltamerge {
+
+template <size_t W>
+class Column {
+ public:
+  using Value = FixedValue<W>;
+
+  Column() = default;
+  explicit Column(MainPartition<W> main) : main_(std::move(main)) {}
+  DM_DISALLOW_COPY(Column);
+  Column(Column&&) noexcept = default;
+  Column& operator=(Column&&) noexcept = default;
+
+  /// Appends to the active delta; returns the new global row id.
+  uint64_t Insert(const Value& v) {
+    const uint64_t base = main_.size() + frozen_size();
+    return base + delta_.Insert(v);
+  }
+
+  uint64_t main_size() const { return main_.size(); }
+  uint64_t delta_size() const { return delta_.size(); }
+  uint64_t frozen_size() const { return frozen_ ? frozen_->size() : 0; }
+  uint64_t size() const { return main_size() + frozen_size() + delta_size(); }
+
+  bool merge_in_progress() const { return frozen_ != nullptr; }
+
+  /// Materializes the value at a global row id, whichever partition holds it.
+  Value Get(uint64_t row) const {
+    if (row < main_.size()) return main_.GetValue(row);
+    row -= main_.size();
+    const uint64_t fs = frozen_size();
+    if (row < fs) return frozen_->Get(row);
+    return delta_.Get(row - fs);
+  }
+
+  const MainPartition<W>& main() const { return main_; }
+  const DeltaPartition<W>& delta() const { return delta_; }
+  const DeltaPartition<W>* frozen() const { return frozen_.get(); }
+
+  /// Starts a merge epoch: the active delta becomes the frozen snapshot and
+  /// a fresh active delta accepts subsequent inserts. Requires no merge in
+  /// progress.
+  void FreezeDelta() {
+    DM_CHECK_MSG(!merge_in_progress(), "merge already in progress");
+    frozen_ = std::make_unique<DeltaPartition<W>>(std::move(delta_));
+    delta_ = DeltaPartition<W>();
+  }
+
+  /// Finishes a merge epoch: installs the merged main (which must contain
+  /// main + frozen) and discards the frozen snapshot.
+  void CommitMerge(MainPartition<W> merged) {
+    DM_CHECK_MSG(merge_in_progress(), "no merge in progress");
+    DM_CHECK_MSG(merged.size() == main_.size() + frozen_->size(),
+                 "merged partition has wrong cardinality");
+    main_ = std::move(merged);
+    frozen_.reset();
+  }
+
+  /// Abandons a merge epoch without installing a result, returning the
+  /// frozen tuples to the head of the active delta (re-inserted in order so
+  /// row ids are preserved).
+  void AbortMerge() {
+    DM_CHECK_MSG(merge_in_progress(), "no merge in progress");
+    std::unique_ptr<DeltaPartition<W>> frozen = std::move(frozen_);
+    DeltaPartition<W> active = std::move(delta_);
+    delta_ = DeltaPartition<W>();
+    for (const auto& v : frozen->values()) delta_.Insert(v);
+    for (const auto& v : active.values()) delta_.Insert(v);
+  }
+
+  size_t memory_bytes() const {
+    return main_.memory_bytes() + delta_.memory_bytes() +
+           (frozen_ ? frozen_->memory_bytes() : 0);
+  }
+
+ private:
+  MainPartition<W> main_;
+  DeltaPartition<W> delta_;
+  std::unique_ptr<DeltaPartition<W>> frozen_;
+};
+
+}  // namespace deltamerge

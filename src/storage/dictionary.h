@@ -1,0 +1,97 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Dictionary<W>: the sorted unique-value dictionary of a partition.
+//
+// The main partition's dictionary U_M is "an ordered collection ... allowing
+// fast iterations over the tuples in sorted order" with binary-search lookup
+// (paper §3). A value's code is its index in this sorted array; consequently
+// range predicates on values become contiguous code ranges, which is what
+// makes scans on the compressed partition cheap.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/bit_util.h"
+#include "util/fixed_value.h"
+#include "util/macros.h"
+
+namespace deltamerge {
+
+template <size_t W>
+class Dictionary {
+ public:
+  using Value = FixedValue<W>;
+
+  Dictionary() = default;
+
+  /// Builds from values already sorted and unique. Debug builds verify.
+  static Dictionary FromSortedUnique(std::vector<Value> values) {
+#ifndef NDEBUG
+    for (size_t i = 1; i < values.size(); ++i) {
+      DM_DCHECK(values[i - 1] < values[i]);
+    }
+#endif
+    Dictionary d;
+    d.values_ = std::move(values);
+    return d;
+  }
+
+  /// Builds by sorting and deduplicating arbitrary values (cold path; used by
+  /// table builders and tests, not by the merge).
+  static Dictionary FromUnsorted(std::vector<Value> values) {
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    Dictionary d;
+    d.values_ = std::move(values);
+    return d;
+  }
+
+  uint64_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// Bits per code for this dictionary: E_C = ceil(log2 |U|) (Eq. 4).
+  uint8_t code_bits() const { return BitsForCardinality(values_.size()); }
+
+  /// The uncompressed value for `code` (materialization).
+  const Value& At(uint32_t code) const {
+    DM_DCHECK(code < values_.size());
+    return values_[code];
+  }
+
+  /// Binary search: the code of `v`, or nullopt if absent. O(log |U|).
+  std::optional<uint32_t> Find(const Value& v) const {
+    auto it = std::lower_bound(values_.begin(), values_.end(), v);
+    if (it != values_.end() && *it == v) {
+      return static_cast<uint32_t>(it - values_.begin());
+    }
+    return std::nullopt;
+  }
+
+  /// Index of the first value >= v (== size() if none).
+  uint32_t LowerBound(const Value& v) const {
+    return static_cast<uint32_t>(
+        std::lower_bound(values_.begin(), values_.end(), v) -
+        values_.begin());
+  }
+
+  /// Index of the first value > v (== size() if none).
+  uint32_t UpperBound(const Value& v) const {
+    return static_cast<uint32_t>(
+        std::upper_bound(values_.begin(), values_.end(), v) -
+        values_.begin());
+  }
+
+  std::span<const Value> values() const { return values_; }
+
+  /// Bytes consumed by the value array (enters the traffic model: E_j * |U|).
+  size_t byte_size() const { return values_.size() * sizeof(Value); }
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace deltamerge

@@ -1,0 +1,85 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// MainPartition<W>: the read-optimized, dictionary-compressed half of a
+// column: a sorted dictionary U_M plus a bit-packed code vector M with
+// E_C = ceil(log2 |U_M|) bits per tuple (paper §3).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/dictionary.h"
+#include "storage/packed_vector.h"
+#include "util/fixed_value.h"
+#include "util/macros.h"
+
+namespace deltamerge {
+
+template <size_t W>
+class MainPartition {
+ public:
+  using Value = FixedValue<W>;
+
+  MainPartition() = default;
+  DM_DISALLOW_COPY(MainPartition);
+  MainPartition(MainPartition&&) noexcept = default;
+  MainPartition& operator=(MainPartition&&) noexcept = default;
+
+  /// Assembles a partition from a pre-built dictionary and code vector whose
+  /// width must match the dictionary cardinality. This is what the merge
+  /// produces; it is also the fast path for table builders.
+  static MainPartition FromParts(Dictionary<W> dictionary,
+                                 PackedVector codes) {
+    DM_CHECK_MSG(codes.empty() || codes.bits() == dictionary.code_bits(),
+                 "code width does not match dictionary cardinality");
+    MainPartition p;
+    p.dictionary_ = std::move(dictionary);
+    p.codes_ = std::move(codes);
+    return p;
+  }
+
+  /// Compresses raw values (cold path for tests/builders): builds the sorted
+  /// dictionary, then encodes every value as its dictionary rank.
+  static MainPartition FromValues(const std::vector<Value>& values) {
+    Dictionary<W> dict = Dictionary<W>::FromUnsorted(values);
+    PackedVector codes(values.size(), dict.code_bits());
+    typename PackedVector::Writer w(codes);
+    for (const Value& v : values) {
+      auto code = dict.Find(v);
+      DM_DCHECK(code.has_value());
+      w.Append(*code);
+    }
+    return FromParts(std::move(dict), std::move(codes));
+  }
+
+  /// N_M.
+  uint64_t size() const { return codes_.size(); }
+  bool empty() const { return codes_.empty(); }
+
+  /// |U_M|.
+  uint64_t unique_values() const { return dictionary_.size(); }
+
+  /// E_C in bits.
+  uint8_t code_bits() const { return codes_.bits(); }
+
+  uint32_t GetCode(uint64_t i) const { return codes_.Get(i); }
+
+  /// Materializes tuple i: code lookup + dictionary random access.
+  const Value& GetValue(uint64_t i) const {
+    return dictionary_.At(codes_.Get(i));
+  }
+
+  const Dictionary<W>& dictionary() const { return dictionary_; }
+  const PackedVector& codes() const { return codes_; }
+
+  /// Compressed bytes held (packed codes + dictionary values).
+  size_t memory_bytes() const {
+    return codes_.byte_size() + dictionary_.byte_size();
+  }
+
+ private:
+  Dictionary<W> dictionary_;
+  PackedVector codes_;
+};
+
+}  // namespace deltamerge

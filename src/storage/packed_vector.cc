@@ -1,0 +1,17 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+
+#include "storage/packed_vector.h"
+
+namespace deltamerge {
+
+void PackedVector::Reset(uint64_t size, uint8_t bits) {
+  DM_CHECK_MSG(bits >= 1 && bits <= kMaxBits, "code width out of range");
+  bits_ = bits;
+  size_ = size;
+  capacity_ = size;
+  // One spare word so the two-word read in Get()/Reader is always in bounds
+  // even when the last code ends exactly at a word boundary.
+  buffer_ = AlignedBuffer(PackedBytes(size, bits) + sizeof(uint64_t));
+}
+
+}  // namespace deltamerge

@@ -1,0 +1,107 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// UnsortedDeltaPartition<W>: the §9 future-work alternative delta structure.
+//
+// "We plan to investigate other delta partition structures to balance the
+// insert/merge costs to achieve optimal performance." (§9)
+//
+// The CSB+-indexed delta (DeltaPartition) pays O(log |U_D|) per insert and
+// gets merge Step 1(a) for free (the tree traversal yields U_D sorted). This
+// structure is the opposite end of that trade: inserts are a plain append —
+// a handful of cycles — and Step 1(a) instead sorts the accumulated
+// (value, tuple-id) pairs at merge time, O(N_D log N_D).
+//
+// Which wins depends on the duplicate ratio and how often reads probe the
+// delta: point lookups here are O(N_D) scans instead of tree descents.
+// bench_ablation_delta_structure quantifies the trade; the DeltaSizeAdvisor
+// (model/read_cost.h) folds it into the merge-frequency decision.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "util/fixed_value.h"
+#include "util/macros.h"
+
+namespace deltamerge {
+
+template <size_t W>
+class UnsortedDeltaPartition {
+ public:
+  using Value = FixedValue<W>;
+
+  UnsortedDeltaPartition() = default;
+  DM_DISALLOW_COPY(UnsortedDeltaPartition);
+  UnsortedDeltaPartition(UnsortedDeltaPartition&&) noexcept = default;
+  UnsortedDeltaPartition& operator=(UnsortedDeltaPartition&&) noexcept =
+      default;
+
+  /// Appends a value; returns its delta-local tuple id. O(1).
+  uint32_t Insert(const Value& v) {
+    const uint32_t tid = static_cast<uint32_t>(values_.size());
+    values_.push_back(v);
+    return tid;
+  }
+
+  uint64_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  const Value& Get(uint64_t tid) const {
+    DM_DCHECK(tid < values_.size());
+    return values_[tid];
+  }
+
+  std::span<const Value> values() const { return values_; }
+
+  /// Point lookup by full scan (no index): occurrences of `v`.
+  uint64_t CountEquals(const Value& v) const {
+    uint64_t n = 0;
+    for (const Value& x : values_) n += (x == v);
+    return n;
+  }
+
+  /// Range count by full scan.
+  uint64_t CountRange(const Value& lo, const Value& hi) const {
+    uint64_t n = 0;
+    for (const Value& x : values_) n += (lo <= x) && (x <= hi);
+    return n;
+  }
+
+  /// Merge Step 1(a) for the unsorted layout: sorts (value, tid) pairs,
+  /// extracts the sorted unique dictionary, and (if `codes` non-null)
+  /// scatters each tuple's dictionary rank — the same outputs the CSB+
+  /// traversal produces, at O(N_D log N_D) merge-time cost instead of
+  /// O(N_D log |U_D|) insert-time cost.
+  std::vector<Value> BuildDictionary(std::vector<uint32_t>* codes) const {
+    std::vector<uint32_t> order(values_.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return values_[a] < values_[b];
+    });
+
+    std::vector<Value> dict;
+    if (codes != nullptr) codes->resize(values_.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      const Value& v = values_[order[i]];
+      if (dict.empty() || dict.back() < v) {
+        dict.push_back(v);
+      }
+      if (codes != nullptr) {
+        (*codes)[order[i]] = static_cast<uint32_t>(dict.size() - 1);
+      }
+    }
+    return dict;
+  }
+
+  size_t memory_bytes() const { return values_.size() * sizeof(Value); }
+
+  void Clear() { values_.clear(); }
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace deltamerge

@@ -1,0 +1,37 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+
+#include "storage/validity.h"
+
+namespace deltamerge {
+
+uint64_t ValidityVector::Append(uint64_t n) {
+  const uint64_t first = size_;
+  size_ += n;
+  valid_count_ += n;
+  const uint64_t needed_words = (size_ + 63) >> 6;
+  if (words_.size() < needed_words) {
+    words_.resize(needed_words, 0);
+  }
+  for (uint64_t row = first; row < size_; ++row) {
+    words_[row >> 6] |= uint64_t{1} << (row & 63);
+  }
+  return first;
+}
+
+void ValidityVector::Invalidate(uint64_t row) {
+  DM_DCHECK(row < size_);
+  uint64_t& word = words_[row >> 6];
+  const uint64_t mask = uint64_t{1} << (row & 63);
+  if (word & mask) {
+    word &= ~mask;
+    --valid_count_;
+  }
+}
+
+void ValidityVector::Clear() {
+  words_.clear();
+  size_ = 0;
+  valid_count_ = 0;
+}
+
+}  // namespace deltamerge

@@ -1,0 +1,57 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// ValidityVector: the insert-only table's tombstone bitmap.
+//
+// "Updates are always modeled as new inserts and deletes only invalidate
+// rows. We keep the insertion order of tuples and only the lastly inserted
+// version is valid." (paper §3). One bit per table row; set = visible.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace deltamerge {
+
+class ValidityVector {
+ public:
+  ValidityVector() = default;
+
+  /// Appends `n` rows, all valid. Returns the first new row id.
+  uint64_t Append(uint64_t n = 1);
+
+  /// Marks a row invisible (delete / superseded version).
+  void Invalidate(uint64_t row);
+
+  bool IsValid(uint64_t row) const {
+    DM_DCHECK(row < size_);
+    return (words_[row >> 6] >> (row & 63)) & 1;
+  }
+
+  uint64_t size() const { return size_; }
+  uint64_t valid_count() const { return valid_count_; }
+
+  /// Calls fn(row) for every valid row in order.
+  template <typename Fn>
+  void ForEachValid(Fn&& fn) const {
+    for (uint64_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        bits &= bits - 1;
+        const uint64_t row = (w << 6) + static_cast<uint64_t>(b);
+        if (row < size_) fn(row);
+      }
+    }
+  }
+
+  void Clear();
+
+ private:
+  std::vector<uint64_t> words_;
+  uint64_t size_ = 0;
+  uint64_t valid_count_ = 0;
+};
+
+}  // namespace deltamerge

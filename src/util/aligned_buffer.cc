@@ -1,0 +1,44 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+
+#include "util/aligned_buffer.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "util/bit_util.h"
+
+namespace deltamerge {
+
+AlignedBuffer::AlignedBuffer(size_t size) : size_(size) {
+  if (size == 0) return;
+  const size_t padded = RoundUp(size, kCacheLineSize);
+  void* p = std::aligned_alloc(kCacheLineSize, padded);
+  DM_CHECK_MSG(p != nullptr, "aligned_alloc failed");
+  std::memset(p, 0, padded);
+  data_ = static_cast<uint8_t*>(p);
+}
+
+AlignedBuffer::~AlignedBuffer() { Reset(); }
+
+AlignedBuffer::AlignedBuffer(AlignedBuffer&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+AlignedBuffer& AlignedBuffer::operator=(AlignedBuffer&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+void AlignedBuffer::Reset() {
+  std::free(data_);
+  data_ = nullptr;
+  size_ = 0;
+}
+
+}  // namespace deltamerge

@@ -1,0 +1,52 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Cache-line aligned raw buffers. The merge's auxiliary structures and packed
+// code vectors are streamed sequentially or gathered randomly; aligning them
+// to cache-line boundaries keeps the paper's traffic model (whole lines per
+// access, Table 1's L) faithful and avoids split loads.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/macros.h"
+
+namespace deltamerge {
+
+/// Owning, cache-line aligned, zero-initialized byte buffer.
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  /// Allocates `size` bytes aligned to kCacheLineSize, zero-filled.
+  explicit AlignedBuffer(size_t size);
+
+  ~AlignedBuffer();
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept;
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept;
+  DM_DISALLOW_COPY(AlignedBuffer);
+
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  template <typename T>
+  T* As() {
+    return reinterpret_cast<T*>(data_);
+  }
+  template <typename T>
+  const T* As() const {
+    return reinterpret_cast<const T*>(data_);
+  }
+
+  /// Releases storage and resets to empty.
+  void Reset();
+
+ private:
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace deltamerge

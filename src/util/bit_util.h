@@ -1,0 +1,60 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Bit arithmetic helpers used by the packed code vectors and the cost model.
+// The compressed value-length of a column is E_C = ceil(log2(|U|)) bits for a
+// dictionary of |U| entries (paper Eq. 4); these helpers centralize that math.
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+
+#include "util/macros.h"
+
+namespace deltamerge {
+
+/// Number of bits needed to store a dictionary index for `cardinality`
+/// distinct values: ceil(log2(cardinality)), with the edge cases the paper
+/// glosses over pinned down: a dictionary of 0 or 1 entries still needs one
+/// bit so that the packed vector has a nonzero stride.
+constexpr uint8_t BitsForCardinality(uint64_t cardinality) {
+  if (cardinality <= 2) return 1;
+  return static_cast<uint8_t>(std::bit_width(cardinality - 1));
+}
+
+/// ceil(log2(x)) for x >= 1.
+constexpr uint8_t CeilLog2(uint64_t x) {
+  DM_DCHECK(x >= 1);
+  if (x <= 1) return 0;
+  return static_cast<uint8_t>(std::bit_width(x - 1));
+}
+
+/// Integer division rounding up.
+constexpr uint64_t DivRoundUp(uint64_t numerator, uint64_t denominator) {
+  DM_DCHECK(denominator != 0);
+  return (numerator + denominator - 1) / denominator;
+}
+
+/// Rounds `v` up to the next multiple of `alignment` (alignment need not be a
+/// power of two).
+constexpr uint64_t RoundUp(uint64_t v, uint64_t alignment) {
+  return DivRoundUp(v, alignment) * alignment;
+}
+
+/// Lowest `n` bits set. n in [0, 64].
+constexpr uint64_t LowBitsMask(uint8_t n) {
+  DM_DCHECK(n <= 64);
+  return n >= 64 ? ~uint64_t{0} : ((uint64_t{1} << n) - 1);
+}
+
+/// True if `v` is a power of two (0 is not).
+constexpr bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Bytes occupied by `count` values of `bits` bits each, packed contiguously,
+/// rounded up to whole 8-byte words so the packed vector can always load a
+/// full word.
+constexpr size_t PackedBytes(uint64_t count, uint8_t bits) {
+  return static_cast<size_t>(DivRoundUp(count * bits, 64) * 8);
+}
+
+}  // namespace deltamerge

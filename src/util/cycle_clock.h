@@ -1,0 +1,43 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Cycle-accurate timing. The paper reports every result as an "update cost"
+// in CPU cycles per tuple (§7); CycleClock reads the TSC where available and
+// calibrates its frequency against the steady clock so that cycle counts and
+// wall-clock seconds convert consistently.
+
+#pragma once
+
+#include <cstdint>
+
+namespace deltamerge {
+
+/// Static cycle counter. Thread-safe after the first call (calibration is
+/// idempotent and races benignly).
+class CycleClock {
+ public:
+  /// Current cycle count (TSC on x86; calibrated steady_clock elsewhere).
+  static uint64_t Now();
+
+  /// Measured TSC frequency in Hz. First call performs a short (~20 ms)
+  /// calibration loop against std::chrono::steady_clock.
+  static double FrequencyHz();
+
+  /// Converts a cycle delta into seconds using the calibrated frequency.
+  static double ToSeconds(uint64_t cycles);
+};
+
+/// Scoped timer accumulating elapsed cycles into a counter.
+class ScopedCycleTimer {
+ public:
+  explicit ScopedCycleTimer(uint64_t* accumulator)
+      : accumulator_(accumulator), start_(CycleClock::Now()) {}
+  ~ScopedCycleTimer() { *accumulator_ += CycleClock::Now() - start_; }
+
+  ScopedCycleTimer(const ScopedCycleTimer&) = delete;
+  ScopedCycleTimer& operator=(const ScopedCycleTimer&) = delete;
+
+ private:
+  uint64_t* accumulator_;
+  uint64_t start_;
+};
+
+}  // namespace deltamerge

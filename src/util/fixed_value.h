@@ -1,0 +1,153 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// FixedValue<N>: the uncompressed column value type.
+//
+// The paper parameterizes every experiment on the uncompressed value-length
+// E_j in bytes, fixed per column and drawn from {4, 8, 16} (§7). Values are
+// opaque byte strings with a total order; the dictionary sorts them and the
+// code of a value is its rank. FixedValue<N> is a trivially-copyable POD of
+// exactly N bytes whose comparison compiles to 1-2 integer compares, so the
+// merge's compare loops stay branch-lean.
+
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/macros.h"
+
+namespace deltamerge {
+
+namespace detail {
+
+/// Storage backing for a FixedValue of N bytes. Specialized so that 4- and
+/// 8-byte values are single machine words and 16-byte values are a pair.
+template <size_t N>
+struct FixedValueRepr;
+
+template <>
+struct FixedValueRepr<4> {
+  uint32_t word;
+  friend constexpr auto operator<=>(const FixedValueRepr&,
+                                    const FixedValueRepr&) = default;
+};
+
+template <>
+struct FixedValueRepr<8> {
+  uint64_t word;
+  friend constexpr auto operator<=>(const FixedValueRepr&,
+                                    const FixedValueRepr&) = default;
+};
+
+template <>
+struct FixedValueRepr<16> {
+  // Ordered lexicographically: hi first. Default <=> compares members in
+  // declaration order, which is exactly the order we want.
+  uint64_t hi;
+  uint64_t lo;
+  friend constexpr auto operator<=>(const FixedValueRepr&,
+                                    const FixedValueRepr&) = default;
+};
+
+}  // namespace detail
+
+/// A fixed-width uncompressed value of N bytes (N in {4, 8, 16}).
+///
+/// The numeric payload is an ordering key only — the library never interprets
+/// it (mirroring the paper, where values are strings like "charlie" whose only
+/// relevant property is their sort order).
+template <size_t N>
+struct FixedValue {
+  static_assert(N == 4 || N == 8 || N == 16,
+                "the paper evaluates value-lengths of 4, 8 and 16 bytes");
+  static constexpr size_t kWidth = N;
+
+  // Trivially copyable and trivially default-constructible: values live in
+  // unions (CSB+ nodes) and huge arrays that must not be zero-initialized on
+  // resize. Use FixedValue{} or FromKey() for a defined value.
+  detail::FixedValueRepr<N> repr;
+
+  constexpr FixedValue() = default;
+
+  /// Builds a value from an integer ordering key. For N=16 the key occupies
+  /// the low word; the high word is zero unless given explicitly.
+  static constexpr FixedValue FromKey(uint64_t key) {
+    FixedValue v;
+    if constexpr (N == 4) {
+      v.repr.word = static_cast<uint32_t>(key);
+    } else if constexpr (N == 8) {
+      v.repr.word = key;
+    } else {
+      v.repr.hi = 0;
+      v.repr.lo = key;
+    }
+    return v;
+  }
+
+  static constexpr FixedValue FromKeyPair(uint64_t hi, uint64_t lo) {
+    static_assert(N == 16, "two-word keys only exist for 16-byte values");
+    FixedValue v;
+    v.repr.hi = hi;
+    v.repr.lo = lo;
+    return v;
+  }
+
+  /// The integer ordering key (low word for N=16).
+  constexpr uint64_t key() const {
+    if constexpr (N == 16) {
+      return repr.lo;
+    } else {
+      return repr.word;
+    }
+  }
+
+  /// Smallest / largest representable value.
+  static constexpr FixedValue Min() { return FixedValue{}; }
+  static constexpr FixedValue Max() {
+    FixedValue v;
+    if constexpr (N == 4) {
+      v.repr.word = ~uint32_t{0};
+    } else if constexpr (N == 8) {
+      v.repr.word = ~uint64_t{0};
+    } else {
+      v.repr.hi = ~uint64_t{0};
+      v.repr.lo = ~uint64_t{0};
+    }
+    return v;
+  }
+
+  friend constexpr auto operator<=>(const FixedValue&,
+                                    const FixedValue&) = default;
+
+  /// Hex rendering for logs and test failure messages.
+  std::string ToString() const {
+    char buf[2 * N + 3];
+    if constexpr (N == 16) {
+      std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                    static_cast<unsigned long long>(repr.hi),
+                    static_cast<unsigned long long>(repr.lo));
+    } else if constexpr (N == 8) {
+      std::snprintf(buf, sizeof(buf), "%016llx",
+                    static_cast<unsigned long long>(repr.word));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%08x", repr.word);
+    }
+    return std::string(buf);
+  }
+};
+
+static_assert(sizeof(FixedValue<4>) == 4);
+static_assert(sizeof(FixedValue<8>) == 8);
+static_assert(sizeof(FixedValue<16>) == 16);
+
+using Value4 = FixedValue<4>;
+using Value8 = FixedValue<8>;
+using Value16 = FixedValue<16>;
+
+/// The three column value widths the paper evaluates; used by tests and
+/// benches to sweep E_j.
+inline constexpr size_t kValueWidths[] = {4, 8, 16};
+
+}  // namespace deltamerge

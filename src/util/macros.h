@@ -1,0 +1,76 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Core macros shared across the library: assertions, branch hints, cache-line
+// geometry. Follows the project convention of exception-free hot paths:
+// recoverable failures surface as Status (see util/status.h); programming
+// errors trip DM_DCHECK in debug builds and are undefined in release builds.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+// ---------------------------------------------------------------------------
+// Branch prediction hints.
+// ---------------------------------------------------------------------------
+#if defined(__GNUC__) || defined(__clang__)
+#define DM_LIKELY(x) (__builtin_expect(!!(x), 1))
+#define DM_UNLIKELY(x) (__builtin_expect(!!(x), 0))
+#else
+#define DM_LIKELY(x) (x)
+#define DM_UNLIKELY(x) (x)
+#endif
+
+// ---------------------------------------------------------------------------
+// Assertions.
+//
+// DM_CHECK   — always-on invariant check; aborts with a message. Use sparingly
+//              on cold paths (construction, configuration).
+// DM_DCHECK  — debug-only invariant check; compiles away in NDEBUG builds.
+//              Use freely, including on hot paths.
+// ---------------------------------------------------------------------------
+#define DM_CHECK(cond)                                                        \
+  do {                                                                        \
+    if (DM_UNLIKELY(!(cond))) {                                               \
+      ::std::fprintf(stderr, "DM_CHECK failed: %s at %s:%d\n", #cond,         \
+                     __FILE__, __LINE__);                                     \
+      ::std::abort();                                                         \
+    }                                                                         \
+  } while (0)
+
+#define DM_CHECK_MSG(cond, msg)                                               \
+  do {                                                                        \
+    if (DM_UNLIKELY(!(cond))) {                                               \
+      ::std::fprintf(stderr, "DM_CHECK failed: %s (%s) at %s:%d\n", #cond,    \
+                     (msg), __FILE__, __LINE__);                              \
+      ::std::abort();                                                         \
+    }                                                                         \
+  } while (0)
+
+#ifdef NDEBUG
+#define DM_DCHECK(cond) \
+  do {                  \
+  } while (0)
+#else
+#define DM_DCHECK(cond) DM_CHECK(cond)
+#endif
+
+// ---------------------------------------------------------------------------
+// Cache geometry. The paper's model parameterizes memory traffic on the cache
+// line size L (Table 1); 64 bytes on every x86 this library targets.
+// ---------------------------------------------------------------------------
+namespace deltamerge {
+inline constexpr std::size_t kCacheLineSize = 64;
+}  // namespace deltamerge
+
+#define DM_CACHELINE_ALIGNED alignas(::deltamerge::kCacheLineSize)
+
+// Marks a class non-copyable but movable.
+#define DM_DISALLOW_COPY(ClassName)      \
+  ClassName(const ClassName&) = delete;  \
+  ClassName& operator=(const ClassName&) = delete
+
+#define DM_DISALLOW_COPY_AND_MOVE(ClassName)        \
+  ClassName(const ClassName&) = delete;             \
+  ClassName& operator=(const ClassName&) = delete;  \
+  ClassName(ClassName&&) = delete;                  \
+  ClassName& operator=(ClassName&&) = delete

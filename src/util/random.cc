@@ -1,0 +1,8 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Rng is fully inline; this TU anchors the header for build hygiene.
+
+#include "util/random.h"
+
+namespace deltamerge {
+// Intentionally empty.
+}  // namespace deltamerge

@@ -1,0 +1,69 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Result<T>: value-or-Status, the return type of fallible factories.
+
+#pragma once
+
+#include <utility>
+#include <variant>
+
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace deltamerge {
+
+/// Holds either a successfully produced T or the Status explaining why it
+/// could not be produced. Accessing the value of a failed Result aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status (failure). Constructing from an OK status
+  /// is a programming error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    DM_CHECK_MSG(!std::get<Status>(repr_).ok(),
+                 "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  /// Returns the contained value; aborts if this Result holds an error.
+  T& ValueOrDie() & {
+    DM_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(repr_);
+  }
+  const T& ValueOrDie() const& {
+    DM_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    DM_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Returns the value or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its Status.
+#define DM_ASSIGN_OR_RETURN(lhs, expr)                  \
+  auto DM_CONCAT_(_result_, __LINE__) = (expr);         \
+  if (DM_UNLIKELY(!DM_CONCAT_(_result_, __LINE__).ok())) \
+    return DM_CONCAT_(_result_, __LINE__).status();     \
+  lhs = std::move(DM_CONCAT_(_result_, __LINE__)).ValueOrDie()
+
+#define DM_CONCAT_(a, b) DM_CONCAT_IMPL_(a, b)
+#define DM_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace deltamerge

@@ -1,0 +1,103 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Status: exception-free error propagation for fallible, cold-path operations
+// (configuration, table DDL, merge orchestration). Modeled on the
+// Arrow/RocksDB idiom. Hot paths (per-tuple work) never construct Status.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/macros.h"
+
+namespace deltamerge {
+
+/// Error category for a failed operation.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kAlreadyExists = 3,
+  kNotFound = 4,
+  kFailedPrecondition = 5,
+  kResourceExhausted = 6,
+  kAborted = 7,
+  kInternal = 8,
+};
+
+/// Human-readable name of a StatusCode, e.g. "InvalidArgument".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: a code plus (for failures) a message.
+/// OK is represented with no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define DM_RETURN_NOT_OK(expr)              \
+  do {                                      \
+    ::deltamerge::Status _st = (expr);      \
+    if (DM_UNLIKELY(!_st.ok())) return _st; \
+  } while (0)
+
+/// Aborts on non-OK Status; for tests, examples, and main()s where failure is
+/// a bug rather than a condition to handle.
+#define DM_ABORT_NOT_OK(expr)                                       \
+  do {                                                              \
+    ::deltamerge::Status _st = (expr);                              \
+    if (DM_UNLIKELY(!_st.ok())) {                                   \
+      ::std::fprintf(stderr, "Fatal status at %s:%d: %s\n",         \
+                     __FILE__, __LINE__, _st.ToString().c_str());   \
+      ::std::abort();                                               \
+    }                                                               \
+  } while (0)
+
+}  // namespace deltamerge

@@ -1,0 +1,127 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+
+#include "workload/query_gen.h"
+
+#include <cstdio>
+
+#include "util/cycle_clock.h"
+#include "workload/value_generator.h"
+
+namespace deltamerge {
+
+QueryStream::QueryStream(const QueryMix& mix, uint64_t seed) : rng_(seed) {
+  double running = 0;
+  for (int i = 0; i < kNumQueryTypes; ++i) {
+    running += mix.fraction[static_cast<size_t>(i)];
+    cumulative_[static_cast<size_t>(i)] = running;
+  }
+  DM_CHECK_MSG(running > 0.99 && running < 1.01,
+               "query mix fractions must sum to 1");
+  cumulative_[kNumQueryTypes - 1] = 1.0;
+}
+
+QueryType QueryStream::Next() {
+  const double r = rng_.NextDouble();
+  for (int i = 0; i < kNumQueryTypes; ++i) {
+    if (r < cumulative_[static_cast<size_t>(i)]) {
+      return static_cast<QueryType>(i);
+    }
+  }
+  return QueryType::kDelete;
+}
+
+double WorkloadReport::ops_per_second() const {
+  if (total_cycles == 0) return 0;
+  return static_cast<double>(total_ops) /
+         CycleClock::ToSeconds(total_cycles);
+}
+
+std::string WorkloadReport::ToString() const {
+  std::string out = "WorkloadReport{";
+  char buf[96];
+  for (int i = 0; i < kNumQueryTypes; ++i) {
+    const auto t = static_cast<QueryType>(i);
+    std::snprintf(buf, sizeof(buf), "%s%.*s=%llu",
+                  i == 0 ? "" : ", ",
+                  static_cast<int>(QueryTypeToString(t).size()),
+                  QueryTypeToString(t).data(),
+                  static_cast<unsigned long long>(
+                      count[static_cast<size_t>(i)]));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), ", ops/s=%.0f}", ops_per_second());
+  out += buf;
+  return out;
+}
+
+WorkloadReport RunMixedWorkload(Table* table, const QueryMix& mix,
+                                uint64_t num_ops,
+                                const WorkloadOptions& options) {
+  DM_CHECK(table != nullptr);
+  QueryStream stream(mix, options.seed);
+  Rng rng(options.seed ^ 0xabcdef12345ULL);
+  WorkloadReport report;
+
+  const size_t nc = table->num_columns();
+  std::vector<uint64_t> row_keys(nc);
+  const uint64_t range_width = std::max<uint64_t>(
+      1, static_cast<uint64_t>(static_cast<double>(options.key_domain) *
+                               options.range_fraction));
+
+  for (uint64_t op = 0; op < num_ops; ++op) {
+    const QueryType type = stream.Next();
+    const size_t col = static_cast<size_t>(rng.Below(nc));
+    const uint64_t t0 = CycleClock::Now();
+    uint64_t result = 0;
+
+    switch (type) {
+      case QueryType::kLookup: {
+        result = table->CountEquals(col, rng.Below(options.key_domain));
+        break;
+      }
+      case QueryType::kTableScan: {
+        result = table->SumColumn(col);
+        break;
+      }
+      case QueryType::kRangeSelect: {
+        const uint64_t lo = rng.Below(options.key_domain);
+        result = table->CountRange(col, lo, lo + range_width);
+        break;
+      }
+      case QueryType::kInsert: {
+        for (size_t c = 0; c < nc; ++c) {
+          row_keys[c] = rng.Below(options.key_domain);
+        }
+        result = table->InsertRow(row_keys);
+        break;
+      }
+      case QueryType::kModification: {
+        const uint64_t rows = table->num_rows();
+        if (rows == 0) break;
+        for (size_t c = 0; c < nc; ++c) {
+          row_keys[c] = rng.Below(options.key_domain);
+        }
+        result = table->UpdateRow(rng.Below(rows), row_keys);
+        break;
+      }
+      case QueryType::kDelete: {
+        const uint64_t rows = table->num_rows();
+        if (rows == 0) break;
+        table->DeleteRow(rng.Below(rows));
+        result = 1;
+        break;
+      }
+    }
+
+    const uint64_t dt = CycleClock::Now() - t0;
+    const auto i = static_cast<size_t>(type);
+    ++report.count[i];
+    report.cycles[i] += dt;
+    report.total_cycles += dt;
+    ++report.total_ops;
+    report.checksum = report.checksum * 1099511628211ULL + result;
+  }
+  return report;
+}
+
+}  // namespace deltamerge

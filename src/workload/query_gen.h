@@ -1,0 +1,65 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Mixed-workload generation and execution (§2's "mixed workload in terms of
+// that they process small sets of transactional data at a time including
+// write operations and simple read queries as well as complex ... read
+// operations on large sets of data").
+//
+// A QueryStream samples query types from a QueryMix (Figure 1); the executor
+// turns each type into a concrete operation against a Table: key lookups and
+// range selects on random columns, full-column aggregation scans, inserts of
+// fresh rows, insert-only updates of random valid rows, and deletes.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/table.h"
+#include "util/random.h"
+#include "workload/enterprise_stats.h"
+
+namespace deltamerge {
+
+/// Samples query types i.i.d. from a mix.
+class QueryStream {
+ public:
+  QueryStream(const QueryMix& mix, uint64_t seed);
+
+  QueryType Next();
+
+ private:
+  std::array<double, kNumQueryTypes> cumulative_{};
+  Rng rng_;
+};
+
+/// Per-type execution counters for a workload run.
+struct WorkloadReport {
+  std::array<uint64_t, kNumQueryTypes> count{};
+  std::array<uint64_t, kNumQueryTypes> cycles{};
+  uint64_t total_ops = 0;
+  uint64_t total_cycles = 0;
+  /// Checksum folding every query result; keeps the optimizer honest and
+  /// lets tests compare runs.
+  uint64_t checksum = 0;
+
+  double ops_per_second() const;
+  std::string ToString() const;
+};
+
+/// Knobs for the executor.
+struct WorkloadOptions {
+  /// Key domain the read queries probe (should match the table's builder
+  /// domain so lookups actually hit).
+  uint64_t key_domain = 1 << 20;
+  /// Width of range-select predicates as a fraction of the key domain.
+  double range_fraction = 0.001;
+  uint64_t seed = 42;
+};
+
+/// Runs `num_ops` operations of the given mix against the table.
+WorkloadReport RunMixedWorkload(Table* table, const QueryMix& mix,
+                                uint64_t num_ops,
+                                const WorkloadOptions& options);
+
+}  // namespace deltamerge

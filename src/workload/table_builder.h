@@ -1,0 +1,148 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Fast construction of experiment tables (§7's setups).
+//
+// Building a 100M-tuple main partition through the normal insert+merge path
+// would itself be a merge benchmark; instead the builder materializes the
+// post-merge state directly — a sorted dictionary of the column's value
+// domain plus uniform random codes — which is distributionally identical to
+// what merging uniformly generated values produces. Deltas, by contrast, are
+// always populated through the real insert path (value append + CSB+ tree
+// insert), because Step 1(a) and the T_U measurements depend on the tree.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/column_handle.h"
+#include "core/table.h"
+#include "storage/main_partition.h"
+#include "workload/value_generator.h"
+
+namespace deltamerge {
+
+/// Parameters of one experiment column.
+struct ColumnBuildSpec {
+  size_t value_width = 8;         ///< E_j
+  double main_unique = 0.1;       ///< λ_M
+  double delta_unique = 0.1;      ///< λ_D
+};
+
+/// Builds a main partition of `nm` tuples whose value domain has
+/// ⌈λ·nm⌉ distinct keys. λ >= 1 yields an exactly-unique column (each
+/// dictionary entry used once, in shuffled order).
+template <size_t W>
+MainPartition<W> BuildMainPartition(uint64_t nm, double unique_fraction,
+                                    uint64_t seed) {
+  using Value = FixedValue<W>;
+  if (nm == 0) {
+    return MainPartition<W>();
+  }
+  const uint64_t pool_size = PoolSizeFor(nm, std::min(unique_fraction, 1.0));
+  std::vector<uint64_t> keys = GenerateDistinctKeys(pool_size, W, seed);
+  std::sort(keys.begin(), keys.end());
+
+  std::vector<Value> dict_values;
+  dict_values.reserve(keys.size());
+  for (uint64_t k : keys) dict_values.push_back(Value::FromKey(k));
+  Dictionary<W> dict = Dictionary<W>::FromSortedUnique(std::move(dict_values));
+
+  PackedVector codes(nm, dict.code_bits());
+  typename PackedVector::Writer writer(codes);
+  Rng rng(seed ^ 0xc0de5eedULL);
+  if (unique_fraction >= 1.0) {
+    // Exact permutation: every dictionary entry appears exactly once.
+    std::vector<uint32_t> perm(nm);
+    for (uint64_t i = 0; i < nm; ++i) perm[i] = static_cast<uint32_t>(i);
+    for (uint64_t i = nm; i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.Below(i)]);
+    }
+    for (uint64_t i = 0; i < nm; ++i) writer.Append(perm[i]);
+  } else {
+    for (uint64_t i = 0; i < nm; ++i) {
+      writer.Append(static_cast<uint32_t>(rng.Below(pool_size)));
+    }
+  }
+  return MainPartition<W>::FromParts(std::move(dict), std::move(codes));
+}
+
+/// Inserts `nd` delta tuples with a distinct-value domain of ⌈λ·nd⌉ through
+/// the real write path.
+template <size_t W>
+void FillDelta(Column<W>* column, uint64_t nd, double unique_fraction,
+               uint64_t seed) {
+  const std::vector<uint64_t> keys =
+      GenerateColumnKeys(nd, unique_fraction, W, seed);
+  for (uint64_t k : keys) {
+    column->Insert(FixedValue<W>::FromKey(k));
+  }
+}
+
+/// Builds a typed column: populated main partition, delta via FillDelta.
+template <size_t W>
+std::unique_ptr<ColumnHandle<W>> BuildColumnTyped(uint64_t nm, uint64_t nd,
+                                                  const ColumnBuildSpec& spec,
+                                                  uint64_t seed) {
+  auto handle = std::make_unique<ColumnHandle<W>>(
+      Column<W>(BuildMainPartition<W>(nm, spec.main_unique, seed)));
+  if (nd > 0) {
+    FillDelta<W>(&handle->column(), nd, spec.delta_unique, seed ^ 0xde17aULL);
+  }
+  return handle;
+}
+
+/// Width-erased column factory.
+inline std::unique_ptr<ColumnBase> BuildColumn(uint64_t nm, uint64_t nd,
+                                               const ColumnBuildSpec& spec,
+                                               uint64_t seed) {
+  switch (spec.value_width) {
+    case 4:
+      return BuildColumnTyped<4>(nm, nd, spec, seed);
+    case 8:
+      return BuildColumnTyped<8>(nm, nd, spec, seed);
+    case 16:
+      return BuildColumnTyped<16>(nm, nd, spec, seed);
+    default:
+      DM_CHECK_MSG(false, "unsupported value width (use 4, 8 or 16)");
+      return nullptr;
+  }
+}
+
+/// Builds a table of `specs.size()` columns, each with `nm` main tuples and
+/// `nd` delta tuples (columns receive distinct seeds).
+inline std::unique_ptr<Table> BuildTable(
+    uint64_t nm, uint64_t nd, const std::vector<ColumnBuildSpec>& specs,
+    uint64_t seed) {
+  Schema schema;
+  std::vector<std::unique_ptr<ColumnBase>> columns;
+  schema.columns.reserve(specs.size());
+  columns.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    schema.columns.push_back(
+        ColumnSpec{specs[i].value_width, "col" + std::to_string(i)});
+    // Build mains only here; deltas are added after FromColumns so the
+    // validity vector matches (FromColumns sizes it to the main rows).
+    columns.push_back(BuildColumn(nm, 0, specs[i], seed + i * 7919));
+  }
+  std::unique_ptr<Table> table =
+      Table::FromColumns(std::move(schema), std::move(columns));
+  if (nd > 0) {
+    // Insert deltas row-wise through the table so validity rows track.
+    std::vector<std::vector<uint64_t>> per_column(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+      per_column[i] = GenerateColumnKeys(nd, specs[i].delta_unique,
+                                         specs[i].value_width,
+                                         seed + i * 7919 + 13);
+    }
+    std::vector<uint64_t> row(specs.size());
+    for (uint64_t r = 0; r < nd; ++r) {
+      for (size_t i = 0; i < specs.size(); ++i) row[i] = per_column[i][r];
+      table->InsertRow(row);
+    }
+  }
+  return table;
+}
+
+}  // namespace deltamerge

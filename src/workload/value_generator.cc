@@ -1,0 +1,88 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+
+#include "workload/value_generator.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace deltamerge {
+
+namespace {
+
+/// SplitMix64 finalizer: a bijection on 64-bit integers, so distinct inputs
+/// give distinct keys without bookkeeping.
+uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Murmur3 32-bit finalizer: a bijection on 32-bit integers.
+uint32_t Mix32(uint32_t x) {
+  x ^= x >> 16;
+  x *= 0x85ebca6bu;
+  x ^= x >> 13;
+  x *= 0xc2b2ae35u;
+  x ^= x >> 16;
+  return x;
+}
+
+}  // namespace
+
+std::vector<uint64_t> GenerateDistinctKeys(uint64_t n, size_t value_width,
+                                           uint64_t seed) {
+  std::vector<uint64_t> keys(n);
+  if (value_width == 4) {
+    DM_CHECK_MSG(n <= (uint64_t{1} << 32),
+                 "4-byte columns cannot hold more than 2^32 distinct keys");
+    const uint32_t salt = static_cast<uint32_t>(Mix64(seed));
+    for (uint64_t i = 0; i < n; ++i) {
+      keys[i] = Mix32(static_cast<uint32_t>(i) ^ salt);
+    }
+  } else {
+    const uint64_t salt = Mix64(seed ^ 0x9e3779b97f4a7c15ULL);
+    for (uint64_t i = 0; i < n; ++i) {
+      keys[i] = Mix64(i ^ salt);
+    }
+  }
+  return keys;
+}
+
+std::vector<uint64_t> DrawKeys(std::span<const uint64_t> pool, uint64_t n,
+                               Rng& rng) {
+  DM_CHECK_MSG(!pool.empty(), "cannot draw from an empty pool");
+  std::vector<uint64_t> keys(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    keys[i] = pool[rng.Below(pool.size())];
+  }
+  return keys;
+}
+
+void ShuffleKeys(std::span<uint64_t> keys, Rng& rng) {
+  for (uint64_t i = keys.size(); i > 1; --i) {
+    std::swap(keys[i - 1], keys[rng.Below(i)]);
+  }
+}
+
+uint64_t PoolSizeFor(uint64_t n, double unique_fraction) {
+  if (n == 0) return 0;
+  const double target = static_cast<double>(n) * unique_fraction;
+  return std::max<uint64_t>(1, static_cast<uint64_t>(target + 0.5));
+}
+
+std::vector<uint64_t> GenerateColumnKeys(uint64_t n, double unique_fraction,
+                                         size_t value_width, uint64_t seed) {
+  Rng rng(seed);
+  if (unique_fraction >= 1.0) {
+    std::vector<uint64_t> keys = GenerateDistinctKeys(n, value_width, seed);
+    ShuffleKeys(keys, rng);
+    return keys;
+  }
+  const uint64_t pool_size = PoolSizeFor(n, unique_fraction);
+  const std::vector<uint64_t> pool =
+      GenerateDistinctKeys(pool_size, value_width, seed);
+  return DrawKeys(pool, n, rng);
+}
+
+}  // namespace deltamerge

@@ -1,0 +1,48 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Workload value generation (§7): "the values are generated uniformly at
+// random. We chose uniform value distributions, as this represents the worst
+// possible cache utilization for the values and auxiliary structures."
+//
+// The experiments control the fraction of unique values λ per column by
+// drawing uniformly from a pre-generated pool ("domain") of ⌈λ·n⌉ distinct
+// keys — matching the paper's observation that enterprise columns work on a
+// well-known value domain (§2). λ = 100% produces an exact permutation of n
+// distinct keys so the all-unique experiments are exact, not probabilistic.
+//
+// Keys are 64-bit ordering keys; columns of width 4 truncate them to 32 bits
+// (their pools are capped accordingly).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/random.h"
+
+namespace deltamerge {
+
+/// `n` distinct keys for a column of `value_width` bytes, uniformly spread
+/// over the key space (bijective mixing of 0..n-1; no rejection loops).
+/// For 4-byte columns n must be <= 2^32.
+std::vector<uint64_t> GenerateDistinctKeys(uint64_t n, size_t value_width,
+                                           uint64_t seed);
+
+/// `n` uniform draws (with replacement) from `pool`.
+std::vector<uint64_t> DrawKeys(std::span<const uint64_t> pool, uint64_t n,
+                               Rng& rng);
+
+/// `n` column keys with a unique-value domain of ⌈unique_fraction·n⌉:
+///  * unique_fraction >= 1.0: an exact permutation of n distinct keys;
+///  * otherwise: uniform draws from the pool (realized distinct count can be
+///    slightly below the pool size for small n, as in any uniform sampler).
+std::vector<uint64_t> GenerateColumnKeys(uint64_t n, double unique_fraction,
+                                         size_t value_width, uint64_t seed);
+
+/// In-place Fisher-Yates shuffle.
+void ShuffleKeys(std::span<uint64_t> keys, Rng& rng);
+
+/// Pool ("domain") size the experiments use for n tuples at fraction λ.
+uint64_t PoolSizeFor(uint64_t n, double unique_fraction);
+
+}  // namespace deltamerge

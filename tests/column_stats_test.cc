@@ -1,0 +1,173 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Tests for column statistics (zone maps) and conjunctive predicate scans.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "query/column_stats.h"
+#include "query/conjunction.h"
+#include "storage/column.h"
+#include "util/random.h"
+
+namespace deltamerge {
+namespace {
+
+TEST(ColumnStats, EmptyColumn) {
+  MainPartition<8> main;
+  DeltaPartition<8> delta;
+  const auto s = query::ComputeColumnStats<8>(main, delta);
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.RangeMightMatch(Value8::FromKey(0), Value8::Max()));
+}
+
+TEST(ColumnStats, MainOnlyExtremaFromDictionary) {
+  auto main = MainPartition<8>::FromValues(
+      {Value8::FromKey(30), Value8::FromKey(10), Value8::FromKey(20)});
+  DeltaPartition<8> delta;
+  const auto s = query::ComputeColumnStats<8>(main, delta);
+  EXPECT_EQ(s.tuples, 3u);
+  EXPECT_EQ(s.min.key(), 10u);
+  EXPECT_EQ(s.max.key(), 30u);
+  EXPECT_EQ(s.distinct_main, 3u);
+  EXPECT_DOUBLE_EQ(s.avg_duplication, 1.0);
+}
+
+TEST(ColumnStats, DeltaExtendsExtrema) {
+  auto main = MainPartition<8>::FromValues(
+      {Value8::FromKey(50), Value8::FromKey(60)});
+  DeltaPartition<8> delta;
+  delta.Insert(Value8::FromKey(5));
+  delta.Insert(Value8::FromKey(100));
+  const auto s = query::ComputeColumnStats<8>(main, delta);
+  EXPECT_EQ(s.min.key(), 5u);
+  EXPECT_EQ(s.max.key(), 100u);
+  EXPECT_EQ(s.distinct_delta, 2u);
+}
+
+TEST(ColumnStats, DeltaOnlyColumn) {
+  MainPartition<8> main;
+  DeltaPartition<8> delta;
+  for (uint64_t k : {42u, 7u, 99u}) delta.Insert(Value8::FromKey(k));
+  const auto s = query::ComputeColumnStats<8>(main, delta);
+  EXPECT_EQ(s.min.key(), 7u);
+  EXPECT_EQ(s.max.key(), 99u);
+}
+
+TEST(ColumnStats, PruningIsConservativeAndExact) {
+  auto main = MainPartition<8>::FromValues(
+      {Value8::FromKey(100), Value8::FromKey(200)});
+  DeltaPartition<8> delta;
+  const auto s = query::ComputeColumnStats<8>(main, delta);
+  // Disjoint below / above: prunable.
+  EXPECT_FALSE(s.RangeMightMatch(Value8::FromKey(0), Value8::FromKey(99)));
+  EXPECT_FALSE(
+      s.RangeMightMatch(Value8::FromKey(201), Value8::FromKey(500)));
+  // Touching the boundary: must not prune.
+  EXPECT_TRUE(s.RangeMightMatch(Value8::FromKey(0), Value8::FromKey(100)));
+  EXPECT_TRUE(s.RangeMightMatch(Value8::FromKey(200), Value8::FromKey(900)));
+  EXPECT_TRUE(s.KeyMightMatch(Value8::FromKey(150)));  // gap: conservative
+  EXPECT_FALSE(s.KeyMightMatch(Value8::FromKey(99)));
+}
+
+// --- conjunctive scans -------------------------------------------------------
+
+struct ConjFixture {
+  Column<8> a;
+  Column<8> b;
+  std::vector<std::pair<uint64_t, uint64_t>> rows;
+
+  explicit ConjFixture(uint64_t seed, uint64_t n = 4000,
+                       uint64_t domain = 300) {
+    Rng rng(seed);
+    std::vector<Value8> av, bv;
+    for (uint64_t i = 0; i < n; ++i) {
+      const uint64_t ka = rng.Below(domain);
+      const uint64_t kb = rng.Below(domain);
+      av.push_back(Value8::FromKey(ka));
+      bv.push_back(Value8::FromKey(kb));
+      rows.emplace_back(ka, kb);
+    }
+    a = Column<8>(MainPartition<8>::FromValues(av));
+    b = Column<8>(MainPartition<8>::FromValues(bv));
+    // And some delta rows.
+    for (uint64_t i = 0; i < n / 10; ++i) {
+      const uint64_t ka = rng.Below(domain);
+      const uint64_t kb = rng.Below(domain);
+      a.Insert(Value8::FromKey(ka));
+      b.Insert(Value8::FromKey(kb));
+      rows.emplace_back(ka, kb);
+    }
+  }
+
+  std::vector<uint64_t> Brute(const query::RangePredicate& pa,
+                              const query::RangePredicate& pb) const {
+    std::vector<uint64_t> out;
+    for (uint64_t r = 0; r < rows.size(); ++r) {
+      if (rows[r].first >= pa.lo_key && rows[r].first <= pa.hi_key &&
+          rows[r].second >= pb.lo_key && rows[r].second <= pb.hi_key) {
+        out.push_back(r);
+      }
+    }
+    return out;
+  }
+};
+
+TEST(Conjunction, MatchesBruteForce) {
+  ConjFixture f(21);
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    query::RangePredicate pa{0, rng.Below(250), 0};
+    pa.hi_key = pa.lo_key + rng.Below(80);
+    query::RangePredicate pb{1, rng.Below(250), 0};
+    pb.hi_key = pb.lo_key + rng.Below(80);
+    const auto got =
+        query::ConjunctiveScan<8>({&f.a, &f.b}, {pa, pb});
+    const auto expect = f.Brute(pa, pb);
+    ASSERT_EQ(got, expect) << "trial " << trial;
+  }
+}
+
+TEST(Conjunction, ZoneMapPrunesImpossiblePredicates) {
+  ConjFixture f(22, 1000, 100);  // all keys < 100
+  query::RangePredicate pa{0, 0, 99};
+  query::RangePredicate pb{1, 5000, 6000};  // impossible
+  EXPECT_TRUE(query::ConjunctiveScan<8>({&f.a, &f.b}, {pa, pb}).empty());
+}
+
+TEST(Conjunction, SinglePredicateEqualsRangeSelect) {
+  ConjFixture f(23);
+  query::RangePredicate p{0, 10, 50};
+  const auto got = query::ConjunctiveScan<8>({&f.a, &f.b}, {p});
+  const auto expect = f.Brute(p, query::RangePredicate{1, 0, ~uint64_t{0}});
+  EXPECT_EQ(got, expect);
+}
+
+TEST(Conjunction, SelectivityDrivesScanChoice) {
+  // A narrow predicate on column b and a wide one on a: the estimator must
+  // still produce correct results whichever drives (correctness check; the
+  // plan choice itself is internal).
+  ConjFixture f(24);
+  query::RangePredicate wide{0, 0, 299};
+  query::RangePredicate narrow{1, 7, 8};
+  const auto got = query::ConjunctiveScan<8>({&f.a, &f.b}, {wide, narrow});
+  const auto expect = f.Brute(wide, narrow);
+  EXPECT_EQ(got, expect);
+}
+
+TEST(Conjunction, WorksAcrossFrozenDelta) {
+  ConjFixture f(25, 500, 50);
+  f.a.FreezeDelta();
+  f.b.FreezeDelta();
+  query::RangePredicate pa{0, 10, 30};
+  query::RangePredicate pb{1, 10, 30};
+  const auto got = query::ConjunctiveScan<8>({&f.a, &f.b}, {pa, pb});
+  const auto expect = f.Brute(pa, pb);
+  EXPECT_EQ(got, expect);
+  f.a.AbortMerge();
+  f.b.AbortMerge();
+}
+
+}  // namespace
+}  // namespace deltamerge

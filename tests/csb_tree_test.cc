@@ -1,0 +1,226 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Tests for the CSB+ tree: node geometry, insertion/splits, duplicate
+// postings, ordered traversal, range pruning, and randomized equivalence
+// against std::map<key, vector<tid>>.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "storage/csb_tree.h"
+#include "util/random.h"
+
+namespace deltamerge {
+namespace {
+
+TEST(CsbTreeGeometry, NodeCapacitiesMatchCacheLines) {
+  // §6.1: "with E_j = 16 bytes, each node consists of a maximum of 3 values".
+  EXPECT_EQ(CsbTree<16>::kInternalKeys, 3u);
+  EXPECT_EQ(CsbTree<8>::kInternalKeys, 7u);
+  EXPECT_EQ(CsbTree<4>::kInternalKeys, 14u);
+  // Leaves carry (value, postings-id) pairs.
+  EXPECT_EQ(CsbTree<16>::kLeafKeys, 2u);
+  EXPECT_EQ(CsbTree<8>::kLeafKeys, 4u);
+  EXPECT_EQ(CsbTree<4>::kLeafKeys, 7u);
+}
+
+TEST(CsbTree, EmptyTree) {
+  CsbTree<8> tree;
+  EXPECT_EQ(tree.unique_keys(), 0u);
+  EXPECT_EQ(tree.total_tuples(), 0u);
+  EXPECT_FALSE(tree.Contains(Value8::FromKey(1)));
+  int visits = 0;
+  tree.ForEachSorted([&](const Value8&, PostingsCursor) { ++visits; });
+  EXPECT_EQ(visits, 0);
+}
+
+TEST(CsbTree, SingleInsertAndFind) {
+  CsbTree<8> tree;
+  tree.Insert(Value8::FromKey(42), 0);
+  EXPECT_EQ(tree.unique_keys(), 1u);
+  EXPECT_EQ(tree.total_tuples(), 1u);
+  EXPECT_TRUE(tree.Contains(Value8::FromKey(42)));
+  EXPECT_FALSE(tree.Contains(Value8::FromKey(41)));
+  auto cursor = tree.Find(Value8::FromKey(42));
+  ASSERT_FALSE(cursor.Done());
+  EXPECT_EQ(cursor.TupleId(), 0u);
+  cursor.Advance();
+  EXPECT_TRUE(cursor.Done());
+}
+
+TEST(CsbTree, DuplicateInsertsExtendPostingsInOrder) {
+  // The paper's Figure 5 example: "charlie" inserted at positions 1 and 3.
+  CsbTree<8> tree;
+  tree.Insert(Value8::FromKey(100), 1);
+  tree.Insert(Value8::FromKey(100), 3);
+  tree.Insert(Value8::FromKey(100), 2);
+  EXPECT_EQ(tree.unique_keys(), 1u);
+  EXPECT_EQ(tree.total_tuples(), 3u);
+  EXPECT_EQ(tree.CountOf(Value8::FromKey(100)), 3u);
+  std::vector<uint32_t> tids;
+  for (auto c = tree.Find(Value8::FromKey(100)); !c.Done(); c.Advance()) {
+    tids.push_back(c.TupleId());
+  }
+  EXPECT_EQ(tids, (std::vector<uint32_t>{1, 3, 2}));  // insertion order
+}
+
+TEST(CsbTree, SortedTraversalAfterManySplits) {
+  CsbTree<8> tree;
+  Rng rng(5);
+  std::vector<uint64_t> keys(5000);
+  for (auto& k : keys) k = rng.Next();
+  for (uint32_t i = 0; i < keys.size(); ++i) {
+    tree.Insert(Value8::FromKey(keys[i]), i);
+  }
+  uint64_t prev = 0;
+  bool first = true;
+  uint64_t count = 0;
+  tree.ForEachSorted([&](const Value8& v, PostingsCursor) {
+    if (!first) {
+      EXPECT_LT(prev, v.key());
+    }
+    prev = v.key();
+    first = false;
+    ++count;
+  });
+  EXPECT_EQ(count, tree.unique_keys());
+  EXPECT_GT(tree.height(), 1);
+}
+
+TEST(CsbTree, AscendingAndDescendingInsertions) {
+  for (bool descending : {false, true}) {
+    CsbTree<4> tree;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+      const uint64_t k = descending ? (n - i) : i + 1;
+      tree.Insert(Value4::FromKey(k), static_cast<uint32_t>(i));
+    }
+    EXPECT_EQ(tree.unique_keys(), static_cast<uint64_t>(n));
+    uint64_t expected = 1;
+    tree.ForEachSorted([&](const Value4& v, PostingsCursor) {
+      EXPECT_EQ(v.key(), expected);
+      ++expected;
+    });
+    EXPECT_EQ(expected, static_cast<uint64_t>(n) + 1);
+  }
+}
+
+TEST(CsbTree, RangeTraversalPrunes) {
+  CsbTree<8> tree;
+  for (uint64_t k = 0; k < 1000; ++k) {
+    tree.Insert(Value8::FromKey(k * 10), static_cast<uint32_t>(k));
+  }
+  std::vector<uint64_t> seen;
+  tree.ForEachInRange(Value8::FromKey(995), Value8::FromKey(1035),
+                      [&](const Value8& v, PostingsCursor) {
+                        seen.push_back(v.key());
+                      });
+  EXPECT_EQ(seen, (std::vector<uint64_t>{1000, 1010, 1020, 1030}));
+
+  // Empty and inverted ranges.
+  seen.clear();
+  tree.ForEachInRange(Value8::FromKey(3), Value8::FromKey(7),
+                      [&](const Value8&, PostingsCursor) {
+                        seen.push_back(0);
+                      });
+  EXPECT_TRUE(seen.empty());
+  tree.ForEachInRange(Value8::FromKey(100), Value8::FromKey(50),
+                      [&](const Value8&, PostingsCursor) { FAIL(); });
+}
+
+TEST(CsbTree, RangeIncludesEndpoints) {
+  CsbTree<8> tree;
+  for (uint64_t k : {10u, 20u, 30u}) tree.Insert(Value8::FromKey(k), 0);
+  int count = 0;
+  tree.ForEachInRange(Value8::FromKey(10), Value8::FromKey(30),
+                      [&](const Value8&, PostingsCursor) { ++count; });
+  EXPECT_EQ(count, 3);
+}
+
+TEST(CsbTree, ClearResets) {
+  CsbTree<8> tree;
+  for (uint64_t k = 0; k < 100; ++k) {
+    tree.Insert(Value8::FromKey(k), static_cast<uint32_t>(k));
+  }
+  tree.Clear();
+  EXPECT_EQ(tree.unique_keys(), 0u);
+  EXPECT_EQ(tree.total_tuples(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  tree.Insert(Value8::FromKey(7), 0);
+  EXPECT_TRUE(tree.Contains(Value8::FromKey(7)));
+}
+
+TEST(CsbTree, MemoryAccounting) {
+  CsbTree<8> tree;
+  for (uint64_t k = 0; k < 10000; ++k) {
+    tree.Insert(Value8::FromKey(k * 2654435761ULL), static_cast<uint32_t>(k));
+  }
+  EXPECT_GT(tree.memory_bytes(), 10000u * 8);
+  EXPECT_GT(tree.live_node_bytes(), 0u);
+  EXPECT_LE(tree.live_node_bytes(), tree.memory_bytes());
+}
+
+// Randomized equivalence against std::map across widths and duplicate rates.
+template <size_t W>
+void RandomizedEquivalence(uint64_t n, uint64_t domain, uint64_t seed) {
+  CsbTree<W> tree;
+  std::map<uint64_t, std::vector<uint32_t>> reference;
+  Rng rng(seed);
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint64_t key = rng.Below(domain);
+    tree.Insert(FixedValue<W>::FromKey(key), i);
+    reference[key].push_back(i);
+  }
+  ASSERT_EQ(tree.unique_keys(), reference.size());
+  ASSERT_EQ(tree.total_tuples(), n);
+
+  // Traversal yields exactly the reference map, keys ascending, postings in
+  // insertion order.
+  auto it = reference.begin();
+  tree.ForEachSorted([&](const FixedValue<W>& v, PostingsCursor c) {
+    ASSERT_NE(it, reference.end());
+    EXPECT_EQ(v.key(), it->first);
+    std::vector<uint32_t> tids;
+    for (; !c.Done(); c.Advance()) tids.push_back(c.TupleId());
+    EXPECT_EQ(tids, it->second);
+    ++it;
+  });
+  EXPECT_EQ(it, reference.end());
+
+  // Point lookups agree (members and non-members).
+  for (int probe = 0; probe < 1000; ++probe) {
+    const uint64_t key = rng.Below(domain * 2);
+    const auto ref = reference.find(key);
+    EXPECT_EQ(tree.CountOf(FixedValue<W>::FromKey(key)),
+              ref == reference.end() ? 0 : ref->second.size());
+  }
+}
+
+struct EquivalenceParam {
+  uint64_t n;
+  uint64_t domain;
+};
+
+class CsbTreeEquivalenceTest
+    : public ::testing::TestWithParam<EquivalenceParam> {};
+
+TEST_P(CsbTreeEquivalenceTest, Width4) {
+  RandomizedEquivalence<4>(GetParam().n, GetParam().domain, 17);
+}
+TEST_P(CsbTreeEquivalenceTest, Width8) {
+  RandomizedEquivalence<8>(GetParam().n, GetParam().domain, 18);
+}
+TEST_P(CsbTreeEquivalenceTest, Width16) {
+  RandomizedEquivalence<16>(GetParam().n, GetParam().domain, 19);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CsbTreeEquivalenceTest,
+    ::testing::Values(EquivalenceParam{100, 1000000},   // all unique-ish
+                      EquivalenceParam{5000, 500},      // heavy duplicates
+                      EquivalenceParam{20000, 20000},   // ~63% unique
+                      EquivalenceParam{3000, 1}));      // single value
+
+}  // namespace
+}  // namespace deltamerge

@@ -1,0 +1,121 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Tests for the sorted dictionary: construction, binary search, code bits,
+// bound queries — for every value width the paper evaluates.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "storage/dictionary.h"
+#include "util/random.h"
+
+namespace deltamerge {
+namespace {
+
+template <typename T>
+class DictionaryTest : public ::testing::Test {};
+
+template <size_t W>
+struct Width {
+  static constexpr size_t value = W;
+};
+using Widths = ::testing::Types<Width<4>, Width<8>, Width<16>>;
+TYPED_TEST_SUITE(DictionaryTest, Widths);
+
+TYPED_TEST(DictionaryTest, EmptyDictionary) {
+  constexpr size_t W = TypeParam::value;
+  Dictionary<W> d;
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.code_bits(), 1);
+  EXPECT_FALSE(d.Find(FixedValue<W>::FromKey(1)).has_value());
+}
+
+TYPED_TEST(DictionaryTest, FromUnsortedSortsAndDeduplicates) {
+  constexpr size_t W = TypeParam::value;
+  using V = FixedValue<W>;
+  std::vector<V> values = {V::FromKey(5), V::FromKey(1), V::FromKey(5),
+                           V::FromKey(3), V::FromKey(1)};
+  auto d = Dictionary<W>::FromUnsorted(std::move(values));
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.At(0).key(), 1u);
+  EXPECT_EQ(d.At(1).key(), 3u);
+  EXPECT_EQ(d.At(2).key(), 5u);
+}
+
+TYPED_TEST(DictionaryTest, FindReturnsRank) {
+  constexpr size_t W = TypeParam::value;
+  using V = FixedValue<W>;
+  std::vector<V> values;
+  for (uint64_t k : {10u, 20u, 30u, 40u}) values.push_back(V::FromKey(k));
+  auto d = Dictionary<W>::FromSortedUnique(std::move(values));
+  EXPECT_EQ(d.Find(V::FromKey(10)).value(), 0u);
+  EXPECT_EQ(d.Find(V::FromKey(40)).value(), 3u);
+  EXPECT_FALSE(d.Find(V::FromKey(15)).has_value());
+  EXPECT_FALSE(d.Find(V::FromKey(0)).has_value());
+  EXPECT_FALSE(d.Find(V::FromKey(50)).has_value());
+}
+
+TYPED_TEST(DictionaryTest, BoundsBracketRanges) {
+  constexpr size_t W = TypeParam::value;
+  using V = FixedValue<W>;
+  std::vector<V> values;
+  for (uint64_t k : {10u, 20u, 30u}) values.push_back(V::FromKey(k));
+  auto d = Dictionary<W>::FromSortedUnique(std::move(values));
+  EXPECT_EQ(d.LowerBound(V::FromKey(10)), 0u);
+  EXPECT_EQ(d.LowerBound(V::FromKey(11)), 1u);
+  EXPECT_EQ(d.UpperBound(V::FromKey(10)), 1u);
+  EXPECT_EQ(d.UpperBound(V::FromKey(9)), 0u);
+  EXPECT_EQ(d.LowerBound(V::FromKey(35)), 3u);
+  EXPECT_EQ(d.UpperBound(V::FromKey(30)), 3u);
+}
+
+TYPED_TEST(DictionaryTest, CodeBitsTrackCardinality) {
+  constexpr size_t W = TypeParam::value;
+  using V = FixedValue<W>;
+  // Paper §4.1: 6 values -> 3 bits, 9 values -> 4 bits.
+  for (auto [n, bits] : std::vector<std::pair<uint64_t, int>>{
+           {1, 1}, {2, 1}, {6, 3}, {9, 4}, {1024, 10}, {1025, 11}}) {
+    std::vector<V> values;
+    for (uint64_t k = 0; k < n; ++k) values.push_back(V::FromKey(k));
+    auto d = Dictionary<W>::FromSortedUnique(std::move(values));
+    EXPECT_EQ(d.code_bits(), bits) << "n=" << n;
+  }
+}
+
+TYPED_TEST(DictionaryTest, RandomizedFindAgainstReference) {
+  constexpr size_t W = TypeParam::value;
+  using V = FixedValue<W>;
+  Rng rng(321);
+  std::set<uint64_t> keys;
+  while (keys.size() < 500) keys.insert(rng.Next() >> 8);
+  std::vector<V> values;
+  for (uint64_t k : keys) values.push_back(V::FromKey(k));
+  std::sort(values.begin(), values.end());
+  auto d = Dictionary<W>::FromSortedUnique(values);
+
+  // Every member is found at its rank; perturbed keys are absent.
+  for (size_t i = 0; i < values.size(); ++i) {
+    auto code = d.Find(values[i]);
+    ASSERT_TRUE(code.has_value());
+    EXPECT_EQ(*code, i);
+  }
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t probe = rng.Next();
+    const V v = V::FromKey(probe);
+    const bool expected =
+        std::binary_search(values.begin(), values.end(), v);
+    EXPECT_EQ(d.Find(v).has_value(), expected);
+  }
+}
+
+TEST(Dictionary, ByteSizeCountsValueArray) {
+  std::vector<Value8> values{Value8::FromKey(1), Value8::FromKey(2)};
+  auto d = Dictionary<8>::FromSortedUnique(std::move(values));
+  EXPECT_EQ(d.byte_size(), 16u);
+}
+
+}  // namespace
+}  // namespace deltamerge

@@ -1,0 +1,174 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Tests for group-by aggregation and row materialization against brute-force
+// references.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "query/group_by.h"
+#include "query/materialize.h"
+#include "storage/main_partition.h"
+#include "util/random.h"
+
+namespace deltamerge {
+namespace {
+
+struct GroupFixture {
+  MainPartition<8> main;
+  DeltaPartition<8> delta;
+  std::map<uint64_t, uint64_t> ref_counts;
+
+  GroupFixture(uint64_t seed, uint64_t nm, uint64_t nd, uint64_t domain) {
+    Rng rng(seed);
+    std::vector<Value8> mv;
+    for (uint64_t i = 0; i < nm; ++i) {
+      const uint64_t k = rng.Below(domain);
+      mv.push_back(Value8::FromKey(k));
+      ++ref_counts[k];
+    }
+    main = MainPartition<8>::FromValues(mv);
+    for (uint64_t i = 0; i < nd; ++i) {
+      const uint64_t k = rng.Below(domain);
+      delta.Insert(Value8::FromKey(k));
+      ++ref_counts[k];
+    }
+  }
+};
+
+TEST(GroupBy, CountsMatchReferenceAndComeOutSorted) {
+  GroupFixture f(11, 5000, 800, 60);
+  const auto groups = query::GroupByColumn(f.main, f.delta);
+  ASSERT_EQ(groups.size(), f.ref_counts.size());
+  auto it = f.ref_counts.begin();
+  for (const auto& g : groups) {
+    ASSERT_NE(it, f.ref_counts.end());
+    EXPECT_EQ(g.value.key(), it->first);  // ascending value order
+    EXPECT_EQ(g.count, it->second);
+    ++it;
+  }
+}
+
+TEST(GroupBy, MainOnlyAndDeltaOnly) {
+  GroupFixture main_only(12, 1000, 0, 10);
+  auto g1 = query::GroupByColumn(main_only.main, main_only.delta);
+  uint64_t total = 0;
+  for (const auto& g : g1) total += g.count;
+  EXPECT_EQ(total, 1000u);
+
+  GroupFixture delta_only(13, 0, 500, 10);
+  auto g2 = query::GroupByColumn(delta_only.main, delta_only.delta);
+  total = 0;
+  for (const auto& g : g2) total += g.count;
+  EXPECT_EQ(total, 500u);
+}
+
+TEST(GroupBy, DisjointAndOverlappingDomains) {
+  // Main holds evens, delta odds and some evens: the two-cursor merge must
+  // interleave and combine correctly.
+  std::vector<Value8> mv;
+  for (uint64_t k = 0; k < 100; k += 2) mv.push_back(Value8::FromKey(k));
+  MainPartition<8> main = MainPartition<8>::FromValues(mv);
+  DeltaPartition<8> delta;
+  for (uint64_t k = 1; k < 100; k += 2) delta.Insert(Value8::FromKey(k));
+  delta.Insert(Value8::FromKey(50));  // overlap
+
+  const auto groups = query::GroupByColumn(main, delta);
+  ASSERT_EQ(groups.size(), 100u);
+  for (uint64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(groups[k].value.key(), k);
+    EXPECT_EQ(groups[k].count, k == 50 ? 2u : 1u);
+  }
+}
+
+TEST(GroupBy, GroupedSumMatchesReference) {
+  Rng rng(14);
+  std::vector<Value8> gv, sv;
+  DeltaPartition<8> gd, sd;
+  std::map<uint64_t, std::pair<uint64_t, uint64_t>> ref;  // count, sum
+  for (int i = 0; i < 4000; ++i) {
+    const uint64_t g = rng.Below(30);
+    const uint64_t s = rng.Below(1000);
+    gv.push_back(Value8::FromKey(g));
+    sv.push_back(Value8::FromKey(s));
+    ref[g].first++;
+    ref[g].second += s;
+  }
+  auto gm = MainPartition<8>::FromValues(gv);
+  auto sm = MainPartition<8>::FromValues(sv);
+  for (int i = 0; i < 700; ++i) {
+    const uint64_t g = rng.Below(40);  // some delta-only groups
+    const uint64_t s = rng.Below(1000);
+    gd.Insert(Value8::FromKey(g));
+    sd.Insert(Value8::FromKey(s));
+    ref[g].first++;
+    ref[g].second += s;
+  }
+
+  const auto groups = query::GroupBySum(gm, gd, sm, sd);
+  ASSERT_EQ(groups.size(), ref.size());
+  auto it = ref.begin();
+  for (const auto& g : groups) {
+    EXPECT_EQ(g.value.key(), it->first);
+    EXPECT_EQ(g.count, it->second.first);
+    EXPECT_EQ(g.sum, it->second.second);
+    ++it;
+  }
+}
+
+TEST(GroupBy, TopKOrdersByCountThenValue) {
+  std::vector<Value8> mv;
+  // value 5 x 10 times, value 3 x 10 times, value 9 x 4, value 1 x 1.
+  for (int i = 0; i < 10; ++i) mv.push_back(Value8::FromKey(5));
+  for (int i = 0; i < 10; ++i) mv.push_back(Value8::FromKey(3));
+  for (int i = 0; i < 4; ++i) mv.push_back(Value8::FromKey(9));
+  mv.push_back(Value8::FromKey(1));
+  MainPartition<8> main = MainPartition<8>::FromValues(mv);
+  DeltaPartition<8> delta;
+
+  const auto top = query::TopKGroups(main, delta, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].value.key(), 3u);  // tie with 5 broken by value
+  EXPECT_EQ(top[1].value.key(), 5u);
+  EXPECT_EQ(top[2].value.key(), 9u);
+  // k beyond group count clamps.
+  EXPECT_EQ(query::TopKGroups(main, delta, 100).size(), 4u);
+}
+
+TEST(Materialize, RowProjectionAndValidityFilter) {
+  Schema schema;
+  schema.columns = {{8, "a"}, {8, "b"}, {4, "c"}};
+  Table t(schema);
+  t.InsertRow({1, 10, 100});
+  const uint64_t r1 = t.InsertRow({2, 20, 200});
+  t.InsertRow({3, 30, 300});
+  t.DeleteRow(r1);
+
+  std::vector<uint64_t> row;
+  query::MaterializeRow(t, 0, {2, 0}, &row);
+  EXPECT_EQ(row, (std::vector<uint64_t>{100, 1}));
+
+  const auto rows = query::MaterializeValidRows(t, 0, 10, {0, 1});
+  ASSERT_EQ(rows.size(), 2u);  // r1 filtered out
+  EXPECT_EQ(rows[0], (std::vector<uint64_t>{1, 10}));
+  EXPECT_EQ(rows[1], (std::vector<uint64_t>{3, 30}));
+
+  const auto picked = query::MaterializeRows(t, {2, 0}, {1});
+  ASSERT_EQ(picked.size(), 2u);
+  EXPECT_EQ(picked[0][0], 30u);
+  EXPECT_EQ(picked[1][0], 10u);
+}
+
+TEST(Materialize, SurvivesMerge) {
+  Table t(Schema::Uniform(2, 8));
+  for (uint64_t i = 0; i < 50; ++i) t.InsertRow({i, i * 2});
+  ASSERT_TRUE(t.Merge(TableMergeOptions{}).ok());
+  const auto rows = query::MaterializeValidRows(t, 10, 13, {0, 1});
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::vector<uint64_t>{10, 20}));
+  EXPECT_EQ(rows[2], (std::vector<uint64_t>{12, 24}));
+}
+
+}  // namespace
+}  // namespace deltamerge

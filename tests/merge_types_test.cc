@@ -1,0 +1,95 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Tests for MergeStats / UpdateCostReport arithmetic — the accounting every
+// benchmark number flows through.
+
+#include <gtest/gtest.h>
+
+#include "core/merge_types.h"
+#include "util/cycle_clock.h"
+
+namespace deltamerge {
+namespace {
+
+TEST(MergeAlgorithm, Names) {
+  EXPECT_EQ(MergeAlgorithmToString(MergeAlgorithm::kNaive), "naive");
+  EXPECT_EQ(MergeAlgorithmToString(MergeAlgorithm::kLinear), "linear");
+}
+
+TEST(MergeStats, DefaultIsZero) {
+  MergeStats s;
+  EXPECT_EQ(s.CyclesPerTuple(), 0.0);
+  EXPECT_EQ(s.Step1aCyclesPerTuple(), 0.0);
+  EXPECT_EQ(s.Step2CyclesPerTuple(), 0.0);
+  EXPECT_EQ(s.columns, 0u);
+}
+
+TEST(MergeStats, CyclesPerTupleNormalizesByTuples) {
+  MergeStats s;
+  s.nm = 900;
+  s.nd = 100;
+  s.cycles_total = 10000;
+  s.cycles_step1a = 1000;
+  s.cycles_step1b = 2000;
+  s.cycles_step2 = 7000;
+  EXPECT_DOUBLE_EQ(s.CyclesPerTuple(), 10.0);
+  EXPECT_DOUBLE_EQ(s.Step1aCyclesPerTuple(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Step1bCyclesPerTuple(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Step2CyclesPerTuple(), 7.0);
+}
+
+TEST(MergeStats, AccumulateSumsEverything) {
+  MergeStats a, b;
+  a.nm = 100;
+  a.nd = 10;
+  a.cycles_total = 500;
+  a.columns = 1;
+  a.u_merged = 50;
+  b.nm = 200;
+  b.nd = 20;
+  b.cycles_total = 1000;
+  b.columns = 2;
+  b.u_merged = 70;
+  a.Accumulate(b);
+  EXPECT_EQ(a.nm, 300u);
+  EXPECT_EQ(a.nd, 30u);
+  EXPECT_EQ(a.cycles_total, 1500u);
+  EXPECT_EQ(a.columns, 3u);
+  EXPECT_EQ(a.u_merged, 120u);
+  // Per-tuple-per-column normalization: 1500 / 330.
+  EXPECT_NEAR(a.CyclesPerTuple(), 1500.0 / 330.0, 1e-12);
+}
+
+TEST(MergeStats, ToStringContainsBreakdown) {
+  MergeStats s;
+  s.nm = 10;
+  s.nd = 10;
+  s.cycles_total = 200;
+  s.columns = 1;
+  const std::string str = s.ToString();
+  EXPECT_NE(str.find("cpt=10.00"), std::string::npos);
+  EXPECT_NE(str.find("nm=10"), std::string::npos);
+}
+
+TEST(UpdateCostReport, RatesUseCalibratedFrequency) {
+  UpdateCostReport r;
+  r.updates = 1000;
+  r.merge.nm = 9000;
+  r.merge.nd = 1000;
+  r.merge.cycles_total = 50000;
+  r.cycles_delta_update = 50000;
+  // Eq. 1: rate = updates / seconds(T_U + T_M).
+  const double expected =
+      1000.0 / CycleClock::ToSeconds(100000);
+  EXPECT_NEAR(r.UpdatesPerSecond(), expected, expected * 1e-9);
+  EXPECT_DOUBLE_EQ(r.UpdateDeltaCyclesPerTuple(), 5.0);
+  EXPECT_DOUBLE_EQ(r.TotalCyclesPerTuple(), 10.0);
+}
+
+TEST(UpdateCostReport, ZeroIsSafe) {
+  UpdateCostReport r;
+  EXPECT_EQ(r.UpdatesPerSecond(), 0.0);
+  EXPECT_EQ(r.TotalCyclesPerTuple(), 0.0);
+}
+
+}  // namespace
+}  // namespace deltamerge

@@ -1,0 +1,280 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Tests for the parallel runtime: task queue, thread team, merge-path
+// partitioning, and prefix sums.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "parallel/merge_path.h"
+#include "parallel/prefix_sum.h"
+#include "parallel/task_queue.h"
+#include "parallel/thread_team.h"
+#include "util/fixed_value.h"
+#include "util/random.h"
+
+namespace deltamerge {
+namespace {
+
+// --- TaskQueue --------------------------------------------------------------
+
+TEST(TaskQueue, RunsAllTasks) {
+  TaskQueue queue(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    queue.Submit([&counter] { counter.fetch_add(1); });
+  }
+  queue.WaitAll();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(TaskQueue, SingleThreadStillCompletes) {
+  TaskQueue queue(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    queue.Submit([&counter] { counter.fetch_add(1); });
+  }
+  queue.WaitAll();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(TaskQueue, NestedSubmissionIsDrained) {
+  TaskQueue queue(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    queue.Submit([&] {
+      counter.fetch_add(1);
+      queue.Submit([&] { counter.fetch_add(1); });
+    });
+  }
+  queue.WaitAll();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(TaskQueue, WaitAllIsReusable) {
+  TaskQueue queue(3);
+  std::atomic<int> counter{0};
+  queue.Submit([&] { counter.fetch_add(1); });
+  queue.WaitAll();
+  EXPECT_EQ(counter.load(), 1);
+  queue.Submit([&] { counter.fetch_add(1); });
+  queue.WaitAll();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(TaskQueue, DestructorDrains) {
+  std::atomic<int> counter{0};
+  {
+    TaskQueue queue(2);
+    for (int i = 0; i < 50; ++i) {
+      queue.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+// --- ThreadTeam -------------------------------------------------------------
+
+TEST(ThreadTeam, EveryThreadRunsExactlyOnce) {
+  ThreadTeam team(6);
+  std::vector<std::atomic<int>> hits(6);
+  team.Run([&](int tid) { hits[static_cast<size_t>(tid)].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadTeam, SingleThreadRunsInline) {
+  ThreadTeam team(1);
+  int hits = 0;
+  team.Run([&](int tid) {
+    EXPECT_EQ(tid, 0);
+    ++hits;
+  });
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(ThreadTeam, ReusableAcrossJobs) {
+  ThreadTeam team(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    team.Run([&](int) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 200);
+}
+
+TEST(ParallelFor, CoversRangeWithoutOverlap) {
+  ThreadTeam team(5);
+  const uint64_t n = 100001;
+  std::vector<std::atomic<uint8_t>> touched(n);
+  ParallelFor(team, n, /*align=*/1,
+              [&](uint64_t begin, uint64_t end, int) {
+                for (uint64_t i = begin; i < end; ++i) {
+                  touched[i].fetch_add(1);
+                }
+              });
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(touched[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelFor, AlignedChunksStartOnMultiples) {
+  ThreadTeam team(4);
+  const uint64_t n = 1000;
+  std::vector<std::pair<uint64_t, uint64_t>> ranges(4);
+  ParallelFor(team, n, /*align=*/64,
+              [&](uint64_t begin, uint64_t end, int tid) {
+                ranges[static_cast<size_t>(tid)] = {begin, end};
+              });
+  uint64_t covered = 0;
+  for (auto [b, e] : ranges) {
+    if (b == e) continue;
+    EXPECT_EQ(b % 64, 0u);
+    covered += e - b;
+  }
+  EXPECT_EQ(covered, n);
+}
+
+// --- MergePathSplit ---------------------------------------------------------
+
+template <typename V>
+std::vector<V> MakeValues(const std::vector<uint64_t>& keys) {
+  std::vector<V> out;
+  for (uint64_t k : keys) out.push_back(V::FromKey(k));
+  return out;
+}
+
+TEST(MergePath, SplitsAreValidAndMonotonic) {
+  Rng rng(3);
+  for (int round = 0; round < 20; ++round) {
+    std::set<uint64_t> sa, sb;
+    while (sa.size() < 200) sa.insert(rng.Below(1000));
+    while (sb.size() < 150) sb.insert(rng.Below(1000));
+    auto a = MakeValues<Value8>({sa.begin(), sa.end()});
+    auto b = MakeValues<Value8>({sb.begin(), sb.end()});
+    std::span<const Value8> as(a), bs(b);
+
+    uint64_t prev_i = 0, prev_j = 0;
+    for (uint64_t d = 0; d <= a.size() + b.size(); ++d) {
+      auto [i, j] = MergePathSplit(as, bs, d);
+      ASSERT_EQ(i + j, d);
+      ASSERT_LE(i, a.size());
+      ASSERT_LE(j, b.size());
+      // Validity of a stable split.
+      if (i > 0 && j < b.size()) {
+        ASSERT_LE(a[i - 1], b[j]);
+      }
+      if (j > 0 && i < a.size()) {
+        ASSERT_LT(b[j - 1], a[i]);
+      }
+      // Monotonicity.
+      ASSERT_GE(i, prev_i);
+      ASSERT_GE(j, prev_j);
+      prev_i = i;
+      prev_j = j;
+    }
+  }
+}
+
+TEST(MergePath, ExtremesAndEmptyInputs) {
+  auto a = MakeValues<Value8>({1, 3, 5});
+  std::vector<Value8> empty;
+  std::span<const Value8> as(a), es(empty);
+  EXPECT_EQ(MergePathSplit(as, es, 0), (std::pair<uint64_t, uint64_t>{0, 0}));
+  EXPECT_EQ(MergePathSplit(as, es, 2), (std::pair<uint64_t, uint64_t>{2, 0}));
+  EXPECT_EQ(MergePathSplit(es, as, 2), (std::pair<uint64_t, uint64_t>{0, 2}));
+}
+
+TEST(MergePath, CountUniqueMergeRangeCollapsesCrossDuplicates) {
+  // a = {1,2,3}, b = {2,3,4}: union has 4 distinct values.
+  auto a = MakeValues<Value8>({1, 2, 3});
+  auto b = MakeValues<Value8>({2, 3, 4});
+  std::span<const Value8> as(a), bs(b);
+  EXPECT_EQ(CountUniqueMergeRange(as, 0, 3, bs, 0, 3), 4u);
+}
+
+TEST(MergePath, SkipBoundaryDuplicateAdvances) {
+  auto a = MakeValues<Value8>({1, 5});
+  auto b = MakeValues<Value8>({5, 9});
+  std::span<const Value8> as(a), bs(b);
+  uint64_t i = 2, j = 0;  // previous range ended having emitted a[1] == 5
+  SkipBoundaryDuplicate(as, &i, bs, &j, b.size());
+  EXPECT_EQ(i, 2u);
+  EXPECT_EQ(j, 1u);
+
+  // No duplicate: unchanged.
+  i = 1;
+  j = 0;
+  SkipBoundaryDuplicate(as, &i, bs, &j, b.size());
+  EXPECT_EQ(j, 0u);
+}
+
+// Property: summing CountUniqueMergeRange over merge-path ranges equals the
+// size of the set union, for random inputs and thread counts.
+TEST(MergePath, RangeCountsSumToUnionSize) {
+  Rng rng(21);
+  for (int nt : {1, 2, 3, 5, 8}) {
+    std::set<uint64_t> sa, sb;
+    while (sa.size() < 500) sa.insert(rng.Below(800));
+    while (sb.size() < 300) sb.insert(rng.Below(800));
+    auto a = MakeValues<Value8>({sa.begin(), sa.end()});
+    auto b = MakeValues<Value8>({sb.begin(), sb.end()});
+    std::span<const Value8> as(a), bs(b);
+    std::set<uint64_t> u = sa;
+    u.insert(sb.begin(), sb.end());
+
+    const uint64_t total = a.size() + b.size();
+    uint64_t sum = 0;
+    for (int t = 0; t < nt; ++t) {
+      const uint64_t d0 = total * static_cast<uint64_t>(t) / nt;
+      const uint64_t d1 = total * (static_cast<uint64_t>(t) + 1) / nt;
+      auto [i0, j0] = MergePathSplit(as, bs, d0);
+      auto [i1, j1] = MergePathSplit(as, bs, d1);
+      SkipBoundaryDuplicate(as, &i0, bs, &j0, b.size());
+      sum += CountUniqueMergeRange(as, i0, i1, bs, j0, j1);
+    }
+    EXPECT_EQ(sum, u.size()) << "nt=" << nt;
+  }
+}
+
+// --- Prefix sums ------------------------------------------------------------
+
+TEST(PrefixSum, SerialExclusive) {
+  std::vector<uint64_t> data{3, 1, 4, 1, 5};
+  const uint64_t total = ExclusivePrefixSum(data);
+  EXPECT_EQ(total, 14u);
+  EXPECT_EQ(data, (std::vector<uint64_t>{0, 3, 4, 8, 9}));
+}
+
+TEST(PrefixSum, EmptyAndSingle) {
+  std::vector<uint64_t> empty;
+  EXPECT_EQ(ExclusivePrefixSum(empty), 0u);
+  std::vector<uint64_t> one{7};
+  EXPECT_EQ(ExclusivePrefixSum(one), 7u);
+  EXPECT_EQ(one[0], 0u);
+}
+
+class PrefixSumParallelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixSumParallelTest, MatchesSerial) {
+  ThreadTeam team(GetParam());
+  Rng rng(55);
+  for (uint64_t n : {0ull, 1ull, 100ull, 4096ull, 100000ull}) {
+    std::vector<uint64_t> data(n);
+    for (auto& v : data) v = rng.Below(1000);
+    std::vector<uint64_t> expected = data;
+    const uint64_t expected_total = ExclusivePrefixSum(expected);
+    const uint64_t total = ParallelExclusivePrefixSum(
+        team, std::span<uint64_t>(data.data(), data.size()));
+    EXPECT_EQ(total, expected_total);
+    EXPECT_EQ(data, expected) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, PrefixSumParallelTest,
+                         ::testing::Values(1, 2, 4, 7));
+
+}  // namespace
+}  // namespace deltamerge

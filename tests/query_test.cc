@@ -1,0 +1,205 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Tests for the query paths: lookups, range selects, scans and aggregates
+// against brute-force references, over main, delta, and both.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/merge_algorithms.h"
+#include "query/aggregate.h"
+#include "query/lookup.h"
+#include "query/range_select.h"
+#include "query/scan.h"
+#include "storage/column.h"
+#include "util/random.h"
+#include "workload/value_generator.h"
+
+namespace deltamerge {
+namespace {
+
+struct Fixture {
+  MainPartition<8> main;
+  DeltaPartition<8> delta;
+  std::vector<uint64_t> all_keys;  // main order then delta order
+
+  explicit Fixture(uint64_t seed, uint64_t nm = 5000, uint64_t nd = 800,
+                   uint64_t domain = 400) {
+    Rng rng(seed);
+    std::vector<Value8> mv;
+    for (uint64_t i = 0; i < nm; ++i) {
+      const uint64_t k = rng.Below(domain);
+      mv.push_back(Value8::FromKey(k));
+      all_keys.push_back(k);
+    }
+    main = MainPartition<8>::FromValues(mv);
+    for (uint64_t i = 0; i < nd; ++i) {
+      const uint64_t k = rng.Below(domain);
+      delta.Insert(Value8::FromKey(k));
+      all_keys.push_back(k);
+    }
+  }
+
+  uint64_t BruteCountEquals(uint64_t key) const {
+    return static_cast<uint64_t>(
+        std::count(all_keys.begin(), all_keys.end(), key));
+  }
+
+  uint64_t BruteCountRange(uint64_t lo, uint64_t hi) const {
+    uint64_t n = 0;
+    for (uint64_t k : all_keys) n += (k >= lo && k <= hi);
+    return n;
+  }
+};
+
+TEST(Lookup, CountEqualsMatchesBruteForce) {
+  Fixture f(101);
+  Rng rng(1);
+  for (int probe = 0; probe < 200; ++probe) {
+    const uint64_t key = rng.Below(500);  // includes absent keys
+    const uint64_t got = query::CountEqualsMain(f.main, Value8::FromKey(key)) +
+                         query::CountEqualsDelta(f.delta, Value8::FromKey(key));
+    EXPECT_EQ(got, f.BruteCountEquals(key)) << "key " << key;
+  }
+}
+
+TEST(Lookup, CollectReturnsPositions) {
+  Fixture f(102, 1000, 200, 50);
+  const uint64_t key = 7;
+  std::vector<uint64_t> rows;
+  query::CollectEqualsMain(f.main, Value8::FromKey(key), 0, &rows);
+  query::CollectEqualsDelta(f.delta, Value8::FromKey(key), f.main.size(),
+                            &rows);
+  ASSERT_EQ(rows.size(), f.BruteCountEquals(key));
+  for (uint64_t r : rows) {
+    EXPECT_EQ(f.all_keys[r], key);
+  }
+}
+
+TEST(Lookup, AbsentKeyFindsNothing) {
+  Fixture f(103);
+  EXPECT_EQ(query::CountEqualsMain(f.main, Value8::FromKey(1u << 30)), 0u);
+  EXPECT_EQ(query::CountEqualsDelta(f.delta, Value8::FromKey(1u << 30)), 0u);
+}
+
+TEST(RangeSelect, CountMatchesBruteForce) {
+  Fixture f(104);
+  Rng rng(2);
+  for (int probe = 0; probe < 200; ++probe) {
+    const uint64_t lo = rng.Below(450);
+    const uint64_t hi = lo + rng.Below(60);
+    const Value8 vlo = Value8::FromKey(lo), vhi = Value8::FromKey(hi);
+    const uint64_t got = query::CountRangeMain(f.main, vlo, vhi) +
+                         query::CountRangeDelta(f.delta, vlo, vhi);
+    EXPECT_EQ(got, f.BruteCountRange(lo, hi)) << lo << ".." << hi;
+  }
+}
+
+TEST(RangeSelect, EmptyAndInvertedRanges) {
+  Fixture f(105);
+  EXPECT_EQ(query::CountRangeMain(f.main, Value8::FromKey(10),
+                                  Value8::FromKey(9)),
+            0u);
+  EXPECT_EQ(query::CountRangeMain(f.main, Value8::FromKey(1u << 20),
+                                  Value8::FromKey(1u << 21)),
+            0u);
+}
+
+TEST(RangeSelect, CollectMatchesCount) {
+  Fixture f(106, 2000, 300, 100);
+  const Value8 lo = Value8::FromKey(10), hi = Value8::FromKey(20);
+  std::vector<uint64_t> rows;
+  query::CollectRangeMain(f.main, lo, hi, 0, &rows);
+  query::CollectRangeDelta(f.delta, lo, hi, f.main.size(), &rows);
+  EXPECT_EQ(rows.size(), f.BruteCountRange(10, 20));
+  for (uint64_t r : rows) {
+    EXPECT_GE(f.all_keys[r], 10u);
+    EXPECT_LE(f.all_keys[r], 20u);
+  }
+}
+
+TEST(Scan, VisitsEveryTupleInOrder) {
+  Fixture f(107, 500, 100, 40);
+  uint64_t i = 0;
+  query::ScanMain(f.main, [&](uint64_t idx, const Value8& v) {
+    EXPECT_EQ(idx, i);
+    EXPECT_EQ(v.key(), f.all_keys[i]);
+    ++i;
+  });
+  EXPECT_EQ(i, 500u);
+  query::ScanDelta(f.delta, [&](uint64_t idx, const Value8& v) {
+    EXPECT_EQ(v.key(), f.all_keys[500 + idx]);
+    ++i;
+  });
+  EXPECT_EQ(i, 600u);
+}
+
+TEST(Scan, CountIfMatchesPredicate) {
+  Fixture f(108);
+  const auto pred = [](const Value8& v) { return v.key() % 3 == 0; };
+  uint64_t expected = 0;
+  for (uint64_t k : f.all_keys) expected += (k % 3 == 0);
+  EXPECT_EQ(query::CountIfMain(f.main, pred) +
+                query::CountIfDelta(f.delta, pred),
+            expected);
+}
+
+TEST(Aggregate, SumMatchesBruteForce) {
+  Fixture f(109);
+  unsigned __int128 expected = 0;
+  for (uint64_t k : f.all_keys) expected += k;
+  EXPECT_EQ(query::SumKeysMain(f.main) + query::SumKeysDelta(f.delta),
+            expected);
+}
+
+TEST(Aggregate, SumEmptyPartitionsIsZero) {
+  MainPartition<8> main;
+  DeltaPartition<8> delta;
+  EXPECT_EQ(query::SumKeysMain(main), static_cast<unsigned __int128>(0));
+  EXPECT_EQ(query::SumKeysDelta(delta), static_cast<unsigned __int128>(0));
+}
+
+TEST(Aggregate, MinMaxSpansPartitions) {
+  MainPartition<8> main = MainPartition<8>::FromValues(
+      {Value8::FromKey(50), Value8::FromKey(100)});
+  DeltaPartition<8> delta;
+  delta.Insert(Value8::FromKey(10));
+  delta.Insert(Value8::FromKey(70));
+  Value8 mn, mx;
+  ASSERT_TRUE(query::MinMax(main, delta, &mn, &mx));
+  EXPECT_EQ(mn.key(), 10u);
+  EXPECT_EQ(mx.key(), 100u);
+
+  MainPartition<8> empty_main;
+  DeltaPartition<8> empty_delta;
+  EXPECT_FALSE(query::MinMax(empty_main, empty_delta, &mn, &mx));
+}
+
+TEST(Query, AnswersStableAcrossMerge) {
+  // The core read-your-merges property: query answers must be identical
+  // before and after folding the delta into the main partition.
+  Fixture f(110, 3000, 500, 120);
+  const uint64_t probe_eq = 17;
+  const uint64_t before_eq =
+      query::CountEqualsMain(f.main, Value8::FromKey(probe_eq)) +
+      query::CountEqualsDelta(f.delta, Value8::FromKey(probe_eq));
+  const unsigned __int128 before_sum =
+      query::SumKeysMain(f.main) + query::SumKeysDelta(f.delta);
+
+  // Merge (serial linear).
+  Column<8> col{std::move(f.main)};
+  for (const auto& v : f.delta.values()) col.Insert(v);
+  col.FreezeDelta();
+  MergeStats stats;
+  auto merged = MergeColumnPartitions<8>(col.main(), *col.frozen(),
+                                         MergeOptions{}, nullptr, &stats);
+  col.CommitMerge(std::move(merged));
+
+  EXPECT_EQ(query::CountEqualsMain(col.main(), Value8::FromKey(probe_eq)),
+            before_eq);
+  EXPECT_EQ(query::SumKeysMain(col.main()), before_sum);
+}
+
+}  // namespace
+}  // namespace deltamerge

@@ -1,0 +1,102 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Tests for the SIMD kernels: bit-exact equivalence with the scalar
+// reference across all code widths, offsets, and boundary conditions.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simd/simd_kernels.h"
+#include "storage/packed_vector.h"
+#include "util/random.h"
+
+namespace deltamerge {
+namespace {
+
+TEST(SimdTranslate, MatchesScalar) {
+  Rng rng(1);
+  const uint64_t table_size = 10000;
+  std::vector<uint32_t> table(table_size);
+  for (auto& t : table) t = static_cast<uint32_t>(rng.Next());
+  for (uint64_t n : {0ull, 1ull, 7ull, 8ull, 9ull, 1000ull, 4096ull,
+                     4097ull}) {
+    std::vector<uint32_t> in(n), out_simd(n), out_scalar(n);
+    for (auto& x : in) x = static_cast<uint32_t>(rng.Below(table_size));
+    simd::TranslateCodes32(in.data(), n, table.data(), out_simd.data());
+    simd::TranslateCodes32Scalar(in.data(), n, table.data(),
+                                 out_scalar.data());
+    ASSERT_EQ(out_simd, out_scalar) << "n=" << n;
+  }
+}
+
+class SimdScanWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimdScanWidthTest, CountEqualMatchesScalar) {
+  const uint8_t bits = static_cast<uint8_t>(GetParam());
+  const uint64_t n = 4099;  // odd size: exercises the tail
+  PackedVector v(n, bits);
+  Rng rng(100 + bits);
+  const uint64_t mask = LowBitsMask(bits);
+  for (uint64_t i = 0; i < n; ++i) {
+    v.Set(i, static_cast<uint32_t>(rng.Next() & mask));
+  }
+  for (int probe = 0; probe < 32; ++probe) {
+    const uint32_t code = static_cast<uint32_t>(rng.Next() & mask);
+    for (auto [begin, end] : std::vector<std::pair<uint64_t, uint64_t>>{
+             {0, n}, {1, n - 1}, {7, 9}, {0, 0}, {n / 2, n / 2 + 100}}) {
+      ASSERT_EQ(simd::CountEqualPacked(v, begin, end, code),
+                simd::CountEqualPackedScalar(v, begin, end, code))
+          << "bits=" << int(bits) << " code=" << code << " [" << begin
+          << "," << end << ")";
+    }
+  }
+}
+
+TEST_P(SimdScanWidthTest, CountRangeMatchesScalar) {
+  const uint8_t bits = static_cast<uint8_t>(GetParam());
+  const uint64_t n = 2057;
+  PackedVector v(n, bits);
+  Rng rng(200 + bits);
+  const uint64_t mask = LowBitsMask(bits);
+  for (uint64_t i = 0; i < n; ++i) {
+    v.Set(i, static_cast<uint32_t>(rng.Next() & mask));
+  }
+  for (int probe = 0; probe < 32; ++probe) {
+    uint32_t lo = static_cast<uint32_t>(rng.Next() & mask);
+    uint32_t hi = static_cast<uint32_t>(rng.Next() & mask);
+    if (hi < lo) std::swap(lo, hi);
+    ASSERT_EQ(simd::CountRangePacked(v, 0, n, lo, hi),
+              simd::CountRangePackedScalar(v, 0, n, lo, hi))
+        << "bits=" << int(bits) << " [" << lo << "," << hi << "]";
+    // Inverted and degenerate ranges.
+    ASSERT_EQ(simd::CountRangePacked(v, 0, n, hi + 1, hi), 0u);
+    ASSERT_EQ(simd::CountRangePacked(v, 0, n, lo, lo),
+              simd::CountEqualPacked(v, 0, n, lo));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, SimdScanWidthTest,
+                         ::testing::Range(1, 33));
+
+TEST(SimdScan, AllEqualAndNoneEqual) {
+  PackedVector v(1000, 12);
+  for (uint64_t i = 0; i < 1000; ++i) v.Set(i, 77);
+  EXPECT_EQ(simd::CountEqualPacked(v, 0, 1000, 77), 1000u);
+  EXPECT_EQ(simd::CountEqualPacked(v, 0, 1000, 78), 0u);
+  EXPECT_EQ(simd::CountRangePacked(v, 0, 1000, 0, 4095), 1000u);
+  EXPECT_EQ(simd::CountRangePacked(v, 0, 1000, 78, 4095), 0u);
+}
+
+TEST(SimdScan, ReportsVectorizationAvailability) {
+  // Informational: the build should vectorize on this container (AVX2 was
+  // verified present); if this fails the scalar fallback still makes every
+  // other test pass, but the bench numbers lose the SIMD-Scan effect.
+#if defined(__AVX2__)
+  EXPECT_TRUE(simd::kHaveAvx2);
+#else
+  EXPECT_FALSE(simd::kHaveAvx2);
+#endif
+}
+
+}  // namespace
+}  // namespace deltamerge

@@ -1,0 +1,154 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Torture suite: long randomized operation sequences checked against a
+// simple reference model after every merge. This is the catch-all net for
+// interactions the targeted tests miss — merges at arbitrary fill levels,
+// updates of rows in every partition, deletes racing merges, dictionary
+// growth across many epochs.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/merge_scheduler.h"
+#include "core/table.h"
+#include "util/random.h"
+
+namespace deltamerge {
+namespace {
+
+/// Plain-vector reference of the insert-only table.
+struct ReferenceModel {
+  std::vector<std::vector<uint64_t>> rows;  // every version ever written
+  std::vector<bool> valid;
+
+  uint64_t Insert(const std::vector<uint64_t>& keys) {
+    rows.push_back(keys);
+    valid.push_back(true);
+    return rows.size() - 1;
+  }
+  uint64_t Update(uint64_t row, const std::vector<uint64_t>& keys) {
+    const uint64_t nr = Insert(keys);
+    if (row < valid.size()) valid[row] = false;
+    return nr;
+  }
+  void Delete(uint64_t row) {
+    if (row < valid.size()) valid[row] = false;
+  }
+  uint64_t CountEquals(size_t col, uint64_t key) const {
+    uint64_t n = 0;
+    for (const auto& r : rows) n += (r[col] == key);
+    return n;
+  }
+  uint64_t CountRange(size_t col, uint64_t lo, uint64_t hi) const {
+    uint64_t n = 0;
+    for (const auto& r : rows) n += (r[col] >= lo && r[col] <= hi);
+    return n;
+  }
+  uint64_t Sum(size_t col) const {
+    uint64_t s = 0;
+    for (const auto& r : rows) s += r[col];
+    return s;
+  }
+};
+
+struct TortureParam {
+  uint64_t seed;
+  int ops;
+  uint64_t domain;
+  double merge_probability;
+  int merge_threads;
+};
+
+void PrintTo(const TortureParam& p, std::ostream* os) {
+  *os << "seed=" << p.seed << " ops=" << p.ops << " dom=" << p.domain
+      << " mp=" << p.merge_probability << " nt=" << p.merge_threads;
+}
+
+class TortureTest : public ::testing::TestWithParam<TortureParam> {};
+
+TEST_P(TortureTest, TableMatchesReferenceThroughArbitraryMerges) {
+  const TortureParam p = GetParam();
+  Rng rng(p.seed);
+
+  Schema schema;
+  schema.columns = {{8, "a"}, {4, "b"}, {16, "c"}};
+  Table table(schema);
+  ReferenceModel ref;
+
+  std::vector<uint64_t> keys(3);
+  uint64_t merges = 0;
+  for (int op = 0; op < p.ops; ++op) {
+    const uint64_t dice = rng.Below(100);
+    if (dice < 60 || ref.rows.empty()) {
+      for (auto& k : keys) k = rng.Below(p.domain);
+      const uint64_t a = table.InsertRow(keys);
+      const uint64_t b = ref.Insert(keys);
+      ASSERT_EQ(a, b);
+    } else if (dice < 80) {
+      const uint64_t row = rng.Below(ref.rows.size());
+      for (auto& k : keys) k = rng.Below(p.domain);
+      const uint64_t a = table.UpdateRow(row, keys);
+      const uint64_t b = ref.Update(row, keys);
+      ASSERT_EQ(a, b);
+    } else if (dice < 90) {
+      const uint64_t row = rng.Below(ref.rows.size());
+      ASSERT_TRUE(table.DeleteRow(row).ok());
+      ref.Delete(row);
+    } else {
+      // Point verification of a random historical row.
+      const uint64_t row = rng.Below(ref.rows.size());
+      const size_t col = static_cast<size_t>(rng.Below(3));
+      uint64_t expect = ref.rows[row][col];
+      if (col == 1) expect &= 0xffffffffu;  // 4-byte column truncates
+      ASSERT_EQ(table.GetKey(col, row), expect);
+      ASSERT_EQ(table.IsRowValid(row), ref.valid[row]);
+    }
+
+    if (rng.NextDouble() < p.merge_probability) {
+      TableMergeOptions options;
+      options.num_threads = p.merge_threads;
+      options.parallelism = (merges % 2 == 0)
+                                ? MergeParallelism::kColumnTasks
+                                : MergeParallelism::kIntraColumn;
+      options.merge.algorithm = (merges % 3 == 0) ? MergeAlgorithm::kNaive
+                                                  : MergeAlgorithm::kLinear;
+      ASSERT_TRUE(table.Merge(options).ok());
+      ++merges;
+
+      // Full cross-check after each merge.
+      ASSERT_EQ(table.num_rows(), ref.rows.size());
+      const uint64_t probe = rng.Below(p.domain);
+      ASSERT_EQ(table.CountEquals(0, probe), ref.CountEquals(0, probe));
+      const uint64_t lo = rng.Below(p.domain);
+      const uint64_t hi = lo + rng.Below(p.domain / 4 + 1);
+      ASSERT_EQ(table.CountRange(0, lo, hi), ref.CountRange(0, lo, hi));
+      ASSERT_EQ(table.SumColumn(0), ref.Sum(0));
+    }
+  }
+
+  // Terminal full sweep: every version of every row, every column.
+  ASSERT_GE(merges, 1u) << "parameterization never merged";
+  for (uint64_t row = 0; row < ref.rows.size(); ++row) {
+    for (size_t col = 0; col < 3; ++col) {
+      uint64_t expect = ref.rows[row][col];
+      if (col == 1) expect &= 0xffffffffu;
+      ASSERT_EQ(table.GetKey(col, row), expect)
+          << "row " << row << " col " << col;
+    }
+    ASSERT_EQ(table.IsRowValid(row), ref.valid[row]) << "row " << row;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Runs, TortureTest,
+    ::testing::Values(
+        TortureParam{1, 3000, 50, 0.01, 1},      // tiny domain: duplicates
+        TortureParam{2, 3000, 1 << 30, 0.01, 1}, // huge domain: unique
+        TortureParam{3, 2000, 1000, 0.05, 2},    // frequent merges
+        TortureParam{4, 2000, 1000, 0.002, 4},   // rare merges, big deltas
+        TortureParam{5, 5000, 97, 0.01, 3},      // prime-sized domain
+        TortureParam{6, 1500, 7, 0.03, 2}));     // near-constant columns
+
+}  // namespace
+}  // namespace deltamerge

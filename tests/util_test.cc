@@ -1,0 +1,248 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Unit tests for src/util: bit math, Status/Result, fixed values, RNG,
+// cycle clock, aligned buffers.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "util/aligned_buffer.h"
+#include "util/bit_util.h"
+#include "util/cycle_clock.h"
+#include "util/fixed_value.h"
+#include "util/random.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace deltamerge {
+namespace {
+
+// --- bit_util ---------------------------------------------------------------
+
+TEST(BitUtil, BitsForCardinalityMatchesPaperExample) {
+  // §4.1: 6 dictionary entries -> 3 bits; 9 entries after merge -> 4 bits.
+  EXPECT_EQ(BitsForCardinality(6), 3);
+  EXPECT_EQ(BitsForCardinality(9), 4);
+}
+
+TEST(BitUtil, BitsForCardinalityEdges) {
+  EXPECT_EQ(BitsForCardinality(0), 1);  // empty dictionaries still get a lane
+  EXPECT_EQ(BitsForCardinality(1), 1);
+  EXPECT_EQ(BitsForCardinality(2), 1);
+  EXPECT_EQ(BitsForCardinality(3), 2);
+  EXPECT_EQ(BitsForCardinality(4), 2);
+  EXPECT_EQ(BitsForCardinality(5), 3);
+  EXPECT_EQ(BitsForCardinality(uint64_t{1} << 32), 32);
+}
+
+TEST(BitUtil, CeilLog2) {
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(1024), 10);
+  EXPECT_EQ(CeilLog2(1025), 11);
+}
+
+TEST(BitUtil, DivRoundUpAndRoundUp) {
+  EXPECT_EQ(DivRoundUp(0, 8), 0u);
+  EXPECT_EQ(DivRoundUp(1, 8), 1u);
+  EXPECT_EQ(DivRoundUp(8, 8), 1u);
+  EXPECT_EQ(DivRoundUp(9, 8), 2u);
+  EXPECT_EQ(RoundUp(13, 64), 64u);
+  EXPECT_EQ(RoundUp(64, 64), 64u);
+  EXPECT_EQ(RoundUp(65, 64), 128u);
+}
+
+TEST(BitUtil, LowBitsMask) {
+  EXPECT_EQ(LowBitsMask(0), 0u);
+  EXPECT_EQ(LowBitsMask(1), 1u);
+  EXPECT_EQ(LowBitsMask(3), 7u);
+  EXPECT_EQ(LowBitsMask(32), 0xffffffffu);
+  EXPECT_EQ(LowBitsMask(64), ~uint64_t{0});
+}
+
+TEST(BitUtil, PackedBytesWholeWords) {
+  EXPECT_EQ(PackedBytes(0, 7), 0u);
+  EXPECT_EQ(PackedBytes(1, 7), 8u);     // one word
+  EXPECT_EQ(PackedBytes(9, 7), 8u);     // 63 bits
+  EXPECT_EQ(PackedBytes(10, 7), 16u);   // 70 bits -> 2 words
+  EXPECT_EQ(PackedBytes(64, 32), 256u); // exactly 32 words
+}
+
+// --- Status / Result --------------------------------------------------------
+
+TEST(Status, OkIsDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad width");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad width");
+}
+
+TEST(Status, ReturnNotOkMacroPropagates) {
+  auto fails = [] { return Status::NotFound("x"); };
+  auto wrapper = [&]() -> Status {
+    DM_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kNotFound);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::OutOfRange("over"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+// --- FixedValue -------------------------------------------------------------
+
+TEST(FixedValue, SizesAreExact) {
+  EXPECT_EQ(sizeof(Value4), 4u);
+  EXPECT_EQ(sizeof(Value8), 8u);
+  EXPECT_EQ(sizeof(Value16), 16u);
+}
+
+TEST(FixedValue, OrderingFollowsKeys) {
+  EXPECT_LT(Value8::FromKey(1), Value8::FromKey(2));
+  EXPECT_EQ(Value8::FromKey(7), Value8::FromKey(7));
+  EXPECT_GT(Value4::FromKey(100), Value4::FromKey(99));
+}
+
+TEST(FixedValue, SixteenByteOrderingComparesHighWordFirst) {
+  const auto lo_hi = Value16::FromKeyPair(1, 0);
+  const auto hi_lo = Value16::FromKeyPair(0, ~uint64_t{0});
+  EXPECT_LT(hi_lo, lo_hi);
+  EXPECT_LT(Value16::FromKeyPair(1, 5), Value16::FromKeyPair(1, 6));
+}
+
+TEST(FixedValue, MinMaxBracketEverything) {
+  EXPECT_LE(Value8::Min(), Value8::FromKey(0));
+  EXPECT_GE(Value8::Max(), Value8::FromKey(~uint64_t{0}));
+  EXPECT_LT(Value16::Min(), Value16::Max());
+}
+
+TEST(FixedValue, FromKeyTruncatesToWidth4) {
+  EXPECT_EQ(Value4::FromKey(0x1'0000'0001ULL).key(), 1u);
+}
+
+// --- Rng --------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.Below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, InRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = rng.InRange(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 6);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextValueWidth16UsesBothWords) {
+  Rng rng(17);
+  bool hi_nonzero = false;
+  for (int i = 0; i < 16; ++i) {
+    hi_nonzero |= (rng.NextValue<16>().repr.hi != 0);
+  }
+  EXPECT_TRUE(hi_nonzero);
+}
+
+// --- CycleClock -------------------------------------------------------------
+
+TEST(CycleClock, MonotonicAndCalibrated) {
+  const uint64_t a = CycleClock::Now();
+  const uint64_t b = CycleClock::Now();
+  EXPECT_LE(a, b);
+  const double hz = CycleClock::FrequencyHz();
+  EXPECT_GT(hz, 1e8);   // > 100 MHz
+  EXPECT_LT(hz, 1e11);  // < 100 GHz
+}
+
+TEST(CycleClock, ToSecondsScalesLinearly) {
+  const double one = CycleClock::ToSeconds(1000000);
+  const double two = CycleClock::ToSeconds(2000000);
+  EXPECT_NEAR(two, 2 * one, 1e-12);
+}
+
+TEST(ScopedCycleTimer, Accumulates) {
+  uint64_t acc = 0;
+  {
+    ScopedCycleTimer timer(&acc);
+    volatile int x = 0;
+    for (int i = 0; i < 1000; ++i) x = x + i;
+  }
+  EXPECT_GT(acc, 0u);
+}
+
+// --- AlignedBuffer ----------------------------------------------------------
+
+TEST(AlignedBuffer, AlignmentAndZeroFill) {
+  AlignedBuffer buf(100);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(buf.data()) % kCacheLineSize, 0u);
+  EXPECT_EQ(buf.size(), 100u);
+  for (size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf.data()[i], 0);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer a(64);
+  a.data()[0] = 42;
+  AlignedBuffer b(std::move(a));
+  EXPECT_EQ(b.data()[0], 42);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(AlignedBuffer, EmptyIsValid) {
+  AlignedBuffer buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+}  // namespace
+}  // namespace deltamerge

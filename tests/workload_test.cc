@@ -1,0 +1,261 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Tests for the workload module: value generation (distinctness, λ control),
+// enterprise statistics (they must reproduce §2's published aggregates), the
+// query stream sampler, and the mixed-workload executor.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "workload/enterprise_stats.h"
+#include "workload/query_gen.h"
+#include "workload/table_builder.h"
+#include "workload/value_generator.h"
+
+namespace deltamerge {
+namespace {
+
+// --- value_generator --------------------------------------------------------
+
+TEST(ValueGenerator, DistinctKeysAreDistinct) {
+  for (size_t width : {size_t{4}, size_t{8}, size_t{16}}) {
+    const auto keys = GenerateDistinctKeys(50000, width, 7);
+    std::unordered_set<uint64_t> set(keys.begin(), keys.end());
+    EXPECT_EQ(set.size(), keys.size()) << "width " << width;
+    if (width == 4) {
+      for (uint64_t k : keys) EXPECT_LE(k, 0xffffffffu);
+    }
+  }
+}
+
+TEST(ValueGenerator, DeterministicPerSeed) {
+  EXPECT_EQ(GenerateDistinctKeys(100, 8, 1), GenerateDistinctKeys(100, 8, 1));
+  EXPECT_NE(GenerateDistinctKeys(100, 8, 1), GenerateDistinctKeys(100, 8, 2));
+}
+
+TEST(ValueGenerator, FullUniqueIsExactPermutation) {
+  const auto keys = GenerateColumnKeys(10000, 1.0, 8, 3);
+  std::unordered_set<uint64_t> set(keys.begin(), keys.end());
+  EXPECT_EQ(set.size(), 10000u);
+}
+
+TEST(ValueGenerator, PoolFractionBoundsDistincts) {
+  const uint64_t n = 100000;
+  const auto keys = GenerateColumnKeys(n, 0.01, 8, 5);
+  std::unordered_set<uint64_t> set(keys.begin(), keys.end());
+  EXPECT_LE(set.size(), PoolSizeFor(n, 0.01));
+  // With n/pool = 100 draws per pool entry, coverage is essentially full.
+  EXPECT_GE(set.size(), PoolSizeFor(n, 0.01) * 99 / 100);
+}
+
+TEST(ValueGenerator, PoolSizeForRoundsAndClamps) {
+  EXPECT_EQ(PoolSizeFor(1000, 0.1), 100u);
+  EXPECT_EQ(PoolSizeFor(1000, 0.0001), 1u);  // never zero
+  EXPECT_EQ(PoolSizeFor(0, 0.5), 0u);
+  EXPECT_EQ(PoolSizeFor(999, 0.001), 1u);
+}
+
+TEST(ValueGenerator, DrawKeysStaysInPool) {
+  Rng rng(9);
+  const auto pool = GenerateDistinctKeys(32, 8, 11);
+  std::unordered_set<uint64_t> set(pool.begin(), pool.end());
+  for (uint64_t k : DrawKeys(pool, 1000, rng)) {
+    EXPECT_TRUE(set.count(k)) << k;
+  }
+}
+
+// --- table_builder ----------------------------------------------------------
+
+TEST(TableBuilder, MainPartitionShape) {
+  auto main = BuildMainPartition<8>(10000, 0.1, 21);
+  EXPECT_EQ(main.size(), 10000u);
+  EXPECT_EQ(main.unique_values(), 1000u);
+  EXPECT_EQ(main.code_bits(), BitsForCardinality(1000));
+  // Codes decode to dictionary members.
+  for (uint64_t i = 0; i < main.size(); i += 997) {
+    EXPECT_LT(main.GetCode(i), main.unique_values());
+  }
+}
+
+TEST(TableBuilder, FullyUniqueMainUsesEveryCodeOnce) {
+  auto main = BuildMainPartition<8>(4096, 1.0, 23);
+  EXPECT_EQ(main.unique_values(), 4096u);
+  std::vector<bool> used(4096, false);
+  for (uint64_t i = 0; i < main.size(); ++i) {
+    const uint32_t c = main.GetCode(i);
+    EXPECT_FALSE(used[c]);
+    used[c] = true;
+  }
+}
+
+TEST(TableBuilder, BuildTableEndToEnd) {
+  std::vector<ColumnBuildSpec> specs = {
+      {8, 0.1, 0.2}, {4, 0.5, 0.5}, {16, 1.0, 1.0}};
+  auto table = BuildTable(2000, 150, specs, 31);
+  EXPECT_EQ(table->num_columns(), 3u);
+  EXPECT_EQ(table->num_rows(), 2150u);
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(table->column(c).main_size(), 2000u);
+    EXPECT_EQ(table->column(c).delta_size(), 150u);
+    EXPECT_EQ(table->column(c).value_width(), specs[c].value_width);
+  }
+}
+
+// --- enterprise_stats -------------------------------------------------------
+
+TEST(EnterpriseStats, QueryMixesMatchPaperAggregates) {
+  // §2: OLTP >80% reads (~17% writes); OLAP >90% reads (~7% writes);
+  // TPC-C 46% writes.
+  const QueryMix oltp = OltpMix();
+  EXPECT_NEAR(oltp.read_fraction() + oltp.write_fraction(), 1.0, 1e-9);
+  EXPECT_GT(oltp.read_fraction(), 0.80);
+  EXPECT_NEAR(oltp.write_fraction(), 0.17, 0.01);
+
+  const QueryMix olap = OlapMix();
+  EXPECT_GT(olap.read_fraction(), 0.90);
+  EXPECT_NEAR(olap.write_fraction(), 0.07, 0.01);
+
+  const QueryMix tpcc = TpccMix();
+  EXPECT_NEAR(tpcc.write_fraction(), 0.46, 0.01);
+}
+
+TEST(EnterpriseStats, TableHistogramSumsTo73979) {
+  EXPECT_EQ(CustomerTableCount(), 73979u);
+  const auto buckets = CustomerTableHistogram();
+  EXPECT_EQ(buckets.size(), 8u);
+  EXPECT_EQ(buckets.back().table_count, 144u);  // the Figure 3 population
+}
+
+TEST(EnterpriseStats, SampleTableRowsRespectsBuckets) {
+  Rng rng(41);
+  uint64_t large = 0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const uint64_t rows = SampleTableRows(rng);
+    if (rows > 10'000'000) ++large;
+  }
+  // >10M bucket holds 144/73979 ≈ 0.19% of tables.
+  EXPECT_NEAR(static_cast<double>(large) / kSamples, 144.0 / 73979.0, 0.002);
+}
+
+TEST(EnterpriseStats, LargeTablesMatchFigure3Envelope) {
+  const auto tables = SynthesizeLargeTables(17);
+  ASSERT_EQ(tables.size(), 144u);
+  uint64_t total_rows = 0;
+  uint64_t total_cols = 0;
+  for (const auto& t : tables) {
+    EXPECT_GE(t.rows, 9'000'000u);       // ≈10M floor
+    EXPECT_LE(t.rows, 1'600'000'000u);   // 1.6B cap
+    EXPECT_GE(t.columns, 2u);
+    EXPECT_LE(t.columns, 399u);
+    total_rows += t.rows;
+    total_cols += t.columns;
+  }
+  const double avg_rows = static_cast<double>(total_rows) / 144.0;
+  const double avg_cols = static_cast<double>(total_cols) / 144.0;
+  EXPECT_NEAR(avg_rows, 65e6, 15e6);  // paper: average 65M
+  EXPECT_NEAR(avg_cols, 70.0, 25.0);  // paper: average 70
+  // Sorted descending by construction (rank 1 is the largest).
+  EXPECT_EQ(tables.front().rows, 1'600'000'000u);
+}
+
+TEST(EnterpriseStats, DistinctValueBucketsSumToOne) {
+  for (const auto& b :
+       {InventoryManagementDistincts(), FinancialAccountingDistincts()}) {
+    EXPECT_NEAR(b.frac_1_to_32 + b.frac_33_to_1023 + b.frac_1024_plus, 1.0,
+                1e-9);
+    // §2: most columns have few distinct values.
+    EXPECT_GT(b.frac_1_to_32, 0.5);
+  }
+}
+
+TEST(EnterpriseStats, SampleColumnDistinctsInBuckets) {
+  Rng rng(43);
+  int small = 0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const uint64_t d =
+        SampleColumnDistincts(FinancialAccountingDistincts(), rng);
+    EXPECT_GE(d, 1u);
+    EXPECT_LE(d, 100'000'000u);
+    if (d <= 32) ++small;
+  }
+  EXPECT_NEAR(static_cast<double>(small) / kSamples, 0.78, 0.02);
+}
+
+TEST(EnterpriseStats, VbapScenarioConstants) {
+  const VbapScenario v = PaperVbapScenario();
+  EXPECT_EQ(v.rows, 33'000'000u);
+  EXPECT_EQ(v.columns, 230u);
+  EXPECT_EQ(v.delta_rows, 750'000u);
+  // "1.8 trillion CPU cycles or 12 minutes" implies ~2.5 GHz effective; the
+  // numbers are mutually consistent within 20%.
+  EXPECT_NEAR(v.naive_merge_cycles / (v.naive_merge_minutes * 60), 2.5e9,
+              0.5e9);
+  // ~1,000 updates/second: 750K rows / 12 min ≈ 1,042.
+  EXPECT_NEAR(static_cast<double>(v.delta_rows) /
+                  (v.naive_merge_minutes * 60),
+              v.naive_updates_per_sec, 50);
+}
+
+// --- query_gen --------------------------------------------------------------
+
+TEST(QueryStream, RealizedMixTracksRequestedMix) {
+  QueryStream stream(OltpMix(), 4711);
+  std::array<int, kNumQueryTypes> counts{};
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<size_t>(stream.Next())];
+  }
+  const QueryMix mix = OltpMix();
+  for (int t = 0; t < kNumQueryTypes; ++t) {
+    EXPECT_NEAR(static_cast<double>(counts[static_cast<size_t>(t)]) / n,
+                mix.fraction[static_cast<size_t>(t)], 0.01)
+        << QueryTypeToString(static_cast<QueryType>(t));
+  }
+}
+
+TEST(QueryGen, MixedWorkloadRunsAndCounts) {
+  auto table = BuildTable(
+      5000, 0, std::vector<ColumnBuildSpec>(3, ColumnBuildSpec{8, 0.1, 0.1}),
+      53);
+  WorkloadOptions options;
+  options.key_domain = 1 << 16;
+  const WorkloadReport report =
+      RunMixedWorkload(table.get(), OltpMix(), 2000, options);
+  EXPECT_EQ(report.total_ops, 2000u);
+  uint64_t sum = 0;
+  for (auto c : report.count) sum += c;
+  EXPECT_EQ(sum, 2000u);
+  EXPECT_GT(report.total_cycles, 0u);
+  EXPECT_GT(report.ops_per_second(), 0.0);
+  // Inserts should have grown the table.
+  EXPECT_GT(table->num_rows(), 5000u);
+}
+
+TEST(QueryGen, WorkloadIsDeterministic) {
+  auto t1 = BuildTable(
+      1000, 0, std::vector<ColumnBuildSpec>(2, ColumnBuildSpec{8, 0.2, 0.2}),
+      54);
+  auto t2 = BuildTable(
+      1000, 0, std::vector<ColumnBuildSpec>(2, ColumnBuildSpec{8, 0.2, 0.2}),
+      54);
+  WorkloadOptions options;
+  const auto r1 = RunMixedWorkload(t1.get(), OlapMix(), 500, options);
+  const auto r2 = RunMixedWorkload(t2.get(), OlapMix(), 500, options);
+  EXPECT_EQ(r1.checksum, r2.checksum);
+  EXPECT_EQ(r1.count, r2.count);
+}
+
+TEST(QueryGen, IsWriteClassification) {
+  EXPECT_FALSE(IsWrite(QueryType::kLookup));
+  EXPECT_FALSE(IsWrite(QueryType::kTableScan));
+  EXPECT_FALSE(IsWrite(QueryType::kRangeSelect));
+  EXPECT_TRUE(IsWrite(QueryType::kInsert));
+  EXPECT_TRUE(IsWrite(QueryType::kModification));
+  EXPECT_TRUE(IsWrite(QueryType::kDelete));
+}
+
+}  // namespace
+}  // namespace deltamerge
