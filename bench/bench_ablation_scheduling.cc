@@ -17,8 +17,8 @@ using namespace deltamerge::bench;
 
 namespace {
 
-std::unique_ptr<Table> BuildSkewedTable(const BenchConfig& cfg, uint64_t nm,
-                                        uint64_t nd, int columns) {
+std::unique_ptr<Table> BuildSkewedTable(uint64_t nm, uint64_t nd,
+                                        int columns) {
   std::vector<ColumnBuildSpec> specs;
   for (int c = 0; c < columns; ++c) {
     ColumnBuildSpec s;
@@ -61,7 +61,7 @@ int main() {
   std::printf("%-36s %14s %12s\n", "mode", "wall cycles", "cpt");
   double serial_wall = 0;
   for (const auto& m : modes) {
-    auto table = BuildSkewedTable(cfg, nm, nd, columns);
+    auto table = BuildSkewedTable(nm, nd, columns);
     TableMergeOptions options;
     options.num_threads = m.threads;
     options.parallelism = m.par;

@@ -34,8 +34,8 @@ struct StepCosts {
 /// Measures per-step cpt over `columns` column instances. The delta update
 /// parallelizes across columns via a task queue (§7.2); the merge steps
 /// parallelize within each column (§6.2).
-StepCosts Measure(const BenchConfig& cfg, uint64_t nm, uint64_t nd,
-                  double lambda, int threads, int columns) {
+StepCosts Measure(uint64_t nm, uint64_t nd, double lambda, int threads,
+                  int columns) {
   StepCosts out;
   // Build mains and pre-generate delta keys.
   std::vector<MainPartition<8>> mains;
@@ -101,8 +101,8 @@ int main() {
   std::printf("%-8s %-14s %10s %10s %10s\n", "unique", "step", "1T(cpt)",
               "NT(cpt)", "scaling");
   for (double lambda : {0.01, 1.0}) {
-    const StepCosts serial = Measure(cfg, nm, nd, lambda, 1, columns);
-    const StepCosts parallel = Measure(cfg, nm, nd, lambda, nt, columns);
+    const StepCosts serial = Measure(nm, nd, lambda, 1, columns);
+    const StepCosts parallel = Measure(nm, nd, lambda, nt, columns);
     const char* pct = lambda == 0.01 ? "1%" : "100%";
     std::printf("%-8s %-14s %10.2f %10.2f %9.1fx\n", pct, "Update Delta",
                 serial.update_delta, parallel.update_delta,

@@ -109,15 +109,18 @@ DeltaDictionary<W> ExtractDeltaDictionary(const DeltaPartition<W>& delta,
   const int nt = team->size();
   team->Run([&](int tid) {
     // Value range whose cumulative tuple counts cover this thread's share.
+    // A value whose postings straddle a share boundary belongs entirely to
+    // the later thread — both ends use the same "value containing tuple x"
+    // rule, so adjacent ranges are disjoint and no tuple is scattered twice.
     const uint64_t tuple_begin = running * static_cast<uint64_t>(tid) / nt;
     const uint64_t tuple_end =
         running * (static_cast<uint64_t>(tid) + 1) / nt;
     const auto first = std::upper_bound(cumulative.begin(), cumulative.end(),
                                         tuple_begin) -
                        cumulative.begin() - 1;
-    const auto last = std::lower_bound(cumulative.begin(), cumulative.end(),
+    const auto last = std::upper_bound(cumulative.begin(), cumulative.end(),
                                        tuple_end) -
-                      cumulative.begin();
+                      cumulative.begin() - 1;
     for (auto vi = first; vi < last && vi < static_cast<int64_t>(unique);
          ++vi) {
       PostingsCursor cursor = cursors[static_cast<size_t>(vi)];

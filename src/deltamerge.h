@@ -9,6 +9,13 @@
 
 #pragma once
 
+// The tree requires C++20 (std::span, designated initializers, concepts).
+// Fail here with one clear message instead of a cascade of template errors
+// when a build bypasses CMake's CMAKE_CXX_STANDARD 20 enforcement.
+#if defined(__cplusplus) && __cplusplus < 202002L
+#error "DeltaMerge requires C++20; compile with -std=c++20 (or let CMake set it)"
+#endif
+
 #include "core/column_handle.h"    // IWYU pragma: export
 #include "core/merge_algorithms.h" // IWYU pragma: export
 #include "core/merge_scheduler.h"  // IWYU pragma: export
