@@ -14,6 +14,7 @@
 
 #include "core/merge_algorithms.h"
 #include "core/merge_types.h"
+#include "core/snapshot.h"
 #include "query/aggregate.h"
 #include "query/lookup.h"
 #include "query/range_select.h"
@@ -49,6 +50,14 @@ class ColumnBase {
   /// Sum of value keys over all partitions (modulo 2^64 for convenience).
   virtual uint64_t SumKeys() const = 0;
 
+  // --- snapshot reads ---
+  /// Captures a consistent view of this column spanning the first
+  /// `visible_rows` global rows. Must be called under the table lock (any
+  /// mode); the view stays readable for as long as the caller's epoch pin
+  /// keeps the captured partitions alive.
+  virtual std::unique_ptr<ColumnReadView> CaptureView(
+      uint64_t visible_rows) const = 0;
+
   // --- merge protocol (driven by Table / MergeManager) ---
   virtual void FreezeDelta() = 0;
   /// Runs the merge of main + frozen into a staged main partition. Must be
@@ -56,8 +65,10 @@ class ColumnBase {
   virtual MergeStats PrepareMerge(const MergeOptions& options,
                                   ThreadTeam* team) = 0;
   /// Installs the staged partition. O(1); called under the table lock.
-  virtual void CommitMerge() = 0;
-  virtual void AbortMerge() = 0;
+  /// Superseded partitions go to `retire` (for epoch-deferred reclamation)
+  /// or are destroyed immediately when `retire` is null.
+  virtual void CommitMerge(RetireSink* retire = nullptr) = 0;
+  virtual void AbortMerge(RetireSink* retire = nullptr) = 0;
   virtual bool merge_in_progress() const = 0;
 };
 
@@ -123,6 +134,16 @@ class ColumnHandle final : public ColumnBase {
     return static_cast<uint64_t>(sum);
   }
 
+  std::unique_ptr<ColumnReadView> CaptureView(
+      uint64_t visible_rows) const override {
+    const uint64_t pinned = column_.main_size() + column_.frozen_size();
+    DM_CHECK_MSG(visible_rows >= pinned && visible_rows <= column_.size(),
+                 "snapshot row count outside the column's bounds");
+    return std::make_unique<ColumnSnapshotView<W>>(
+        &column_.main(), column_.frozen(), &column_.delta(),
+        visible_rows - pinned);
+  }
+
   void FreezeDelta() override { column_.FreezeDelta(); }
 
   MergeStats PrepareMerge(const MergeOptions& options,
@@ -136,15 +157,23 @@ class ColumnHandle final : public ColumnBase {
     return stats;
   }
 
-  void CommitMerge() override {
+  void CommitMerge(RetireSink* retire = nullptr) override {
     DM_CHECK_MSG(has_staged_, "CommitMerge without PrepareMerge");
-    column_.CommitMerge(std::move(staged_));
+    auto retired = column_.CommitMerge(std::move(staged_));
+    if (retire != nullptr) {
+      retire->Retire(std::shared_ptr<void>(std::move(retired.main)));
+      retire->Retire(std::shared_ptr<void>(std::move(retired.frozen)));
+    }
     staged_ = MainPartition<W>();
     has_staged_ = false;
   }
 
-  void AbortMerge() override {
-    column_.AbortMerge();
+  void AbortMerge(RetireSink* retire = nullptr) override {
+    auto retired = column_.AbortMerge();
+    if (retire != nullptr) {
+      retire->Retire(std::shared_ptr<void>(std::move(retired.frozen)));
+      retire->Retire(std::shared_ptr<void>(std::move(retired.active)));
+    }
     staged_ = MainPartition<W>();
     has_staged_ = false;
   }

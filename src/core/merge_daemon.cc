@@ -1,0 +1,219 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+
+#include "core/merge_daemon.h"
+
+#include <chrono>
+
+#include "util/cycle_clock.h"
+
+namespace deltamerge {
+
+std::string_view MergeTriggerToString(MergeTrigger t) {
+  switch (t) {
+    case MergeTrigger::kNone:
+      return "none";
+    case MergeTrigger::kDeltaSize:
+      return "delta-size";
+    case MergeTrigger::kCostBudget:
+      return "cost-budget";
+    case MergeTrigger::kRateLookahead:
+      return "rate-lookahead";
+  }
+  return "?";
+}
+
+double ProjectedMergeSeconds(const std::vector<Table::ColumnShape>& shapes,
+                             const MachineProfile& m, int threads) {
+  double seconds = 0;
+  for (const Table::ColumnShape& col : shapes) {
+    const uint64_t nm = col.nm;
+    const uint64_t nd = col.nd_active + col.nd_frozen;
+    if (nm + nd == 0) continue;
+    MergeShape s;
+    s.nm = nm;
+    s.nd = nd;
+    s.um = col.um > 0 ? col.um : 1;
+    s.ud = col.ud > 0 ? col.ud : 1;
+    // Overlap-free upper bound on the merged dictionary.
+    s.u_merged = s.um + s.ud;
+    s.ej = static_cast<double>(col.value_width);
+    s.DeriveCodeBits();
+    const CostProjection p = ProjectMergeCost(s, m, threads);
+    seconds += p.total_cpt() * static_cast<double>(nm + nd) / m.frequency_hz;
+  }
+  return seconds;
+}
+
+double ProjectedMergeSeconds(const Table& table, const MachineProfile& m,
+                             int threads) {
+  return ProjectedMergeSeconds(table.column_shapes(), m, threads);
+}
+
+MergeTrigger EvaluateMergeTrigger(const Table& table,
+                                  const MergeDaemonPolicy& policy,
+                                  int merge_threads,
+                                  double delta_rows_per_sec) {
+  const std::vector<Table::ColumnShape> shapes = table.column_shapes();
+  const uint64_t nd = shapes.empty() ? 0 : shapes[0].nd_active;
+  const uint64_t nm = shapes.empty() ? 0 : shapes[0].nm;
+  const double threshold =
+      policy.delta_fraction * static_cast<double>(nm);
+
+  if (nd >= policy.min_delta_rows) {
+    if (static_cast<double>(nd) > threshold) return MergeTrigger::kDeltaSize;
+    if (policy.max_projected_merge_seconds > 0 &&
+        ProjectedMergeSeconds(shapes, policy.profile, merge_threads) >=
+            policy.max_projected_merge_seconds) {
+      return MergeTrigger::kCostBudget;
+    }
+  }
+
+  if (policy.rate_lookahead && nd > 0 && delta_rows_per_sec > 0) {
+    const double poll_seconds =
+        static_cast<double>(policy.poll_interval_us) * 1e-6;
+    const double projected_nd =
+        static_cast<double>(nd) + delta_rows_per_sec * poll_seconds;
+    if (projected_nd >= static_cast<double>(policy.min_delta_rows) &&
+        projected_nd > threshold) {
+      return MergeTrigger::kRateLookahead;
+    }
+  }
+  return MergeTrigger::kNone;
+}
+
+MergeDaemon::MergeDaemon(Table* table, MergeDaemonPolicy policy,
+                         TableMergeOptions options)
+    : table_(table), policy_(policy), options_(options) {
+  DM_CHECK(table != nullptr);
+}
+
+MergeDaemon::~MergeDaemon() { Stop(); }
+
+void MergeDaemon::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  stop_requested_ = false;
+  running_ = true;
+  last_delta_rows_ = table_->delta_rows();
+  last_poll_cycles_ = CycleClock::Now();
+  delta_rows_per_sec_ = 0.0;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void MergeDaemon::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  // join_mu_ serializes concurrent stoppers (e.g. an explicit Stop racing
+  // the destructor): exactly one joins; the others wait here until the
+  // watcher has terminated, then see the thread already joined.
+  {
+    std::lock_guard<std::mutex> join_lock(join_mu_);
+    if (thread_.joinable()) thread_.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+void MergeDaemon::Nudge() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    nudged_ = true;  // makes the wait predicate true — notify alone would
+                     // just re-enter wait_for until the poll deadline
+  }
+  wake_.notify_all();
+}
+
+void MergeDaemon::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void MergeDaemon::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+    nudged_ = true;
+  }
+  wake_.notify_all();
+}
+
+bool MergeDaemon::paused() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return paused_;
+}
+
+MergeDaemonStats MergeDaemon::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void MergeDaemon::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait_for(lock,
+                     std::chrono::microseconds(policy_.poll_interval_us),
+                     [this] { return stop_requested_ || nudged_; });
+      nudged_ = false;
+      if (stop_requested_) return;
+      ++stats_.polls;
+      if (paused_) continue;
+    }
+
+    // Update the arrival-rate estimate (exponentially smoothed so one idle
+    // poll does not erase a burst). Merges shrink the delta; only growth
+    // counts as arrival.
+    const uint64_t now = CycleClock::Now();
+    const uint64_t nd = table_->delta_rows();
+    const double dt = CycleClock::ToSeconds(now - last_poll_cycles_);
+    if (dt > 0) {
+      const double grown = nd > last_delta_rows_
+                               ? static_cast<double>(nd - last_delta_rows_)
+                               : 0.0;
+      const double inst_rate = grown / dt;
+      delta_rows_per_sec_ = 0.5 * delta_rows_per_sec_ + 0.5 * inst_rate;
+    }
+    last_delta_rows_ = nd;
+    last_poll_cycles_ = now;
+
+    const MergeTrigger trigger = EvaluateMergeTrigger(
+        *table_, policy_, options_.num_threads, delta_rows_per_sec_);
+    if (trigger == MergeTrigger::kNone) continue;
+
+    merge_in_flight_.store(true, std::memory_order_release);
+    auto result = table_->Merge(options_);
+    merge_in_flight_.store(false, std::memory_order_release);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (trigger) {
+      case MergeTrigger::kDeltaSize:
+        ++stats_.size_triggers;
+        break;
+      case MergeTrigger::kCostBudget:
+        ++stats_.cost_triggers;
+        break;
+      case MergeTrigger::kRateLookahead:
+        ++stats_.rate_triggers;
+        break;
+      case MergeTrigger::kNone:
+        break;
+    }
+    if (!result.ok()) {
+      // Another merger won the race; the trigger will re-fire if needed.
+      ++stats_.failed_merges;
+      continue;
+    }
+    const TableMergeReport& report = result.ValueOrDie();
+    ++stats_.merges;
+    stats_.rows_merged += report.rows_merged;
+    stats_.merge_wall_cycles += report.wall_cycles;
+    stats_.merge.Accumulate(report.stats);
+    last_delta_rows_ = table_->delta_rows();
+  }
+}
+
+}  // namespace deltamerge

@@ -1,0 +1,151 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// MergeDaemon: the autonomous online-merge driver of §9.
+//
+// "In our system, we trigger the merging of partitions when the number of
+// tuples N_D in the delta partition is greater than a certain pre-defined
+// fraction of tuples in the main partition N_M" (§4) — the daemon watches
+// that fill trigger, and augments it with two §9-flavoured policies:
+//
+//   * a cost-model hint: projected merge duration (the §6/§7.4 model
+//     evaluated on the table's current cardinalities) is kept under a
+//     budget by merging *before* the backlog makes the merge pause longer
+//     than the operator allows;
+//   * a rate lookahead: the observed delta growth rate is extrapolated one
+//     poll interval ahead, so a burst of updates starts the merge just
+//     before — not just after — the threshold is crossed.
+//
+// The daemon runs Table::Merge, so every commit retires the superseded
+// generation into the table's EpochManager: readers that pinned a Snapshot
+// before the commit keep a consistent view, and the old main is freed only
+// when their epochs drain. Contrast with the simpler MergeScheduler (the
+// bare §4 trigger), which this subsystem supersedes.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "core/table.h"
+#include "model/cost_model.h"
+#include "model/machine_profile.h"
+
+namespace deltamerge {
+
+/// Why (or that no) merge was started at a poll.
+enum class MergeTrigger : uint8_t {
+  kNone = 0,
+  kDeltaSize,      ///< N_D > delta_fraction * N_M (§4)
+  kCostBudget,     ///< projected merge time reached the budget (§9 hint)
+  kRateLookahead,  ///< extrapolated N_D crosses the threshold next poll
+};
+
+std::string_view MergeTriggerToString(MergeTrigger t);
+
+struct MergeDaemonPolicy {
+  /// §4's pre-defined fraction (Figure 9 uses 1%).
+  double delta_fraction = 0.01;
+  /// Floor so freshly created tables don't merge on every insert.
+  uint64_t min_delta_rows = 1024;
+  /// Merge once the §6 model projects the merge to take this long
+  /// (seconds, summed over columns). 0 disables the cost hint.
+  double max_projected_merge_seconds = 0.0;
+  /// Extrapolate delta growth one poll ahead of the size trigger.
+  bool rate_lookahead = true;
+  /// Poll cadence of the watcher thread.
+  uint64_t poll_interval_us = 1000;
+  /// Machine model the cost hint projects against.
+  MachineProfile profile = MachineProfile::Paper();
+};
+
+/// Running counters; retrieved atomically via MergeDaemon::stats().
+struct MergeDaemonStats {
+  uint64_t polls = 0;
+  uint64_t merges = 0;
+  uint64_t rows_merged = 0;
+  uint64_t failed_merges = 0;  ///< lost the race to a concurrent merger
+  uint64_t size_triggers = 0;
+  uint64_t cost_triggers = 0;
+  uint64_t rate_triggers = 0;
+  uint64_t merge_wall_cycles = 0;  ///< summed Table::Merge wall time
+  MergeStats merge;                ///< per-step stats over all merges
+};
+
+/// Projected wall-clock seconds for merging columns of the given shapes
+/// (the §6 model evaluated per column and summed), used by the kCostBudget
+/// trigger. The Table overload captures the shapes under the table lock.
+double ProjectedMergeSeconds(const std::vector<Table::ColumnShape>& shapes,
+                             const MachineProfile& m, int threads);
+double ProjectedMergeSeconds(const Table& table, const MachineProfile& m,
+                             int threads);
+
+/// Pure trigger decision for one poll; `delta_rows_per_sec` is the caller's
+/// current estimate of the update arrival rate (0 disables lookahead).
+/// Column state is read once, consistently, via Table::column_shapes().
+MergeTrigger EvaluateMergeTrigger(const Table& table,
+                                  const MergeDaemonPolicy& policy,
+                                  int merge_threads,
+                                  double delta_rows_per_sec);
+
+/// Background merge driver for one table. Start() spawns the watcher
+/// thread; each poll evaluates the trigger and, when it fires, runs
+/// Table::Merge with the configured options while inserts and snapshot
+/// reads continue (§3's online property).
+class MergeDaemon {
+ public:
+  MergeDaemon(Table* table, MergeDaemonPolicy policy,
+              TableMergeOptions options);
+  ~MergeDaemon();
+
+  DM_DISALLOW_COPY_AND_MOVE(MergeDaemon);
+
+  void Start();
+  /// Stops the watcher; an in-flight merge completes first.
+  void Stop();
+
+  /// Wakes the watcher immediately (e.g. after a large batch insert).
+  void Nudge();
+
+  /// Suspends merging without tearing the thread down (§3/§9: "a scheduling
+  /// algorithm can detect a good point in time to start and even pause and
+  /// resume the merge process").
+  void Pause();
+  void Resume();
+  bool paused() const;
+
+  /// True while a merge body is executing (readers use this to classify
+  /// latency samples; tests use it to prove reads overlapped a merge).
+  bool merge_in_flight() const {
+    return merge_in_flight_.load(std::memory_order_acquire);
+  }
+
+  MergeDaemonStats stats() const;
+
+ private:
+  void Loop();
+
+  Table* table_;
+  MergeDaemonPolicy policy_;
+  TableMergeOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_;
+  bool stop_requested_ = false;
+  bool nudged_ = false;
+  bool paused_ = false;
+  bool running_ = false;
+  std::mutex join_mu_;  ///< serializes concurrent Stop() calls on join
+  std::thread thread_;
+
+  std::atomic<bool> merge_in_flight_{false};
+  MergeDaemonStats stats_;
+
+  // Rate estimation state (watcher thread only).
+  uint64_t last_delta_rows_ = 0;
+  uint64_t last_poll_cycles_ = 0;
+  double delta_rows_per_sec_ = 0.0;
+};
+
+}  // namespace deltamerge

@@ -38,12 +38,23 @@ void MergeScheduler::Stop() {
     stop_requested_ = true;
   }
   wake_.notify_all();
-  thread_.join();
+  // Exactly one concurrent stopper joins; the rest wait for it here.
+  {
+    std::lock_guard<std::mutex> join_lock(join_mu_);
+    if (thread_.joinable()) thread_.join();
+  }
   std::lock_guard<std::mutex> lock(mu_);
   running_ = false;
 }
 
-void MergeScheduler::Nudge() { wake_.notify_all(); }
+void MergeScheduler::Nudge() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    nudged_ = true;  // makes the wait predicate true; notify alone would
+                     // re-enter wait_for until the poll deadline
+  }
+  wake_.notify_all();
+}
 
 void MergeScheduler::Pause() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -54,6 +65,7 @@ void MergeScheduler::Resume() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     paused_ = false;
+    nudged_ = true;
   }
   wake_.notify_all();
 }
@@ -74,7 +86,8 @@ void MergeScheduler::Loop() {
       std::unique_lock<std::mutex> lock(mu_);
       // Poll at millisecond granularity; Nudge() short-circuits the wait.
       wake_.wait_for(lock, std::chrono::milliseconds(1),
-                     [this] { return stop_requested_; });
+                     [this] { return stop_requested_ || nudged_; });
+      nudged_ = false;
       if (stop_requested_) return;
       if (paused_) continue;
     }

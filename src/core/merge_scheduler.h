@@ -6,6 +6,10 @@
 // (b) constantly merge in the background with minimal resources; the
 // scheduler implements the trigger plus a background thread that can run
 // either way (the thread count in the merge options is the resource knob).
+//
+// Note: this is the bare §4 trigger, kept for the ablation benches. New
+// code should prefer core/merge_daemon.h, which adds the §9 cost-model and
+// rate-lookahead policies plus per-trigger statistics.
 
 #pragma once
 
@@ -79,8 +83,10 @@ class MergeScheduler {
   mutable std::mutex mu_;
   std::condition_variable wake_;
   bool stop_requested_ = false;
+  bool nudged_ = false;
   bool paused_ = false;
   bool running_ = false;
+  std::mutex join_mu_;  ///< serializes concurrent Stop() calls on join
   std::thread thread_;
 
   std::atomic<uint64_t> merges_completed_{0};

@@ -1,0 +1,238 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+
+#include "core/snapshot.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace deltamerge {
+
+// ---------------------------------------------------------------------------
+// EpochManager
+// ---------------------------------------------------------------------------
+
+EpochManager::~EpochManager() {
+  DM_CHECK_MSG(pinned_count() == 0,
+               "EpochManager destroyed with snapshots still pinned");
+  // No readers left: everything retired is reclaimable.
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  reclaimed_total_.fetch_add(retired_.size(), std::memory_order_relaxed);
+  retired_.clear();
+}
+
+uint32_t EpochManager::Pin() {
+  for (;;) {
+    const uint64_t e = epoch_.load(std::memory_order_seq_cst);
+    for (uint32_t i = 0; i < kMaxPinnedSnapshots; ++i) {
+      uint64_t expected = 0;
+      if (slots_[i].epoch.compare_exchange_strong(
+              expected, e, std::memory_order_seq_cst)) {
+        return i;
+      }
+    }
+    // All slots busy: wait for another snapshot to release.
+    std::this_thread::yield();
+  }
+}
+
+void EpochManager::Unpin(uint32_t slot) {
+  DM_DCHECK(slot < kMaxPinnedSnapshots);
+  DM_DCHECK(slots_[slot].epoch.load(std::memory_order_seq_cst) != 0);
+  // Reset the seq before freeing the slot so the next pinner starts in the
+  // conservative "unknown" state — a pruner that sees the slot occupied in
+  // between reads seq 0, which blocks pruning, never a stale value.
+  slots_[slot].seq.store(0, std::memory_order_seq_cst);
+  slots_[slot].epoch.store(0, std::memory_order_seq_cst);
+}
+
+void EpochManager::PublishPinnedSeq(uint32_t slot, uint64_t seq) {
+  DM_DCHECK(slot < kMaxPinnedSnapshots);
+  slots_[slot].seq.store(seq, std::memory_order_seq_cst);
+}
+
+uint64_t EpochManager::MinPinnedSeq() const {
+  uint64_t min_seq = UINT64_MAX;
+  for (const Slot& s : slots_) {
+    if (s.epoch.load(std::memory_order_seq_cst) == 0) continue;
+    const uint64_t seq = s.seq.load(std::memory_order_seq_cst);
+    if (seq < min_seq) min_seq = seq;
+  }
+  return min_seq;
+}
+
+void EpochManager::Retire(std::shared_ptr<void> obj) {
+  if (obj == nullptr) return;
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  // Tag with the epoch readers could have pinned, then advance the clock so
+  // later pins are distinguishable from earlier ones.
+  const uint64_t tag = epoch_.fetch_add(1, std::memory_order_seq_cst);
+  retired_.emplace_back(tag, std::move(obj));
+}
+
+size_t EpochManager::ReclaimExpired() {
+  // The horizon must be read BEFORE the slot scan: an object retired after
+  // the scan could carry a tag this scan's min does not account for (its
+  // referencing reader may pin concurrently and be missed), but such a tag
+  // is necessarily >= the horizon, so bounding the reclaim by both closes
+  // the window.
+  const uint64_t horizon = epoch_.load(std::memory_order_seq_cst);
+  const uint64_t min_pinned = MinPinnedEpoch();
+  const uint64_t limit = min_pinned < horizon ? min_pinned : horizon;
+  std::vector<std::shared_ptr<void>> doomed;
+  {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    auto keep = retired_.begin();
+    for (auto& entry : retired_) {
+      if (entry.first < limit) {
+        doomed.push_back(std::move(entry.second));
+      } else {
+        *keep++ = std::move(entry);
+      }
+    }
+    retired_.erase(keep, retired_.end());
+  }
+  // Destruction happens outside the lock — partition destructors can be
+  // arbitrarily expensive (freeing gigabytes of codes).
+  reclaimed_total_.fetch_add(doomed.size(), std::memory_order_relaxed);
+  return doomed.size();
+}
+
+uint64_t EpochManager::MinPinnedEpoch() const {
+  uint64_t min_pinned = UINT64_MAX;
+  for (const Slot& s : slots_) {
+    const uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+    if (e != 0 && e < min_pinned) min_pinned = e;
+  }
+  return min_pinned;
+}
+
+uint32_t EpochManager::pinned_count() const {
+  uint32_t n = 0;
+  for (const Slot& s : slots_) {
+    n += (s.epoch.load(std::memory_order_seq_cst) != 0) ? 1 : 0;
+  }
+  return n;
+}
+
+size_t EpochManager::retired_count() const {
+  std::lock_guard<std::mutex> lock(retired_mu_);
+  return retired_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+Snapshot& Snapshot::operator=(Snapshot&& other) noexcept {
+  if (this != &other) {
+    Release();
+    epochs_ = other.epochs_;
+    slot_ = other.slot_;
+    pinned_epoch_ = other.pinned_epoch_;
+    mu_ = other.mu_;
+    validity_ = other.validity_;
+    visible_rows_ = other.visible_rows_;
+    valid_rows_ = other.valid_rows_;
+    tombstone_seq_ = other.tombstone_seq_;
+    cols_ = std::move(other.cols_);
+    other.epochs_ = nullptr;
+  }
+  return *this;
+}
+
+void Snapshot::Release() {
+  if (epochs_ == nullptr) return;
+  // Drop the view objects first — after Unpin their targets may be
+  // reclaimed at any time.
+  cols_.clear();
+  EpochManager* epochs = epochs_;
+  epochs_ = nullptr;
+  epochs->Unpin(slot_);
+  epochs->ReclaimExpired();
+}
+
+uint64_t Snapshot::GetKey(size_t col, uint64_t row) const {
+  DM_DCHECK(valid());
+  DM_CHECK_MSG(row < visible_rows_, "row beyond the snapshot horizon");
+  const ColumnReadView& view = *cols_[col];
+  if (row < view.pinned_rows()) return view.GetKeyPinned(row);
+  std::shared_lock lock(*mu_);
+  return view.GetKeyActive(row);
+}
+
+bool Snapshot::IsRowValid(uint64_t row) const {
+  DM_DCHECK(valid());
+  if (row >= visible_rows_) return false;
+  std::shared_lock lock(*mu_);
+  return validity_->IsValidAtSeq(row, tombstone_seq_);
+}
+
+uint64_t Snapshot::CountEquals(size_t col, uint64_t key) const {
+  DM_DCHECK(valid());
+  const ColumnReadView& view = *cols_[col];
+  uint64_t n = view.CountEqualsPinned(key);
+  if (view.active_prefix() > 0) {
+    std::shared_lock lock(*mu_);
+    n += view.CountEqualsActive(key);
+  }
+  return n;
+}
+
+uint64_t Snapshot::CountRange(size_t col, uint64_t lo, uint64_t hi) const {
+  DM_DCHECK(valid());
+  const ColumnReadView& view = *cols_[col];
+  uint64_t n = view.CountRangePinned(lo, hi);
+  if (view.active_prefix() > 0) {
+    std::shared_lock lock(*mu_);
+    n += view.CountRangeActive(lo, hi);
+  }
+  return n;
+}
+
+uint64_t Snapshot::SumColumn(size_t col) const {
+  DM_DCHECK(valid());
+  const ColumnReadView& view = *cols_[col];
+  uint64_t sum = view.SumPinned();
+  if (view.active_prefix() > 0) {
+    std::shared_lock lock(*mu_);
+    sum += view.SumActive();
+  }
+  return sum;
+}
+
+std::vector<uint64_t> Snapshot::CollectEquals(size_t col, uint64_t key,
+                                              bool only_valid) const {
+  DM_DCHECK(valid());
+  const ColumnReadView& view = *cols_[col];
+  std::vector<uint64_t> rows;
+  view.CollectEqualsPinned(key, &rows);
+  if (view.active_prefix() > 0 || only_valid) {
+    std::shared_lock lock(*mu_);
+    if (view.active_prefix() > 0) view.CollectEqualsActive(key, &rows);
+    if (only_valid) {
+      std::erase_if(rows, [&](uint64_t r) { return !IsRowValidLocked(r); });
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+std::vector<uint64_t> Snapshot::CollectRange(size_t col, uint64_t lo,
+                                             uint64_t hi,
+                                             bool only_valid) const {
+  DM_DCHECK(valid());
+  const ColumnReadView& view = *cols_[col];
+  std::vector<uint64_t> rows;
+  view.CollectRangePinned(lo, hi, &rows);
+  if (view.active_prefix() > 0 || only_valid) {
+    std::shared_lock lock(*mu_);
+    if (view.active_prefix() > 0) view.CollectRangeActive(lo, hi, &rows);
+    if (only_valid) {
+      std::erase_if(rows, [&](uint64_t r) { return !IsRowValidLocked(r); });
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+}  // namespace deltamerge

@@ -1,0 +1,346 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Epoch-based snapshot reads for the online merge (§3, §9).
+//
+// The merge body runs with no lock held; only the freeze and commit
+// instants take the table's exclusive lock. That leaves one hazard: a
+// reader that started a multi-operation scan before the commit still holds
+// pointers into the pre-merge generation (old main + frozen delta), which
+// the commit supersedes. The classic fix — and what Larson et al. and the
+// multiversion literature converge on — is epoch-based reclamation:
+//
+//   * a reader pins the current epoch in a shared slot before capturing its
+//     view, and clears the slot when the snapshot is released;
+//   * the commit does not destroy the superseded partitions; it *retires*
+//     them, tagged with the epoch at retirement;
+//   * a retired object is destroyed only once every pinned epoch is newer
+//     than its tag — i.e. when the epochs that could reference it drained.
+//
+// A Snapshot is therefore a lightweight handle: one slot CAS + a pointer
+// capture under a brief shared lock. Its reads are repeatable: the same
+// query against the same snapshot returns the same answer regardless of
+// concurrent inserts, deletes, or a full merge commit in between.
+//
+// Memory-safety split: main/frozen partitions referenced by a snapshot are
+// immutable (epoch pinning keeps them alive) and are scanned with NO lock
+// held — the bulk of every read. Only the captured prefix of the *active*
+// delta, which keeps growing under the writer, is read under the table's
+// shared lock (briefly, never across a merge body); a snapshot whose
+// active prefix is empty never touches the lock at all. Validity is
+// versioned by ValidityVector's tombstone log.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "query/aggregate.h"
+#include "query/lookup.h"
+#include "query/range_select.h"
+#include "storage/delta_partition.h"
+#include "storage/main_partition.h"
+#include "storage/validity.h"
+#include "util/macros.h"
+
+namespace deltamerge {
+
+/// Where superseded partition generations go instead of the destructor.
+class RetireSink {
+ public:
+  virtual ~RetireSink() = default;
+  virtual void Retire(std::shared_ptr<void> obj) = 0;
+};
+
+/// The epoch clock, reader registry, and retire list for one table.
+///
+/// Epochs start at 1 (0 marks a free reader slot) and advance on every
+/// retirement. Readers publish the epoch they observed into a cache-line-
+/// aligned slot; a retired object with tag T is reclaimable once every
+/// occupied slot holds an epoch > T. A reader slot may hold a slightly
+/// stale epoch (loaded before a concurrent retirement) — that only delays
+/// reclamation, never breaks it, because the reader captures its pointers
+/// under the shared lock *after* publishing, and so can only reference
+/// objects that were still installed at that point.
+class EpochManager final : public RetireSink {
+ public:
+  /// Upper bound on concurrently pinned snapshots; Pin() spins (yielding)
+  /// when all slots are busy.
+  static constexpr uint32_t kMaxPinnedSnapshots = 128;
+
+  EpochManager() = default;
+  ~EpochManager() override;
+  DM_DISALLOW_COPY_AND_MOVE(EpochManager);
+
+  /// Publishes the current epoch in a free slot; returns the slot index.
+  /// The slot's validity seq starts at 0 ("unknown": blocks tombstone
+  /// pruning) until PublishPinnedSeq.
+  uint32_t Pin();
+
+  /// Clears the slot. The caller should follow with ReclaimExpired().
+  void Unpin(uint32_t slot);
+
+  /// Records the validity tombstone seq the snapshot in `slot` captured, so
+  /// log entries below every pinned seq can be pruned (validity.h).
+  void PublishPinnedSeq(uint32_t slot, uint64_t seq);
+
+  /// Smallest validity seq any pinned snapshot may consult; UINT64_MAX when
+  /// nothing is pinned. A snapshot between Pin and PublishPinnedSeq counts
+  /// as 0 (nothing below it may be pruned).
+  uint64_t MinPinnedSeq() const;
+
+  /// Tags `obj` with the current epoch, queues it, and advances the clock.
+  void Retire(std::shared_ptr<void> obj) override;
+
+  /// Destroys every retired object whose tag is older than all pinned
+  /// epochs. Returns how many were reclaimed.
+  size_t ReclaimExpired();
+
+  uint64_t current_epoch() const {
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+  uint32_t pinned_count() const;
+  /// Retired objects still awaiting a drained epoch.
+  size_t retired_count() const;
+  uint64_t reclaimed_total() const {
+    return reclaimed_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  uint64_t MinPinnedEpoch() const;
+
+  struct DM_CACHELINE_ALIGNED Slot {
+    std::atomic<uint64_t> epoch{0};  ///< 0 = free, else the pinned epoch
+    std::atomic<uint64_t> seq{0};    ///< captured validity seq; 0 = unknown
+  };
+
+  std::atomic<uint64_t> epoch_{1};
+  std::array<Slot, kMaxPinnedSnapshots> slots_;
+  mutable std::mutex retired_mu_;
+  std::vector<std::pair<uint64_t, std::shared_ptr<void>>> retired_;
+  std::atomic<uint64_t> reclaimed_total_{0};
+};
+
+/// Type-erased consistent view of one column: the captured (main, frozen,
+/// active-prefix) triple with the global-row-id arithmetic baked in. Built
+/// by ColumnBase::CaptureView under the table lock.
+///
+/// The methods split by what protects them:
+///   * `...Pinned` covers main + frozen — immutable objects the epoch pin
+///     keeps alive, readable with NO lock held; this is the bulk of every
+///     scan, and it proceeds at full speed while a merge commits or a
+///     writer appends;
+///   * `...Active` covers the first `active_prefix()` tuples of the
+///     still-growing active delta — the caller must hold the table's
+///     shared lock for these (appends mutate the value array and CSB tree).
+/// Snapshot composes the two, skipping the lock when the prefix is empty.
+class ColumnReadView {
+ public:
+  virtual ~ColumnReadView() = default;
+
+  /// Rows this view spans (== the snapshot's visible row count).
+  virtual uint64_t rows() const = 0;
+  /// Rows living in the immutable pinned generation (main + frozen).
+  virtual uint64_t pinned_rows() const = 0;
+  /// Rows of the active delta visible to this view (rows() - pinned_rows()).
+  virtual uint64_t active_prefix() const = 0;
+
+  // --- pinned generation: no lock required ---
+  virtual uint64_t GetKeyPinned(uint64_t row) const = 0;
+  virtual uint64_t CountEqualsPinned(uint64_t key) const = 0;
+  virtual uint64_t CountRangePinned(uint64_t lo, uint64_t hi) const = 0;
+  virtual uint64_t SumPinned() const = 0;
+  virtual void CollectEqualsPinned(uint64_t key,
+                                   std::vector<uint64_t>* rows) const = 0;
+  virtual void CollectRangePinned(uint64_t lo, uint64_t hi,
+                                  std::vector<uint64_t>* rows) const = 0;
+
+  // --- active-delta prefix: caller holds the table's shared lock ---
+  virtual uint64_t GetKeyActive(uint64_t row) const = 0;
+  virtual uint64_t CountEqualsActive(uint64_t key) const = 0;
+  virtual uint64_t CountRangeActive(uint64_t lo, uint64_t hi) const = 0;
+  virtual uint64_t SumActive() const = 0;
+  virtual void CollectEqualsActive(uint64_t key,
+                                   std::vector<uint64_t>* rows) const = 0;
+  virtual void CollectRangeActive(uint64_t lo, uint64_t hi,
+                                  std::vector<uint64_t>* rows) const = 0;
+};
+
+/// The typed view implementation for value width W.
+template <size_t W>
+class ColumnSnapshotView final : public ColumnReadView {
+ public:
+  using Value = FixedValue<W>;
+
+  ColumnSnapshotView(const MainPartition<W>* main,
+                     const DeltaPartition<W>* frozen,
+                     const DeltaPartition<W>* active, uint64_t active_prefix)
+      : main_(main),
+        frozen_(frozen),
+        active_(active),
+        main_rows_(main->size()),
+        frozen_rows_(frozen != nullptr ? frozen->size() : 0),
+        active_prefix_(active_prefix) {}
+
+  uint64_t rows() const override {
+    return main_rows_ + frozen_rows_ + active_prefix_;
+  }
+  uint64_t pinned_rows() const override { return main_rows_ + frozen_rows_; }
+  uint64_t active_prefix() const override { return active_prefix_; }
+
+  uint64_t GetKeyPinned(uint64_t row) const override {
+    DM_DCHECK(row < pinned_rows());
+    if (row < main_rows_) return main_->GetValue(row).key();
+    return frozen_->Get(row - main_rows_).key();
+  }
+
+  uint64_t CountEqualsPinned(uint64_t key) const override {
+    const Value v = Value::FromKey(key);
+    uint64_t n = query::CountEqualsMain(*main_, v);
+    if (frozen_ != nullptr) n += query::CountEqualsDelta(*frozen_, v);
+    return n;
+  }
+
+  uint64_t CountRangePinned(uint64_t lo, uint64_t hi) const override {
+    const Value vlo = Value::FromKey(lo);
+    const Value vhi = Value::FromKey(hi);
+    uint64_t n = query::CountRangeMain(*main_, vlo, vhi);
+    if (frozen_ != nullptr) n += query::CountRangeDelta(*frozen_, vlo, vhi);
+    return n;
+  }
+
+  uint64_t SumPinned() const override {
+    unsigned __int128 sum = query::SumKeysMain(*main_);
+    if (frozen_ != nullptr) sum += query::SumKeysDelta(*frozen_);
+    return static_cast<uint64_t>(sum);
+  }
+
+  void CollectEqualsPinned(uint64_t key,
+                           std::vector<uint64_t>* rows) const override {
+    const Value v = Value::FromKey(key);
+    query::CollectEqualsMain(*main_, v, 0, rows);
+    if (frozen_ != nullptr) {
+      query::CollectEqualsDelta(*frozen_, v, main_rows_, rows);
+    }
+  }
+
+  void CollectRangePinned(uint64_t lo, uint64_t hi,
+                          std::vector<uint64_t>* rows) const override {
+    const Value vlo = Value::FromKey(lo);
+    const Value vhi = Value::FromKey(hi);
+    query::CollectRangeMain(*main_, vlo, vhi, 0, rows);
+    if (frozen_ != nullptr) {
+      query::CollectRangeDelta(*frozen_, vlo, vhi, main_rows_, rows);
+    }
+  }
+
+  uint64_t GetKeyActive(uint64_t row) const override {
+    DM_DCHECK(row >= pinned_rows() && row < rows());
+    return active_->Get(row - pinned_rows()).key();
+  }
+
+  uint64_t CountEqualsActive(uint64_t key) const override {
+    return query::CountEqualsDeltaPrefix(*active_, Value::FromKey(key),
+                                         active_prefix_);
+  }
+
+  uint64_t CountRangeActive(uint64_t lo, uint64_t hi) const override {
+    return query::CountRangeDeltaPrefix(*active_, Value::FromKey(lo),
+                                        Value::FromKey(hi), active_prefix_);
+  }
+
+  uint64_t SumActive() const override {
+    return static_cast<uint64_t>(
+        query::SumKeysDeltaPrefix(*active_, active_prefix_));
+  }
+
+  void CollectEqualsActive(uint64_t key,
+                           std::vector<uint64_t>* rows) const override {
+    query::CollectEqualsDeltaPrefix(*active_, Value::FromKey(key),
+                                    pinned_rows(), active_prefix_, rows);
+  }
+
+  void CollectRangeActive(uint64_t lo, uint64_t hi,
+                          std::vector<uint64_t>* rows) const override {
+    query::CollectRangeDeltaPrefix(*active_, Value::FromKey(lo),
+                                   Value::FromKey(hi), pinned_rows(),
+                                   active_prefix_, rows);
+  }
+
+ private:
+  const MainPartition<W>* main_;
+  const DeltaPartition<W>* frozen_;
+  const DeltaPartition<W>* active_;
+  uint64_t main_rows_;
+  uint64_t frozen_rows_;
+  uint64_t active_prefix_;
+};
+
+/// A pinned, consistent read view of a whole table: every column at the
+/// same row count, plus validity as of the capture instant. Movable,
+/// non-copyable; releasing (destruction) unpins the epoch and triggers
+/// reclamation. Must not outlive the Table it came from.
+class Snapshot {
+ public:
+  Snapshot() = default;
+  ~Snapshot() { Release(); }
+
+  Snapshot(Snapshot&& other) noexcept { *this = std::move(other); }
+  Snapshot& operator=(Snapshot&& other) noexcept;
+  DM_DISALLOW_COPY(Snapshot);
+
+  bool valid() const { return epochs_ != nullptr; }
+  /// Unpins and empties the handle; idempotent.
+  void Release();
+
+  // --- shape (captured; no lock needed) ---
+  uint64_t num_rows() const { return visible_rows_; }
+  uint64_t valid_rows() const { return valid_rows_; }
+  size_t num_columns() const { return cols_.size(); }
+  /// The epoch this snapshot pinned (diagnostic).
+  uint64_t epoch() const { return pinned_epoch_; }
+
+  // --- reads (consistent as of the capture instant) ---
+  uint64_t GetKey(size_t col, uint64_t row) const;
+  bool IsRowValid(uint64_t row) const;
+  uint64_t CountEquals(size_t col, uint64_t key) const;
+  uint64_t CountRange(size_t col, uint64_t lo, uint64_t hi) const;
+  uint64_t SumColumn(size_t col) const;
+  /// Row ids (ascending) whose value equals `key`; `only_valid` filters by
+  /// validity as of the snapshot.
+  std::vector<uint64_t> CollectEquals(size_t col, uint64_t key,
+                                      bool only_valid) const;
+  /// Row ids (ascending) whose value lies in [lo, hi].
+  std::vector<uint64_t> CollectRange(size_t col, uint64_t lo, uint64_t hi,
+                                     bool only_valid) const;
+
+ private:
+  friend class Table;
+
+  Snapshot(EpochManager* epochs, uint32_t slot, uint64_t pinned_epoch,
+           std::shared_mutex* mu, const ValidityVector* validity)
+      : epochs_(epochs),
+        slot_(slot),
+        pinned_epoch_(pinned_epoch),
+        mu_(mu),
+        validity_(validity) {}
+
+  bool IsRowValidLocked(uint64_t row) const {
+    return row < visible_rows_ && validity_->IsValidAtSeq(row, tombstone_seq_);
+  }
+
+  EpochManager* epochs_ = nullptr;
+  uint32_t slot_ = 0;
+  uint64_t pinned_epoch_ = 0;
+  std::shared_mutex* mu_ = nullptr;
+  const ValidityVector* validity_ = nullptr;
+  uint64_t visible_rows_ = 0;
+  uint64_t valid_rows_ = 0;
+  uint64_t tombstone_seq_ = 0;
+  std::vector<std::unique_ptr<ColumnReadView>> cols_;
+};
+
+}  // namespace deltamerge

@@ -18,6 +18,11 @@ Table::Table(Schema schema) : schema_(std::move(schema)) {
   }
 }
 
+Table::~Table() {
+  DM_CHECK_MSG(epochs_.pinned_count() == 0,
+               "Table destroyed while snapshots are still pinned");
+}
+
 std::unique_ptr<Table> Table::FromColumns(
     Schema schema, std::vector<std::unique_ptr<ColumnBase>> columns) {
   auto t = std::make_unique<Table>(schema);
@@ -105,7 +110,7 @@ uint64_t Table::UpdateRow(uint64_t row, std::span<const uint64_t> keys) {
     columns_[c]->InsertKey(keys[c]);
   }
   const uint64_t new_row = validity_.Append(1);
-  if (row < new_row) validity_.Invalidate(row);
+  if (row < new_row) InvalidateLocked(row);
   delta_update_cycles_.fetch_add(CycleClock::Now() - t0,
                                  std::memory_order_relaxed);
   return new_row;
@@ -116,8 +121,63 @@ Status Table::DeleteRow(uint64_t row) {
   if (row >= validity_.size()) {
     return Status::OutOfRange("row id beyond table size");
   }
-  validity_.Invalidate(row);
+  InvalidateLocked(row);
   return Status::OK();
+}
+
+void Table::InvalidateLocked(uint64_t row) {
+  validity_.Invalidate(row);
+  // Keep the tombstone log bounded: drop every entry below the oldest
+  // pinned snapshot's captured seq. Safe under the exclusive lock — a
+  // snapshot pins its slot (seq 0, "unknown", which blocks pruning) before
+  // taking the shared lock to capture and publish its real seq, so any
+  // capture still in flight holds the minimum at 0 and a capture that
+  // starts later observes the post-prune state.
+  constexpr uint64_t kTombstonePruneThreshold = 4096;
+  if (validity_.tombstone_log_size() >= kTombstonePruneThreshold) {
+    const uint64_t min_seq = epochs_.MinPinnedSeq();
+    validity_.PruneTombstonesBefore(
+        min_seq < validity_.tombstone_seq() ? min_seq
+                                            : validity_.tombstone_seq());
+  }
+}
+
+Snapshot Table::CreateSnapshot() const {
+  // Pin first, capture second: any generation retired after this point
+  // carries an epoch tag >= ours and therefore outlives this snapshot.
+  const uint32_t slot = epochs_.Pin();
+  const uint64_t pinned_epoch = epochs_.current_epoch();
+  std::shared_lock lock(mu_);
+  Snapshot snap(&epochs_, slot, pinned_epoch, &mu_, &validity_);
+  snap.visible_rows_ = validity_.size();
+  snap.valid_rows_ = validity_.valid_count();
+  snap.tombstone_seq_ = validity_.tombstone_seq();
+  snap.cols_.reserve(columns_.size());
+  for (const auto& c : columns_) {
+    snap.cols_.push_back(c->CaptureView(snap.visible_rows_));
+  }
+  // Publish the captured seq so tombstone pruning can advance past every
+  // entry this snapshot will never consult.
+  epochs_.PublishPinnedSeq(slot, snap.tombstone_seq_);
+  return snap;
+}
+
+std::vector<Table::ColumnShape> Table::column_shapes() const {
+  std::shared_lock lock(mu_);
+  std::vector<ColumnShape> shapes;
+  shapes.reserve(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const ColumnBase& c = *columns_[i];
+    ColumnShape s;
+    s.nm = c.main_size();
+    s.nd_active = c.delta_size();
+    s.nd_frozen = c.frozen_size();
+    s.um = c.main_unique();
+    s.ud = c.delta_unique();
+    s.value_width = c.value_width();
+    shapes.push_back(s);
+  }
+  return shapes;
 }
 
 bool Table::IsRowValid(uint64_t row) const {
@@ -204,10 +264,13 @@ Result<TableMergeReport> Table::Merge(const TableMergeOptions& options) {
   }
 
   // Phase C (brief exclusive lock): atomically install all merged mains.
+  // Superseded generations are retired, not destroyed — snapshots pinned
+  // before this instant may still be scanning them.
   {
     std::unique_lock lock(mu_);
-    for (auto& c : columns_) c->CommitMerge();
+    for (auto& c : columns_) c->CommitMerge(&epochs_);
   }
+  epochs_.ReclaimExpired();
 
   report.wall_cycles = CycleClock::Now() - t0;
   merge_running_.store(false);

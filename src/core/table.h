@@ -24,6 +24,7 @@
 
 #include "core/column_handle.h"
 #include "core/merge_types.h"
+#include "core/snapshot.h"
 #include "parallel/task_queue.h"
 #include "parallel/thread_team.h"
 #include "storage/validity.h"
@@ -87,6 +88,7 @@ struct TableMergeReport {
 class Table {
  public:
   explicit Table(Schema schema);
+  ~Table();
 
   /// Assembles a table from pre-built columns (all the same row count);
   /// the fast path for workload builders. (Tables hold synchronization
@@ -139,6 +141,36 @@ class Table {
   uint64_t CountRange(size_t col, uint64_t lo, uint64_t hi) const;
   uint64_t SumColumn(size_t col) const;
 
+  // --- snapshot reads (§3's online property, made precise) ---
+
+  /// Pins the current epoch and captures a consistent view: every read on
+  /// the returned Snapshot answers as of this instant, regardless of
+  /// concurrent inserts, deletes, or merge commits. Cost: one slot CAS plus
+  /// a per-column pointer capture under a brief shared lock. The snapshot
+  /// must be released (destroyed) before the table is; partition
+  /// generations a merge supersedes stay allocated until every snapshot
+  /// pinned before the commit drains.
+  Snapshot CreateSnapshot() const;
+
+  /// The table's epoch/reclamation registry — exposed for the merge daemon
+  /// and tests to observe retire/reclaim behaviour and to drive the
+  /// column-level merge protocol directly.
+  EpochManager& epoch_manager() const { return epochs_; }
+
+  /// One column's cardinalities, captured consistently under one lock
+  /// acquisition — the merge daemon's trigger and cost projections must not
+  /// read column state lock-free (writers mutate it under the exclusive
+  /// lock).
+  struct ColumnShape {
+    uint64_t nm = 0;         ///< main tuples
+    uint64_t nd_active = 0;  ///< active-delta tuples
+    uint64_t nd_frozen = 0;  ///< frozen-delta tuples (mid-merge)
+    uint64_t um = 0;         ///< |U_M|
+    uint64_t ud = 0;         ///< |U_D| (active delta)
+    size_t value_width = 8;
+  };
+  std::vector<ColumnShape> column_shapes() const;
+
   // --- merge ---
 
   /// Total tuples across all column deltas (the merge trigger input).
@@ -158,10 +190,15 @@ class Table {
   }
 
  private:
+  /// Invalidation under the exclusive lock + opportunistic tombstone-log
+  /// prune (legal only while no snapshot is pinned; see validity.h).
+  void InvalidateLocked(uint64_t row);
+
   Schema schema_;
   std::vector<std::unique_ptr<ColumnBase>> columns_;
   ValidityVector validity_;
   mutable std::shared_mutex mu_;
+  mutable EpochManager epochs_;
   std::atomic<uint64_t> delta_update_cycles_{0};
   std::atomic<bool> merge_running_{false};
 };

@@ -18,7 +18,9 @@
 
 #include "core/column_handle.h"    // IWYU pragma: export
 #include "core/merge_algorithms.h" // IWYU pragma: export
+#include "core/merge_daemon.h"     // IWYU pragma: export
 #include "core/merge_scheduler.h"  // IWYU pragma: export
+#include "core/snapshot.h"         // IWYU pragma: export
 #include "core/merge_types.h"      // IWYU pragma: export
 #include "core/partitioned_table.h"// IWYU pragma: export
 #include "core/table.h"            // IWYU pragma: export

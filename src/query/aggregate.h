@@ -42,6 +42,20 @@ unsigned __int128 SumKeysDelta(const DeltaPartition<W>& delta) {
   return sum;
 }
 
+/// Sum of value keys over the first `prefix` delta tuples (snapshot-read
+/// variant: tuples appended after the snapshot's fill level are excluded).
+template <size_t W>
+unsigned __int128 SumKeysDeltaPrefix(const DeltaPartition<W>& delta,
+                                     uint64_t prefix) {
+  const auto values = delta.values();
+  const uint64_t n = prefix < values.size() ? prefix : values.size();
+  unsigned __int128 sum = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    sum += values[i].key();
+  }
+  return sum;
+}
+
 /// Minimum / maximum over both partitions; returns false if the column holds
 /// no tuples.
 template <size_t W>

@@ -36,6 +36,21 @@ uint64_t CountEqualsDelta(const DeltaPartition<W>& delta,
   return delta.tree().CountOf(v);
 }
 
+/// Number of tuples among the first `prefix` delta tuples equal to `v`.
+/// The snapshot-read variant: a reader that captured the delta at fill
+/// level `prefix` must not see tuples appended afterwards, so the postings
+/// are filtered by tuple id instead of trusting the tree's count.
+template <size_t W>
+uint64_t CountEqualsDeltaPrefix(const DeltaPartition<W>& delta,
+                                const FixedValue<W>& v, uint64_t prefix) {
+  if (prefix >= delta.size()) return CountEqualsDelta(delta, v);
+  uint64_t n = 0;
+  for (PostingsCursor c = delta.tree().Find(v); !c.Done(); c.Advance()) {
+    n += (c.TupleId() < prefix) ? 1 : 0;
+  }
+  return n;
+}
+
 /// Appends the row positions (offset by `base`) of main tuples equal to `v`.
 template <size_t W>
 void CollectEqualsMain(const MainPartition<W>& main, const FixedValue<W>& v,
@@ -55,6 +70,17 @@ void CollectEqualsDelta(const DeltaPartition<W>& delta,
                         std::vector<uint64_t>* rows) {
   for (PostingsCursor c = delta.tree().Find(v); !c.Done(); c.Advance()) {
     rows->push_back(base + c.TupleId());
+  }
+}
+
+/// Appends row positions (offset by `base`) of tuples equal to `v` among the
+/// first `prefix` delta tuples (snapshot-read variant).
+template <size_t W>
+void CollectEqualsDeltaPrefix(const DeltaPartition<W>& delta,
+                              const FixedValue<W>& v, uint64_t base,
+                              uint64_t prefix, std::vector<uint64_t>* rows) {
+  for (PostingsCursor c = delta.tree().Find(v); !c.Done(); c.Advance()) {
+    if (c.TupleId() < prefix) rows->push_back(base + c.TupleId());
   }
 }
 

@@ -43,6 +43,23 @@ uint64_t CountRangeDelta(const DeltaPartition<W>& delta,
   return count;
 }
 
+/// Number of tuples among the first `prefix` delta tuples with value in
+/// [lo, hi] (snapshot-read variant; see CountEqualsDeltaPrefix).
+template <size_t W>
+uint64_t CountRangeDeltaPrefix(const DeltaPartition<W>& delta,
+                               const FixedValue<W>& lo,
+                               const FixedValue<W>& hi, uint64_t prefix) {
+  if (prefix >= delta.size()) return CountRangeDelta(delta, lo, hi);
+  uint64_t count = 0;
+  delta.tree().ForEachInRange(lo, hi,
+                              [&](const FixedValue<W>&, PostingsCursor c) {
+                                for (; !c.Done(); c.Advance()) {
+                                  count += (c.TupleId() < prefix) ? 1 : 0;
+                                }
+                              });
+  return count;
+}
+
 /// Appends row positions (offset by `base`) of main tuples in [lo, hi].
 template <size_t W>
 void CollectRangeMain(const MainPartition<W>& main, const FixedValue<W>& lo,
@@ -67,6 +84,21 @@ void CollectRangeDelta(const DeltaPartition<W>& delta, const FixedValue<W>& lo,
   delta.tree().ForEachInRange(
       lo, hi, [&](const FixedValue<W>&, PostingsCursor c) {
         for (; !c.Done(); c.Advance()) rows->push_back(base + c.TupleId());
+      });
+}
+
+/// Appends row positions (offset by `base`) of tuples in [lo, hi] among the
+/// first `prefix` delta tuples (snapshot-read variant).
+template <size_t W>
+void CollectRangeDeltaPrefix(const DeltaPartition<W>& delta,
+                             const FixedValue<W>& lo, const FixedValue<W>& hi,
+                             uint64_t base, uint64_t prefix,
+                             std::vector<uint64_t>* rows) {
+  delta.tree().ForEachInRange(
+      lo, hi, [&](const FixedValue<W>&, PostingsCursor c) {
+        for (; !c.Done(); c.Advance()) {
+          if (c.TupleId() < prefix) rows->push_back(base + c.TupleId());
+        }
       });
 }
 

@@ -12,6 +12,14 @@
 // [0, main.size()) live in main, then frozen-delta rows, then active-delta
 // rows. A merge concatenates main + frozen in order, so global row ids are
 // stable across merges.
+//
+// Generation pinning: every partition lives behind a unique_ptr, so its
+// address is stable across freeze (the active delta *object* becomes the
+// frozen one) and commit (a fresh merged main is installed next to the old
+// one). CommitMerge/AbortMerge hand the superseded partition objects back
+// to the caller instead of destroying them — a snapshot reader that pinned
+// an epoch before the commit may still be scanning them (see
+// core/snapshot.h for the reclamation protocol).
 
 #pragma once
 
@@ -29,20 +37,33 @@ class Column {
  public:
   using Value = FixedValue<W>;
 
-  Column() = default;
-  explicit Column(MainPartition<W> main) : main_(std::move(main)) {}
+  /// The partition objects a commit or abort superseded; the caller either
+  /// destroys them (no concurrent readers) or retires them to an epoch
+  /// manager until every snapshot that could reference them drains.
+  struct RetiredParts {
+    std::unique_ptr<MainPartition<W>> main;
+    std::unique_ptr<DeltaPartition<W>> frozen;
+    std::unique_ptr<DeltaPartition<W>> active;
+  };
+
+  Column()
+      : main_(std::make_unique<MainPartition<W>>()),
+        delta_(std::make_unique<DeltaPartition<W>>()) {}
+  explicit Column(MainPartition<W> main)
+      : main_(std::make_unique<MainPartition<W>>(std::move(main))),
+        delta_(std::make_unique<DeltaPartition<W>>()) {}
   DM_DISALLOW_COPY(Column);
   Column(Column&&) noexcept = default;
   Column& operator=(Column&&) noexcept = default;
 
   /// Appends to the active delta; returns the new global row id.
   uint64_t Insert(const Value& v) {
-    const uint64_t base = main_.size() + frozen_size();
-    return base + delta_.Insert(v);
+    const uint64_t base = main_->size() + frozen_size();
+    return base + delta_->Insert(v);
   }
 
-  uint64_t main_size() const { return main_.size(); }
-  uint64_t delta_size() const { return delta_.size(); }
+  uint64_t main_size() const { return main_->size(); }
+  uint64_t delta_size() const { return delta_->size(); }
   uint64_t frozen_size() const { return frozen_ ? frozen_->size() : 0; }
   uint64_t size() const { return main_size() + frozen_size() + delta_size(); }
 
@@ -50,56 +71,64 @@ class Column {
 
   /// Materializes the value at a global row id, whichever partition holds it.
   Value Get(uint64_t row) const {
-    if (row < main_.size()) return main_.GetValue(row);
-    row -= main_.size();
+    if (row < main_->size()) return main_->GetValue(row);
+    row -= main_->size();
     const uint64_t fs = frozen_size();
     if (row < fs) return frozen_->Get(row);
-    return delta_.Get(row - fs);
+    return delta_->Get(row - fs);
   }
 
-  const MainPartition<W>& main() const { return main_; }
-  const DeltaPartition<W>& delta() const { return delta_; }
+  const MainPartition<W>& main() const { return *main_; }
+  const DeltaPartition<W>& delta() const { return *delta_; }
   const DeltaPartition<W>* frozen() const { return frozen_.get(); }
 
   /// Starts a merge epoch: the active delta becomes the frozen snapshot and
-  /// a fresh active delta accepts subsequent inserts. Requires no merge in
-  /// progress.
+  /// a fresh active delta accepts subsequent inserts. The frozen partition
+  /// keeps its heap address, so readers holding a pre-freeze pointer to the
+  /// then-active delta keep reading the same (now immutable) object.
+  /// Requires no merge in progress.
   void FreezeDelta() {
     DM_CHECK_MSG(!merge_in_progress(), "merge already in progress");
-    frozen_ = std::make_unique<DeltaPartition<W>>(std::move(delta_));
-    delta_ = DeltaPartition<W>();
+    frozen_ = std::move(delta_);
+    delta_ = std::make_unique<DeltaPartition<W>>();
   }
 
   /// Finishes a merge epoch: installs the merged main (which must contain
-  /// main + frozen) and discards the frozen snapshot.
-  void CommitMerge(MainPartition<W> merged) {
+  /// main + frozen) and returns the superseded old main and frozen delta.
+  RetiredParts CommitMerge(MainPartition<W> merged) {
     DM_CHECK_MSG(merge_in_progress(), "no merge in progress");
-    DM_CHECK_MSG(merged.size() == main_.size() + frozen_->size(),
+    DM_CHECK_MSG(merged.size() == main_->size() + frozen_->size(),
                  "merged partition has wrong cardinality");
-    main_ = std::move(merged);
-    frozen_.reset();
+    RetiredParts retired;
+    retired.main = std::move(main_);
+    retired.frozen = std::move(frozen_);
+    main_ = std::make_unique<MainPartition<W>>(std::move(merged));
+    return retired;
   }
 
   /// Abandons a merge epoch without installing a result, returning the
   /// frozen tuples to the head of the active delta (re-inserted in order so
-  /// row ids are preserved).
-  void AbortMerge() {
+  /// row ids are preserved). The superseded frozen and active partition
+  /// objects are returned for deferred reclamation.
+  RetiredParts AbortMerge() {
     DM_CHECK_MSG(merge_in_progress(), "no merge in progress");
-    std::unique_ptr<DeltaPartition<W>> frozen = std::move(frozen_);
-    DeltaPartition<W> active = std::move(delta_);
-    delta_ = DeltaPartition<W>();
-    for (const auto& v : frozen->values()) delta_.Insert(v);
-    for (const auto& v : active.values()) delta_.Insert(v);
+    RetiredParts retired;
+    retired.frozen = std::move(frozen_);
+    retired.active = std::move(delta_);
+    delta_ = std::make_unique<DeltaPartition<W>>();
+    for (const auto& v : retired.frozen->values()) delta_->Insert(v);
+    for (const auto& v : retired.active->values()) delta_->Insert(v);
+    return retired;
   }
 
   size_t memory_bytes() const {
-    return main_.memory_bytes() + delta_.memory_bytes() +
+    return main_->memory_bytes() + delta_->memory_bytes() +
            (frozen_ ? frozen_->memory_bytes() : 0);
   }
 
  private:
-  MainPartition<W> main_;
-  DeltaPartition<W> delta_;
+  std::unique_ptr<MainPartition<W>> main_;
+  std::unique_ptr<DeltaPartition<W>> delta_;
   std::unique_ptr<DeltaPartition<W>> frozen_;
 };
 

@@ -2,6 +2,8 @@
 
 #include "storage/validity.h"
 
+#include <cstddef>
+
 namespace deltamerge {
 
 uint64_t ValidityVector::Append(uint64_t n) {
@@ -25,13 +27,45 @@ void ValidityVector::Invalidate(uint64_t row) {
   if (word & mask) {
     word &= ~mask;
     --valid_count_;
+    tombstone_seq_by_row_.emplace(row, tombstone_seq());
+    tombstones_.push_back(row);
   }
+}
+
+bool ValidityVector::IsValidAtSeq(uint64_t row, uint64_t seq) const {
+  if (IsValid(row)) return true;
+  // The row is invalid now; it was still valid at `seq` iff its (unique)
+  // invalidation landed at or after `seq`. A pruned (absent) entry is
+  // necessarily below every live snapshot's seq.
+  const auto it = tombstone_seq_by_row_.find(row);
+  return it != tombstone_seq_by_row_.end() && it->second >= seq;
+}
+
+void ValidityVector::PruneTombstones() {
+  tombstone_base_ += tombstones_.size();
+  tombstones_.clear();
+  tombstone_seq_by_row_.clear();
+}
+
+void ValidityVector::PruneTombstonesBefore(uint64_t seq) {
+  if (seq <= tombstone_base_) return;
+  uint64_t drop = seq - tombstone_base_;
+  if (drop > tombstones_.size()) drop = tombstones_.size();
+  for (uint64_t i = 0; i < drop; ++i) {
+    tombstone_seq_by_row_.erase(tombstones_[i]);
+  }
+  tombstones_.erase(tombstones_.begin(),
+                    tombstones_.begin() + static_cast<ptrdiff_t>(drop));
+  tombstone_base_ += drop;
 }
 
 void ValidityVector::Clear() {
   words_.clear();
   size_ = 0;
   valid_count_ = 0;
+  tombstones_.clear();
+  tombstone_base_ = 0;
+  tombstone_seq_by_row_.clear();
 }
 
 }  // namespace deltamerge

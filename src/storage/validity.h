@@ -4,10 +4,19 @@
 // "Updates are always modeled as new inserts and deletes only invalidate
 // rows. We keep the insertion order of tuples and only the lastly inserted
 // version is valid." (paper §3). One bit per table row; set = visible.
+//
+// Snapshot support: each invalidation is additionally appended to a
+// monotone tombstone log, so a reader that captured the log length S can
+// reconstruct the bitmap as of S: a row whose bit is now clear was still
+// valid at S iff its invalidation seq (= its log index) is >= S. A row is
+// invalidated at most once (bits never come back), so a row -> seq map
+// makes the reconstruction O(1) per row. The log itself orders pruning:
+// entries below every pinned snapshot's seq are dropped (see Table).
 
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "util/macros.h"
@@ -21,7 +30,8 @@ class ValidityVector {
   /// Appends `n` rows, all valid. Returns the first new row id.
   uint64_t Append(uint64_t n = 1);
 
-  /// Marks a row invisible (delete / superseded version).
+  /// Marks a row invisible (delete / superseded version) and logs the
+  /// transition. Idempotent: an already-invalid row is not re-logged.
   void Invalidate(uint64_t row);
 
   bool IsValid(uint64_t row) const {
@@ -31,6 +41,31 @@ class ValidityVector {
 
   uint64_t size() const { return size_; }
   uint64_t valid_count() const { return valid_count_; }
+
+  // --- snapshot hooks -------------------------------------------------------
+
+  /// Total invalidations ever applied — the version a snapshot captures.
+  uint64_t tombstone_seq() const {
+    return tombstone_base_ + tombstones_.size();
+  }
+
+  /// Was `row` valid when the tombstone log stood at `seq`? O(1). Requires
+  /// that entries at or above `seq` have not been pruned (the min-pinned
+  /// prune discipline guarantees this for every live snapshot's seq).
+  bool IsValidAtSeq(uint64_t row, uint64_t seq) const;
+
+  /// Entries currently buffered (prune-pressure signal for the owner).
+  uint64_t tombstone_log_size() const { return tombstones_.size(); }
+
+  /// Drops the whole log. Only legal while no snapshot that could consult
+  /// the dropped entries is pinned.
+  void PruneTombstones();
+
+  /// Drops entries below absolute seq `seq` — everything no live snapshot
+  /// can consult (IsValidAtSeq only scans from its captured seq upward), so
+  /// the log stays bounded by the span between the oldest pinned snapshot
+  /// and now even under continuous reader load.
+  void PruneTombstonesBefore(uint64_t seq);
 
   /// Calls fn(row) for every valid row in order.
   template <typename Fn>
@@ -52,6 +87,10 @@ class ValidityVector {
   std::vector<uint64_t> words_;
   uint64_t size_ = 0;
   uint64_t valid_count_ = 0;
+  std::vector<uint64_t> tombstones_;  ///< rows, in invalidation order
+  uint64_t tombstone_base_ = 0;       ///< absolute seq of tombstones_[0]
+  /// row -> its invalidation seq, for unpruned entries only.
+  std::unordered_map<uint64_t, uint64_t> tombstone_seq_by_row_;
 };
 
 }  // namespace deltamerge

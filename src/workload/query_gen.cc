@@ -2,7 +2,11 @@
 
 #include "workload/query_gen.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "util/cycle_clock.h"
 #include "workload/value_generator.h"
@@ -120,6 +124,175 @@ WorkloadReport RunMixedWorkload(Table* table, const QueryMix& mix,
     report.total_cycles += dt;
     ++report.total_ops;
     report.checksum = report.checksum * 1099511628211ULL + result;
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent read-write-merge driver
+// ---------------------------------------------------------------------------
+
+namespace {
+
+LatencySummary Summarize(std::vector<uint64_t>& samples) {
+  LatencySummary s;
+  s.samples = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  auto at = [&](double q) {
+    size_t i = static_cast<size_t>(q * static_cast<double>(samples.size()));
+    if (i >= samples.size()) i = samples.size() - 1;
+    return samples[i];
+  };
+  s.p50 = at(0.50);
+  s.p95 = at(0.95);
+  s.p99 = at(0.99);
+  s.max = samples.back();
+  return s;
+}
+
+}  // namespace
+
+double ConcurrentWorkloadReport::updates_per_second() const {
+  if (writer_cycles == 0) return 0;
+  return static_cast<double>(writer_ops) /
+         CycleClock::ToSeconds(writer_cycles);
+}
+
+std::string ConcurrentWorkloadReport::ToString() const {
+  char buf[512];
+  const double to_us = 1e6 / CycleClock::FrequencyHz();
+  std::snprintf(
+      buf, sizeof(buf),
+      "ConcurrentWorkloadReport{updates/s=%.0f, reader_ops=%llu, "
+      "snapshots=%llu, merges=%llu, rows_merged=%llu, "
+      "read_p50=%.1fus, read_p95=%.1fus, "
+      "during_merge{n=%llu, p50=%.1fus, p95=%.1fus}}",
+      updates_per_second(), static_cast<unsigned long long>(reader_ops),
+      static_cast<unsigned long long>(snapshots),
+      static_cast<unsigned long long>(merges_completed),
+      static_cast<unsigned long long>(rows_merged),
+      static_cast<double>(reader_all.p50) * to_us,
+      static_cast<double>(reader_all.p95) * to_us,
+      static_cast<unsigned long long>(reads_during_merge),
+      static_cast<double>(reader_during_merge.p50) * to_us,
+      static_cast<double>(reader_during_merge.p95) * to_us);
+  return std::string(buf);
+}
+
+ConcurrentWorkloadReport RunConcurrentReadWriteMerge(
+    Table* table, MergeDaemon* daemon,
+    const ConcurrentWorkloadOptions& options) {
+  DM_CHECK(table != nullptr);
+  ConcurrentWorkloadReport report;
+  const size_t nc = table->num_columns();
+  const uint64_t range_width = std::max<uint64_t>(
+      1, static_cast<uint64_t>(static_cast<double>(options.key_domain) *
+                               options.range_fraction));
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> total_reader_ops{0};
+  std::atomic<uint64_t> total_snapshots{0};
+  std::atomic<uint64_t> total_during_merge{0};
+  std::atomic<uint64_t> checksum{0};
+
+  const int readers = options.num_readers > 0 ? options.num_readers : 0;
+  std::vector<std::vector<uint64_t>> all_samples(
+      static_cast<size_t>(readers));
+  std::vector<std::vector<uint64_t>> merge_samples(
+      static_cast<size_t>(readers));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(readers));
+
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back([&, r] {
+      Rng rng(options.seed ^ (0x9e3779b9ULL * static_cast<uint64_t>(r + 1)));
+      auto& mine = all_samples[static_cast<size_t>(r)];
+      auto& during = merge_samples[static_cast<size_t>(r)];
+      uint64_t local_checksum = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        Snapshot snap = table->CreateSnapshot();
+        total_snapshots.fetch_add(1, std::memory_order_relaxed);
+        for (int q = 0; q < options.reads_per_snapshot; ++q) {
+          const size_t col = static_cast<size_t>(rng.Below(nc));
+          const uint64_t kind = rng.Below(3);
+          const bool merging_before =
+              daemon != nullptr && daemon->merge_in_flight();
+          const uint64_t t0 = CycleClock::Now();
+          uint64_t result = 0;
+          if (kind == 0) {
+            result = snap.CountEquals(col, rng.Below(options.key_domain));
+          } else if (kind == 1) {
+            const uint64_t lo = rng.Below(options.key_domain);
+            result = snap.CountRange(col, lo, lo + range_width);
+          } else {
+            result = snap.SumColumn(col);
+          }
+          const uint64_t dt = CycleClock::Now() - t0;
+          // Sampled on both sides so a read a merge commit lands *inside*
+          // (the worst case this driver exists to measure) counts too.
+          const bool merging =
+              merging_before ||
+              (daemon != nullptr && daemon->merge_in_flight());
+          mine.push_back(dt);
+          if (merging) during.push_back(dt);
+          local_checksum = local_checksum * 1099511628211ULL + result;
+          total_reader_ops.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      checksum.fetch_add(local_checksum, std::memory_order_relaxed);
+    });
+  }
+
+  // The writer runs on the calling thread: inserts modelling new business
+  // objects, insert-only updates, and deletes (§2's write mix, write-only
+  // legs). Reads are the readers' job.
+  MergeDaemonStats daemon_before;
+  if (daemon != nullptr) {
+    daemon_before = daemon->stats();
+    daemon->Start();  // no-op if the caller already started it
+  }
+  Rng rng(options.seed ^ 0xabcdef12345ULL);
+  std::vector<uint64_t> row_keys(nc);
+  const uint64_t t0 = CycleClock::Now();
+  for (uint64_t op = 0; op < options.writer_ops; ++op) {
+    for (size_t c = 0; c < nc; ++c) {
+      row_keys[c] = rng.Below(options.key_domain);
+    }
+    const uint64_t rows = table->num_rows();
+    const uint64_t dice = rng.Below(100);
+    if (dice < 55 || rows == 0) {
+      table->InsertRow(row_keys);
+    } else if (dice < 85) {
+      table->UpdateRow(rng.Below(rows), row_keys);
+    } else {
+      (void)table->DeleteRow(rng.Below(rows));
+    }
+  }
+  report.writer_cycles = CycleClock::Now() - t0;
+  report.writer_ops = options.writer_ops;
+
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  std::vector<uint64_t> merged_all;
+  std::vector<uint64_t> merged_during;
+  for (auto& v : all_samples) {
+    merged_all.insert(merged_all.end(), v.begin(), v.end());
+  }
+  for (auto& v : merge_samples) {
+    merged_during.insert(merged_during.end(), v.begin(), v.end());
+  }
+  report.reader_all = Summarize(merged_all);
+  report.reader_during_merge = Summarize(merged_during);
+  report.reader_ops = total_reader_ops.load();
+  report.snapshots = total_snapshots.load();
+  report.reads_during_merge = report.reader_during_merge.samples;
+  report.checksum = checksum.load();
+  if (daemon != nullptr) {
+    const MergeDaemonStats after = daemon->stats();
+    report.merges_completed = after.merges - daemon_before.merges;
+    report.rows_merged = after.rows_merged - daemon_before.rows_merged;
   }
   return report;
 }

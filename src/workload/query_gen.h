@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/merge_daemon.h"
 #include "core/table.h"
 #include "util/random.h"
 #include "workload/enterprise_stats.h"
@@ -61,5 +62,60 @@ struct WorkloadOptions {
 WorkloadReport RunMixedWorkload(Table* table, const QueryMix& mix,
                                 uint64_t num_ops,
                                 const WorkloadOptions& options);
+
+// ---------------------------------------------------------------------------
+// Concurrent read-write-merge driver (§3's online property under load).
+// ---------------------------------------------------------------------------
+
+struct ConcurrentWorkloadOptions {
+  /// Reader threads doing snapshot reads alongside the writer.
+  int num_readers = 4;
+  /// Write operations the (single) writer thread issues.
+  uint64_t writer_ops = 50'000;
+  /// Reads each reader performs per pinned snapshot before releasing it.
+  int reads_per_snapshot = 4;
+  uint64_t key_domain = 1 << 20;
+  double range_fraction = 0.001;
+  uint64_t seed = 42;
+};
+
+/// Latency distribution of one sample population, in cycles.
+struct LatencySummary {
+  uint64_t samples = 0;
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+  uint64_t max = 0;
+};
+
+struct ConcurrentWorkloadReport {
+  uint64_t writer_ops = 0;
+  uint64_t writer_cycles = 0;  ///< wall cycles of the writer loop
+  /// Sustained write throughput while readers and the daemon run (the
+  /// Figure 9 metric, measured instead of projected).
+  double updates_per_second() const;
+
+  uint64_t reader_ops = 0;
+  uint64_t snapshots = 0;
+  uint64_t reads_during_merge = 0;  ///< reads that overlapped a merge body
+  LatencySummary reader_all;
+  LatencySummary reader_during_merge;
+
+  uint64_t merges_completed = 0;
+  uint64_t rows_merged = 0;
+  uint64_t checksum = 0;  ///< folds every read result; keeps reads honest
+
+  std::string ToString() const;
+};
+
+/// Runs a single writer (insert/update/delete mix) against `table` while
+/// `num_readers` threads continuously pin snapshots and execute lookups,
+/// range counts and scans against them. `daemon` (optional) merges in the
+/// background; it must already be constructed on the same table and is
+/// started/nudged by the driver but not stopped. Returns throughput and
+/// reader latency split into all reads vs. reads overlapping a merge.
+ConcurrentWorkloadReport RunConcurrentReadWriteMerge(
+    Table* table, MergeDaemon* daemon,
+    const ConcurrentWorkloadOptions& options);
 
 }  // namespace deltamerge

@@ -1,0 +1,126 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Single-threaded reference model for differential tests.
+//
+// Replays the same insert/update/delete schedule as a Table in plain
+// vectors and answers the same queries by brute force. Semantics mirror the
+// insert-only design of §3 exactly:
+//
+//   * every version of every row is kept; counts/sums span all versions
+//     (matching Table::CountEquals & co., which scan all partitions);
+//   * validity is a per-row flag flipped by deletes and supersession;
+//   * a 4-byte column truncates keys to 32 bits on insert AND on probe,
+//     because FixedValue<4>::FromKey does (8- and 16-byte columns carry the
+//     full 64-bit ordering key).
+//
+// The model is cheaply copyable: a copy taken at the instant a Snapshot is
+// pinned is the ground truth that snapshot must agree with forever after,
+// no matter how many merges commit in between.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace deltamerge::testref {
+
+class ReferenceModel {
+ public:
+  explicit ReferenceModel(std::vector<size_t> widths)
+      : widths_(std::move(widths)) {}
+
+  static uint64_t Mask(uint64_t key, size_t width) {
+    return width == 4 ? (key & 0xffffffffull) : key;
+  }
+
+  uint64_t Insert(std::span<const uint64_t> keys) {
+    std::vector<uint64_t> row(widths_.size());
+    for (size_t c = 0; c < widths_.size(); ++c) {
+      row[c] = Mask(keys[c], widths_[c]);
+    }
+    rows_.push_back(std::move(row));
+    valid_.push_back(true);
+    ++valid_count_;
+    return rows_.size() - 1;
+  }
+
+  uint64_t Update(uint64_t row, std::span<const uint64_t> keys) {
+    const uint64_t new_row = Insert(keys);
+    if (row < new_row) Delete(row);
+    return new_row;
+  }
+
+  void Delete(uint64_t row) {
+    if (row < valid_.size() && valid_[row]) {
+      valid_[row] = false;
+      --valid_count_;
+    }
+  }
+
+  uint64_t size() const { return rows_.size(); }
+
+  uint64_t valid_count() const { return valid_count_; }
+
+  bool IsValid(uint64_t row) const {
+    return row < valid_.size() && valid_[row];
+  }
+
+  uint64_t Key(uint64_t row, size_t col) const { return rows_[row][col]; }
+
+  /// All versions whose key equals `key` (probe masked like the table's).
+  uint64_t CountEquals(size_t col, uint64_t key) const {
+    const uint64_t k = Mask(key, widths_[col]);
+    uint64_t n = 0;
+    for (const auto& r : rows_) n += (r[col] == k) ? 1 : 0;
+    return n;
+  }
+
+  uint64_t CountRange(size_t col, uint64_t lo, uint64_t hi) const {
+    const uint64_t l = Mask(lo, widths_[col]);
+    const uint64_t h = Mask(hi, widths_[col]);
+    uint64_t n = 0;
+    for (const auto& r : rows_) n += (r[col] >= l && r[col] <= h) ? 1 : 0;
+    return n;
+  }
+
+  /// Sum of keys over all versions, mod 2^64.
+  uint64_t Sum(size_t col) const {
+    uint64_t s = 0;
+    for (const auto& r : rows_) s += r[col];
+    return s;
+  }
+
+  std::vector<uint64_t> CollectEquals(size_t col, uint64_t key,
+                                      bool only_valid) const {
+    const uint64_t k = Mask(key, widths_[col]);
+    std::vector<uint64_t> out;
+    for (uint64_t row = 0; row < rows_.size(); ++row) {
+      if (rows_[row][col] == k && (!only_valid || valid_[row])) {
+        out.push_back(row);
+      }
+    }
+    return out;
+  }
+
+  std::vector<uint64_t> CollectRange(size_t col, uint64_t lo, uint64_t hi,
+                                     bool only_valid) const {
+    const uint64_t l = Mask(lo, widths_[col]);
+    const uint64_t h = Mask(hi, widths_[col]);
+    std::vector<uint64_t> out;
+    for (uint64_t row = 0; row < rows_.size(); ++row) {
+      if (rows_[row][col] >= l && rows_[row][col] <= h &&
+          (!only_valid || valid_[row])) {
+        out.push_back(row);
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::vector<size_t> widths_;
+  std::vector<std::vector<uint64_t>> rows_;
+  std::vector<bool> valid_;
+  uint64_t valid_count_ = 0;
+};
+
+}  // namespace deltamerge::testref

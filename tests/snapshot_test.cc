@@ -1,0 +1,513 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// The snapshot/epoch layer's differential harness: epoch-manager unit
+// tests, deterministic snapshot-vs-merge scenarios, and the property-style
+// randomized replay — a Table and a single-threaded ReferenceModel execute
+// the same seeded insert/update/delete/merge schedule, and every pinned
+// Snapshot must agree with the model copy taken at its capture instant, no
+// matter how many merges commit before it is checked.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/merge_daemon.h"
+#include "core/snapshot.h"
+#include "core/table.h"
+#include "reference_model.h"
+#include "storage/validity.h"
+#include "util/random.h"
+
+namespace deltamerge {
+namespace {
+
+using testref::ReferenceModel;
+
+// ---------------------------------------------------------------------------
+// EpochManager
+// ---------------------------------------------------------------------------
+
+TEST(EpochManager, ReclaimsImmediatelyWithoutPins) {
+  EpochManager em;
+  auto alive = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = alive;
+  em.Retire(std::move(alive));
+  EXPECT_EQ(em.retired_count(), 1u);
+  EXPECT_EQ(em.ReclaimExpired(), 1u);
+  EXPECT_TRUE(watch.expired());
+  EXPECT_EQ(em.retired_count(), 0u);
+  EXPECT_EQ(em.reclaimed_total(), 1u);
+}
+
+TEST(EpochManager, PinnedEpochBlocksReclaimUntilUnpin) {
+  EpochManager em;
+  const uint32_t slot = em.Pin();
+  EXPECT_EQ(em.pinned_count(), 1u);
+
+  auto alive = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = alive;
+  em.Retire(std::move(alive));  // retired at an epoch >= the pin
+  EXPECT_EQ(em.ReclaimExpired(), 0u);
+  EXPECT_FALSE(watch.expired());
+
+  em.Unpin(slot);
+  EXPECT_EQ(em.ReclaimExpired(), 1u);
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(EpochManager, LaterPinDoesNotResurrectOlderGarbage) {
+  EpochManager em;
+  auto obj = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = obj;
+  em.Retire(std::move(obj));
+  // A pin taken after the retirement observes a newer epoch and must not
+  // keep the earlier object alive.
+  const uint32_t slot = em.Pin();
+  EXPECT_EQ(em.ReclaimExpired(), 1u);
+  EXPECT_TRUE(watch.expired());
+  em.Unpin(slot);
+}
+
+TEST(EpochManager, MinPinnedSeqIsConservativeUntilPublished) {
+  EpochManager em;
+  EXPECT_EQ(em.MinPinnedSeq(), UINT64_MAX);  // nothing pinned
+  const uint32_t a = em.Pin();
+  EXPECT_EQ(em.MinPinnedSeq(), 0u);  // pinned but not yet published
+  em.PublishPinnedSeq(a, 17);
+  EXPECT_EQ(em.MinPinnedSeq(), 17u);
+  const uint32_t b = em.Pin();
+  EXPECT_EQ(em.MinPinnedSeq(), 0u);  // second pin back to unknown
+  em.PublishPinnedSeq(b, 40);
+  EXPECT_EQ(em.MinPinnedSeq(), 17u);
+  em.Unpin(a);
+  EXPECT_EQ(em.MinPinnedSeq(), 40u);
+  em.Unpin(b);
+  EXPECT_EQ(em.MinPinnedSeq(), UINT64_MAX);
+  // A reused slot must not leak the previous occupant's seq.
+  const uint32_t c = em.Pin();
+  EXPECT_EQ(em.MinPinnedSeq(), 0u);
+  em.Unpin(c);
+}
+
+TEST(EpochManager, SlotsAreReusable) {
+  EpochManager em;
+  for (int round = 0; round < 3; ++round) {
+    std::vector<uint32_t> slots;
+    for (int i = 0; i < 16; ++i) slots.push_back(em.Pin());
+    EXPECT_EQ(em.pinned_count(), 16u);
+    for (uint32_t s : slots) em.Unpin(s);
+    EXPECT_EQ(em.pinned_count(), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ValidityVector tombstone log
+// ---------------------------------------------------------------------------
+
+TEST(ValidityTombstones, IsValidAtSeqReconstructsHistory) {
+  ValidityVector v;
+  v.Append(4);
+  const uint64_t s0 = v.tombstone_seq();  // all 4 valid
+  v.Invalidate(1);
+  const uint64_t s1 = v.tombstone_seq();
+  v.Invalidate(3);
+  const uint64_t s2 = v.tombstone_seq();
+
+  // Now: 0,2 valid; 1,3 invalid.
+  EXPECT_TRUE(v.IsValidAtSeq(1, s0));   // invalidated after s0
+  EXPECT_TRUE(v.IsValidAtSeq(3, s0));
+  EXPECT_FALSE(v.IsValidAtSeq(1, s1));  // already dead at s1
+  EXPECT_TRUE(v.IsValidAtSeq(3, s1));
+  EXPECT_FALSE(v.IsValidAtSeq(1, s2));
+  EXPECT_FALSE(v.IsValidAtSeq(3, s2));
+  EXPECT_TRUE(v.IsValidAtSeq(0, s0));
+  EXPECT_TRUE(v.IsValidAtSeq(2, s2));
+
+  // Double-invalidate is not re-logged.
+  v.Invalidate(1);
+  EXPECT_EQ(v.tombstone_seq(), s2);
+
+  // Prune keeps the absolute clock monotone.
+  v.PruneTombstones();
+  EXPECT_EQ(v.tombstone_seq(), s2);
+  EXPECT_EQ(v.tombstone_log_size(), 0u);
+  EXPECT_FALSE(v.IsValidAtSeq(1, s2));
+}
+
+TEST(ValidityTombstones, PartialPruneKeepsLiveSuffix) {
+  ValidityVector v;
+  v.Append(10);
+  for (uint64_t row : {0ull, 2ull, 4ull, 6ull, 8ull}) v.Invalidate(row);
+  const uint64_t seq = v.tombstone_seq();  // 5
+  v.Invalidate(1);
+  v.Invalidate(3);
+
+  // Prune everything below `seq`: rows 1 and 3 stay consultable.
+  v.PruneTombstonesBefore(seq);
+  EXPECT_EQ(v.tombstone_log_size(), 2u);
+  EXPECT_EQ(v.tombstone_seq(), seq + 2);
+  EXPECT_TRUE(v.IsValidAtSeq(1, seq));    // invalidated after seq
+  EXPECT_TRUE(v.IsValidAtSeq(3, seq));
+  EXPECT_FALSE(v.IsValidAtSeq(1, seq + 2));
+  // Pruning below an already-pruned point is a no-op.
+  v.PruneTombstonesBefore(2);
+  EXPECT_EQ(v.tombstone_log_size(), 2u);
+  // Pruning past the end clears the log but keeps the clock.
+  v.PruneTombstonesBefore(v.tombstone_seq() + 100);
+  EXPECT_EQ(v.tombstone_log_size(), 0u);
+  EXPECT_EQ(v.tombstone_seq(), seq + 2);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic snapshot scenarios
+// ---------------------------------------------------------------------------
+
+Schema ThreeColumnSchema() {
+  Schema s;
+  s.columns = {{8, "a"}, {4, "b"}, {16, "c"}};
+  return s;
+}
+
+TEST(Snapshot, IsolatedFromLaterWritesAndDeletes) {
+  Table t(ThreeColumnSchema());
+  t.InsertRow({10, 20, 30});
+  t.InsertRow({11, 21, 31});
+
+  Snapshot snap = t.CreateSnapshot();
+  ASSERT_TRUE(snap.valid());
+  EXPECT_EQ(snap.num_rows(), 2u);
+  EXPECT_EQ(snap.valid_rows(), 2u);
+
+  // Writes after the capture are invisible.
+  t.InsertRow({10, 22, 32});
+  ASSERT_TRUE(t.DeleteRow(0).ok());
+  t.UpdateRow(1, {99, 99, 99});
+
+  EXPECT_EQ(t.num_rows(), 4u);
+  EXPECT_EQ(snap.num_rows(), 2u);
+  EXPECT_EQ(snap.CountEquals(0, 10), 1u);  // the table now counts 2
+  EXPECT_EQ(t.CountEquals(0, 10), 2u);
+  EXPECT_TRUE(snap.IsRowValid(0));   // deleted only after the capture
+  EXPECT_TRUE(snap.IsRowValid(1));   // superseded only after the capture
+  EXPECT_FALSE(snap.IsRowValid(2));  // beyond the horizon
+  EXPECT_FALSE(t.IsRowValid(0));
+  EXPECT_EQ(snap.SumColumn(0), 21u);
+  EXPECT_EQ(snap.GetKey(2 /*col c*/, 1), 31u);
+}
+
+TEST(Snapshot, StableAcrossAFullMergeCommit) {
+  Table t(ThreeColumnSchema());
+  for (uint64_t i = 0; i < 500; ++i) t.InsertRow({i % 7, i % 5, i});
+  ASSERT_TRUE(t.DeleteRow(3).ok());
+
+  Snapshot snap = t.CreateSnapshot();
+  const uint64_t count7 = snap.CountEquals(0, 3);
+  const uint64_t sum = snap.SumColumn(2);
+  const auto rows_eq = snap.CollectEquals(0, 3, /*only_valid=*/true);
+
+  // Two merges with writes interleaved; the old generations are retired,
+  // not destroyed, because `snap` pins their epoch.
+  TableMergeOptions options;
+  ASSERT_TRUE(t.Merge(options).ok());
+  for (uint64_t i = 0; i < 100; ++i) t.InsertRow({3, 1, 1000 + i});
+  ASSERT_TRUE(t.Merge(options).ok());
+  EXPECT_GT(t.epoch_manager().retired_count(), 0u);
+
+  EXPECT_EQ(snap.num_rows(), 500u);
+  EXPECT_EQ(snap.CountEquals(0, 3), count7);
+  EXPECT_EQ(snap.SumColumn(2), sum);
+  EXPECT_EQ(snap.CollectEquals(0, 3, true), rows_eq);
+  EXPECT_FALSE(snap.IsRowValid(3));
+
+  // Releasing the snapshot drains the epoch; the retired generations go.
+  snap.Release();
+  EXPECT_EQ(t.epoch_manager().retired_count(), 0u);
+  EXPECT_GT(t.epoch_manager().reclaimed_total(), 0u);
+}
+
+TEST(Snapshot, CapturedMidMergeSeesFrozenPlusActive) {
+  Table t(ThreeColumnSchema());
+  for (uint64_t i = 0; i < 64; ++i) t.InsertRow({i, i, i});
+  TableMergeOptions options;
+  ASSERT_TRUE(t.Merge(options).ok());  // 64 rows into main
+
+  for (uint64_t i = 64; i < 96; ++i) t.InsertRow({i, i, i});
+
+  // Drive the column protocol directly to hold the table mid-merge
+  // (single-threaded; Table::Merge wraps exactly these steps).
+  for (size_t c = 0; c < t.num_columns(); ++c) t.column(c).FreezeDelta();
+
+  Snapshot mid = t.CreateSnapshot();  // sees main(64) + frozen(32)
+  EXPECT_EQ(mid.num_rows(), 96u);
+
+  // Writes during the merge body land in the fresh active delta.
+  t.InsertRow({1000, 1000, 1000});
+  EXPECT_EQ(mid.CountEquals(0, 1000), 0u);
+  Snapshot during = t.CreateSnapshot();  // sees main + frozen + 1 active
+  EXPECT_EQ(during.num_rows(), 97u);
+  EXPECT_EQ(during.CountEquals(0, 1000), 1u);
+
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    t.column(c).PrepareMerge(MergeOptions{}, nullptr);
+    t.column(c).CommitMerge(&t.epoch_manager());
+  }
+
+  // Both snapshots pinned the pre-commit generation; their reads hold.
+  EXPECT_EQ(mid.num_rows(), 96u);
+  EXPECT_EQ(mid.SumColumn(0), 95u * 96u / 2);
+  EXPECT_EQ(during.CountEquals(0, 1000), 1u);
+  EXPECT_EQ(t.GetKey(0, 96), 1000u);
+
+  mid.Release();
+  during.Release();
+  EXPECT_EQ(t.epoch_manager().retired_count(), 0u);
+}
+
+TEST(Snapshot, DaemonMergeCannotDisturbAPinnedSnapshot) {
+  Table t(ThreeColumnSchema());
+  ReferenceModel ref({8, 4, 16});
+  Rng rng(7);
+  std::vector<uint64_t> keys(3);
+  for (int i = 0; i < 2000; ++i) {
+    for (auto& k : keys) k = rng.Below(1000);
+    t.InsertRow(keys);
+    ref.Insert(keys);
+  }
+
+  Snapshot snap = t.CreateSnapshot();
+  const ReferenceModel at_capture = ref;
+
+  MergeDaemonPolicy policy;
+  policy.min_delta_rows = 100;
+  policy.poll_interval_us = 200;
+  TableMergeOptions options;
+  options.num_threads = 2;
+  MergeDaemon daemon(&t, policy, options);
+  daemon.Start();
+  // 2000 delta rows >= min_delta_rows -> the first poll fires.
+  daemon.Nudge();
+  for (int i = 0; i < 5000 && daemon.stats().merges == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(daemon.stats().merges, 1u) << "daemon never merged";
+
+  // More writes after the merge, then check the snapshot against the model
+  // copy taken at capture.
+  for (int i = 0; i < 500; ++i) {
+    for (auto& k : keys) k = rng.Below(1000);
+    t.InsertRow(keys);
+    ref.Insert(keys);
+  }
+  daemon.Stop();
+
+  EXPECT_EQ(snap.num_rows(), at_capture.size());
+  for (uint64_t probe : {3ull, 500ull, 999ull}) {
+    EXPECT_EQ(snap.CountEquals(0, probe), at_capture.CountEquals(0, probe));
+    EXPECT_EQ(snap.CollectEquals(1, probe, false),
+              at_capture.CollectEquals(1, probe, false));
+  }
+  EXPECT_EQ(snap.SumColumn(2), at_capture.Sum(2));
+  snap.Release();
+  EXPECT_EQ(t.epoch_manager().retired_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// MergeDaemon trigger policy
+// ---------------------------------------------------------------------------
+
+TEST(MergeDaemonPolicyTest, TriggersInPriorityOrder) {
+  Table t(ThreeColumnSchema());
+  MergeDaemonPolicy policy;
+  policy.min_delta_rows = 1000;
+  policy.delta_fraction = 0.01;
+
+  // Below the floor: nothing fires even with a huge rate.
+  for (int i = 0; i < 400; ++i) t.InsertRow({1, 2, 3});
+  EXPECT_EQ(EvaluateMergeTrigger(t, policy, 1, 0.0), MergeTrigger::kNone);
+
+  // A hot arrival rate extrapolates past the floor within one poll.
+  policy.poll_interval_us = 1'000'000;  // 1 s lookahead horizon
+  EXPECT_EQ(EvaluateMergeTrigger(t, policy, 1, 1e6),
+            MergeTrigger::kRateLookahead);
+  policy.rate_lookahead = false;
+  EXPECT_EQ(EvaluateMergeTrigger(t, policy, 1, 1e6), MergeTrigger::kNone);
+
+  // Past the floor with an empty main: the §4 size trigger fires.
+  for (int i = 0; i < 700; ++i) t.InsertRow({1, 2, 3});
+  EXPECT_EQ(EvaluateMergeTrigger(t, policy, 1, 0.0),
+            MergeTrigger::kDeltaSize);
+
+  // After merging, N_M dominates and the fraction gate holds again...
+  ASSERT_TRUE(t.Merge(TableMergeOptions{}).ok());
+  for (int i = 0; i < 1000; ++i) t.InsertRow({1, 2, 3});
+  policy.delta_fraction = 10.0;  // 1000 delta vs 10*1100 main: not due
+  EXPECT_EQ(EvaluateMergeTrigger(t, policy, 1, 0.0), MergeTrigger::kNone);
+
+  // ...unless the cost model projects the merge to exceed the budget.
+  policy.max_projected_merge_seconds = 1e-12;
+  EXPECT_GT(ProjectedMergeSeconds(t, policy.profile, 1), 0.0);
+  EXPECT_EQ(EvaluateMergeTrigger(t, policy, 1, 0.0),
+            MergeTrigger::kCostBudget);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential replay (property-style)
+// ---------------------------------------------------------------------------
+
+struct DiffParam {
+  uint64_t seed;
+  int ops;
+  uint64_t domain;
+  double merge_probability;
+  double snapshot_probability;
+};
+
+void PrintTo(const DiffParam& p, std::ostream* os) {
+  *os << "seed=" << p.seed << " ops=" << p.ops << " dom=" << p.domain
+      << " mp=" << p.merge_probability << " sp=" << p.snapshot_probability;
+}
+
+class SnapshotDifferentialTest : public ::testing::TestWithParam<DiffParam> {
+ protected:
+  /// Every read the snapshot offers, checked against the model copy taken
+  /// at its capture instant.
+  void VerifySnapshot(const Snapshot& snap, const ReferenceModel& model,
+                      Rng& rng, uint64_t domain) {
+    ASSERT_EQ(snap.num_rows(), model.size());
+    ASSERT_EQ(snap.valid_rows(), model.valid_count());
+    EXPECT_FALSE(snap.IsRowValid(model.size() + 5));
+    if (model.size() == 0) return;
+
+    for (int i = 0; i < 3; ++i) {
+      const uint64_t row = rng.Below(model.size());
+      EXPECT_EQ(snap.IsRowValid(row), model.IsValid(row)) << "row " << row;
+      for (size_t col = 0; col < 3; ++col) {
+        EXPECT_EQ(snap.GetKey(col, row), model.Key(row, col))
+            << "row " << row << " col " << col;
+      }
+    }
+    const uint64_t probe = rng.Below(domain);
+    for (size_t col = 0; col < 3; ++col) {
+      EXPECT_EQ(snap.CountEquals(col, probe), model.CountEquals(col, probe))
+          << "col " << col << " probe " << probe;
+    }
+    const uint64_t lo = rng.Below(domain);
+    const uint64_t hi = lo + rng.Below(domain / 4 + 1);
+    EXPECT_EQ(snap.CountRange(0, lo, hi), model.CountRange(0, lo, hi));
+    EXPECT_EQ(snap.SumColumn(0), model.Sum(0));
+    EXPECT_EQ(snap.SumColumn(1), model.Sum(1));
+    // The acceptance check: the scanned row *sets* agree, valid-only and
+    // all-versions alike.
+    EXPECT_EQ(snap.CollectEquals(0, probe, true),
+              model.CollectEquals(0, probe, true));
+    EXPECT_EQ(snap.CollectEquals(0, probe, false),
+              model.CollectEquals(0, probe, false));
+    EXPECT_EQ(snap.CollectRange(0, lo, hi, true),
+              model.CollectRange(0, lo, hi, true));
+  }
+};
+
+TEST_P(SnapshotDifferentialTest, EverySnapshotAgreesWithItsModelCopy) {
+  const DiffParam p = GetParam();
+  Rng rng(p.seed);
+
+  Table table(ThreeColumnSchema());
+  ReferenceModel ref({8, 4, 16});
+
+  // Pinned snapshots paired with the model state at their capture instant.
+  std::vector<std::pair<Snapshot, ReferenceModel>> pinned;
+  constexpr size_t kMaxPinned = 6;
+
+  std::vector<uint64_t> keys(3);
+  uint64_t merges = 0;
+  uint64_t verifications = 0;
+
+  for (int op = 0; op < p.ops; ++op) {
+    const uint64_t dice = rng.Below(100);
+    if (dice < 55 || ref.size() == 0) {
+      for (auto& k : keys) k = rng.Below(p.domain);
+      ASSERT_EQ(table.InsertRow(keys), ref.Insert(keys));
+    } else if (dice < 75) {
+      const uint64_t row = rng.Below(ref.size());
+      for (auto& k : keys) k = rng.Below(p.domain);
+      ASSERT_EQ(table.UpdateRow(row, keys), ref.Update(row, keys));
+    } else if (dice < 85) {
+      const uint64_t row = rng.Below(ref.size());
+      ASSERT_TRUE(table.DeleteRow(row).ok());
+      ref.Delete(row);
+    } else {
+      // Live read-through: the table itself, not a snapshot.
+      const uint64_t probe = rng.Below(p.domain);
+      ASSERT_EQ(table.CountEquals(0, probe), ref.CountEquals(0, probe));
+    }
+
+    if (rng.NextDouble() < p.merge_probability) {
+      TableMergeOptions options;
+      options.num_threads = 1 + static_cast<int>(merges % 4);
+      options.parallelism = (merges % 2 == 0)
+                                ? MergeParallelism::kColumnTasks
+                                : MergeParallelism::kIntraColumn;
+      options.merge.algorithm = (merges % 3 == 0) ? MergeAlgorithm::kNaive
+                                                  : MergeAlgorithm::kLinear;
+      ASSERT_TRUE(table.Merge(options).ok());
+      ++merges;
+    }
+
+    if (rng.NextDouble() < p.snapshot_probability) {
+      if (pinned.size() >= kMaxPinned) {
+        // Verify and release the oldest — it has usually outlived several
+        // merges by now, which is exactly the interesting case.
+        VerifySnapshot(pinned.front().first, pinned.front().second, rng,
+                       p.domain);
+        ++verifications;
+        pinned.erase(pinned.begin());
+      }
+      pinned.emplace_back(table.CreateSnapshot(), ref);
+    }
+
+    // Occasionally spot-check a random pinned snapshot mid-life.
+    if (!pinned.empty() && rng.NextDouble() < 0.02) {
+      const size_t i = static_cast<size_t>(rng.Below(pinned.size()));
+      VerifySnapshot(pinned[i].first, pinned[i].second, rng, p.domain);
+      ++verifications;
+    }
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "differential mismatch at op " << op << " (seed " << p.seed
+             << ")";
+    }
+  }
+
+  ASSERT_GE(merges, 1u) << "parameterization never merged";
+  for (auto& [snap, model] : pinned) {
+    VerifySnapshot(snap, model, rng, p.domain);
+    ++verifications;
+  }
+  EXPECT_GE(verifications, 10u) << "parameterization barely verified";
+  pinned.clear();
+
+  // All epochs drained: nothing may remain retired, and the table agrees
+  // with the final model state.
+  EXPECT_EQ(table.epoch_manager().pinned_count(), 0u);
+  EXPECT_EQ(table.epoch_manager().retired_count(), 0u);
+  for (uint64_t row = 0; row < ref.size(); ++row) {
+    for (size_t col = 0; col < 3; ++col) {
+      ASSERT_EQ(table.GetKey(col, row), ref.Key(row, col))
+          << "row " << row << " col " << col;
+    }
+    ASSERT_EQ(table.IsRowValid(row), ref.IsValid(row)) << "row " << row;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Runs, SnapshotDifferentialTest,
+    ::testing::Values(
+        DiffParam{11, 4000, 50, 0.01, 0.05},       // tiny domain, long pins
+        DiffParam{12, 3000, 1 << 30, 0.02, 0.05},  // huge domain: unique keys
+        DiffParam{13, 2000, 997, 0.08, 0.10},      // merge-heavy
+        DiffParam{14, 1000, 7, 0.05, 0.20}));      // near-constant columns
+
+}  // namespace
+}  // namespace deltamerge
