@@ -14,6 +14,9 @@
 //   DM_THREADS  worker threads (default: hardware concurrency).
 //   DM_COLUMNS  how many real columns to measure per configuration
 //               (default 1; results are normalized per column).
+//   DM_JSON     path of a JSON-lines file to append machine-readable
+//               results to (one object per measured configuration); used by
+//               CI to record the benchmark trajectory (BENCH_pr<N>.json).
 
 #pragma once
 
@@ -159,6 +162,18 @@ inline void PrintHeader(const char* title, const BenchConfig& cfg) {
               static_cast<unsigned long long>(cfg.scale), cfg.threads,
               cfg.columns, CycleClock::FrequencyHz() / 1e9);
   std::printf("=====================================================================\n");
+}
+
+/// Appends one JSON object line to the file named by DM_JSON (no-op when
+/// the variable is unset). The caller passes the object's body without the
+/// surrounding braces, e.g. `"\"bench\":\"x\",\"ups\":123.4"`.
+inline void AppendJsonResult(const std::string& fields) {
+  const char* path = std::getenv("DM_JSON");
+  if (path == nullptr || *path == '\0') return;
+  FILE* f = std::fopen(path, "a");
+  if (f == nullptr) return;
+  std::fprintf(f, "{%s}\n", fields.c_str());
+  std::fclose(f);
 }
 
 inline std::string HumanCount(uint64_t n) {

@@ -72,6 +72,19 @@ void RunConfig(const BenchConfig& cfg, int readers, bool with_daemon) {
       static_cast<double>(report.reader_during_merge.p50) * to_us,
       static_cast<unsigned long long>(report.merges_completed),
       static_cast<unsigned long long>(report.reads_during_merge));
+
+  char json[256];
+  std::snprintf(
+      json, sizeof(json),
+      "\"bench\":\"online_merge\",\"mode\":\"%s\",\"readers\":%d,"
+      "\"updates_per_s\":%.0f,\"read_p50_us\":%.2f,"
+      "\"read_merge_p50_us\":%.2f,\"merges\":%llu",
+      with_daemon ? "daemon" : "no-merge", readers,
+      report.updates_per_second(),
+      static_cast<double>(report.reader_all.p50) * to_us,
+      static_cast<double>(report.reader_during_merge.p50) * to_us,
+      static_cast<unsigned long long>(report.merges_completed));
+  AppendJsonResult(json);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -57,6 +58,14 @@ class ColumnBase {
   /// keeps the captured partitions alive.
   virtual std::unique_ptr<ColumnReadView> CaptureView(
       uint64_t visible_rows) const = 0;
+
+  // --- durability (checkpoint capture; see core/durability_hooks.h) ---
+  /// A closure serializing the column's *current* main partition
+  /// (dictionary + packed codes). Capture under the table lock; invoke
+  /// while an epoch pinned at or before capture time is still held — the
+  /// pin keeps the partition object alive across later merge commits.
+  virtual std::function<Status(FileWriter&)> CaptureMainSerializer()
+      const = 0;
 
   // --- merge protocol (driven by Table / MergeManager) ---
   virtual void FreezeDelta() = 0;
@@ -144,6 +153,11 @@ class ColumnHandle final : public ColumnBase {
         visible_rows - pinned);
   }
 
+  std::function<Status(FileWriter&)> CaptureMainSerializer() const override {
+    const MainPartition<W>* main = &column_.main();
+    return [main](FileWriter& out) { return main->Serialize(out); };
+  }
+
   void FreezeDelta() override { column_.FreezeDelta(); }
 
   MergeStats PrepareMerge(const MergeOptions& options,
@@ -202,6 +216,33 @@ inline std::unique_ptr<ColumnBase> MakeColumn(size_t value_width) {
     default:
       DM_CHECK_MSG(false, "unsupported value width (use 4, 8 or 16)");
       return nullptr;
+  }
+}
+
+/// Recovery inverse of ColumnBase::CaptureMainSerializer: reads one main
+/// partition of the given width from a checkpoint stream and wraps it in a
+/// fresh column (empty delta — the WAL tail repopulates it).
+inline Result<std::unique_ptr<ColumnBase>> DeserializeColumnMain(
+    size_t value_width, FileReader& in) {
+  switch (value_width) {
+    case 4: {
+      DM_ASSIGN_OR_RETURN(MainPartition<4> m, MainPartition<4>::Deserialize(in));
+      return std::unique_ptr<ColumnBase>(
+          std::make_unique<ColumnHandle<4>>(Column<4>(std::move(m))));
+    }
+    case 8: {
+      DM_ASSIGN_OR_RETURN(MainPartition<8> m, MainPartition<8>::Deserialize(in));
+      return std::unique_ptr<ColumnBase>(
+          std::make_unique<ColumnHandle<8>>(Column<8>(std::move(m))));
+    }
+    case 16: {
+      DM_ASSIGN_OR_RETURN(MainPartition<16> m,
+                          MainPartition<16>::Deserialize(in));
+      return std::unique_ptr<ColumnBase>(
+          std::make_unique<ColumnHandle<16>>(Column<16>(std::move(m))));
+    }
+    default:
+      return Status::Internal("unsupported value width in checkpoint");
   }
 }
 

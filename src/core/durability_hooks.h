@@ -1,0 +1,151 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// The seam between the in-memory engine (src/core) and the durability
+// subsystem (src/persist): Table calls these hooks, persist implements them.
+//
+// The paper's architecture makes the split natural: updates only ever land
+// in the write-optimized delta, so the delta is the durability frontier — a
+// write-ahead record per mutation is all the logging the system needs — and
+// the merge rebuilds the read-optimized main wholesale, which is exactly a
+// checkpoint boundary (Larson et al. describe the same log-the-delta /
+// checkpoint-the-snapshot split for main-memory stores). Core stays
+// ignorant of files, fsync, and formats; it only promises ordering:
+//
+//   * Log* hooks are invoked under the table's exclusive lock, in mutation
+//     order, *before* the in-memory mutation — the WAL sequence is the
+//     authoritative serialization of the write history;
+//   * Acknowledge(lsn) is invoked after the lock is released and must not
+//     return until the record is durable per the configured sync policy —
+//     the caller's write is "acknowledged" only after that;
+//   * OnMergeFreezeLocked runs inside the merge's freeze critical section:
+//     every record logged before it describes a row that the pending merge
+//     will fold into the main (or a tombstone the checkpoint's validity
+//     prefix will cover), every record after it belongs to the fresh active
+//     delta. Its return value is the WAL position the matching checkpoint
+//     replays from;
+//   * OnMergeCommitted receives a CheckpointCapture of the newly installed
+//     main generation, taken under the commit lock but *serialized with no
+//     lock held* — an epoch pin (the PR 2 machinery) keeps the captured
+//     partitions alive even if further merges commit meanwhile, so writers
+//     and readers never stall on checkpoint I/O.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/snapshot.h"
+#include "util/file_io.h"
+#include "util/status.h"
+
+namespace deltamerge {
+
+/// Everything a checkpoint needs from the commit instant, decoupled from
+/// the table lock: closures over the immutable new main partitions plus a
+/// copy of the validity prefix they cover. Holds an epoch pin; destroying
+/// (or Release()ing) the capture unpins and lets superseded generations
+/// reclaim.
+struct CheckpointCapture {
+  struct ColumnMain {
+    size_t value_width = 0;
+    /// Schema name, persisted so recovery can refuse a same-shape but
+    /// differently-named schema instead of silently reinterpreting bytes.
+    std::string name;
+    /// Serializes the captured main partition (dictionary + packed codes).
+    /// Valid while the capture's epoch pin is held.
+    std::function<Status(FileWriter&)> serialize;
+  };
+
+  /// WAL position this checkpoint replays from (the freeze instant).
+  uint64_t replay_lsn = 0;
+  /// Rows covered by the checkpoint (== every column's new main size).
+  uint64_t main_rows = 0;
+  uint64_t valid_main_rows = 0;
+  /// Validity bits for rows [0, main_rows), captured at the *freeze*
+  /// instant so they reflect exactly the records below replay_lsn —
+  /// tombstones landing during the merge body belong to the replay tail
+  /// (recovery applies them only if their records became durable).
+  std::vector<uint64_t> validity_words;
+  std::vector<ColumnMain> columns;
+
+  CheckpointCapture() = default;
+  ~CheckpointCapture() { Release(); }
+  CheckpointCapture(CheckpointCapture&& other) noexcept {
+    *this = std::move(other);
+  }
+  CheckpointCapture& operator=(CheckpointCapture&& other) noexcept {
+    if (this != &other) {
+      Release();
+      replay_lsn = other.replay_lsn;
+      main_rows = other.main_rows;
+      valid_main_rows = other.valid_main_rows;
+      validity_words = std::move(other.validity_words);
+      columns = std::move(other.columns);
+      epochs_ = other.epochs_;
+      slot_ = other.slot_;
+      other.epochs_ = nullptr;
+    }
+    return *this;
+  }
+  CheckpointCapture(const CheckpointCapture&) = delete;
+  CheckpointCapture& operator=(const CheckpointCapture&) = delete;
+
+  /// Drops the epoch pin (idempotent); call as soon as serialization is
+  /// done so retired generations can reclaim.
+  void Release() {
+    if (epochs_ != nullptr) {
+      epochs_->Unpin(slot_);
+      epochs_->ReclaimExpired();
+      epochs_ = nullptr;
+    }
+  }
+
+  bool holds_pin() const { return epochs_ != nullptr; }
+
+  /// Table installs the pin it took before the commit lock.
+  void AdoptPin(EpochManager* epochs, uint32_t slot) {
+    Release();
+    epochs_ = epochs;
+    slot_ = slot;
+  }
+
+ private:
+  EpochManager* epochs_ = nullptr;
+  uint32_t slot_ = 0;
+};
+
+/// The hook interface Table drives. Implemented by
+/// persist::DurabilityManager; a null journal means a purely in-memory
+/// table (the default, and the PR 2 behaviour).
+class TableJournal {
+ public:
+  virtual ~TableJournal() = default;
+
+  /// Write-path records (under the exclusive lock, pre-mutation). Each
+  /// returns the record's log sequence number for Acknowledge.
+  virtual uint64_t LogInsert(std::span<const uint64_t> keys) = 0;
+  virtual uint64_t LogUpdate(uint64_t old_row,
+                             std::span<const uint64_t> keys) = 0;
+  virtual uint64_t LogDelete(uint64_t row) = 0;
+
+  /// Blocks until record `lsn` is durable per the sync policy (no lock
+  /// held). sync=none returns immediately; sync=interval leaves a bounded
+  /// loss window; sync=every-commit group-commits an fdatasync.
+  virtual void Acknowledge(uint64_t lsn) = 0;
+
+  /// Merge freeze instant (under the exclusive lock): the journal rotates
+  /// to a fresh WAL segment and returns the LSN that cleanly partitions
+  /// pre-freeze records (covered by the upcoming checkpoint) from
+  /// post-freeze ones (the replay tail).
+  virtual uint64_t OnMergeFreezeLocked() = 0;
+
+  /// Merge commit completed (no lock held): write `capture` to a snapshot
+  /// file and truncate the WAL to capture.replay_lsn. Failures must leave
+  /// the previous checkpoint + full WAL intact.
+  virtual void OnMergeCommitted(CheckpointCapture capture) = 0;
+};
+
+}  // namespace deltamerge

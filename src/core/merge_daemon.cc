@@ -83,137 +83,95 @@ MergeTrigger EvaluateMergeTrigger(const Table& table,
 
 MergeDaemon::MergeDaemon(Table* table, MergeDaemonPolicy policy,
                          TableMergeOptions options)
-    : table_(table), policy_(policy), options_(options) {
+    : table_(table),
+      policy_(policy),
+      options_(options),
+      poller_(policy.poll_interval_us, [this] { PollOnce(); }) {
   DM_CHECK(table != nullptr);
 }
 
 MergeDaemon::~MergeDaemon() { Stop(); }
 
 void MergeDaemon::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (running_) return;
-  stop_requested_ = false;
-  running_ = true;
+  // Serialize concurrent Start() calls: the rate-estimation state may only
+  // be reset while the poll thread is provably not running (the PR 2
+  // hand-rolled loop held its mutex across all of Start for the same
+  // reason).
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (poller_.running()) return;
   last_delta_rows_ = table_->delta_rows();
   last_poll_cycles_ = CycleClock::Now();
   delta_rows_per_sec_ = 0.0;
-  thread_ = std::thread([this] { Loop(); });
+  poller_.Start();
 }
 
-void MergeDaemon::Stop() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!running_) return;
-    stop_requested_ = true;
-  }
-  wake_.notify_all();
-  // join_mu_ serializes concurrent stoppers (e.g. an explicit Stop racing
-  // the destructor): exactly one joins; the others wait here until the
-  // watcher has terminated, then see the thread already joined.
-  {
-    std::lock_guard<std::mutex> join_lock(join_mu_);
-    if (thread_.joinable()) thread_.join();
-  }
-  std::lock_guard<std::mutex> lock(mu_);
-  running_ = false;
-}
+void MergeDaemon::Stop() { poller_.Stop(); }
 
-void MergeDaemon::Nudge() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    nudged_ = true;  // makes the wait predicate true — notify alone would
-                     // just re-enter wait_for until the poll deadline
-  }
-  wake_.notify_all();
-}
+void MergeDaemon::Nudge() { poller_.Nudge(); }
 
-void MergeDaemon::Pause() {
-  std::lock_guard<std::mutex> lock(mu_);
-  paused_ = true;
-}
+void MergeDaemon::Pause() { poller_.Pause(); }
 
-void MergeDaemon::Resume() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    paused_ = false;
-    nudged_ = true;
-  }
-  wake_.notify_all();
-}
+void MergeDaemon::Resume() { poller_.Resume(); }
 
-bool MergeDaemon::paused() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return paused_;
-}
+bool MergeDaemon::paused() const { return poller_.paused(); }
 
 MergeDaemonStats MergeDaemon::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  MergeDaemonStats out = stats_;
+  out.polls = poller_.polls();
+  return out;
 }
 
-void MergeDaemon::Loop() {
-  for (;;) {
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      wake_.wait_for(lock,
-                     std::chrono::microseconds(policy_.poll_interval_us),
-                     [this] { return stop_requested_ || nudged_; });
-      nudged_ = false;
-      if (stop_requested_) return;
-      ++stats_.polls;
-      if (paused_) continue;
-    }
-
-    // Update the arrival-rate estimate (exponentially smoothed so one idle
-    // poll does not erase a burst). Merges shrink the delta; only growth
-    // counts as arrival.
-    const uint64_t now = CycleClock::Now();
-    const uint64_t nd = table_->delta_rows();
-    const double dt = CycleClock::ToSeconds(now - last_poll_cycles_);
-    if (dt > 0) {
-      const double grown = nd > last_delta_rows_
-                               ? static_cast<double>(nd - last_delta_rows_)
-                               : 0.0;
-      const double inst_rate = grown / dt;
-      delta_rows_per_sec_ = 0.5 * delta_rows_per_sec_ + 0.5 * inst_rate;
-    }
-    last_delta_rows_ = nd;
-    last_poll_cycles_ = now;
-
-    const MergeTrigger trigger = EvaluateMergeTrigger(
-        *table_, policy_, options_.num_threads, delta_rows_per_sec_);
-    if (trigger == MergeTrigger::kNone) continue;
-
-    merge_in_flight_.store(true, std::memory_order_release);
-    auto result = table_->Merge(options_);
-    merge_in_flight_.store(false, std::memory_order_release);
-
-    std::lock_guard<std::mutex> lock(mu_);
-    switch (trigger) {
-      case MergeTrigger::kDeltaSize:
-        ++stats_.size_triggers;
-        break;
-      case MergeTrigger::kCostBudget:
-        ++stats_.cost_triggers;
-        break;
-      case MergeTrigger::kRateLookahead:
-        ++stats_.rate_triggers;
-        break;
-      case MergeTrigger::kNone:
-        break;
-    }
-    if (!result.ok()) {
-      // Another merger won the race; the trigger will re-fire if needed.
-      ++stats_.failed_merges;
-      continue;
-    }
-    const TableMergeReport& report = result.ValueOrDie();
-    ++stats_.merges;
-    stats_.rows_merged += report.rows_merged;
-    stats_.merge_wall_cycles += report.wall_cycles;
-    stats_.merge.Accumulate(report.stats);
-    last_delta_rows_ = table_->delta_rows();
+void MergeDaemon::PollOnce() {
+  // Update the arrival-rate estimate (exponentially smoothed so one idle
+  // poll does not erase a burst). Merges shrink the delta; only growth
+  // counts as arrival.
+  const uint64_t now = CycleClock::Now();
+  const uint64_t nd = table_->delta_rows();
+  const double dt = CycleClock::ToSeconds(now - last_poll_cycles_);
+  if (dt > 0) {
+    const double grown = nd > last_delta_rows_
+                             ? static_cast<double>(nd - last_delta_rows_)
+                             : 0.0;
+    const double inst_rate = grown / dt;
+    delta_rows_per_sec_ = 0.5 * delta_rows_per_sec_ + 0.5 * inst_rate;
   }
+  last_delta_rows_ = nd;
+  last_poll_cycles_ = now;
+
+  const MergeTrigger trigger = EvaluateMergeTrigger(
+      *table_, policy_, options_.num_threads, delta_rows_per_sec_);
+  if (trigger == MergeTrigger::kNone) return;
+
+  merge_in_flight_.store(true, std::memory_order_release);
+  auto result = table_->Merge(options_);
+  merge_in_flight_.store(false, std::memory_order_release);
+
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  switch (trigger) {
+    case MergeTrigger::kDeltaSize:
+      ++stats_.size_triggers;
+      break;
+    case MergeTrigger::kCostBudget:
+      ++stats_.cost_triggers;
+      break;
+    case MergeTrigger::kRateLookahead:
+      ++stats_.rate_triggers;
+      break;
+    case MergeTrigger::kNone:
+      break;
+  }
+  if (!result.ok()) {
+    // Another merger won the race; the trigger will re-fire if needed.
+    ++stats_.failed_merges;
+    return;
+  }
+  const TableMergeReport& report = result.ValueOrDie();
+  ++stats_.merges;
+  stats_.rows_merged += report.rows_merged;
+  stats_.merge_wall_cycles += report.wall_cycles;
+  stats_.merge.Accumulate(report.stats);
+  last_delta_rows_ = table_->delta_rows();
 }
 
 }  // namespace deltamerge

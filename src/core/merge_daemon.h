@@ -23,14 +23,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <mutex>
-#include <thread>
 
 #include "core/table.h"
 #include "model/cost_model.h"
 #include "model/machine_profile.h"
+#include "util/poll_thread.h"
 
 namespace deltamerge {
 
@@ -124,22 +123,21 @@ class MergeDaemon {
   MergeDaemonStats stats() const;
 
  private:
-  void Loop();
+  /// One poll tick: refresh the arrival-rate estimate, evaluate the
+  /// trigger, and run the merge if it fired. Invoked by poller_.
+  void PollOnce();
 
   Table* table_;
   MergeDaemonPolicy policy_;
   TableMergeOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable wake_;
-  bool stop_requested_ = false;
-  bool nudged_ = false;
-  bool paused_ = false;
-  bool running_ = false;
-  std::mutex join_mu_;  ///< serializes concurrent Stop() calls on join
-  std::thread thread_;
+  /// The shared poll-loop harness (stop/nudge/pause lifecycle); the §9
+  /// policy brain above stays daemon-specific.
+  PollThread poller_;
 
   std::atomic<bool> merge_in_flight_{false};
+  std::mutex lifecycle_mu_;  ///< serializes Start() (rate-state reset)
+  mutable std::mutex stats_mu_;
   MergeDaemonStats stats_;
 
   // Rate estimation state (watcher thread only).

@@ -17,92 +17,44 @@ bool ShouldMerge(const Table& table, const MergeTriggerPolicy& policy) {
 
 MergeScheduler::MergeScheduler(Table* table, MergeTriggerPolicy policy,
                                TableMergeOptions options)
-    : table_(table), policy_(policy), options_(options) {
+    : table_(table),
+      policy_(policy),
+      options_(options),
+      poller_(/*interval_us=*/1000, [this] { PollOnce(); }) {
   DM_CHECK(table != nullptr);
 }
 
 MergeScheduler::~MergeScheduler() { Stop(); }
 
-void MergeScheduler::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (running_) return;
-  stop_requested_ = false;
-  running_ = true;
-  thread_ = std::thread([this] { Loop(); });
-}
+void MergeScheduler::Start() { poller_.Start(); }
 
-void MergeScheduler::Stop() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!running_) return;
-    stop_requested_ = true;
-  }
-  wake_.notify_all();
-  // Exactly one concurrent stopper joins; the rest wait for it here.
-  {
-    std::lock_guard<std::mutex> join_lock(join_mu_);
-    if (thread_.joinable()) thread_.join();
-  }
-  std::lock_guard<std::mutex> lock(mu_);
-  running_ = false;
-}
+void MergeScheduler::Stop() { poller_.Stop(); }
 
-void MergeScheduler::Nudge() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    nudged_ = true;  // makes the wait predicate true; notify alone would
-                     // re-enter wait_for until the poll deadline
-  }
-  wake_.notify_all();
-}
+void MergeScheduler::Nudge() { poller_.Nudge(); }
 
-void MergeScheduler::Pause() {
-  std::lock_guard<std::mutex> lock(mu_);
-  paused_ = true;
-}
+void MergeScheduler::Pause() { poller_.Pause(); }
 
-void MergeScheduler::Resume() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    paused_ = false;
-    nudged_ = true;
-  }
-  wake_.notify_all();
-}
+void MergeScheduler::Resume() { poller_.Resume(); }
 
-bool MergeScheduler::paused() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return paused_;
-}
+bool MergeScheduler::paused() const { return poller_.paused(); }
 
 MergeStats MergeScheduler::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(stats_mu_);
   return accumulated_;
 }
 
-void MergeScheduler::Loop() {
-  for (;;) {
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      // Poll at millisecond granularity; Nudge() short-circuits the wait.
-      wake_.wait_for(lock, std::chrono::milliseconds(1),
-                     [this] { return stop_requested_ || nudged_; });
-      nudged_ = false;
-      if (stop_requested_) return;
-      if (paused_) continue;
-    }
-    if (!ShouldMerge(*table_, policy_)) continue;
+void MergeScheduler::PollOnce() {
+  if (!ShouldMerge(*table_, policy_)) return;
 
-    auto result = table_->Merge(options_);
-    if (!result.ok()) continue;  // another merger won the race; retry later
-    const TableMergeReport& report = result.ValueOrDie();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      accumulated_.Accumulate(report.stats);
-    }
-    merges_completed_.fetch_add(1, std::memory_order_relaxed);
-    rows_merged_.fetch_add(report.rows_merged, std::memory_order_relaxed);
+  auto result = table_->Merge(options_);
+  if (!result.ok()) return;  // another merger won the race; retry later
+  const TableMergeReport& report = result.ValueOrDie();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    accumulated_.Accumulate(report.stats);
   }
+  merges_completed_.fetch_add(1, std::memory_order_relaxed);
+  rows_merged_.fetch_add(report.rows_merged, std::memory_order_relaxed);
 }
 
 }  // namespace deltamerge

@@ -14,13 +14,12 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <mutex>
-#include <thread>
 
 #include "core/merge_types.h"
 #include "core/table.h"
+#include "util/poll_thread.h"
 
 namespace deltamerge {
 
@@ -74,21 +73,18 @@ class MergeScheduler {
   MergeStats stats() const;
 
  private:
-  void Loop();
+  /// One poll tick: evaluate the §4 trigger, merge if due (poller_ body).
+  void PollOnce();
 
   Table* table_;
   MergeTriggerPolicy policy_;
   TableMergeOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable wake_;
-  bool stop_requested_ = false;
-  bool nudged_ = false;
-  bool paused_ = false;
-  bool running_ = false;
-  std::mutex join_mu_;  ///< serializes concurrent Stop() calls on join
-  std::thread thread_;
+  /// Shared poll-loop harness (see util/poll_thread.h) at the millisecond
+  /// cadence the original hand-rolled loop used.
+  PollThread poller_;
 
+  mutable std::mutex stats_mu_;
   std::atomic<uint64_t> merges_completed_{0};
   std::atomic<uint64_t> rows_merged_{0};
   MergeStats accumulated_;

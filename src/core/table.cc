@@ -25,6 +25,16 @@ Table::~Table() {
 
 std::unique_ptr<Table> Table::FromColumns(
     Schema schema, std::vector<std::unique_ptr<ColumnBase>> columns) {
+  const uint64_t rows = columns.empty() ? 0 : columns[0]->size();
+  ValidityVector validity;
+  validity.Append(rows);
+  return FromColumns(std::move(schema), std::move(columns),
+                     std::move(validity));
+}
+
+std::unique_ptr<Table> Table::FromColumns(
+    Schema schema, std::vector<std::unique_ptr<ColumnBase>> columns,
+    ValidityVector validity) {
   auto t = std::make_unique<Table>(schema);
   DM_CHECK_MSG(columns.size() == t->columns_.size(),
                "column count does not match schema");
@@ -34,8 +44,10 @@ std::unique_ptr<Table> Table::FromColumns(
                  "column width does not match schema");
     DM_CHECK_MSG(columns[i]->size() == rows, "columns have unequal row counts");
   }
+  DM_CHECK_MSG(validity.size() == rows,
+               "validity vector does not span the column rows");
   t->columns_ = std::move(columns);
-  t->validity_.Append(rows);
+  t->validity_ = std::move(validity);
   return t;
 }
 
@@ -59,14 +71,22 @@ size_t Table::memory_bytes() const {
 uint64_t Table::InsertRow(std::span<const uint64_t> keys) {
   DM_CHECK_MSG(keys.size() == columns_.size(),
                "key count does not match column count");
-  std::unique_lock lock(mu_);
-  const uint64_t t0 = CycleClock::Now();
-  for (size_t c = 0; c < columns_.size(); ++c) {
-    columns_[c]->InsertKey(keys[c]);
+  TableJournal* journal = nullptr;
+  uint64_t lsn = 0;
+  uint64_t row;
+  {
+    std::unique_lock lock(mu_);
+    journal = journal_;
+    if (journal != nullptr) lsn = journal->LogInsert(keys);
+    const uint64_t t0 = CycleClock::Now();
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      columns_[c]->InsertKey(keys[c]);
+    }
+    row = validity_.Append(1);
+    delta_update_cycles_.fetch_add(CycleClock::Now() - t0,
+                                   std::memory_order_relaxed);
   }
-  const uint64_t row = validity_.Append(1);
-  delta_update_cycles_.fetch_add(CycleClock::Now() - t0,
-                                 std::memory_order_relaxed);
+  if (journal != nullptr) journal->Acknowledge(lsn);
   return row;
 }
 
@@ -75,53 +95,88 @@ uint64_t Table::InsertRows(std::span<const uint64_t> row_major_keys,
   const size_t nc = columns_.size();
   DM_CHECK_MSG(row_major_keys.size() == num_rows * nc,
                "batch size does not match row count x column count");
-  std::unique_lock lock(mu_);
-  const uint64_t t0 = CycleClock::Now();
-  if (queue == nullptr) {
-    for (uint64_t r = 0; r < num_rows; ++r) {
-      for (size_t c = 0; c < nc; ++c) {
-        columns_[c]->InsertKey(row_major_keys[r * nc + c]);
+  TableJournal* journal = nullptr;
+  uint64_t last_lsn = 0;
+  uint64_t first;
+  {
+    std::unique_lock lock(mu_);
+    journal = journal_;
+    if (journal != nullptr) {
+      // One record per row, framed serially under the lock — the simple,
+      // replay-identical form. For very large durable batches this encode
+      // dominates the §7.2 column-parallel insert below; a batched record
+      // type is the known follow-up (see ROADMAP).
+      for (uint64_t r = 0; r < num_rows; ++r) {
+        last_lsn =
+            journal->LogInsert(row_major_keys.subspan(r * nc, nc));
       }
     }
-  } else {
-    // Delta-update parallelization (§7.2): one task per column applies the
-    // whole batch. Columns are independent, so no further locking is needed.
-    for (size_t c = 0; c < nc; ++c) {
-      queue->Submit([this, row_major_keys, num_rows, nc, c] {
-        for (uint64_t r = 0; r < num_rows; ++r) {
+    const uint64_t t0 = CycleClock::Now();
+    if (queue == nullptr) {
+      for (uint64_t r = 0; r < num_rows; ++r) {
+        for (size_t c = 0; c < nc; ++c) {
           columns_[c]->InsertKey(row_major_keys[r * nc + c]);
         }
-      });
+      }
+    } else {
+      // Delta-update parallelization (§7.2): one task per column applies the
+      // whole batch. Columns are independent, so no further locking is
+      // needed.
+      for (size_t c = 0; c < nc; ++c) {
+        queue->Submit([this, row_major_keys, num_rows, nc, c] {
+          for (uint64_t r = 0; r < num_rows; ++r) {
+            columns_[c]->InsertKey(row_major_keys[r * nc + c]);
+          }
+        });
+      }
+      queue->WaitAll();
     }
-    queue->WaitAll();
+    first = validity_.Append(num_rows);
+    delta_update_cycles_.fetch_add(CycleClock::Now() - t0,
+                                   std::memory_order_relaxed);
   }
-  const uint64_t first = validity_.Append(num_rows);
-  delta_update_cycles_.fetch_add(CycleClock::Now() - t0,
-                                 std::memory_order_relaxed);
+  // One durability wait covers the whole batch (group commit): every record
+  // up to the last one must be durable before the batch is acknowledged.
+  if (journal != nullptr && num_rows > 0) journal->Acknowledge(last_lsn);
   return first;
 }
 
 uint64_t Table::UpdateRow(uint64_t row, std::span<const uint64_t> keys) {
   DM_CHECK_MSG(keys.size() == columns_.size(),
                "key count does not match column count");
-  std::unique_lock lock(mu_);
-  const uint64_t t0 = CycleClock::Now();
-  for (size_t c = 0; c < columns_.size(); ++c) {
-    columns_[c]->InsertKey(keys[c]);
+  TableJournal* journal = nullptr;
+  uint64_t lsn = 0;
+  uint64_t new_row;
+  {
+    std::unique_lock lock(mu_);
+    journal = journal_;
+    if (journal != nullptr) lsn = journal->LogUpdate(row, keys);
+    const uint64_t t0 = CycleClock::Now();
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      columns_[c]->InsertKey(keys[c]);
+    }
+    new_row = validity_.Append(1);
+    if (row < new_row) InvalidateLocked(row);
+    delta_update_cycles_.fetch_add(CycleClock::Now() - t0,
+                                   std::memory_order_relaxed);
   }
-  const uint64_t new_row = validity_.Append(1);
-  if (row < new_row) InvalidateLocked(row);
-  delta_update_cycles_.fetch_add(CycleClock::Now() - t0,
-                                 std::memory_order_relaxed);
+  if (journal != nullptr) journal->Acknowledge(lsn);
   return new_row;
 }
 
 Status Table::DeleteRow(uint64_t row) {
-  std::unique_lock lock(mu_);
-  if (row >= validity_.size()) {
-    return Status::OutOfRange("row id beyond table size");
+  TableJournal* journal = nullptr;
+  uint64_t lsn = 0;
+  {
+    std::unique_lock lock(mu_);
+    if (row >= validity_.size()) {
+      return Status::OutOfRange("row id beyond table size");
+    }
+    journal = journal_;
+    if (journal != nullptr) lsn = journal->LogDelete(row);
+    InvalidateLocked(row);
   }
-  InvalidateLocked(row);
+  if (journal != nullptr) journal->Acknowledge(lsn);
   return Status::OK();
 }
 
@@ -211,6 +266,33 @@ uint64_t Table::delta_rows() const {
   return columns_.empty() ? 0 : columns_[0]->delta_size();
 }
 
+void Table::AttachJournal(TableJournal* journal) {
+  std::unique_lock lock(mu_);
+  journal_ = journal;
+}
+
+TableJournal* Table::journal() const {
+  std::shared_lock lock(mu_);
+  return journal_;
+}
+
+CheckpointCapture Table::BuildCheckpointCaptureLocked(
+    uint64_t replay_lsn) const {
+  // Shape and column serializers only — the validity bits come from the
+  // freeze instant (see Merge), because the checkpoint must reflect
+  // exactly the records below replay_lsn.
+  CheckpointCapture cap;
+  cap.replay_lsn = replay_lsn;
+  cap.main_rows = columns_.empty() ? 0 : columns_[0]->main_size();
+  cap.columns.reserve(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    cap.columns.push_back({columns_[i]->value_width(),
+                           schema_.columns[i].name,
+                           columns_[i]->CaptureMainSerializer()});
+  }
+  return cap;
+}
+
 Result<TableMergeReport> Table::Merge(const TableMergeOptions& options) {
   bool expected = false;
   if (!merge_running_.compare_exchange_strong(expected, true)) {
@@ -220,11 +302,34 @@ Result<TableMergeReport> Table::Merge(const TableMergeOptions& options) {
   const uint64_t t0 = CycleClock::Now();
   TableMergeReport report;
 
-  // Phase A (brief exclusive lock): freeze every column's delta.
+  // Phase A (brief exclusive lock): freeze every column's delta. With a
+  // journal attached, the freeze instant also rotates the WAL: records
+  // before it describe rows this merge folds into main (the checkpoint will
+  // cover them), records after it are the post-checkpoint replay tail. The
+  // checkpoint's validity bits are captured HERE, not at commit: they must
+  // reflect exactly the records below replay_lsn — a tombstone applied
+  // in-memory during the merge body belongs to the replay tail, and baking
+  // it into the checkpoint would make recovery reflect a record that may
+  // never have become durable (not a prefix of the logged history).
+  TableJournal* journal = nullptr;
+  uint64_t replay_lsn = 0;
+  std::vector<uint64_t> freeze_validity_words;
+  uint64_t freeze_rows = 0;
+  uint64_t freeze_valid_rows = 0;
   {
     std::unique_lock lock(mu_);
+    journal = journal_;
     for (auto& c : columns_) c->FreezeDelta();
     report.rows_merged = columns_.empty() ? 0 : columns_[0]->frozen_size();
+    if (journal != nullptr) {
+      replay_lsn = journal->OnMergeFreezeLocked();
+      // At the freeze instant the fresh active delta is empty, so every
+      // existing row is about to be folded into the new main: the full
+      // validity prefix is exactly what the checkpoint covers.
+      freeze_rows = validity_.size();
+      freeze_validity_words = validity_.CopyWordsPrefix(freeze_rows);
+      freeze_valid_rows = validity_.valid_count();
+    }
   }
 
   // Phase B (no lock): merge each column against its frozen snapshot.
@@ -266,14 +371,41 @@ Result<TableMergeReport> Table::Merge(const TableMergeOptions& options) {
   // Phase C (brief exclusive lock): atomically install all merged mains.
   // Superseded generations are retired, not destroyed — snapshots pinned
   // before this instant may still be scanning them.
+  //
+  // With a journal attached, pin an epoch *before* the lock (Pin can spin
+  // for a free slot; never do that under the exclusive lock) so the newly
+  // installed mains survive later commits while the checkpoint serializes
+  // them lock-free.
+  uint32_t ckpt_slot = 0;
+  if (journal != nullptr) ckpt_slot = epochs_.Pin();
+  CheckpointCapture capture;
   {
     std::unique_lock lock(mu_);
     for (auto& c : columns_) c->CommitMerge(&epochs_);
+    if (journal != nullptr) {
+      capture = BuildCheckpointCaptureLocked(replay_lsn);
+      DM_CHECK_MSG(capture.main_rows == freeze_rows,
+                   "merged main does not match the freeze-instant rows");
+      capture.validity_words = std::move(freeze_validity_words);
+      capture.valid_main_rows = freeze_valid_rows;
+      capture.AdoptPin(&epochs_, ckpt_slot);
+      // Publish the seq so the pin does not block tombstone pruning (the
+      // capture never consults the tombstone log).
+      epochs_.PublishPinnedSeq(ckpt_slot, validity_.tombstone_seq());
+    }
   }
   epochs_.ReclaimExpired();
 
   report.wall_cycles = CycleClock::Now() - t0;
+  // Release the merge slot BEFORE the checkpoint I/O: the capture's epoch
+  // pin keeps the serialized mains alive even if the next merge commits
+  // while the file is still being written, so checkpoint latency must not
+  // throttle the merge cadence (the journal serializes concurrent
+  // checkpoint writes internally).
   merge_running_.store(false);
+  if (journal != nullptr) {
+    journal->OnMergeCommitted(std::move(capture));
+  }
   return report;
 }
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/column_handle.h"
+#include "core/durability_hooks.h"
 #include "core/merge_types.h"
 #include "core/snapshot.h"
 #include "parallel/task_queue.h"
@@ -95,6 +96,13 @@ class Table {
   /// state and are therefore heap-allocated and pinned.)
   static std::unique_ptr<Table> FromColumns(
       Schema schema, std::vector<std::unique_ptr<ColumnBase>> columns);
+
+  /// Same, but with an explicit validity vector (must span exactly the
+  /// columns' row count) — the recovery path, where checkpointed rows are
+  /// not all valid.
+  static std::unique_ptr<Table> FromColumns(
+      Schema schema, std::vector<std::unique_ptr<ColumnBase>> columns,
+      ValidityVector validity);
 
   DM_DISALLOW_COPY_AND_MOVE(Table);
 
@@ -180,6 +188,17 @@ class Table {
   /// Returns an error if a merge is already in progress.
   Result<TableMergeReport> Merge(const TableMergeOptions& options);
 
+  // --- durability (optional; see core/durability_hooks.h, src/persist) ---
+
+  /// Attaches (or, with nullptr, detaches) the write-ahead journal. Every
+  /// subsequent mutation is logged through it before being applied and
+  /// acknowledged only once durable per its sync policy; every merge commit
+  /// hands it a checkpoint capture. Attach/detach only while no writer,
+  /// reader, or merge is concurrently active (open/close time) — the hook
+  /// pointer itself is then published by the table lock.
+  void AttachJournal(TableJournal* journal);
+  TableJournal* journal() const;
+
   /// Cycles spent inside delta inserts since the last ResetCounters() — the
   /// T_U term of Eq. 1.
   uint64_t delta_update_cycles() const {
@@ -194,11 +213,16 @@ class Table {
   /// prune (legal only while no snapshot is pinned; see validity.h).
   void InvalidateLocked(uint64_t row);
 
+  /// Builds the checkpoint capture for the merge that just committed
+  /// (caller holds the exclusive lock and has already pinned an epoch).
+  CheckpointCapture BuildCheckpointCaptureLocked(uint64_t replay_lsn) const;
+
   Schema schema_;
   std::vector<std::unique_ptr<ColumnBase>> columns_;
   ValidityVector validity_;
   mutable std::shared_mutex mu_;
   mutable EpochManager epochs_;
+  TableJournal* journal_ = nullptr;  ///< guarded by mu_
   std::atomic<uint64_t> delta_update_cycles_{0};
   std::atomic<bool> merge_running_{false};
 };

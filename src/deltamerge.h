@@ -17,6 +17,7 @@
 #endif
 
 #include "core/column_handle.h"    // IWYU pragma: export
+#include "core/durability_hooks.h" // IWYU pragma: export
 #include "core/merge_algorithms.h" // IWYU pragma: export
 #include "core/merge_daemon.h"     // IWYU pragma: export
 #include "core/merge_scheduler.h"  // IWYU pragma: export
@@ -27,6 +28,8 @@
 #include "model/cost_model.h"      // IWYU pragma: export
 #include "model/machine_profile.h" // IWYU pragma: export
 #include "model/read_cost.h"       // IWYU pragma: export
+#include "persist/durable_table.h" // IWYU pragma: export
+#include "persist/wal.h"           // IWYU pragma: export
 #include "query/aggregate.h"       // IWYU pragma: export
 #include "query/lookup.h"          // IWYU pragma: export
 #include "query/range_select.h"    // IWYU pragma: export

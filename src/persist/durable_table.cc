@@ -1,0 +1,269 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+
+#include "persist/durable_table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace deltamerge::persist {
+
+namespace {
+
+void AppendU64(std::vector<uint8_t>* buf, uint64_t v) {
+  const size_t offset = buf->size();
+  buf->resize(offset + 8);
+  std::memcpy(buf->data() + offset, &v, 8);
+}
+
+uint64_t ReadU64At(std::span<const uint8_t> bytes, size_t offset) {
+  uint64_t v;
+  std::memcpy(&v, bytes.data() + offset, 8);
+  return v;
+}
+
+}  // namespace
+
+// --- DurabilityManager ------------------------------------------------------
+
+DurabilityManager::DurabilityManager(std::string dir, WalWriter* wal)
+    : dir_(std::move(dir)), wal_(wal) {
+  DM_CHECK(wal_ != nullptr);
+}
+
+uint64_t DurabilityManager::LogInsert(std::span<const uint64_t> keys) {
+  scratch_.clear();
+  for (uint64_t k : keys) AppendU64(&scratch_, k);
+  return wal_->Append(WalRecordType::kInsert, scratch_);
+}
+
+uint64_t DurabilityManager::LogUpdate(uint64_t old_row,
+                                      std::span<const uint64_t> keys) {
+  scratch_.clear();
+  AppendU64(&scratch_, old_row);
+  for (uint64_t k : keys) AppendU64(&scratch_, k);
+  return wal_->Append(WalRecordType::kUpdate, scratch_);
+}
+
+uint64_t DurabilityManager::LogDelete(uint64_t row) {
+  scratch_.clear();
+  AppendU64(&scratch_, row);
+  return wal_->Append(WalRecordType::kDelete, scratch_);
+}
+
+void DurabilityManager::OnMergeCommitted(CheckpointCapture capture) {
+  // Table::Merge releases its merge slot before calling in, so a second
+  // merger can commit (and land here) while this checkpoint still writes.
+  // Serialize them: concurrent writes could otherwise collide on the same
+  // .tmp path when no records separate the two freezes.
+  std::lock_guard<std::mutex> lock(checkpoint_mu_);
+  const uint64_t replay_lsn = capture.replay_lsn;
+  // A capture that lost the race to a newer one must not be installed:
+  // its WAL segments were already dropped by the newer checkpoint's
+  // cleanup, so the stale file could only mislead a later corrupt-fallback
+  // recovery into a hard "WAL gap" failure. (Equal LSNs mean an identical
+  // logical state — nothing to add either.)
+  if (replay_lsn <= last_installed_replay_lsn_) {
+    capture.Release();
+    return;
+  }
+  const Status st = WriteCheckpoint(dir_, capture);
+  capture.Release();  // unpin before the (slow) cleanup below
+  if (!st.ok()) {
+    // Keep running on the previous checkpoint + an uncut WAL: durability is
+    // unaffected, only the replay tail stays longer than intended.
+    checkpoint_failures_.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr, "deltamerge: checkpoint failed: %s\n",
+                 st.ToString().c_str());
+    return;
+  }
+  checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+  last_installed_replay_lsn_ = replay_lsn;
+  // The new checkpoint is durably installed: everything below its replay
+  // LSN is now redundant.
+  Status cleanup = DropCheckpointsBefore(dir_, replay_lsn);
+  if (cleanup.ok()) cleanup = wal_->DropSegmentsBefore(replay_lsn);
+  if (!cleanup.ok()) {
+    std::fprintf(stderr, "deltamerge: checkpoint cleanup failed: %s\n",
+                 cleanup.ToString().c_str());
+  }
+}
+
+// --- recovery ---------------------------------------------------------------
+
+DurableTable::DurableTable(std::string dir, std::unique_ptr<Table> table,
+                           std::unique_ptr<WalWriter> wal,
+                           RecoveryStats recovery)
+    : dir_(std::move(dir)),
+      table_(std::move(table)),
+      wal_(std::move(wal)),
+      recovery_(recovery) {
+  manager_ = std::make_unique<DurabilityManager>(dir_, wal_.get());
+  table_->AttachJournal(manager_.get());
+}
+
+DurableTable::~DurableTable() {
+  if (table_ != nullptr) table_->AttachJournal(nullptr);
+  // wal_ destructor flushes + syncs (clean shutdown).
+}
+
+Result<std::unique_ptr<DurableTable>> DurableTable::Open(
+    const std::string& dir, Schema schema, DurableTableOptions options) {
+  DM_RETURN_NOT_OK(EnsureDir(dir));
+  RecoveryStats stats;
+
+  // 0. Sweep checkpoint temp files a crash mid-write left behind (they
+  //    were never renamed into place, so they carry no information).
+  {
+    DM_ASSIGN_OR_RETURN(const std::vector<std::string> names, ListDir(dir));
+    for (const std::string& name : names) {
+      if (name.size() > 9 && name.substr(name.size() - 9) == ".dmck.tmp") {
+        (void)RemoveFile(dir + "/" + name);
+      }
+    }
+  }
+
+  // 1. Newest checkpoint that validates; corrupt ones fall back to older
+  //    files (which are only deleted after a successor became durable).
+  DM_ASSIGN_OR_RETURN(const auto checkpoint_files, ListCheckpoints(dir));
+  CheckpointContents checkpoint;
+  for (auto it = checkpoint_files.rbegin(); it != checkpoint_files.rend();
+       ++it) {
+    auto loaded = ReadCheckpoint(dir + "/" + it->second);
+    if (loaded.ok()) {
+      checkpoint = std::move(loaded).ValueOrDie();
+      stats.checkpoint_loaded = true;
+      break;
+    }
+    ++stats.invalid_checkpoints;
+    std::fprintf(stderr, "deltamerge: skipping bad checkpoint %s: %s\n",
+                 it->second.c_str(), loaded.status().ToString().c_str());
+  }
+
+  // 2. Rebuild the table from the checkpoint (or empty from the schema).
+  std::unique_ptr<Table> table;
+  if (stats.checkpoint_loaded) {
+    stats.checkpoint_replay_lsn = checkpoint.replay_lsn;
+    stats.checkpoint_rows = checkpoint.main_rows;
+    if (checkpoint.columns.size() != schema.columns.size()) {
+      return Status::InvalidArgument(
+          "schema column count does not match checkpoint");
+    }
+    for (size_t i = 0; i < schema.columns.size(); ++i) {
+      if (checkpoint.columns[i]->value_width() !=
+          schema.columns[i].value_width) {
+        return Status::InvalidArgument(
+            "schema column width does not match checkpoint");
+      }
+      if (checkpoint.column_names[i] != schema.columns[i].name) {
+        return Status::InvalidArgument(
+            "schema column name '" + schema.columns[i].name +
+            "' does not match checkpoint column '" +
+            checkpoint.column_names[i] + "'");
+      }
+    }
+    table = Table::FromColumns(schema, std::move(checkpoint.columns),
+                               std::move(checkpoint.validity));
+  } else {
+    table = std::make_unique<Table>(schema);
+  }
+
+  // 3. Replay the WAL tail through the ordinary write path (no journal
+  //    attached yet, so replay does not re-log). Invalidations that also
+  //    appear in the checkpoint's validity prefix reapply idempotently.
+  //
+  //    First, refuse gaps: the oldest surviving segment must start at or
+  //    below the LSN we replay from (segments below a checkpoint's replay
+  //    LSN are deleted only after that checkpoint became durable). A later
+  //    start means history is missing — e.g. the newest checkpoint was
+  //    corrupt and the older one's segments are gone — and silently
+  //    continuing would drop acknowledged writes.
+  const size_t nc = schema.columns.size();
+  const uint64_t min_lsn =
+      stats.checkpoint_loaded ? checkpoint.replay_lsn : 1;
+  {
+    DM_ASSIGN_OR_RETURN(const auto segments, ListWalSegments(dir));
+    if (!segments.empty() && segments.front().first > min_lsn) {
+      return Status::Internal(
+          "WAL gap: oldest segment starts after the recovery replay LSN "
+          "(a corrupt or missing checkpoint?)");
+    }
+  }
+  std::vector<uint64_t> keys(nc);
+  auto replayed = ReplayWal(
+      dir, min_lsn, [&](const WalRecordView& rec) -> Status {
+        switch (rec.type) {
+          case WalRecordType::kInsert: {
+            if (rec.payload.size() != nc * 8) {
+              return Status::Internal("insert record has wrong key count");
+            }
+            for (size_t c = 0; c < nc; ++c) {
+              keys[c] = ReadU64At(rec.payload, c * 8);
+            }
+            table->InsertRow(keys);
+            return Status::OK();
+          }
+          case WalRecordType::kUpdate: {
+            if (rec.payload.size() != 8 + nc * 8) {
+              return Status::Internal("update record has wrong key count");
+            }
+            const uint64_t old_row = ReadU64At(rec.payload, 0);
+            for (size_t c = 0; c < nc; ++c) {
+              keys[c] = ReadU64At(rec.payload, 8 + c * 8);
+            }
+            // No range check: the live write path accepts (and logs) any
+            // old_row — UpdateRow appends the new version and only
+            // invalidates targets below the pre-append row count. Replay
+            // must mirror that exactly or acknowledged updates become
+            // unrecoverable.
+            table->UpdateRow(old_row, keys);
+            return Status::OK();
+          }
+          case WalRecordType::kDelete: {
+            if (rec.payload.size() != 8) {
+              return Status::Internal("delete record has wrong size");
+            }
+            return table->DeleteRow(ReadU64At(rec.payload, 0));
+          }
+        }
+        return Status::Internal("unknown WAL record type");
+      });
+  DM_RETURN_NOT_OK(replayed.status());
+  const WalReplayResult& replay = replayed.ValueOrDie();
+  stats.wal_records_applied = replay.applied;
+  stats.wal_records_skipped = replay.skipped;
+  stats.wal_segments = replay.segments;
+  stats.torn_tail = replay.torn_tail;
+  stats.lsn_gap = replay.lsn_gap;
+  stats.recovered_lsn =
+      std::max(replay.last_lsn,
+               stats.checkpoint_loaded ? checkpoint.replay_lsn - 1 : 0);
+
+  // Replay stopped at an LSN discontinuity: the segments past the gap
+  // belong to a dead timeline (their row-id arithmetic referenced history
+  // that was lost). They must be deleted NOW — the new session reuses the
+  // LSNs after recovered_lsn, and a later recovery would otherwise splice
+  // the dead records back in the moment the sequence numbers happen to
+  // line up again.
+  if (replay.lsn_gap) {
+    DM_ASSIGN_OR_RETURN(const auto segments, ListWalSegments(dir));
+    for (const auto& [start_lsn, name] : segments) {
+      if (start_lsn > stats.recovered_lsn) {
+        DM_RETURN_NOT_OK(RemoveFile(dir + "/" + name));
+      }
+    }
+    DM_RETURN_NOT_OK(SyncDir(dir));
+  }
+
+  // 4. Continue the LSN sequence in a fresh segment; old segments stay
+  //    until the next checkpoint drops them.
+  const uint64_t next_lsn = stats.recovered_lsn + 1;
+  DM_ASSIGN_OR_RETURN(std::unique_ptr<WalWriter> wal,
+                      WalWriter::Open(dir, next_lsn, options.wal));
+
+  return std::unique_ptr<DurableTable>(new DurableTable(
+      dir, std::move(table), std::move(wal), stats));
+}
+
+}  // namespace deltamerge::persist

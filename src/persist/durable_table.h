@@ -1,0 +1,137 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// DurableTable: a Table whose acknowledged writes survive a crash.
+//
+// Composition, not inheritance: a DurableTable owns a plain Table plus the
+// durability machinery (WalWriter + DurabilityManager) wired into it via
+// the TableJournal hooks of core/durability_hooks.h. Everything else — the
+// write path, snapshot reads, the MergeDaemon — is used exactly as on an
+// in-memory table; a MergeDaemon pointed at table() transparently produces
+// checkpoints on every merge commit, because the commit hook rides inside
+// Table::Merge.
+//
+// Directory layout (one directory per table):
+//
+//   wal-<lsn>.log    append-only record segments; a new segment starts at
+//                    every merge freeze, old ones die with the checkpoint
+//   ckpt-<lsn>.dmck  merge-commit snapshots (dictionary + packed codes +
+//                    validity), newest valid one wins
+//
+// Recovery (Open on a non-empty directory): load the newest checkpoint that
+// validates, rebuild each column's main partition and the validity bits,
+// then replay the WAL tail from the checkpoint's replay LSN through the
+// ordinary Table write path — inserts repopulate the delta, updates and
+// deletes re-invalidate (idempotently, so records straddling the freeze /
+// commit window are safe to reapply). A torn final record is tolerated: it
+// was never acknowledged, so dropping it preserves the contract "every
+// acknowledged write recovers; nothing invented".
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/durability_hooks.h"
+#include "core/table.h"
+#include "persist/checkpoint.h"
+#include "persist/wal.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace deltamerge::persist {
+
+/// TableJournal implementation: encodes mutations into WAL records and
+/// turns merge commits into checkpoints. One instance per DurableTable.
+class DurabilityManager final : public TableJournal {
+ public:
+  DurabilityManager(std::string dir, WalWriter* wal);
+
+  uint64_t LogInsert(std::span<const uint64_t> keys) override;
+  uint64_t LogUpdate(uint64_t old_row,
+                     std::span<const uint64_t> keys) override;
+  uint64_t LogDelete(uint64_t row) override;
+  void Acknowledge(uint64_t lsn) override { wal_->Acknowledge(lsn); }
+  uint64_t OnMergeFreezeLocked() override { return wal_->RotateSegment(); }
+  void OnMergeCommitted(CheckpointCapture capture) override;
+
+  uint64_t checkpoints_written() const {
+    return checkpoints_written_.load(std::memory_order_relaxed);
+  }
+  uint64_t checkpoint_failures() const {
+    return checkpoint_failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::string dir_;
+  WalWriter* wal_;
+  std::mutex checkpoint_mu_;      ///< serializes concurrent checkpoint writes
+  /// Newest durably installed checkpoint (guarded by checkpoint_mu_); an
+  /// older capture losing the install race is skipped, not written.
+  uint64_t last_installed_replay_lsn_ = 0;
+  std::vector<uint8_t> scratch_;  ///< record encode buffer (under table lock)
+  std::atomic<uint64_t> checkpoints_written_{0};
+  std::atomic<uint64_t> checkpoint_failures_{0};
+};
+
+struct DurableTableOptions {
+  WalOptions wal;
+};
+
+/// What recovery found; exposed for tests, tools, and operators.
+struct RecoveryStats {
+  bool checkpoint_loaded = false;
+  uint64_t checkpoint_replay_lsn = 0;
+  uint64_t checkpoint_rows = 0;
+  uint64_t invalid_checkpoints = 0;  ///< corrupt files skipped (older used)
+  uint64_t wal_records_applied = 0;
+  uint64_t wal_records_skipped = 0;
+  uint64_t wal_segments = 0;
+  bool torn_tail = false;
+  /// Replay stopped at an LSN discontinuity (lost non-final tail); the
+  /// recovered state is still an exact prefix of the logged history.
+  bool lsn_gap = false;
+  /// Everything with an LSN at or below this is reflected in the recovered
+  /// table: checkpoint rows + replayed tail.
+  uint64_t recovered_lsn = 0;
+};
+
+class DurableTable {
+ public:
+  /// Opens (creating if empty) the table persisted in `dir`. The schema
+  /// must match what the directory holds; recovery fails loudly on a
+  /// mismatch rather than reinterpreting bytes.
+  static Result<std::unique_ptr<DurableTable>> Open(
+      const std::string& dir, Schema schema,
+      DurableTableOptions options = {});
+
+  /// Detaches the journal and flushes + syncs the WAL (clean shutdown).
+  /// Stop any MergeDaemon on table() first.
+  ~DurableTable();
+
+  DM_DISALLOW_COPY_AND_MOVE(DurableTable);
+
+  Table& table() { return *table_; }
+  const Table& table() const { return *table_; }
+  const std::string& dir() const { return dir_; }
+  const RecoveryStats& recovery() const { return recovery_; }
+  const WalWriter& wal() const { return *wal_; }
+  const DurabilityManager& durability() const { return *manager_; }
+
+  /// Forces an fdatasync covering every record appended so far (useful
+  /// before an orderly pause under sync=none/interval).
+  Status SyncWal() { return wal_->SyncNow(); }
+
+ private:
+  DurableTable(std::string dir, std::unique_ptr<Table> table,
+               std::unique_ptr<WalWriter> wal, RecoveryStats recovery);
+
+  std::string dir_;
+  std::unique_ptr<Table> table_;
+  std::unique_ptr<WalWriter> wal_;
+  std::unique_ptr<DurabilityManager> manager_;
+  RecoveryStats recovery_;
+};
+
+}  // namespace deltamerge::persist

@@ -1,0 +1,389 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+
+#include "persist/wal.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace deltamerge::persist {
+
+namespace {
+
+constexpr size_t kFrameHeaderBytes = 17;  // len u32 + crc u32 + lsn u64 + type
+constexpr size_t kFlushThresholdBytes = 256 * 1024;
+constexpr uint32_t kMaxPayloadBytes = 16u << 20;  // sanity cap during replay
+
+std::string SegmentName(uint64_t start_lsn) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "wal-%020" PRIu64 ".log", start_lsn);
+  return std::string(buf);
+}
+
+}  // namespace
+
+std::string_view WalSyncPolicyToString(WalSyncPolicy p) {
+  switch (p) {
+    case WalSyncPolicy::kNone:
+      return "none";
+    case WalSyncPolicy::kInterval:
+      return "interval";
+    case WalSyncPolicy::kEveryCommit:
+      return "every-commit";
+  }
+  return "?";
+}
+
+// --- WalWriter --------------------------------------------------------------
+
+WalWriter::WalWriter(std::string dir, uint64_t next_lsn, WalOptions options)
+    : dir_(std::move(dir)),
+      options_(options),
+      segment_start_lsn_(next_lsn),
+      next_lsn_(next_lsn),
+      durable_lsn_(next_lsn - 1) {}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(std::string dir,
+                                                   uint64_t next_lsn,
+                                                   WalOptions options) {
+  DM_CHECK_MSG(next_lsn >= 1, "LSNs start at 1");
+  std::unique_ptr<WalWriter> w(
+      new WalWriter(std::move(dir), next_lsn, options));
+  {
+    std::lock_guard<std::mutex> lock(w->mu_);
+    DM_RETURN_NOT_OK(w->OpenSegmentLocked());
+  }
+  // Make the first segment's directory entry durable up front (Open runs
+  // with no table lock held, so the sync is harmless here) and clear the
+  // pending flag OpenSegmentLocked set, sparing the first leader sync a
+  // redundant directory fsync.
+  DM_RETURN_NOT_OK(SyncDir(w->dir_));
+  {
+    std::lock_guard<std::mutex> lock(w->mu_);
+    w->dir_sync_pending_ = false;
+  }
+  if (options.policy == WalSyncPolicy::kInterval) {
+    WalWriter* raw = w.get();
+    w->interval_sync_ = std::make_unique<PollThread>(
+        options.interval_us, [raw] { (void)raw->SyncNow(); });
+    w->interval_sync_->Start();
+  }
+  return w;
+}
+
+WalWriter::~WalWriter() {
+  if (interval_sync_ != nullptr) interval_sync_->Stop();
+  // Clean shutdown makes everything buffered durable regardless of policy —
+  // only a crash may lose a tail. A writer whose first segment never opened
+  // (Open failed and is destroying the half-built instance) has nothing to
+  // sync.
+  if (segment_ != nullptr) (void)SyncNow();
+}
+
+Status WalWriter::OpenSegmentLocked() {
+  DM_ASSIGN_OR_RETURN(std::unique_ptr<FileWriter> seg,
+                      FileWriter::Create(dir_ + "/" +
+                                         SegmentName(segment_start_lsn_)));
+  segment_ = std::shared_ptr<FileWriter>(std::move(seg));
+  // The segment's directory entry must itself be durable before records in
+  // it may count as durable (a synced record in a file the directory forgot
+  // is not recovered) — the next LeaderSync performs the SyncDir.
+  dir_sync_pending_ = true;
+  return Status::OK();
+}
+
+uint64_t WalWriter::Append(WalRecordType type,
+                           std::span<const uint8_t> payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t lsn = next_lsn_++;
+  // Once an I/O error is latched the log can never promise durability
+  // again; buffering further records would only grow memory without bound
+  // (FlushLocked refuses to drain). Keep assigning LSNs so callers stay
+  // consistent, drop the payloads.
+  if (!error_.ok()) return lsn;
+
+  uint8_t head[kFrameHeaderBytes];
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  uint8_t meta[9];
+  std::memcpy(meta, &lsn, 8);
+  meta[8] = static_cast<uint8_t>(type);
+  uint32_t crc = Crc32(meta, sizeof(meta));
+  crc = Crc32(payload.data(), payload.size(), crc);
+  std::memcpy(head, &len, 4);
+  std::memcpy(head + 4, &crc, 4);
+  std::memcpy(head + 8, meta, 9);
+  buffer_.insert(buffer_.end(), head, head + sizeof(head));
+  buffer_.insert(buffer_.end(), payload.begin(), payload.end());
+
+  if (buffer_.size() >= kFlushThresholdBytes) {
+    const Status st = FlushLocked();
+    if (!st.ok()) LatchErrorLocked(st);
+  }
+  return lsn;
+}
+
+Status WalWriter::FlushLocked() {
+  if (!error_.ok()) return error_;
+  if (segment_ == nullptr) {
+    return Status::FailedPrecondition("WAL has no open segment");
+  }
+  if (!buffer_.empty()) {
+    DM_RETURN_NOT_OK(segment_->Write(buffer_.data(), buffer_.size()));
+    buffer_.clear();
+  }
+  // Hand everything to the OS so a subsequent bare fdatasync covers it.
+  return segment_->Flush();
+}
+
+Status WalWriter::SyncNow() {
+  std::unique_lock<std::mutex> sync_lock(sync_mu_);
+  while (sync_in_progress_) sync_cv_.wait(sync_lock);
+  return LeaderSync(sync_lock);
+}
+
+Status WalWriter::LeaderSync(std::unique_lock<std::mutex>& sync_lock) {
+  sync_in_progress_ = true;
+  uint64_t target = 0;
+  std::shared_ptr<FileWriter> seg;
+  std::vector<std::shared_ptr<FileWriter>> pending;
+  Status st;
+  bool dir_sync = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    st = FlushLocked();
+    target = next_lsn_ - 1;
+    seg = segment_;
+    // Rotated-away segments whose fdatasync was deferred out of the freeze
+    // critical section: durable_lsn_ may only advance past their records
+    // once they are synced too. Ditto the directory entry of a segment a
+    // rotation created.
+    pending.swap(pending_syncs_);
+    dir_sync = dir_sync_pending_;
+    dir_sync_pending_ = false;
+  }
+  // The slow part runs outside both locks: appends keep buffering, and
+  // followers wait on sync_cv_ instead of issuing their own fdatasync.
+  sync_lock.unlock();
+  for (const auto& old_segment : pending) {
+    if (st.ok()) st = old_segment->SyncData();
+  }
+  if (st.ok() && dir_sync) st = SyncDir(dir_);
+  if (st.ok()) st = seg->SyncData();
+  sync_count_.fetch_add(1, std::memory_order_relaxed);
+  sync_lock.lock();
+  if (st.ok()) {
+    uint64_t cur = durable_lsn_.load(std::memory_order_relaxed);
+    while (cur < target && !durable_lsn_.compare_exchange_weak(
+                               cur, target, std::memory_order_release)) {
+    }
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    LatchErrorLocked(st);
+    // Put the unsynced work back so a later (post-transient-error) sync
+    // still covers it before durable_lsn_ passes those records.
+    pending_syncs_.insert(pending_syncs_.begin(), pending.begin(),
+                          pending.end());
+    if (dir_sync) dir_sync_pending_ = true;
+  }
+  sync_in_progress_ = false;
+  sync_cv_.notify_all();
+  return st;
+}
+
+void WalWriter::LatchErrorLocked(const Status& st) {
+  if (error_.ok()) {
+    error_ = st;
+    std::fprintf(stderr, "deltamerge: WAL I/O error (durability lost): %s\n",
+                 st.ToString().c_str());
+    // The buffered records can never be made durable; free them instead of
+    // accumulating until OOM under a sustained write load.
+    buffer_.clear();
+    buffer_.shrink_to_fit();
+  }
+}
+
+void WalWriter::Acknowledge(uint64_t lsn) {
+  if (options_.policy != WalSyncPolicy::kEveryCommit) return;
+  while (durable_lsn_.load(std::memory_order_acquire) < lsn) {
+    std::unique_lock<std::mutex> sync_lock(sync_mu_);
+    if (durable_lsn_.load(std::memory_order_acquire) >= lsn) return;
+    if (sync_in_progress_) {
+      // Another caller is syncing; its fdatasync very likely covers our
+      // record too (group commit) — wait and re-check.
+      sync_cv_.wait(sync_lock);
+      continue;
+    }
+    if (!LeaderSync(sync_lock).ok()) {
+      // A log that cannot sync must not acknowledge: returning would let
+      // the caller treat the write as durable while a crash would lose it
+      // — and after a failed fdatasync the kernel may already have dropped
+      // the dirty pages, so retrying cannot restore the guarantee. Fail
+      // stop (the post-fsyncgate posture of PostgreSQL & co).
+      DM_CHECK_MSG(false, "WAL sync failed under sync=every-commit; "
+                          "cannot acknowledge writes durably");
+    }
+  }
+}
+
+uint64_t WalWriter::RotateSegment() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Called inside the merge's freeze critical section (the caller holds
+  // the table's exclusive lock), so only the cheap ordering work happens
+  // here: flush the frame buffer to the outgoing segment and swap in a
+  // fresh one. The outgoing segment's fdatasync is deferred to the next
+  // LeaderSync (via pending_syncs_), keeping disk latency out of the
+  // freeze instant — writers resume as soon as the lock drops.
+  Status st = FlushLocked();
+  if (!st.ok()) LatchErrorLocked(st);
+  if (options_.policy != WalSyncPolicy::kNone) {
+    // Keep the outgoing writer alive until a leader has synced it. Under
+    // kNone nothing ever promises durability, so the writer is simply
+    // dropped (its destructor closes the fd once any in-flight syncer
+    // releases its reference).
+    pending_syncs_.push_back(segment_);
+  }
+  segment_start_lsn_ = next_lsn_;
+  st = OpenSegmentLocked();
+  if (!st.ok()) LatchErrorLocked(st);
+  return segment_start_lsn_;
+}
+
+Status WalWriter::DropSegmentsBefore(uint64_t lsn) {
+  DM_ASSIGN_OR_RETURN(auto segments, ListWalSegments(dir_));
+  Status st = Status::OK();
+  bool dropped = false;
+  // The last segment is the active one and is never dropped. Segment i is
+  // dead once the *next* segment starts at or below `lsn`: every record it
+  // holds then has lsn < `lsn` and is covered by the checkpoint.
+  for (size_t i = 0; i + 1 < segments.size(); ++i) {
+    if (segments[i + 1].first > lsn) break;  // sorted: later ones live too
+    const Status rm = RemoveFile(dir_ + "/" + segments[i].second);
+    if (!rm.ok() && st.ok()) st = rm;
+    dropped = true;
+  }
+  if (dropped && st.ok()) st = SyncDir(dir_);
+  return st;
+}
+
+uint64_t WalWriter::next_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_;
+}
+
+Status WalWriter::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_;
+}
+
+// --- replay -----------------------------------------------------------------
+
+Result<std::vector<std::pair<uint64_t, std::string>>> ListWalSegments(
+    const std::string& dir) {
+  DM_ASSIGN_OR_RETURN(const std::vector<std::string> names, ListDir(dir));
+  std::vector<std::pair<uint64_t, std::string>> out;
+  for (const std::string& name : names) {
+    if (name.rfind("wal-", 0) != 0 || name.size() <= 8 ||
+        name.substr(name.size() - 4) != ".log") {
+      continue;
+    }
+    const std::string digits = name.substr(4, name.size() - 8);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    out.emplace_back(std::strtoull(digits.c_str(), nullptr, 10), name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<WalReplayResult> ReplayWal(
+    const std::string& dir, uint64_t min_lsn,
+    const std::function<Status(const WalRecordView&)>& apply) {
+  WalReplayResult result;
+  DM_ASSIGN_OR_RETURN(const auto segments, ListWalSegments(dir));
+  std::vector<uint8_t> payload;
+  // Next LSN the replayed (>= min_lsn) stream must produce. Records below
+  // min_lsn are fully covered by the checkpoint, so holes among them (e.g.
+  // a partially failed segment cleanup) are harmless and must NOT abort
+  // the tail that follows.
+  uint64_t expected = min_lsn;
+  for (size_t i = 0; i < segments.size() && !result.lsn_gap; ++i) {
+    ++result.segments;
+    DM_ASSIGN_OR_RETURN(std::unique_ptr<FileReader> in,
+                        FileReader::Open(dir + "/" + segments[i].second));
+    bool torn = false;
+    for (;;) {
+      uint8_t head[kFrameHeaderBytes];
+      DM_ASSIGN_OR_RETURN(const size_t got,
+                          in->ReadUpTo(head, sizeof(head)));
+      if (got == 0) break;          // clean end of segment
+      if (got < sizeof(head)) {     // torn mid-header
+        torn = true;
+        break;
+      }
+      uint32_t len, crc;
+      uint64_t lsn;
+      std::memcpy(&len, head, 4);
+      std::memcpy(&crc, head + 4, 4);
+      std::memcpy(&lsn, head + 8, 8);
+      const uint8_t type = head[16];
+      if (len > kMaxPayloadBytes) {  // garbage length: treat as torn
+        torn = true;
+        break;
+      }
+      payload.resize(len);
+      DM_ASSIGN_OR_RETURN(const size_t paylen,
+                          in->ReadUpTo(payload.data(), len));
+      if (paylen < len) {
+        torn = true;
+        break;
+      }
+      uint32_t expect = Crc32(head + 8, 9);
+      expect = Crc32(payload.data(), len, expect);
+      if (expect != crc) {
+        torn = true;
+        break;
+      }
+      if (lsn < min_lsn) {
+        // Checkpoint-covered history: skip without continuity demands.
+        if (lsn > result.last_lsn) result.last_lsn = lsn;
+        ++result.skipped;
+        continue;
+      }
+      // LSNs are assigned densely (one counter, no holes), so the replay
+      // tail is usable only while each record follows its predecessor
+      // exactly, starting at min_lsn. A jump means an earlier tail was
+      // lost — e.g. a rotated-away segment whose deferred fdatasync never
+      // happened while the newer segment's pages did reach disk.
+      // Everything after the jump would replay onto shifted row ids, so
+      // stop here: the recovered state stays an exact prefix of the
+      // logged history.
+      if (lsn != expected) {
+        result.lsn_gap = true;
+        break;
+      }
+      expected = lsn + 1;
+      if (lsn > result.last_lsn) result.last_lsn = lsn;
+      if (type < uint8_t(WalRecordType::kInsert) ||
+          type > uint8_t(WalRecordType::kDelete)) {
+        ++result.skipped;
+        continue;
+      }
+      WalRecordView view{static_cast<WalRecordType>(type), lsn,
+                         std::span<const uint8_t>(payload.data(), len)};
+      DM_RETURN_NOT_OK(apply(view));
+      ++result.applied;
+    }
+    // A torn frame inside a non-final segment was logically truncated when
+    // a post-crash session rotated past it; only a torn *final* segment
+    // means the most recent tail was lost.
+    if (torn && i + 1 == segments.size()) result.torn_tail = true;
+  }
+  return result;
+}
+
+}  // namespace deltamerge::persist

@@ -1,0 +1,198 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Per-table write-ahead log: segmented, CRC-framed, group-committed.
+//
+// Every mutation of the write-optimized delta (insert / insert-only update /
+// tombstone) is serialized into one framed record *before* the in-memory
+// change is acknowledged. The paper's insert-only design keeps the format
+// trivial — there is no undo, no in-place image, just the delta's arrival
+// order — and the merge gives the log its lifecycle: the freeze instant
+// rotates to a fresh segment (so the pre-freeze records are cleanly covered
+// by the upcoming checkpoint), and a durable checkpoint drops every segment
+// below its replay LSN.
+//
+// Frame layout (host endianness):
+//
+//   ┌──────────┬──────────┬──────────┬──────┬───────────────┐
+//   │ len  u32 │ crc  u32 │ lsn  u64 │ type │ payload (len) │
+//   └──────────┴──────────┴──────────┴──────┴───────────────┘
+//
+// crc = CRC-32 over [lsn, type, payload]. Replay stops at the first frame
+// that is short or fails its CRC — a torn final record (the crash landed
+// mid-write) costs exactly the unacknowledged suffix, never a valid prefix.
+//
+// Sync policies (when is a record durable, i.e. when may Acknowledge
+// return):
+//   kNone        — never fsynced (OS page cache only); fastest, loses the
+//                  tail on a crash. Still flushed on clean close.
+//   kInterval    — a background PollThread fsyncs every interval_us;
+//                  bounded loss window, near-kNone throughput.
+//   kEveryCommit — Acknowledge(lsn) group-commits: one caller becomes the
+//                  sync leader, flushes + fdatasyncs once for every record
+//                  buffered so far; concurrent callers whose lsn that sync
+//                  covered return without touching the disk.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/file_io.h"
+#include "util/macros.h"
+#include "util/poll_thread.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace deltamerge::persist {
+
+enum class WalSyncPolicy : uint8_t {
+  kNone = 0,
+  kInterval = 1,
+  kEveryCommit = 2,
+};
+
+std::string_view WalSyncPolicyToString(WalSyncPolicy p);
+
+enum class WalRecordType : uint8_t {
+  kInsert = 1,  ///< payload: num_columns x u64 keys
+  kUpdate = 2,  ///< payload: u64 old_row + num_columns x u64 keys
+  kDelete = 3,  ///< payload: u64 row
+};
+
+struct WalOptions {
+  WalSyncPolicy policy = WalSyncPolicy::kEveryCommit;
+  /// Cadence of the background fsync thread under kInterval.
+  uint64_t interval_us = 1000;
+};
+
+/// The append side. One instance per open table; Append is called under the
+/// table's exclusive lock (ordering), Acknowledge/SyncNow from any thread
+/// with no lock held.
+class WalWriter {
+ public:
+  /// Opens a fresh segment `wal-<next_lsn>.log` in `dir` and starts the
+  /// interval thread if the policy asks for one. `next_lsn` continues the
+  /// recovered history (1 for an empty directory).
+  static Result<std::unique_ptr<WalWriter>> Open(std::string dir,
+                                                 uint64_t next_lsn,
+                                                 WalOptions options);
+
+  /// Flushes, syncs (unless kNone), and stops the interval thread.
+  ~WalWriter();
+
+  DM_DISALLOW_COPY_AND_MOVE(WalWriter);
+
+  /// Frames and buffers one record; returns its LSN. Never blocks on the
+  /// disk (that is Acknowledge's job), so the table lock held by the caller
+  /// stays cheap. I/O errors latch into status().
+  uint64_t Append(WalRecordType type, std::span<const uint8_t> payload);
+
+  /// Blocks until record `lsn` is durable per the sync policy.
+  void Acknowledge(uint64_t lsn);
+
+  /// Merge-freeze hook: flushes the current segment and switches appends
+  /// to a fresh one starting at the current LSN frontier, which it
+  /// returns. Called under the table lock — the returned LSN exactly
+  /// partitions pre-freeze from post-freeze records. The outgoing
+  /// segment's fdatasync is deferred to the next group-commit leader so no
+  /// disk sync ever runs inside the freeze critical section.
+  uint64_t RotateSegment();
+
+  /// Group-commit leader path, callable regardless of policy: flush + one
+  /// fdatasync covering everything appended so far.
+  Status SyncNow();
+
+  /// Deletes every segment whose records all lie below `lsn` (called after
+  /// a checkpoint with that replay LSN became durable).
+  Status DropSegmentsBefore(uint64_t lsn);
+
+  uint64_t next_lsn() const;
+  uint64_t durable_lsn() const {
+    return durable_lsn_.load(std::memory_order_acquire);
+  }
+  uint64_t sync_count() const {
+    return sync_count_.load(std::memory_order_relaxed);
+  }
+  const WalOptions& options() const { return options_; }
+  /// First I/O error encountered, if any (latched; the WAL stops promising
+  /// durability once it fails).
+  Status status() const;
+
+ private:
+  WalWriter(std::string dir, uint64_t next_lsn, WalOptions options);
+
+  Status OpenSegmentLocked();
+  Status FlushLocked();
+  /// Group-commit leader body. Caller holds `sync_lock` (on sync_mu_) and
+  /// has observed sync_in_progress_ == false; returns with it re-held.
+  Status LeaderSync(std::unique_lock<std::mutex>& sync_lock);
+  /// Records (and reports, first time) a WAL I/O failure; caller holds mu_.
+  void LatchErrorLocked(const Status& st);
+
+  const std::string dir_;
+  const WalOptions options_;
+
+  mutable std::mutex mu_;  ///< appends, buffer, segment swap
+  std::vector<uint8_t> buffer_;
+  std::shared_ptr<FileWriter> segment_;  ///< shared so a syncer outlives a rotate
+  /// Rotated-away segments awaiting their (deferred) fdatasync; drained by
+  /// the next LeaderSync before durable_lsn_ may pass their records.
+  std::vector<std::shared_ptr<FileWriter>> pending_syncs_;
+  bool dir_sync_pending_ = false;  ///< a created segment's dir entry awaits fsync
+  uint64_t segment_start_lsn_ = 1;
+  uint64_t next_lsn_ = 1;
+  Status error_;
+
+  std::mutex sync_mu_;  ///< group-commit leader election
+  std::condition_variable sync_cv_;
+  bool sync_in_progress_ = false;
+  std::atomic<uint64_t> durable_lsn_{0};
+  std::atomic<uint64_t> sync_count_{0};
+
+  std::unique_ptr<PollThread> interval_sync_;
+};
+
+/// One decoded record during replay.
+struct WalRecordView {
+  WalRecordType type;
+  uint64_t lsn;
+  std::span<const uint8_t> payload;  ///< valid only during the callback
+};
+
+struct WalReplayResult {
+  uint64_t applied = 0;     ///< records handed to the callback
+  uint64_t skipped = 0;     ///< records below min_lsn (already checkpointed)
+  uint64_t last_lsn = 0;    ///< highest LSN seen (applied or skipped)
+  uint64_t segments = 0;    ///< segment files scanned
+  bool torn_tail = false;   ///< the final segment ended on a torn frame
+  /// Replay stopped early at an LSN discontinuity (a lost tail in a
+  /// non-final segment); records after the jump were NOT applied so the
+  /// result stays an exact prefix of the logged history.
+  bool lsn_gap = false;
+};
+
+/// Replays every `wal-*.log` segment in `dir` in LSN order, invoking
+/// `apply` for each intact record with lsn >= min_lsn. Stops scanning a
+/// segment at the first short or CRC-failing frame (a torn record from the
+/// crash — or, in a non-final segment, a tail that was logically truncated
+/// when recovery started a fresh segment) and continues with the next
+/// segment. A non-OK status from `apply` aborts the replay.
+Result<WalReplayResult> ReplayWal(
+    const std::string& dir, uint64_t min_lsn,
+    const std::function<Status(const WalRecordView&)>& apply);
+
+/// `wal-<start_lsn>.log` segment names present in `dir`, as (start_lsn,
+/// filename) pairs sorted by start LSN. Exposed for tests and fsck-style
+/// tooling.
+Result<std::vector<std::pair<uint64_t, std::string>>> ListWalSegments(
+    const std::string& dir);
+
+}  // namespace deltamerge::persist

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "util/bit_util.h"
+#include "util/file_io.h"
 #include "util/fixed_value.h"
 #include "util/macros.h"
 
@@ -89,6 +90,44 @@ class Dictionary {
 
   /// Bytes consumed by the value array (enters the traffic model: E_j * |U|).
   size_t byte_size() const { return values_.size() * sizeof(Value); }
+
+  // --- durability (checkpoint files; see src/persist) ----------------------
+
+  /// Writes the dictionary as a length-prefixed raw value array. Values are
+  /// trivially copyable PODs, so the on-disk form is the in-memory form
+  /// (host endianness — checkpoints are not portable across byte orders).
+  Status Serialize(FileWriter& out) const {
+    DM_RETURN_NOT_OK(out.WriteU64(values_.size()));
+    if (!values_.empty()) {
+      DM_RETURN_NOT_OK(out.Write(values_.data(), byte_size()));
+    }
+    return Status::OK();
+  }
+
+  /// Reads a dictionary written by Serialize, verifying sortedness (the
+  /// invariant every query and merge relies on) so a corrupt checkpoint
+  /// fails recovery instead of corrupting answers.
+  static Result<Dictionary> Deserialize(FileReader& in) {
+    uint64_t count = 0;
+    DM_RETURN_NOT_OK(in.ReadU64(&count));
+    // Overflow-safe bound on an untrusted count (the CRC trailer has not
+    // been verified yet): divide, never multiply.
+    if (count > in.file_size() / sizeof(Value)) {
+      return Status::Internal("dictionary length exceeds file size");
+    }
+    std::vector<Value> values(count);
+    if (count > 0) {
+      DM_RETURN_NOT_OK(in.Read(values.data(), count * sizeof(Value)));
+    }
+    for (size_t i = 1; i < values.size(); ++i) {
+      if (!(values[i - 1] < values[i])) {
+        return Status::Internal("dictionary is not sorted-unique");
+      }
+    }
+    Dictionary d;
+    d.values_ = std::move(values);
+    return d;
+  }
 
  private:
   std::vector<Value> values_;

@@ -77,6 +77,26 @@ class MainPartition {
     return codes_.byte_size() + dictionary_.byte_size();
   }
 
+  // --- durability (checkpoint files; see src/persist) ----------------------
+
+  /// Writes dictionary then codes — the complete read-optimized state of
+  /// one column, exactly what a merge commit installs.
+  Status Serialize(FileWriter& out) const {
+    DM_RETURN_NOT_OK(dictionary_.Serialize(out));
+    return codes_.Serialize(out);
+  }
+
+  /// Reads a partition written by Serialize; revalidates the dictionary /
+  /// code-width pairing FromParts enforces.
+  static Result<MainPartition> Deserialize(FileReader& in) {
+    DM_ASSIGN_OR_RETURN(Dictionary<W> dict, Dictionary<W>::Deserialize(in));
+    DM_ASSIGN_OR_RETURN(PackedVector codes, PackedVector::Deserialize(in));
+    if (!codes.empty() && codes.bits() != dict.code_bits()) {
+      return Status::Internal("code width does not match dictionary");
+    }
+    return FromParts(std::move(dict), std::move(codes));
+  }
+
  private:
   Dictionary<W> dictionary_;
   PackedVector codes_;

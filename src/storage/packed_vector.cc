@@ -14,4 +14,40 @@ void PackedVector::Reset(uint64_t size, uint8_t bits) {
   buffer_ = AlignedBuffer(PackedBytes(size, bits) + sizeof(uint64_t));
 }
 
+Status PackedVector::Serialize(FileWriter& out) const {
+  const uint64_t word_count = PackedBytes(size_, bits_) / sizeof(uint64_t);
+  DM_RETURN_NOT_OK(out.WriteU64(size_));
+  DM_RETURN_NOT_OK(out.WriteU8(bits_));
+  DM_RETURN_NOT_OK(out.WriteU64(word_count));
+  if (word_count > 0) {
+    DM_RETURN_NOT_OK(out.Write(words(), word_count * sizeof(uint64_t)));
+  }
+  return Status::OK();
+}
+
+Result<PackedVector> PackedVector::Deserialize(FileReader& in) {
+  uint64_t size = 0;
+  uint8_t bits = 0;
+  uint64_t word_count = 0;
+  DM_RETURN_NOT_OK(in.ReadU64(&size));
+  DM_RETURN_NOT_OK(in.ReadU8(&bits));
+  DM_RETURN_NOT_OK(in.ReadU64(&word_count));
+  if (bits < 1 || bits > kMaxBits) {
+    return Status::Internal("packed vector bit width out of range");
+  }
+  // Untrusted sizes (the CRC trailer is only checked after the reads):
+  // bound by the file size with divisions before any multiply can wrap,
+  // and reject sizes whose bit count would overflow PackedBytes.
+  if (word_count > in.file_size() / sizeof(uint64_t) ||
+      size > uint64_t{1} << 48 ||
+      word_count != PackedBytes(size, bits) / sizeof(uint64_t)) {
+    return Status::Internal("packed vector shape does not match word count");
+  }
+  PackedVector v(size, bits);
+  if (word_count > 0) {
+    DM_RETURN_NOT_OK(in.Read(v.words(), word_count * sizeof(uint64_t)));
+  }
+  return v;
+}
+
 }  // namespace deltamerge

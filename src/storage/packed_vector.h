@@ -18,6 +18,7 @@
 
 #include "util/aligned_buffer.h"
 #include "util/bit_util.h"
+#include "util/file_io.h"
 #include "util/macros.h"
 
 namespace deltamerge {
@@ -49,6 +50,15 @@ class PackedVector {
 
   const uint64_t* words() const { return buffer_.As<uint64_t>(); }
   uint64_t* words() { return buffer_.As<uint64_t>(); }
+
+  // --- durability (checkpoint files; see src/persist) ----------------------
+
+  /// Writes size, bit width, and the packed words (host endianness).
+  Status Serialize(FileWriter& out) const;
+
+  /// Reads a vector written by Serialize, validating the declared shape
+  /// against the word count so corrupt checkpoints fail loudly.
+  static Result<PackedVector> Deserialize(FileReader& in);
 
   /// Reads code `i`. Hot path: two shifted loads at most.
   uint32_t Get(uint64_t i) const {

@@ -59,6 +59,46 @@ void ValidityVector::PruneTombstonesBefore(uint64_t seq) {
   tombstone_base_ += drop;
 }
 
+std::vector<uint64_t> ValidityVector::CopyWordsPrefix(uint64_t rows) const {
+  DM_CHECK_MSG(rows <= size_, "validity prefix beyond vector size");
+  const uint64_t nwords = (rows + 63) >> 6;
+  std::vector<uint64_t> out(words_.begin(),
+                            words_.begin() + static_cast<ptrdiff_t>(nwords));
+  if ((rows & 63) != 0 && !out.empty()) {
+    out.back() &= (uint64_t{1} << (rows & 63)) - 1;
+  }
+  return out;
+}
+
+uint64_t ValidityVector::CountValidPrefix(uint64_t rows) const {
+  DM_CHECK_MSG(rows <= size_, "validity prefix beyond vector size");
+  uint64_t n = 0;
+  const uint64_t full_words = rows >> 6;
+  for (uint64_t w = 0; w < full_words; ++w) {
+    n += static_cast<uint64_t>(__builtin_popcountll(words_[w]));
+  }
+  if ((rows & 63) != 0) {
+    const uint64_t mask = (uint64_t{1} << (rows & 63)) - 1;
+    n += static_cast<uint64_t>(__builtin_popcountll(words_[full_words] & mask));
+  }
+  return n;
+}
+
+ValidityVector ValidityVector::FromWords(std::vector<uint64_t> words,
+                                         uint64_t rows) {
+  DM_CHECK_MSG(words.size() >= ((rows + 63) >> 6),
+               "validity words do not cover the row count");
+  ValidityVector v;
+  v.words_ = std::move(words);
+  v.size_ = rows;
+  // Clear any stray bits beyond `rows` so valid_count_ and IsValid agree.
+  if ((rows & 63) != 0) {
+    v.words_[rows >> 6] &= (uint64_t{1} << (rows & 63)) - 1;
+  }
+  v.valid_count_ = v.CountValidPrefix(rows);
+  return v;
+}
+
 void ValidityVector::Clear() {
   words_.clear();
   size_ = 0;

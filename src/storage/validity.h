@@ -83,6 +83,21 @@ class ValidityVector {
 
   void Clear();
 
+  // --- durability (checkpoint files; see src/persist) -----------------------
+
+  /// The words covering the first `rows` rows, with bits at or beyond `rows`
+  /// cleared — what a checkpoint persists for the main-partition prefix.
+  /// Cheap (one memcpy); safe to call under the table's commit lock.
+  std::vector<uint64_t> CopyWordsPrefix(uint64_t rows) const;
+
+  /// Valid rows among the first `rows` rows.
+  uint64_t CountValidPrefix(uint64_t rows) const;
+
+  /// Rebuilds a vector of `rows` rows from checkpoint words (the inverse of
+  /// CopyWordsPrefix); the tombstone log starts empty — recovery has no
+  /// pinned snapshots.
+  static ValidityVector FromWords(std::vector<uint64_t> words, uint64_t rows);
+
  private:
   std::vector<uint64_t> words_;
   uint64_t size_ = 0;

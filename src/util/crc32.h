@@ -1,0 +1,22 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// CRC-32 (IEEE 802.3 polynomial, reflected) for framing durable records.
+//
+// Every write-ahead-log record and checkpoint file carries a CRC so that
+// recovery can distinguish "the tail of the log was torn mid-write by the
+// crash" (expected; recover everything before it) from "this record is
+// intact" (replay it). Software table-driven implementation — the WAL write
+// path is dominated by the fsync, not the checksum.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace deltamerge {
+
+/// CRC-32 of `data[0..n)`, continuing from `seed` (pass the previous call's
+/// return value to checksum a logical stream across multiple buffers; pass 0
+/// to start a fresh checksum).
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace deltamerge

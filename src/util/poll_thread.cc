@@ -1,0 +1,91 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+
+#include "util/poll_thread.h"
+
+#include <chrono>
+#include <utility>
+
+namespace deltamerge {
+
+PollThread::PollThread(uint64_t interval_us, std::function<void()> body)
+    : interval_us_(interval_us), body_(std::move(body)) {
+  DM_CHECK_MSG(body_ != nullptr, "PollThread needs a poll body");
+}
+
+PollThread::~PollThread() { Stop(); }
+
+void PollThread::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  stop_requested_ = false;
+  nudged_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void PollThread::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  // join_mu_ serializes concurrent stoppers: exactly one joins; the others
+  // wait here until the poller has terminated, then see it already joined.
+  {
+    std::lock_guard<std::mutex> join_lock(join_mu_);
+    if (thread_.joinable()) thread_.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+void PollThread::Nudge() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    nudged_ = true;  // makes the wait predicate true — notify alone would
+                     // just re-enter wait_for until the poll deadline
+  }
+  wake_.notify_all();
+}
+
+void PollThread::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void PollThread::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+    nudged_ = true;
+  }
+  wake_.notify_all();
+}
+
+bool PollThread::paused() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return paused_;
+}
+
+bool PollThread::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void PollThread::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait_for(lock, std::chrono::microseconds(interval_us_),
+                     [this] { return stop_requested_ || nudged_; });
+      nudged_ = false;
+      if (stop_requested_) return;
+      polls_.fetch_add(1, std::memory_order_relaxed);
+      if (paused_) continue;
+    }
+    body_();
+  }
+}
+
+}  // namespace deltamerge

@@ -1,0 +1,79 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// PollThread: the shared background poll-loop harness.
+//
+// Three subsystems poll a condition on a cadence and want identical
+// lifecycle semantics: MergeScheduler (the bare §4 trigger), MergeDaemon
+// (the §9 policies), and the WAL's interval-sync thread. Each needs the
+// same fiddly details — a Nudge that actually shortcuts the wait (a
+// predicate flag, not a bare notify), Pause/Resume without tearing the
+// thread down, and a Stop that tolerates concurrent stoppers racing the
+// destructor — so the harness lives here once (extracted from the two
+// hand-rolled copies of PR 2) and the poll body is a callback.
+//
+// The body runs with no PollThread lock held, so it may freely call back
+// into Nudge()/paused() and block for as long as it likes (a merge body, an
+// fdatasync); Stop() waits for an in-flight body to finish.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "util/macros.h"
+
+namespace deltamerge {
+
+class PollThread {
+ public:
+  /// `body` is invoked once per poll (every `interval_us`, or immediately
+  /// after a Nudge) while started and not paused.
+  PollThread(uint64_t interval_us, std::function<void()> body);
+  ~PollThread();
+
+  DM_DISALLOW_COPY_AND_MOVE(PollThread);
+
+  /// Spawns the poll thread; no-op if already running. Restartable after
+  /// Stop().
+  void Start();
+
+  /// Stops and joins the thread; an in-flight body completes first. Safe to
+  /// call concurrently (e.g. an explicit Stop racing the destructor) —
+  /// exactly one caller joins, the rest wait for the join to finish.
+  void Stop();
+
+  /// Wakes the poller immediately instead of at the next interval tick.
+  void Nudge();
+
+  /// Suspends body invocations without tearing the thread down; the poll
+  /// ticks keep counting so callers can still observe liveness.
+  void Pause();
+  void Resume();
+  bool paused() const;
+
+  bool running() const;
+
+  /// Poll iterations since construction (including paused ticks).
+  uint64_t polls() const { return polls_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+
+  const uint64_t interval_us_;
+  const std::function<void()> body_;
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_;
+  bool stop_requested_ = false;
+  bool nudged_ = false;
+  bool paused_ = false;
+  bool running_ = false;
+  std::mutex join_mu_;  ///< serializes concurrent Stop() calls on join
+  std::thread thread_;
+  std::atomic<uint64_t> polls_{0};
+};
+
+}  // namespace deltamerge

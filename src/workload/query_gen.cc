@@ -180,6 +180,78 @@ std::string ConcurrentWorkloadReport::ToString() const {
   return std::string(buf);
 }
 
+// ---------------------------------------------------------------------------
+// Deterministic write schedules
+// ---------------------------------------------------------------------------
+
+std::vector<WriteOp> GenerateWriteOps(size_t num_columns, uint64_t num_ops,
+                                      uint64_t key_domain, uint64_t seed) {
+  Rng rng(seed ^ 0xd0d0cafef00dULL);
+  std::vector<WriteOp> ops;
+  ops.reserve(num_ops);
+  uint64_t rows = 0;  // tracked deterministically: inserts/updates append
+  for (uint64_t i = 0; i < num_ops; ++i) {
+    WriteOp op;
+    const uint64_t dice = rng.Below(100);
+    if (dice < 55 || rows == 0) {
+      op.kind = WriteOpKind::kInsert;
+    } else if (dice < 85) {
+      op.kind = WriteOpKind::kUpdate;
+      op.target_row = rng.Below(rows);
+    } else {
+      op.kind = WriteOpKind::kDelete;
+      op.target_row = rng.Below(rows);
+    }
+    if (op.kind != WriteOpKind::kDelete) {
+      op.keys.resize(num_columns);
+      for (size_t c = 0; c < num_columns; ++c) {
+        op.keys[c] = rng.Below(key_domain);
+      }
+      ++rows;
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+void ApplyWriteOp(Table* table, const WriteOp& op) {
+  switch (op.kind) {
+    case WriteOpKind::kInsert:
+      table->InsertRow(op.keys);
+      break;
+    case WriteOpKind::kUpdate:
+      table->UpdateRow(op.target_row, op.keys);
+      break;
+    case WriteOpKind::kDelete:
+      (void)table->DeleteRow(op.target_row);
+      break;
+  }
+}
+
+double WriteScheduleReport::updates_per_second() const {
+  if (wall_cycles == 0) return 0;
+  return static_cast<double>(ops) / CycleClock::ToSeconds(wall_cycles);
+}
+
+WriteScheduleReport RunWriteSchedule(Table* table,
+                                     std::span<const WriteOp> ops,
+                                     const WriteScheduleOptions& options) {
+  DM_CHECK(table != nullptr);
+  WriteScheduleReport report;
+  const uint64_t t0 = CycleClock::Now();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    ApplyWriteOp(table, ops[i]);
+    if (options.on_op_acknowledged) options.on_op_acknowledged(i);
+    if (options.merge_every > 0 && (i + 1) % options.merge_every == 0 &&
+        table->delta_rows() > 0) {
+      if (table->Merge(options.merge).ok()) ++report.merges;
+    }
+  }
+  report.wall_cycles = CycleClock::Now() - t0;
+  report.ops = ops.size();
+  return report;
+}
+
 ConcurrentWorkloadReport RunConcurrentReadWriteMerge(
     Table* table, MergeDaemon* daemon,
     const ConcurrentWorkloadOptions& options) {

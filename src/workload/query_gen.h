@@ -13,7 +13,10 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/merge_daemon.h"
 #include "core/table.h"
@@ -117,5 +120,58 @@ struct ConcurrentWorkloadReport {
 ConcurrentWorkloadReport RunConcurrentReadWriteMerge(
     Table* table, MergeDaemon* daemon,
     const ConcurrentWorkloadOptions& options);
+
+// ---------------------------------------------------------------------------
+// Deterministic write schedules (durable-mode driver).
+//
+// The durability bench and the crash-recovery torture both need the same
+// thing: a seeded insert/update/delete stream whose every operation is
+// *precomputable* — target rows included — so the identical schedule can be
+// applied to a Table, a persist::DurableTable, and the tests' reference
+// model, and truncated at any prefix for crash-point comparison.
+// ---------------------------------------------------------------------------
+
+enum class WriteOpKind : uint8_t { kInsert = 0, kUpdate = 1, kDelete = 2 };
+
+struct WriteOp {
+  WriteOpKind kind = WriteOpKind::kInsert;
+  uint64_t target_row = 0;           ///< update/delete victim
+  std::vector<uint64_t> keys;        ///< insert/update payload (one per column)
+};
+
+/// Generates `num_ops` operations with the concurrent driver's 55/30/15
+/// insert/update/delete mix. Target rows are drawn against the
+/// deterministically tracked row count (insert-only growth), so applying a
+/// prefix of the schedule always lands on valid rows.
+std::vector<WriteOp> GenerateWriteOps(size_t num_columns, uint64_t num_ops,
+                                      uint64_t key_domain, uint64_t seed);
+
+/// Applies one op through the real write path.
+void ApplyWriteOp(Table* table, const WriteOp& op);
+
+struct WriteScheduleOptions {
+  /// Run a foreground Table::Merge after every N applied ops (0 = never);
+  /// on a durable table each such merge produces a checkpoint.
+  uint64_t merge_every = 0;
+  TableMergeOptions merge;
+  /// Invoked after each op returns — i.e. after the write is acknowledged
+  /// (durable per the table's sync policy). The crash-torture child uses
+  /// this to report progress to its parent.
+  std::function<void(uint64_t op_index)> on_op_acknowledged;
+};
+
+struct WriteScheduleReport {
+  uint64_t ops = 0;
+  uint64_t wall_cycles = 0;
+  uint64_t merges = 0;
+  double updates_per_second() const;
+};
+
+/// Applies `ops` in order on the calling thread, timing the write path
+/// (acknowledgment included — on a durable table this is the fsync cost the
+/// WAL-overhead bench exists to measure).
+WriteScheduleReport RunWriteSchedule(Table* table,
+                                     std::span<const WriteOp> ops,
+                                     const WriteScheduleOptions& options);
 
 }  // namespace deltamerge

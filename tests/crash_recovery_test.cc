@@ -1,0 +1,296 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Crash-recovery torture: the acceptance test of the durability subsystem.
+//
+// Two crash simulators, both checked against the shared deterministic write
+// schedule (workload/query_gen.h's GenerateWriteOps — the same generator
+// the reference-model torture uses):
+//
+//   * WAL truncation at a random byte: run a schedule (checkpoints
+//     included), close, chop the newest segment mid-frame, reopen. The
+//     recovered table must equal the reference model replayed to exactly
+//     the surviving record count — a valid prefix, nothing invented, and
+//     never anything below the last checkpoint.
+//
+//   * fork + SIGKILL: a child process writes with sync=every-commit and
+//     reports each acknowledged op through a pipe; the parent kills it at a
+//     random moment (possibly mid-fsync, mid-checkpoint, or mid-rename),
+//     reopens the directory, and verifies every reported-acknowledged op
+//     recovered and the result is a valid schedule prefix.
+//
+// Every op logs exactly one WAL record, so the recovered LSN *is* the
+// recovered op count — which makes "the model at the crash point" exact.
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/table.h"
+#include "persist/durable_table.h"
+#include "persist/wal.h"
+#include "reference_model.h"
+#include "util/file_io.h"
+#include "util/random.h"
+#include "workload/query_gen.h"
+
+namespace deltamerge {
+namespace {
+
+using persist::DurableTable;
+using persist::DurableTableOptions;
+using persist::ListWalSegments;
+using persist::WalSyncPolicy;
+using testref::ReferenceModel;
+
+constexpr uint64_t kKeyDomain = 1 << 12;  // small domain -> collisions
+
+Schema TortureSchema() {
+  Schema schema;
+  schema.columns = {{8, "a"}, {4, "b"}, {16, "c"}};
+  return schema;
+}
+
+std::vector<size_t> TortureWidths() { return {8, 4, 16}; }
+
+class ScratchDir {
+ public:
+  ScratchDir() {
+    char tmpl[] = "./dm_crash_XXXXXX";
+    char* made = ::mkdtemp(tmpl);
+    EXPECT_NE(made, nullptr);
+    path_ = made != nullptr ? made : "./dm_crash_fallback";
+  }
+  ~ScratchDir() { (void)RemoveDirAll(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Replays `count` ops of the schedule into a fresh reference model.
+ReferenceModel ModelPrefix(const std::vector<WriteOp>& ops, uint64_t count) {
+  ReferenceModel model(TortureWidths());
+  for (uint64_t i = 0; i < count; ++i) {
+    const WriteOp& op = ops[i];
+    switch (op.kind) {
+      case WriteOpKind::kInsert:
+        model.Insert(op.keys);
+        break;
+      case WriteOpKind::kUpdate:
+        model.Update(op.target_row, op.keys);
+        break;
+      case WriteOpKind::kDelete:
+        model.Delete(op.target_row);
+        break;
+    }
+  }
+  return model;
+}
+
+/// Full differential comparison, same checks the snapshot torture uses:
+/// shape, validity of every row, sampled materialization, and count/sum
+/// aggregates per column.
+void ExpectTableMatchesModel(const Table& table, const ReferenceModel& model,
+                             uint64_t seed) {
+  ASSERT_EQ(table.num_rows(), model.size());
+  ASSERT_EQ(table.valid_rows(), model.valid_count());
+  for (uint64_t row = 0; row < model.size(); ++row) {
+    ASSERT_EQ(table.IsRowValid(row), model.IsValid(row)) << "row " << row;
+  }
+  Rng rng(seed ^ 0x0f1e1d5eedULL);
+  const uint64_t rows = model.size();
+  for (int i = 0; i < 64 && rows > 0; ++i) {
+    const uint64_t row = rng.Below(rows);
+    for (size_t c = 0; c < 3; ++c) {
+      ASSERT_EQ(table.GetKey(c, row), model.Key(row, c))
+          << "row " << row << " col " << c;
+    }
+  }
+  for (size_t c = 0; c < 3; ++c) {
+    ASSERT_EQ(table.SumColumn(c), model.Sum(c)) << "col " << c;
+    for (int i = 0; i < 16; ++i) {
+      const uint64_t key = rng.Below(kKeyDomain);
+      ASSERT_EQ(table.CountEquals(c, key), model.CountEquals(c, key))
+          << "col " << c << " key " << key;
+      const uint64_t lo = rng.Below(kKeyDomain);
+      ASSERT_EQ(table.CountRange(c, lo, lo + 100),
+                model.CountRange(c, lo, lo + 100))
+          << "col " << c << " lo " << lo;
+    }
+  }
+}
+
+struct TruncateParam {
+  uint64_t seed;
+  uint64_t ops;
+  uint64_t merge_every;  // 0 = no checkpoints
+};
+
+void PrintTo(const TruncateParam& p, std::ostream* os) {
+  *os << "seed=" << p.seed << " ops=" << p.ops
+      << " merge_every=" << p.merge_every;
+}
+
+class CrashRecoveryTruncate : public ::testing::TestWithParam<TruncateParam> {
+};
+
+TEST_P(CrashRecoveryTruncate, RecoversExactPrefixAtRandomCuts) {
+  const TruncateParam p = GetParam();
+  const std::vector<WriteOp> ops =
+      GenerateWriteOps(3, p.ops, kKeyDomain, p.seed);
+
+  ScratchDir dir;
+  DurableTableOptions options;
+  options.wal.policy = WalSyncPolicy::kEveryCommit;
+
+  uint64_t checkpoint_coverage = 0;  // ops covered by the last checkpoint
+  {
+    auto opened = DurableTable::Open(dir.path(), TortureSchema(), options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    auto& dt = *opened.ValueOrDie();
+    WriteScheduleOptions schedule;
+    schedule.merge_every = p.merge_every;
+    RunWriteSchedule(&dt.table(), ops, schedule);
+    if (p.merge_every > 0) {
+      // Each op is one record, so the last rotation's replay LSN - 1 is the
+      // number of ops the newest checkpoint covers.
+      EXPECT_GE(dt.durability().checkpoints_written(), 1u);
+      checkpoint_coverage = (p.ops / p.merge_every) * p.merge_every;
+    }
+  }
+
+  // Chop the newest segment at a random byte — a hard crash mid-write.
+  auto segments = ListWalSegments(dir.path());
+  ASSERT_TRUE(segments.ok());
+  ASSERT_FALSE(segments.ValueOrDie().empty());
+  const std::string last_segment =
+      dir.path() + "/" + segments.ValueOrDie().back().second;
+  auto size = FileSize(last_segment);
+  ASSERT_TRUE(size.ok());
+  Rng rng(p.seed ^ 0xca75c4a5ULL);
+  const uint64_t cut = rng.Below(size.ValueOrDie() + 1);
+  ASSERT_TRUE(TruncateFile(last_segment, cut).ok());
+
+  auto reopened = DurableTable::Open(dir.path(), TortureSchema(), options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const auto& dt = *reopened.ValueOrDie();
+
+  // One record per op: the recovered LSN is the recovered op count.
+  const uint64_t recovered_ops = dt.recovery().recovered_lsn;
+  ASSERT_LE(recovered_ops, p.ops);
+  ASSERT_GE(recovered_ops, checkpoint_coverage)
+      << "recovery lost checkpointed (acknowledged + durable) writes";
+
+  const ReferenceModel model = ModelPrefix(ops, recovered_ops);
+  ExpectTableMatchesModel(dt.table(), model, p.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cuts, CrashRecoveryTruncate,
+    ::testing::Values(TruncateParam{101, 400, 0},
+                      TruncateParam{202, 600, 150},
+                      TruncateParam{303, 600, 150},
+                      TruncateParam{404, 900, 200},
+                      TruncateParam{505, 500, 100},
+                      TruncateParam{606, 300, 75}));
+
+// --- fork + SIGKILL ---------------------------------------------------------
+
+struct KillParam {
+  uint64_t seed;
+  uint64_t ops;
+  uint64_t merge_every;
+  uint64_t max_sleep_ms;  // parent waits up to this long before SIGKILL
+};
+
+void PrintTo(const KillParam& p, std::ostream* os) {
+  *os << "seed=" << p.seed << " ops=" << p.ops
+      << " merge_every=" << p.merge_every;
+}
+
+class CrashRecoverySigkill : public ::testing::TestWithParam<KillParam> {};
+
+TEST_P(CrashRecoverySigkill, ChildKilledMidWorkloadLosesNoAcknowledgedOp) {
+  const KillParam p = GetParam();
+  const std::vector<WriteOp> ops =
+      GenerateWriteOps(3, p.ops, kKeyDomain, p.seed);
+
+  ScratchDir dir;
+  DurableTableOptions options;
+  options.wal.policy = WalSyncPolicy::kEveryCommit;
+
+  int pipe_fds[2];
+  ASSERT_EQ(::pipe(pipe_fds), 0);
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // --- child: write durably, report each acknowledged op, then idle ---
+    ::close(pipe_fds[0]);
+    auto opened = DurableTable::Open(dir.path(), TortureSchema(), options);
+    if (!opened.ok()) _exit(2);
+    auto& dt = *opened.ValueOrDie();
+    WriteScheduleOptions schedule;
+    schedule.merge_every = p.merge_every;
+    schedule.on_op_acknowledged = [&](uint64_t op_index) {
+      // The record behind op_index is durable (sync=every-commit), so the
+      // parent may rely on anything it reads from the pipe.
+      const ssize_t w = ::write(pipe_fds[1], &op_index, sizeof(op_index));
+      if (w != sizeof(op_index)) _exit(3);
+    };
+    RunWriteSchedule(&dt.table(), ops, schedule);
+    ::close(pipe_fds[1]);  // parent sees EOF if we finished everything
+    for (;;) ::pause();    // wait for the SIGKILL
+  }
+
+  // --- parent: kill at a random moment, then recover and verify ---
+  ::close(pipe_fds[1]);
+  Rng rng(p.seed ^ 0x5161c1a1ULL);
+  const uint64_t sleep_us = rng.Below(p.max_sleep_ms * 1000);
+  ::usleep(static_cast<useconds_t>(sleep_us));
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+
+  // Drain the pipe: the highest index read is the last op the child
+  // reported as acknowledged before dying.
+  uint64_t acked_ops = 0;
+  uint64_t index = 0;
+  for (;;) {
+    const ssize_t r = ::read(pipe_fds[0], &index, sizeof(index));
+    if (r != sizeof(index)) break;
+    acked_ops = index + 1;
+  }
+  ::close(pipe_fds[0]);
+
+  auto reopened = DurableTable::Open(dir.path(), TortureSchema(), options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const auto& dt = *reopened.ValueOrDie();
+
+  const uint64_t recovered_ops = dt.recovery().recovered_lsn;
+  ASSERT_LE(recovered_ops, p.ops);
+  // The durability contract: every acknowledged write recovers. (recovered
+  // > acked is fine — records can be durable before the ack is observed.)
+  ASSERT_GE(recovered_ops, acked_ops)
+      << "recovery lost acknowledged writes (acked=" << acked_ops << ")";
+
+  const ReferenceModel model = ModelPrefix(ops, recovered_ops);
+  ExpectTableMatchesModel(dt.table(), model, p.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kills, CrashRecoverySigkill,
+    ::testing::Values(KillParam{7001, 2000, 400, 300},
+                      KillParam{7002, 2000, 400, 300},
+                      KillParam{7003, 1500, 0, 200},
+                      KillParam{7004, 2500, 250, 400}));
+
+}  // namespace
+}  // namespace deltamerge
