@@ -117,6 +117,17 @@ struct CheckpointCapture {
   uint32_t slot_ = 0;
 };
 
+/// A bulk-insert journal record encoded with NO lock held: the payload
+/// bytes and their CRC are precomputed by PrepareInsertBatch so the locked
+/// half of a batch insert (LogInsertBatch) is one buffered append — the
+/// memcpy + checksum of a large batch never rides inside the table's
+/// critical section.
+struct PreparedBatch {
+  std::vector<uint8_t> payload;
+  uint32_t payload_crc = 0;
+  uint64_t num_rows = 0;
+};
+
 /// The hook interface Table drives. Implemented by
 /// persist::DurabilityManager; a null journal means a purely in-memory
 /// table (the default, and the PR 2 behaviour).
@@ -130,6 +141,27 @@ class TableJournal {
   virtual uint64_t LogUpdate(uint64_t old_row,
                              std::span<const uint64_t> keys) = 0;
   virtual uint64_t LogDelete(uint64_t row) = 0;
+
+  /// Encodes a row-major insert batch into one journal record. Called with
+  /// NO lock held and must be thread-safe (no shared scratch state): this
+  /// is where the serialization cost of a durable bulk ingest is paid, in
+  /// parallel with other writers, not under the table lock.
+  virtual PreparedBatch PrepareInsertBatch(
+      std::span<const uint64_t> row_major_keys, uint64_t num_rows,
+      uint64_t num_columns) const = 0;
+
+  /// Logs a prepared batch (under the exclusive lock, pre-mutation) as ONE
+  /// record covering batch.num_rows rows; returns its LSN — a single
+  /// Acknowledge on it covers the whole batch, so group commit pays one
+  /// fdatasync per batch instead of one per row.
+  virtual uint64_t LogInsertBatch(const PreparedBatch& batch) = 0;
+
+  /// Most keys (rows x columns) one batch record may carry. InsertRows
+  /// chunks a larger bulk insert into several records — each record stays
+  /// atomic, the chunk sequence recovers as an ordinary record prefix, and
+  /// a record can never outgrow the log's frame-length field or replay's
+  /// sanity cap on it. The default (8 MiB of keys) sits far below both.
+  virtual uint64_t MaxBatchKeys() const { return uint64_t{1} << 20; }
 
   /// Blocks until record `lsn` is durable per the sync policy (no lock
   /// held). sync=none returns immediately; sync=interval leaves a bounded

@@ -2,9 +2,11 @@
 
 #include "core/table.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "util/cycle_clock.h"
 
@@ -95,21 +97,34 @@ uint64_t Table::InsertRows(std::span<const uint64_t> row_major_keys,
   const size_t nc = columns_.size();
   DM_CHECK_MSG(row_major_keys.size() == num_rows * nc,
                "batch size does not match row count x column count");
-  TableJournal* journal = nullptr;
-  uint64_t last_lsn = 0;
+  // Journal attach/detach is open/close-time only (see AttachJournal), so
+  // the hook read here cannot race a detach; reading it *before* the
+  // exclusive lock is what lets the whole batch record — header, row-major
+  // key memcpy, and payload CRC — be framed with no lock held. Under the
+  // lock the journal takes one buffered append per record (PreparedBatch +
+  // Crc32Combine), and the batch is covered by a single Acknowledge: group
+  // commit pays one fdatasync per batch, not per row. A batch beyond the
+  // journal's per-record key bound is chunked into several records (still
+  // framed out here, still one Acknowledge) so a record can never outgrow
+  // the WAL's frame-length field or replay's cap on it; each chunk stays
+  // atomic and a crash recovers a chunk prefix — all unacknowledged.
+  TableJournal* journal = this->journal();
+  std::vector<PreparedBatch> batches;
+  if (journal != nullptr && num_rows > 0) {
+    const uint64_t chunk_rows =
+        std::max<uint64_t>(1, journal->MaxBatchKeys() / nc);
+    for (uint64_t r = 0; r < num_rows; r += chunk_rows) {
+      const uint64_t n = std::min(chunk_rows, num_rows - r);
+      batches.push_back(journal->PrepareInsertBatch(
+          row_major_keys.subspan(r * nc, n * nc), n, nc));
+    }
+  }
+  uint64_t lsn = 0;
   uint64_t first;
   {
     std::unique_lock lock(mu_);
-    journal = journal_;
-    if (journal != nullptr) {
-      // One record per row, framed serially under the lock — the simple,
-      // replay-identical form. For very large durable batches this encode
-      // dominates the §7.2 column-parallel insert below; a batched record
-      // type is the known follow-up (see ROADMAP).
-      for (uint64_t r = 0; r < num_rows; ++r) {
-        last_lsn =
-            journal->LogInsert(row_major_keys.subspan(r * nc, nc));
-      }
+    for (const PreparedBatch& batch : batches) {
+      lsn = journal->LogInsertBatch(batch);
     }
     const uint64_t t0 = CycleClock::Now();
     if (queue == nullptr) {
@@ -135,9 +150,9 @@ uint64_t Table::InsertRows(std::span<const uint64_t> row_major_keys,
     delta_update_cycles_.fetch_add(CycleClock::Now() - t0,
                                    std::memory_order_relaxed);
   }
-  // One durability wait covers the whole batch (group commit): every record
-  // up to the last one must be durable before the batch is acknowledged.
-  if (journal != nullptr && num_rows > 0) journal->Acknowledge(last_lsn);
+  // One durability wait covers the whole batch: the single batch record
+  // must be durable before any of its rows count as acknowledged.
+  if (journal != nullptr && num_rows > 0) journal->Acknowledge(lsn);
   return first;
 }
 

@@ -5,7 +5,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 #include <utility>
+
+#include "parallel/task_queue.h"
+#include "util/crc32.h"
 
 namespace deltamerge::persist {
 
@@ -50,6 +54,27 @@ uint64_t DurabilityManager::LogDelete(uint64_t row) {
   scratch_.clear();
   AppendU64(&scratch_, row);
   return wal_->Append(WalRecordType::kDelete, scratch_);
+}
+
+PreparedBatch DurabilityManager::PrepareInsertBatch(
+    std::span<const uint64_t> row_major_keys, uint64_t num_rows,
+    uint64_t num_columns) const {
+  // No lock is held here and several threads may prepare concurrently, so
+  // everything lands in the caller-owned PreparedBatch (never scratch_).
+  PreparedBatch batch;
+  batch.num_rows = num_rows;
+  batch.payload.resize(16 + row_major_keys.size() * 8);
+  std::memcpy(batch.payload.data(), &num_rows, 8);
+  std::memcpy(batch.payload.data() + 8, &num_columns, 8);
+  std::memcpy(batch.payload.data() + 16, row_major_keys.data(),
+              row_major_keys.size() * 8);
+  batch.payload_crc = Crc32(batch.payload.data(), batch.payload.size());
+  return batch;
+}
+
+uint64_t DurabilityManager::LogInsertBatch(const PreparedBatch& batch) {
+  return wal_->Append(WalRecordType::kInsertBatch, batch.payload,
+                      batch.payload_crc);
 }
 
 void DurabilityManager::OnMergeCommitted(CheckpointCapture capture) {
@@ -191,6 +216,11 @@ Result<std::unique_ptr<DurableTable>> DurableTable::Open(
     }
   }
   std::vector<uint64_t> keys(nc);
+  // Batch records replay through the same column-parallel InsertRows path
+  // the live write uses; the queue is created lazily so row-only logs (and
+  // empty directories) never pay the worker-thread spawn.
+  std::unique_ptr<TaskQueue> replay_queue;
+  std::vector<uint64_t> batch_keys;
   auto replayed = ReplayWal(
       dir, min_lsn, [&](const WalRecordView& rec) -> Status {
         switch (rec.type) {
@@ -202,6 +232,7 @@ Result<std::unique_ptr<DurableTable>> DurableTable::Open(
               keys[c] = ReadU64At(rec.payload, c * 8);
             }
             table->InsertRow(keys);
+            stats.wal_ops_applied += 1;
             return Status::OK();
           }
           case WalRecordType::kUpdate: {
@@ -218,13 +249,45 @@ Result<std::unique_ptr<DurableTable>> DurableTable::Open(
             // must mirror that exactly or acknowledged updates become
             // unrecoverable.
             table->UpdateRow(old_row, keys);
+            stats.wal_ops_applied += 1;
             return Status::OK();
           }
           case WalRecordType::kDelete: {
             if (rec.payload.size() != 8) {
               return Status::Internal("delete record has wrong size");
             }
+            stats.wal_ops_applied += 1;
             return table->DeleteRow(ReadU64At(rec.payload, 0));
+          }
+          case WalRecordType::kInsertBatch: {
+            // payload: u64 num_rows + u64 num_columns + row-major keys.
+            // Every bound is checked by division against the *actual*
+            // payload size (which the CRC vouches for) so a hostile or
+            // colliding record can never drive an allocation or read from
+            // the declared counts alone.
+            if (rec.payload.size() < 16 || rec.payload.size() % 8 != 0) {
+              return Status::Internal("batch record has torn header");
+            }
+            const uint64_t num_rows = ReadU64At(rec.payload, 0);
+            const uint64_t num_cols = ReadU64At(rec.payload, 8);
+            if (num_cols != nc) {
+              return Status::Internal("batch record has wrong column count");
+            }
+            const uint64_t key_words = (rec.payload.size() - 16) / 8;
+            if (key_words % nc != 0 || key_words / nc != num_rows) {
+              return Status::Internal("batch record has wrong key count");
+            }
+            batch_keys.resize(key_words);
+            std::memcpy(batch_keys.data(), rec.payload.data() + 16,
+                        key_words * 8);
+            if (replay_queue == nullptr && num_rows > 1) {
+              const unsigned hw = std::thread::hardware_concurrency();
+              replay_queue = std::make_unique<TaskQueue>(
+                  static_cast<int>(std::min(4u, hw == 0 ? 1u : hw)));
+            }
+            table->InsertRows(batch_keys, num_rows, replay_queue.get());
+            stats.wal_ops_applied += num_rows;
+            return Status::OK();
           }
         }
         return Status::Internal("unknown WAL record type");

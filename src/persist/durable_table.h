@@ -52,6 +52,10 @@ class DurabilityManager final : public TableJournal {
   uint64_t LogUpdate(uint64_t old_row,
                      std::span<const uint64_t> keys) override;
   uint64_t LogDelete(uint64_t row) override;
+  PreparedBatch PrepareInsertBatch(std::span<const uint64_t> row_major_keys,
+                                   uint64_t num_rows,
+                                   uint64_t num_columns) const override;
+  uint64_t LogInsertBatch(const PreparedBatch& batch) override;
   void Acknowledge(uint64_t lsn) override { wal_->Acknowledge(lsn); }
   uint64_t OnMergeFreezeLocked() override { return wal_->RotateSegment(); }
   void OnMergeCommitted(CheckpointCapture capture) override;
@@ -87,6 +91,11 @@ struct RecoveryStats {
   uint64_t invalid_checkpoints = 0;  ///< corrupt files skipped (older used)
   uint64_t wal_records_applied = 0;
   uint64_t wal_records_skipped = 0;
+  /// Logical write operations the replayed records carried: 1 per
+  /// insert/update/delete record, num_rows per kInsertBatch record. With
+  /// per-row logging this equals wal_records_applied; with batches it is
+  /// the row-delta sum the batch records declare.
+  uint64_t wal_ops_applied = 0;
   uint64_t wal_segments = 0;
   bool torn_tail = false;
   /// Replay stopped at an LSN discontinuity (lost non-final tail); the

@@ -3,11 +3,14 @@
 #include "persist/wal.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 #include "util/crc32.h"
+#include "util/cycle_clock.h"
 
 namespace deltamerge::persist {
 
@@ -44,6 +47,7 @@ WalWriter::WalWriter(std::string dir, uint64_t next_lsn, WalOptions options)
       options_(options),
       segment_start_lsn_(next_lsn),
       next_lsn_(next_lsn),
+      lsn_frontier_(next_lsn),
       durable_lsn_(next_lsn - 1) {}
 
 Result<std::unique_ptr<WalWriter>> WalWriter::Open(std::string dir,
@@ -97,8 +101,27 @@ Status WalWriter::OpenSegmentLocked() {
 
 uint64_t WalWriter::Append(WalRecordType type,
                            std::span<const uint8_t> payload) {
+  return AppendImpl(type, payload, /*have_payload_crc=*/false, 0);
+}
+
+uint64_t WalWriter::Append(WalRecordType type,
+                           std::span<const uint8_t> payload,
+                           uint32_t payload_crc) {
+  return AppendImpl(type, payload, /*have_payload_crc=*/true, payload_crc);
+}
+
+uint64_t WalWriter::AppendImpl(WalRecordType type,
+                               std::span<const uint8_t> payload,
+                               bool have_payload_crc, uint32_t payload_crc) {
+  // A frame that replay would refuse (or whose length no longer fits the
+  // u32 len field) must never be acknowledged as durable — fail stop here
+  // rather than lose the record and everything after it at recovery.
+  // TableJournal::MaxBatchKeys chunks bulk inserts well below this.
+  DM_CHECK_MSG(payload.size() <= kMaxPayloadBytes,
+               "WAL record payload exceeds the replayable frame cap");
   std::lock_guard<std::mutex> lock(mu_);
   const uint64_t lsn = next_lsn_++;
+  lsn_frontier_.store(next_lsn_, std::memory_order_release);
   // Once an I/O error is latched the log can never promise durability
   // again; buffering further records would only grow memory without bound
   // (FlushLocked refuses to drain). Keep assigning LSNs so callers stay
@@ -111,7 +134,9 @@ uint64_t WalWriter::Append(WalRecordType type,
   std::memcpy(meta, &lsn, 8);
   meta[8] = static_cast<uint8_t>(type);
   uint32_t crc = Crc32(meta, sizeof(meta));
-  crc = Crc32(payload.data(), payload.size(), crc);
+  crc = have_payload_crc
+            ? Crc32Combine(crc, payload_crc, payload.size())
+            : Crc32(payload.data(), payload.size(), crc);
   std::memcpy(head, &len, 4);
   std::memcpy(head + 4, &crc, 4);
   std::memcpy(head + 8, meta, 9);
@@ -146,6 +171,35 @@ Status WalWriter::SyncNow() {
 
 Status WalWriter::LeaderSync(std::unique_lock<std::mutex>& sync_lock) {
   sync_in_progress_ = true;
+  // Group-commit boarding: if another acknowledger is already waiting (its
+  // record may not be buffered yet, and more are typically right behind
+  // it), the leader yields the CPU — up to the configured budget, measured
+  // by the cycle clock because timer-slack makes a sleep overshoot badly —
+  // so in-flight writers can finish framing and append before the flush;
+  // one fdatasync then covers the whole convoy. Boarding ends early once
+  // the LSN frontier stops advancing (everyone is parked waiting for this
+  // sync). A lone writer never has waiting siblings and never boards.
+  if (options_.policy == WalSyncPolicy::kEveryCommit &&
+      options_.group_commit_delay_us > 0 &&
+      ack_waiters_.load(std::memory_order_acquire) > 1) {
+    sync_lock.unlock();
+    const uint64_t budget = static_cast<uint64_t>(
+        static_cast<double>(options_.group_commit_delay_us) *
+        CycleClock::FrequencyHz() / 1e6);
+    const uint64_t t0 = CycleClock::Now();
+    // The frontier is read from an atomic mirror of next_lsn_, not via
+    // next_lsn() — polling mu_ here would contend with the very appends
+    // this window exists to let land.
+    uint64_t frontier = lsn_frontier_.load(std::memory_order_acquire);
+    int stalled = 0;
+    while (CycleClock::Now() - t0 < budget && stalled < 2) {
+      std::this_thread::yield();
+      const uint64_t now = lsn_frontier_.load(std::memory_order_acquire);
+      stalled = now == frontier ? stalled + 1 : 0;
+      frontier = now;
+    }
+    sync_lock.lock();
+  }
   uint64_t target = 0;
   std::shared_ptr<FileWriter> seg;
   std::vector<std::shared_ptr<FileWriter>> pending;
@@ -207,6 +261,15 @@ void WalWriter::LatchErrorLocked(const Status& st) {
 
 void WalWriter::Acknowledge(uint64_t lsn) {
   if (options_.policy != WalSyncPolicy::kEveryCommit) return;
+  // Covered by an earlier group commit: return without touching the shared
+  // waiter counter — only true waiters carry boarding signal, and the
+  // already-durable path is the hottest one.
+  if (durable_lsn_.load(std::memory_order_acquire) >= lsn) return;
+  ack_waiters_.fetch_add(1, std::memory_order_acq_rel);
+  struct WaiterGuard {
+    std::atomic<uint32_t>* counter;
+    ~WaiterGuard() { counter->fetch_sub(1, std::memory_order_acq_rel); }
+  } guard{&ack_waiters_};
   while (durable_lsn_.load(std::memory_order_acquire) < lsn) {
     std::unique_lock<std::mutex> sync_lock(sync_mu_);
     if (durable_lsn_.load(std::memory_order_acquire) >= lsn) return;
@@ -369,7 +432,7 @@ Result<WalReplayResult> ReplayWal(
       expected = lsn + 1;
       if (lsn > result.last_lsn) result.last_lsn = lsn;
       if (type < uint8_t(WalRecordType::kInsert) ||
-          type > uint8_t(WalRecordType::kDelete)) {
+          type > uint8_t(WalRecordType::kInsertBatch)) {
         ++result.skipped;
         continue;
       }

@@ -23,6 +23,57 @@ constexpr std::array<uint32_t, 256> BuildTable() {
 
 constexpr std::array<uint32_t, 256> kTable = BuildTable();
 
+// --- Crc32Combine machinery (zlib's gf2-matrix crc32_combine) ---------------
+//
+// Appending k zero bits to a message transforms its CRC register linearly
+// over GF(2), so "append k zeros" is a 32x32 bit matrix. We precompute the
+// operators for 2^k zero BYTES once; combining then walks the set bits of
+// len_b. The pre/post inversion of the CRC cancels out exactly as in zlib:
+// crc(A||B) = apply_zeros(crc(A), len_b) ^ crc(B).
+
+uint32_t Gf2MatrixTimes(const uint32_t* mat, uint32_t vec) {
+  uint32_t sum = 0;
+  while (vec != 0) {
+    if (vec & 1) sum ^= *mat;
+    vec >>= 1;
+    ++mat;
+  }
+  return sum;
+}
+
+void Gf2MatrixSquare(uint32_t* square, const uint32_t* mat) {
+  for (int n = 0; n < 32; ++n) square[n] = Gf2MatrixTimes(mat, mat[n]);
+}
+
+/// byte_ops[k] is the operator for appending 2^k zero bytes.
+struct ZeroByteOperators {
+  uint32_t byte_ops[64][32];
+
+  ZeroByteOperators() {
+    // Operator for ONE zero bit: the CRC shift-and-conditionally-xor step.
+    uint32_t odd[32];
+    odd[0] = 0xEDB88320u;  // the reflected polynomial
+    uint32_t row = 1;
+    for (int n = 1; n < 32; ++n) {
+      odd[n] = row;
+      row <<= 1;
+    }
+    // Square up to 8 zero bits = 1 zero byte, then keep doubling.
+    uint32_t even[32];
+    Gf2MatrixSquare(even, odd);           // 2 bits
+    Gf2MatrixSquare(odd, even);           // 4 bits
+    Gf2MatrixSquare(byte_ops[0], odd);    // 8 bits = 1 byte
+    for (int k = 1; k < 64; ++k) {
+      Gf2MatrixSquare(byte_ops[k], byte_ops[k - 1]);
+    }
+  }
+};
+
+const ZeroByteOperators& ZeroOps() {
+  static const ZeroByteOperators ops;
+  return ops;
+}
+
 }  // namespace
 
 uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
@@ -32,6 +83,15 @@ uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
     c = kTable[(c ^ p[i]) & 0xFF] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32Combine(uint32_t crc_a, uint32_t crc_b, uint64_t len_b) {
+  if (len_b == 0) return crc_a;
+  const ZeroByteOperators& ops = ZeroOps();
+  for (int k = 0; len_b != 0; ++k, len_b >>= 1) {
+    if (len_b & 1) crc_a = Gf2MatrixTimes(ops.byte_ops[k], crc_a);
+  }
+  return crc_a ^ crc_b;
 }
 
 }  // namespace deltamerge

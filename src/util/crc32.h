@@ -19,4 +19,14 @@ namespace deltamerge {
 /// to start a fresh checksum).
 uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
 
+/// CRC-32 of the concatenation A||B given only crc_a = Crc32(A), crc_b =
+/// Crc32(B), and B's length — without touching the bytes again (zlib's
+/// crc32_combine, via precomputed GF(2) zero-operators, O(log len_b)).
+///
+/// This is what lets a bulk-insert batch be checksummed *outside* the table
+/// lock: the caller CRCs the payload with no lock held, and the WAL derives
+/// the frame CRC (header bytes ++ payload) under the lock in ~a dozen
+/// 32x32-bit matrix-vector products instead of rescanning the payload.
+uint32_t Crc32Combine(uint32_t crc_a, uint32_t crc_b, uint64_t len_b);
+
 }  // namespace deltamerge

@@ -214,7 +214,37 @@ std::vector<WriteOp> GenerateWriteOps(size_t num_columns, uint64_t num_ops,
   return ops;
 }
 
-void ApplyWriteOp(Table* table, const WriteOp& op) {
+uint64_t WriteOpLogicalOps(const WriteOp& op) {
+  return op.kind == WriteOpKind::kInsertBatch ? op.batch_rows : 1;
+}
+
+std::vector<WriteOp> CoalesceInsertBatches(std::span<const WriteOp> ops,
+                                           uint64_t max_batch_rows) {
+  DM_CHECK_MSG(max_batch_rows >= 1, "a batch holds at least one row");
+  std::vector<WriteOp> out;
+  out.reserve(ops.size());
+  for (size_t i = 0; i < ops.size();) {
+    if (ops[i].kind != WriteOpKind::kInsert) {
+      out.push_back(ops[i]);
+      ++i;
+      continue;
+    }
+    WriteOp batch;
+    batch.kind = WriteOpKind::kInsertBatch;
+    batch.batch_rows = 0;
+    while (i < ops.size() && ops[i].kind == WriteOpKind::kInsert &&
+           batch.batch_rows < max_batch_rows) {
+      batch.keys.insert(batch.keys.end(), ops[i].keys.begin(),
+                        ops[i].keys.end());
+      ++batch.batch_rows;
+      ++i;
+    }
+    out.push_back(std::move(batch));
+  }
+  return out;
+}
+
+void ApplyWriteOp(Table* table, const WriteOp& op, TaskQueue* batch_queue) {
   switch (op.kind) {
     case WriteOpKind::kInsert:
       table->InsertRow(op.keys);
@@ -224,6 +254,9 @@ void ApplyWriteOp(Table* table, const WriteOp& op) {
       break;
     case WriteOpKind::kDelete:
       (void)table->DeleteRow(op.target_row);
+      break;
+    case WriteOpKind::kInsertBatch:
+      table->InsertRows(op.keys, op.batch_rows, batch_queue);
       break;
   }
 }
@@ -238,17 +271,19 @@ WriteScheduleReport RunWriteSchedule(Table* table,
                                      const WriteScheduleOptions& options) {
   DM_CHECK(table != nullptr);
   WriteScheduleReport report;
+  uint64_t logical = 0;
   const uint64_t t0 = CycleClock::Now();
   for (size_t i = 0; i < ops.size(); ++i) {
-    ApplyWriteOp(table, ops[i]);
-    if (options.on_op_acknowledged) options.on_op_acknowledged(i);
+    ApplyWriteOp(table, ops[i], options.batch_queue);
+    logical += WriteOpLogicalOps(ops[i]);
+    if (options.on_op_acknowledged) options.on_op_acknowledged(logical - 1);
     if (options.merge_every > 0 && (i + 1) % options.merge_every == 0 &&
         table->delta_rows() > 0) {
       if (table->Merge(options.merge).ok()) ++report.merges;
     }
   }
   report.wall_cycles = CycleClock::Now() - t0;
-  report.ops = ops.size();
+  report.ops = logical;
   return report;
 }
 

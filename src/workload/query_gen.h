@@ -131,13 +131,28 @@ ConcurrentWorkloadReport RunConcurrentReadWriteMerge(
 // model, and truncated at any prefix for crash-point comparison.
 // ---------------------------------------------------------------------------
 
-enum class WriteOpKind : uint8_t { kInsert = 0, kUpdate = 1, kDelete = 2 };
+enum class WriteOpKind : uint8_t {
+  kInsert = 0,
+  kUpdate = 1,
+  kDelete = 2,
+  /// A bulk insert of batch_rows rows in one Table::InsertRows call — on a
+  /// durable table, one WAL record and one group-committed acknowledgment
+  /// for the whole batch.
+  kInsertBatch = 3,
+};
 
 struct WriteOp {
   WriteOpKind kind = WriteOpKind::kInsert;
-  uint64_t target_row = 0;           ///< update/delete victim
-  std::vector<uint64_t> keys;        ///< insert/update payload (one per column)
+  uint64_t target_row = 0;    ///< update/delete victim
+  uint64_t batch_rows = 1;    ///< kInsertBatch: rows held in `keys`
+  /// insert/update payload (one per column); kInsertBatch holds
+  /// batch_rows x num_columns keys row-major.
+  std::vector<uint64_t> keys;
 };
+
+/// Logical single-row operations an op represents (batch_rows for a batch,
+/// 1 otherwise) — the unit crash-recovery prefixes are counted in.
+uint64_t WriteOpLogicalOps(const WriteOp& op);
 
 /// Generates `num_ops` operations with the concurrent driver's 55/30/15
 /// insert/update/delete mix. Target rows are drawn against the
@@ -146,22 +161,36 @@ struct WriteOp {
 std::vector<WriteOp> GenerateWriteOps(size_t num_columns, uint64_t num_ops,
                                       uint64_t key_domain, uint64_t seed);
 
-/// Applies one op through the real write path.
-void ApplyWriteOp(Table* table, const WriteOp& op);
+/// Rewrites a schedule so every run of consecutive single-row inserts
+/// becomes kInsertBatch ops of at most `max_batch_rows` rows each. The
+/// logical operation stream is unchanged — applying the coalesced schedule
+/// yields a table identical to the original, which is exactly the
+/// differential property the row-vs-batch recovery tests exercise.
+std::vector<WriteOp> CoalesceInsertBatches(std::span<const WriteOp> ops,
+                                           uint64_t max_batch_rows);
+
+/// Applies one op through the real write path; `batch_queue` (optional)
+/// column-parallelizes kInsertBatch ops.
+void ApplyWriteOp(Table* table, const WriteOp& op,
+                  TaskQueue* batch_queue = nullptr);
 
 struct WriteScheduleOptions {
-  /// Run a foreground Table::Merge after every N applied ops (0 = never);
-  /// on a durable table each such merge produces a checkpoint.
+  /// Run a foreground Table::Merge after every N applied schedule entries
+  /// (0 = never); on a durable table each such merge produces a checkpoint.
   uint64_t merge_every = 0;
   TableMergeOptions merge;
-  /// Invoked after each op returns — i.e. after the write is acknowledged
-  /// (durable per the table's sync policy). The crash-torture child uses
-  /// this to report progress to its parent.
+  /// Column-parallelizes kInsertBatch entries (caller-owned; may be null).
+  TaskQueue* batch_queue = nullptr;
+  /// Invoked after each schedule entry returns — i.e. after the write is
+  /// acknowledged (durable per the table's sync policy) — with the index of
+  /// the last *logical* operation the entry covered (for a batch entry, its
+  /// final row). The crash-torture child uses this to report progress to
+  /// its parent.
   std::function<void(uint64_t op_index)> on_op_acknowledged;
 };
 
 struct WriteScheduleReport {
-  uint64_t ops = 0;
+  uint64_t ops = 0;  ///< logical single-row operations applied
   uint64_t wall_cycles = 0;
   uint64_t merges = 0;
   double updates_per_second() const;

@@ -1,24 +1,35 @@
 // Copyright (c) 2026 The DeltaMerge Authors.
 // Crash-recovery torture: the acceptance test of the durability subsystem.
 //
-// Two crash simulators, both checked against the shared deterministic write
-// schedule (workload/query_gen.h's GenerateWriteOps — the same generator
-// the reference-model torture uses):
+// Three crash simulators, all checked against the shared deterministic
+// write schedule (workload/query_gen.h's GenerateWriteOps — the same
+// generator the reference-model torture uses), and all run **twice**: once
+// with per-row logging and once with insert runs coalesced into
+// kInsertBatch records (the PR 4 differential):
 //
 //   * WAL truncation at a random byte: run a schedule (checkpoints
 //     included), close, chop the newest segment mid-frame, reopen. The
 //     recovered table must equal the reference model replayed to exactly
-//     the surviving record count — a valid prefix, nothing invented, and
-//     never anything below the last checkpoint.
+//     the logical-op prefix the surviving records cover — a valid prefix,
+//     nothing invented, never anything below the last checkpoint, and
+//     never a partially applied batch.
+//
+//   * every-byte batch truncation: a batch-heavy segment cut at every
+//     possible byte length; a torn kInsertBatch record must vanish
+//     atomically — recovery lands between records, never inside one.
 //
 //   * fork + SIGKILL: a child process writes with sync=every-commit and
-//     reports each acknowledged op through a pipe; the parent kills it at a
-//     random moment (possibly mid-fsync, mid-checkpoint, or mid-rename),
-//     reopens the directory, and verifies every reported-acknowledged op
-//     recovered and the result is a valid schedule prefix.
+//     reports each acknowledged logical op through a pipe; the parent
+//     kills it at a random moment (possibly mid-fsync, mid-checkpoint, or
+//     mid-rename), reopens the directory, and verifies every
+//     reported-acknowledged op recovered and the result is a valid
+//     schedule prefix. Batched params make the acknowledged-batch-survives
+//     invariant face real crashes.
 //
-// Every op logs exactly one WAL record, so the recovered LSN *is* the
-// recovered op count — which makes "the model at the crash point" exact.
+// Per-row logging keeps "recovered LSN == recovered op count"; batch
+// records break that identity, so the SchedulePlan of
+// tests/durable_torture_util.h maps every LSN back to its exact
+// logical-op prefix.
 
 #include <gtest/gtest.h>
 
@@ -33,9 +44,9 @@
 #include <vector>
 
 #include "core/table.h"
+#include "durable_torture_util.h"
 #include "persist/durable_table.h"
 #include "persist/wal.h"
-#include "reference_model.h"
 #include "util/file_io.h"
 #include "util/random.h"
 #include "workload/query_gen.h"
@@ -47,95 +58,25 @@ using persist::DurableTable;
 using persist::DurableTableOptions;
 using persist::ListWalSegments;
 using persist::WalSyncPolicy;
+using testref::ExpectTableMatchesModel;
+using testref::kTortureKeyDomain;
+using testref::ModelPrefix;
+using testref::PlanSchedule;
 using testref::ReferenceModel;
-
-constexpr uint64_t kKeyDomain = 1 << 12;  // small domain -> collisions
-
-Schema TortureSchema() {
-  Schema schema;
-  schema.columns = {{8, "a"}, {4, "b"}, {16, "c"}};
-  return schema;
-}
-
-std::vector<size_t> TortureWidths() { return {8, 4, 16}; }
-
-class ScratchDir {
- public:
-  ScratchDir() {
-    char tmpl[] = "./dm_crash_XXXXXX";
-    char* made = ::mkdtemp(tmpl);
-    EXPECT_NE(made, nullptr);
-    path_ = made != nullptr ? made : "./dm_crash_fallback";
-  }
-  ~ScratchDir() { (void)RemoveDirAll(path_); }
-  const std::string& path() const { return path_; }
-
- private:
-  std::string path_;
-};
-
-/// Replays `count` ops of the schedule into a fresh reference model.
-ReferenceModel ModelPrefix(const std::vector<WriteOp>& ops, uint64_t count) {
-  ReferenceModel model(TortureWidths());
-  for (uint64_t i = 0; i < count; ++i) {
-    const WriteOp& op = ops[i];
-    switch (op.kind) {
-      case WriteOpKind::kInsert:
-        model.Insert(op.keys);
-        break;
-      case WriteOpKind::kUpdate:
-        model.Update(op.target_row, op.keys);
-        break;
-      case WriteOpKind::kDelete:
-        model.Delete(op.target_row);
-        break;
-    }
-  }
-  return model;
-}
-
-/// Full differential comparison, same checks the snapshot torture uses:
-/// shape, validity of every row, sampled materialization, and count/sum
-/// aggregates per column.
-void ExpectTableMatchesModel(const Table& table, const ReferenceModel& model,
-                             uint64_t seed) {
-  ASSERT_EQ(table.num_rows(), model.size());
-  ASSERT_EQ(table.valid_rows(), model.valid_count());
-  for (uint64_t row = 0; row < model.size(); ++row) {
-    ASSERT_EQ(table.IsRowValid(row), model.IsValid(row)) << "row " << row;
-  }
-  Rng rng(seed ^ 0x0f1e1d5eedULL);
-  const uint64_t rows = model.size();
-  for (int i = 0; i < 64 && rows > 0; ++i) {
-    const uint64_t row = rng.Below(rows);
-    for (size_t c = 0; c < 3; ++c) {
-      ASSERT_EQ(table.GetKey(c, row), model.Key(row, c))
-          << "row " << row << " col " << c;
-    }
-  }
-  for (size_t c = 0; c < 3; ++c) {
-    ASSERT_EQ(table.SumColumn(c), model.Sum(c)) << "col " << c;
-    for (int i = 0; i < 16; ++i) {
-      const uint64_t key = rng.Below(kKeyDomain);
-      ASSERT_EQ(table.CountEquals(c, key), model.CountEquals(c, key))
-          << "col " << c << " key " << key;
-      const uint64_t lo = rng.Below(kKeyDomain);
-      ASSERT_EQ(table.CountRange(c, lo, lo + 100),
-                model.CountRange(c, lo, lo + 100))
-          << "col " << c << " lo " << lo;
-    }
-  }
-}
+using testref::SchedulePlan;
+using testref::TortureSchema;
+using testref::TortureScratchDir;
 
 struct TruncateParam {
   uint64_t seed;
   uint64_t ops;
   uint64_t merge_every;  // 0 = no checkpoints
+  uint64_t batch;        // 0 = per-row records; else max kInsertBatch rows
 };
 
 void PrintTo(const TruncateParam& p, std::ostream* os) {
   *os << "seed=" << p.seed << " ops=" << p.ops
-      << " merge_every=" << p.merge_every;
+      << " merge_every=" << p.merge_every << " batch=" << p.batch;
 }
 
 class CrashRecoveryTruncate : public ::testing::TestWithParam<TruncateParam> {
@@ -144,25 +85,24 @@ class CrashRecoveryTruncate : public ::testing::TestWithParam<TruncateParam> {
 TEST_P(CrashRecoveryTruncate, RecoversExactPrefixAtRandomCuts) {
   const TruncateParam p = GetParam();
   const std::vector<WriteOp> ops =
-      GenerateWriteOps(3, p.ops, kKeyDomain, p.seed);
+      GenerateWriteOps(3, p.ops, kTortureKeyDomain, p.seed);
+  const std::vector<WriteOp> schedule =
+      p.batch > 0 ? CoalesceInsertBatches(ops, p.batch) : ops;
+  const SchedulePlan plan = PlanSchedule(schedule, p.merge_every);
 
-  ScratchDir dir;
+  TortureScratchDir dir("crash");
   DurableTableOptions options;
   options.wal.policy = WalSyncPolicy::kEveryCommit;
 
-  uint64_t checkpoint_coverage = 0;  // ops covered by the last checkpoint
   {
     auto opened = DurableTable::Open(dir.path(), TortureSchema(), options);
     ASSERT_TRUE(opened.ok()) << opened.status().ToString();
     auto& dt = *opened.ValueOrDie();
-    WriteScheduleOptions schedule;
-    schedule.merge_every = p.merge_every;
-    RunWriteSchedule(&dt.table(), ops, schedule);
-    if (p.merge_every > 0) {
-      // Each op is one record, so the last rotation's replay LSN - 1 is the
-      // number of ops the newest checkpoint covers.
+    WriteScheduleOptions sched_options;
+    sched_options.merge_every = p.merge_every;
+    RunWriteSchedule(&dt.table(), schedule, sched_options);
+    if (p.merge_every > 0 && plan.checkpoint_ops > 0) {
       EXPECT_GE(dt.durability().checkpoints_written(), 1u);
-      checkpoint_coverage = (p.ops / p.merge_every) * p.merge_every;
     }
   }
 
@@ -182,10 +122,11 @@ TEST_P(CrashRecoveryTruncate, RecoversExactPrefixAtRandomCuts) {
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   const auto& dt = *reopened.ValueOrDie();
 
-  // One record per op: the recovered LSN is the recovered op count.
-  const uint64_t recovered_ops = dt.recovery().recovered_lsn;
+  // The plan maps the recovered LSN to the exact logical-op prefix; a
+  // batch record that lost even one byte contributes zero ops to it.
+  const uint64_t recovered_ops = plan.OpsRecovered(dt.recovery().recovered_lsn);
   ASSERT_LE(recovered_ops, p.ops);
-  ASSERT_GE(recovered_ops, checkpoint_coverage)
+  ASSERT_GE(recovered_ops, plan.checkpoint_ops)
       << "recovery lost checkpointed (acknowledged + durable) writes";
 
   const ReferenceModel model = ModelPrefix(ops, recovered_ops);
@@ -194,12 +135,105 @@ TEST_P(CrashRecoveryTruncate, RecoversExactPrefixAtRandomCuts) {
 
 INSTANTIATE_TEST_SUITE_P(
     Cuts, CrashRecoveryTruncate,
-    ::testing::Values(TruncateParam{101, 400, 0},
-                      TruncateParam{202, 600, 150},
-                      TruncateParam{303, 600, 150},
-                      TruncateParam{404, 900, 200},
-                      TruncateParam{505, 500, 100},
-                      TruncateParam{606, 300, 75}));
+    ::testing::Values(TruncateParam{101, 400, 0, 0},
+                      TruncateParam{202, 600, 150, 0},
+                      TruncateParam{303, 600, 150, 0},
+                      TruncateParam{404, 900, 200, 0},
+                      TruncateParam{505, 500, 100, 0},
+                      TruncateParam{606, 300, 75, 0},
+                      // Same schedules, insert runs batched: the recovered
+                      // tables must hit the same reference model.
+                      TruncateParam{101, 400, 0, 64},
+                      TruncateParam{202, 600, 150, 16},
+                      TruncateParam{303, 600, 150, 64},
+                      TruncateParam{404, 900, 200, 256},
+                      TruncateParam{505, 500, 100, 8},
+                      TruncateParam{606, 300, 75, 32}));
+
+// --- every-byte batch truncation --------------------------------------------
+
+TEST(CrashRecoveryBatch, TornBatchRecordVanishesAtomicallyAtEveryCut) {
+  // A batch-heavy schedule in a single segment, cut at EVERY byte offset:
+  // at each cut the recovered table must equal the model at the plan's
+  // record-boundary op count — if a torn kInsertBatch ever applied a row
+  // prefix, some cut inside its frame would mismatch.
+  const uint64_t kOps = 60;
+  const uint64_t kBatch = 8;
+  const std::vector<WriteOp> ops =
+      GenerateWriteOps(3, kOps, kTortureKeyDomain, /*seed=*/77);
+  const std::vector<WriteOp> schedule = CoalesceInsertBatches(ops, kBatch);
+  const SchedulePlan plan = PlanSchedule(schedule, /*merge_every=*/0);
+
+  TortureScratchDir dir("batchcut");
+  DurableTableOptions options;
+  options.wal.policy = WalSyncPolicy::kEveryCommit;
+  // The first segment's name is deterministic (LSNs start at 1), so the
+  // ack callback can record the frame-end offset of every entry:
+  // sync=every-commit flushes before acknowledging, making the post-ack
+  // file size exactly the cumulative frame boundary.
+  const std::string original = "wal-00000000000000000001.log";
+  const std::string seg_path = dir.path() + "/" + original;
+  std::vector<uint64_t> frame_ends;
+  {
+    auto opened = DurableTable::Open(dir.path(), TortureSchema(), options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    WriteScheduleOptions sched_options;
+    sched_options.on_op_acknowledged = [&](uint64_t) {
+      auto sz = FileSize(seg_path);
+      ASSERT_TRUE(sz.ok());
+      frame_ends.push_back(sz.ValueOrDie());
+    };
+    RunWriteSchedule(&opened.ValueOrDie()->table(), schedule, sched_options);
+  }
+  ASSERT_EQ(frame_ends.size(), schedule.size());
+  const uint64_t full = frame_ends.back();
+
+  // Keep the pristine crash image in memory: each Open mutates the
+  // directory (a recovered_lsn of 0 even recreates — and truncates — the
+  // very segment under test), so every cut must start from a restored
+  // copy, not from whatever the previous iteration left behind.
+  std::vector<uint8_t> pristine(full);
+  {
+    auto in = FileReader::Open(seg_path);
+    ASSERT_TRUE(in.ok());
+    ASSERT_TRUE(in.ValueOrDie()->Read(pristine.data(), pristine.size()).ok());
+  }
+
+  for (uint64_t cut = full + 1; cut-- > 0;) {
+    // Restore the crash image truncated at `cut`; drop every other WAL
+    // file a previous Open created.
+    auto now = ListWalSegments(dir.path());
+    ASSERT_TRUE(now.ok());
+    for (const auto& [start_lsn, name] : now.ValueOrDie()) {
+      ASSERT_TRUE(RemoveFile(dir.path() + "/" + name).ok());
+    }
+    {
+      auto out = FileWriter::Create(seg_path);
+      ASSERT_TRUE(out.ok());
+      if (cut > 0) {
+        ASSERT_TRUE(out.ValueOrDie()->Write(pristine.data(), cut).ok());
+      }
+      ASSERT_TRUE(out.ValueOrDie()->Close().ok());
+    }
+    // Exactly the records whose frames fully survived may replay.
+    uint64_t expect_records = 0;
+    while (expect_records < frame_ends.size() &&
+           frame_ends[expect_records] <= cut) {
+      ++expect_records;
+    }
+    auto reopened = DurableTable::Open(dir.path(), TortureSchema(), options);
+    ASSERT_TRUE(reopened.ok())
+        << "cut at " << cut << ": " << reopened.status().ToString();
+    const auto& dt = *reopened.ValueOrDie();
+    ASSERT_EQ(dt.recovery().recovered_lsn, expect_records)
+        << "cut at " << cut;
+    const uint64_t recovered_ops =
+        plan.OpsRecovered(dt.recovery().recovered_lsn);
+    const ReferenceModel model = ModelPrefix(ops, recovered_ops);
+    ExpectTableMatchesModel(dt.table(), model, /*seed=*/77);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
 
 // --- fork + SIGKILL ---------------------------------------------------------
 
@@ -208,11 +242,12 @@ struct KillParam {
   uint64_t ops;
   uint64_t merge_every;
   uint64_t max_sleep_ms;  // parent waits up to this long before SIGKILL
+  uint64_t batch;         // 0 = per-row records; else max kInsertBatch rows
 };
 
 void PrintTo(const KillParam& p, std::ostream* os) {
   *os << "seed=" << p.seed << " ops=" << p.ops
-      << " merge_every=" << p.merge_every;
+      << " merge_every=" << p.merge_every << " batch=" << p.batch;
 }
 
 class CrashRecoverySigkill : public ::testing::TestWithParam<KillParam> {};
@@ -220,9 +255,12 @@ class CrashRecoverySigkill : public ::testing::TestWithParam<KillParam> {};
 TEST_P(CrashRecoverySigkill, ChildKilledMidWorkloadLosesNoAcknowledgedOp) {
   const KillParam p = GetParam();
   const std::vector<WriteOp> ops =
-      GenerateWriteOps(3, p.ops, kKeyDomain, p.seed);
+      GenerateWriteOps(3, p.ops, kTortureKeyDomain, p.seed);
+  const std::vector<WriteOp> schedule =
+      p.batch > 0 ? CoalesceInsertBatches(ops, p.batch) : ops;
+  const SchedulePlan plan = PlanSchedule(schedule, p.merge_every);
 
-  ScratchDir dir;
+  TortureScratchDir dir("kill");
   DurableTableOptions options;
   options.wal.policy = WalSyncPolicy::kEveryCommit;
 
@@ -237,15 +275,16 @@ TEST_P(CrashRecoverySigkill, ChildKilledMidWorkloadLosesNoAcknowledgedOp) {
     auto opened = DurableTable::Open(dir.path(), TortureSchema(), options);
     if (!opened.ok()) _exit(2);
     auto& dt = *opened.ValueOrDie();
-    WriteScheduleOptions schedule;
-    schedule.merge_every = p.merge_every;
-    schedule.on_op_acknowledged = [&](uint64_t op_index) {
-      // The record behind op_index is durable (sync=every-commit), so the
-      // parent may rely on anything it reads from the pipe.
+    WriteScheduleOptions sched_options;
+    sched_options.merge_every = p.merge_every;
+    sched_options.on_op_acknowledged = [&](uint64_t op_index) {
+      // Everything up to logical op `op_index` is durable
+      // (sync=every-commit; one batch record covers its whole batch), so
+      // the parent may rely on anything it reads from the pipe.
       const ssize_t w = ::write(pipe_fds[1], &op_index, sizeof(op_index));
       if (w != sizeof(op_index)) _exit(3);
     };
-    RunWriteSchedule(&dt.table(), ops, schedule);
+    RunWriteSchedule(&dt.table(), schedule, sched_options);
     ::close(pipe_fds[1]);  // parent sees EOF if we finished everything
     for (;;) ::pause();    // wait for the SIGKILL
   }
@@ -259,8 +298,8 @@ TEST_P(CrashRecoverySigkill, ChildKilledMidWorkloadLosesNoAcknowledgedOp) {
   int wstatus = 0;
   ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
 
-  // Drain the pipe: the highest index read is the last op the child
-  // reported as acknowledged before dying.
+  // Drain the pipe: the highest index read is the last logical op the
+  // child reported as acknowledged before dying.
   uint64_t acked_ops = 0;
   uint64_t index = 0;
   for (;;) {
@@ -274,10 +313,11 @@ TEST_P(CrashRecoverySigkill, ChildKilledMidWorkloadLosesNoAcknowledgedOp) {
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   const auto& dt = *reopened.ValueOrDie();
 
-  const uint64_t recovered_ops = dt.recovery().recovered_lsn;
+  const uint64_t recovered_ops = plan.OpsRecovered(dt.recovery().recovered_lsn);
   ASSERT_LE(recovered_ops, p.ops);
-  // The durability contract: every acknowledged write recovers. (recovered
-  // > acked is fine — records can be durable before the ack is observed.)
+  // The durability contract: every acknowledged write recovers — for a
+  // batch, all of its rows. (recovered > acked is fine — records can be
+  // durable before the ack is observed.)
   ASSERT_GE(recovered_ops, acked_ops)
       << "recovery lost acknowledged writes (acked=" << acked_ops << ")";
 
@@ -287,10 +327,15 @@ TEST_P(CrashRecoverySigkill, ChildKilledMidWorkloadLosesNoAcknowledgedOp) {
 
 INSTANTIATE_TEST_SUITE_P(
     Kills, CrashRecoverySigkill,
-    ::testing::Values(KillParam{7001, 2000, 400, 300},
-                      KillParam{7002, 2000, 400, 300},
-                      KillParam{7003, 1500, 0, 200},
-                      KillParam{7004, 2500, 250, 400}));
+    ::testing::Values(KillParam{7001, 2000, 400, 300, 0},
+                      KillParam{7002, 2000, 400, 300, 0},
+                      KillParam{7003, 1500, 0, 200, 0},
+                      KillParam{7004, 2500, 250, 400, 0},
+                      // Mixed row/batch workloads: insert runs coalesced,
+                      // updates/deletes stay per-row records between them.
+                      KillParam{7005, 2000, 400, 300, 64},
+                      KillParam{7006, 1500, 0, 200, 16},
+                      KillParam{7007, 2500, 250, 400, 128}));
 
 }  // namespace
 }  // namespace deltamerge

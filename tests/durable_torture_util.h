@@ -1,0 +1,194 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Shared machinery for the durability tortures (crash_recovery_test,
+// wal_fuzz_test): the 3-column torture schema, the reference-model prefix
+// replayer, the full differential table-vs-model comparison, and — the key
+// piece for batched logging — a SchedulePlan that predicts, for every WAL
+// record the engine will emit for a (possibly batch-coalesced) schedule,
+// how many *logical* single-row operations are applied once that record is
+// recovered.
+//
+// With per-row logging the recovered LSN equals the recovered op count.
+// Batch records break that identity: one LSN may cover 64 rows. The plan
+// restores exactness: it walks the schedule the way RunWriteSchedule does
+// (one record per entry; merges rotate segments but consume no LSN) and
+// charges each record its logical row-delta, so tests can map any
+// recovered LSN back to the precise schedule prefix the table must equal —
+// and a partially applied batch shows up as a mismatch at every offset.
+
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/table.h"
+#include "reference_model.h"
+#include "util/file_io.h"
+#include "util/random.h"
+#include "workload/query_gen.h"
+
+namespace deltamerge {
+namespace testref {
+
+constexpr uint64_t kTortureKeyDomain = 1 << 12;  // small domain -> collisions
+
+inline Schema TortureSchema() {
+  Schema schema;
+  schema.columns = {{8, "a"}, {4, "b"}, {16, "c"}};
+  return schema;
+}
+
+inline std::vector<size_t> TortureWidths() { return {8, 4, 16}; }
+
+/// Unique scratch directory under the test's working directory; removed
+/// (with contents) on scope exit.
+class TortureScratchDir {
+ public:
+  explicit TortureScratchDir(const std::string& tag) {
+    char tmpl[256];
+    std::snprintf(tmpl, sizeof(tmpl), "./dm_%s_XXXXXX", tag.c_str());
+    char* made = ::mkdtemp(tmpl);
+    EXPECT_NE(made, nullptr);
+    path_ = made != nullptr ? made : "./dm_torture_fallback";
+  }
+  ~TortureScratchDir() { (void)RemoveDirAll(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Replays the first `count` *logical* ops of the schedule into a fresh
+/// reference model. Works for per-row and batch-coalesced schedules alike:
+/// a batch entry spends one logical op per row, and a batch straddling the
+/// budget applies only its in-budget row prefix (recovery never produces
+/// such a state -- batches are atomic -- but the model must not silently
+/// overshoot if handed one).
+inline ReferenceModel ModelPrefix(const std::vector<WriteOp>& ops,
+                                  uint64_t count) {
+  ReferenceModel model(TortureWidths());
+  const size_t nc = TortureWidths().size();
+  uint64_t applied = 0;
+  for (size_t i = 0; i < ops.size() && applied < count; ++i) {
+    const WriteOp& op = ops[i];
+    switch (op.kind) {
+      case WriteOpKind::kInsert:
+        model.Insert(op.keys);
+        ++applied;
+        break;
+      case WriteOpKind::kUpdate:
+        model.Update(op.target_row, op.keys);
+        ++applied;
+        break;
+      case WriteOpKind::kDelete:
+        model.Delete(op.target_row);
+        ++applied;
+        break;
+      case WriteOpKind::kInsertBatch:
+        for (uint64_t r = 0; r < op.batch_rows && applied < count; ++r) {
+          model.Insert(
+              std::span<const uint64_t>(op.keys).subspan(r * nc, nc));
+          ++applied;
+        }
+        break;
+    }
+  }
+  return model;
+}
+
+/// Full differential comparison, same checks the snapshot torture uses:
+/// shape, validity of every row, sampled materialization, and count/sum
+/// aggregates per column.
+inline void ExpectTableMatchesModel(const Table& table,
+                                    const ReferenceModel& model,
+                                    uint64_t seed) {
+  ASSERT_EQ(table.num_rows(), model.size());
+  ASSERT_EQ(table.valid_rows(), model.valid_count());
+  for (uint64_t row = 0; row < model.size(); ++row) {
+    ASSERT_EQ(table.IsRowValid(row), model.IsValid(row)) << "row " << row;
+  }
+  Rng rng(seed ^ 0x0f1e1d5eedULL);
+  const uint64_t rows = model.size();
+  for (int i = 0; i < 64 && rows > 0; ++i) {
+    const uint64_t row = rng.Below(rows);
+    for (size_t c = 0; c < 3; ++c) {
+      ASSERT_EQ(table.GetKey(c, row), model.Key(row, c))
+          << "row " << row << " col " << c;
+    }
+  }
+  for (size_t c = 0; c < 3; ++c) {
+    ASSERT_EQ(table.SumColumn(c), model.Sum(c)) << "col " << c;
+    for (int i = 0; i < 16; ++i) {
+      const uint64_t key = rng.Below(kTortureKeyDomain);
+      ASSERT_EQ(table.CountEquals(c, key), model.CountEquals(c, key))
+          << "col " << c << " key " << key;
+      const uint64_t lo = rng.Below(kTortureKeyDomain);
+      ASSERT_EQ(table.CountRange(c, lo, lo + 100),
+                model.CountRange(c, lo, lo + 100))
+          << "col " << c << " lo " << lo;
+    }
+  }
+}
+
+/// Exact LSN -> logical-op mapping for a schedule run by RunWriteSchedule
+/// on a durable table (one WAL record per schedule entry — DeleteRow
+/// targets generated by GenerateWriteOps are always in range, so every
+/// entry logs; merges rotate segments without consuming an LSN).
+struct SchedulePlan {
+  /// ops_after_lsn[l] = logical ops fully applied once records 1..l are
+  /// recovered ([0] = 0). Recovery lands *between* records never inside
+  /// one — a batch either counts all its rows or none.
+  std::vector<uint64_t> ops_after_lsn;
+  /// Logical ops covered by the newest checkpoint a full run writes (0 if
+  /// merge_every == 0 or no merge fired).
+  uint64_t checkpoint_ops = 0;
+  uint64_t total_records = 0;
+  uint64_t total_ops = 0;
+
+  uint64_t OpsRecovered(uint64_t recovered_lsn) const {
+    EXPECT_LT(recovered_lsn, ops_after_lsn.size())
+        << "recovery claims more records than the schedule ever logged";
+    return recovered_lsn < ops_after_lsn.size()
+               ? ops_after_lsn[recovered_lsn]
+               : ops_after_lsn.back();
+  }
+};
+
+inline SchedulePlan PlanSchedule(std::span<const WriteOp> schedule,
+                                 uint64_t merge_every) {
+  SchedulePlan plan;
+  plan.ops_after_lsn.push_back(0);
+  uint64_t logical = 0;
+  uint64_t delta_rows = 0;  // mirrors table->delta_rows()
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const WriteOp& op = schedule[i];
+    logical += WriteOpLogicalOps(op);
+    plan.ops_after_lsn.push_back(logical);
+    switch (op.kind) {
+      case WriteOpKind::kInsert:
+      case WriteOpKind::kUpdate:
+        delta_rows += 1;
+        break;
+      case WriteOpKind::kInsertBatch:
+        delta_rows += op.batch_rows;
+        break;
+      case WriteOpKind::kDelete:
+        break;
+    }
+    if (merge_every > 0 && (i + 1) % merge_every == 0 && delta_rows > 0) {
+      delta_rows = 0;
+      plan.checkpoint_ops = logical;
+    }
+  }
+  plan.total_records = schedule.size();
+  plan.total_ops = logical;
+  return plan;
+}
+
+}  // namespace testref
+}  // namespace deltamerge

@@ -1,0 +1,245 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// WAL corruption fuzzer: a seeded, time-boxed property test.
+//
+// A mixed row/batch schedule (checkpoints included) is written once and the
+// table directory snapshotted to memory. Each iteration restores the
+// pristine image, mutates it — random byte flips, random truncation,
+// garbage extension, checkpoint damage, or several at once — and reopens.
+// The properties, asserted every time:
+//
+//   1. recovery never crashes (it returns a Status — ASan/the process both
+//      stay clean; CI runs this suite under ASan);
+//   2. a corrupt record is never applied: if Open succeeds, the recovered
+//      table is *byte-equal to the reference model* at the exact logical-op
+//      prefix its recovered LSN maps to (SchedulePlan) — a flipped bit that
+//      slipped past the CRC, a partially applied batch, or a row decoded
+//      from garbage would all break the differential;
+//   3. the result is always a valid prefix — never more ops than the
+//      schedule logged, and mutations confined to the WAL tail never cost
+//      checkpoint-covered history.
+//
+// Open is also allowed to *fail loudly* (corrupt checkpoint whose WAL
+// history is gone, WAL gap): refusing is correct; silently inventing or
+// dropping acknowledged state is the bug class this fuzzer hunts.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/table.h"
+#include "durable_torture_util.h"
+#include "persist/durable_table.h"
+#include "persist/wal.h"
+#include "util/file_io.h"
+#include "util/random.h"
+#include "workload/query_gen.h"
+
+namespace deltamerge {
+namespace {
+
+using persist::DurableTable;
+using persist::DurableTableOptions;
+using persist::WalSyncPolicy;
+using testref::ExpectTableMatchesModel;
+using testref::kTortureKeyDomain;
+using testref::ModelPrefix;
+using testref::PlanSchedule;
+using testref::ReferenceModel;
+using testref::SchedulePlan;
+using testref::TortureSchema;
+using testref::TortureScratchDir;
+
+using DirImage = std::map<std::string, std::vector<uint8_t>>;
+
+DirImage SnapshotDir(const std::string& dir) {
+  DirImage image;
+  auto names = ListDir(dir);
+  EXPECT_TRUE(names.ok());
+  if (!names.ok()) return image;
+  for (const std::string& name : names.ValueOrDie()) {
+    auto in = FileReader::Open(dir + "/" + name);
+    EXPECT_TRUE(in.ok());
+    if (!in.ok()) continue;
+    std::vector<uint8_t> bytes(in.ValueOrDie()->file_size());
+    if (!bytes.empty()) {
+      EXPECT_TRUE(in.ValueOrDie()->Read(bytes.data(), bytes.size()).ok());
+    }
+    image.emplace(name, std::move(bytes));
+  }
+  return image;
+}
+
+void RestoreDir(const std::string& dir, const DirImage& image) {
+  auto names = ListDir(dir);
+  ASSERT_TRUE(names.ok());
+  for (const std::string& name : names.ValueOrDie()) {
+    ASSERT_TRUE(RemoveFile(dir + "/" + name).ok());
+  }
+  for (const auto& [name, bytes] : image) {
+    auto out = FileWriter::Create(dir + "/" + name);
+    ASSERT_TRUE(out.ok());
+    if (!bytes.empty()) {
+      ASSERT_TRUE(out.ValueOrDie()->Write(bytes.data(), bytes.size()).ok());
+    }
+    ASSERT_TRUE(out.ValueOrDie()->Close().ok());
+  }
+}
+
+/// One mutation of one on-disk file. Returns a description for diagnostics.
+std::string MutateFile(const std::string& path, Rng* rng) {
+  auto size_or = FileSize(path);
+  if (!size_or.ok()) return "unreadable";
+  const uint64_t size = size_or.ValueOrDie();
+  char what[96];
+  switch (rng->Below(3)) {
+    case 0: {  // flip 1..8 random bytes
+      if (size == 0) return "empty";
+      std::vector<uint8_t> bytes(size);
+      {
+        auto in = FileReader::Open(path);
+        if (!in.ok()) return "unreadable";
+        if (!in.ValueOrDie()->Read(bytes.data(), size).ok()) {
+          return "unreadable";
+        }
+      }
+      const uint64_t flips = 1 + rng->Below(8);
+      for (uint64_t f = 0; f < flips; ++f) {
+        bytes[rng->Below(size)] ^=
+            static_cast<uint8_t>(1 + rng->Below(255));
+      }
+      auto out = FileWriter::Create(path);
+      if (!out.ok()) return "unwritable";
+      (void)out.ValueOrDie()->Write(bytes.data(), size);
+      (void)out.ValueOrDie()->Close();
+      std::snprintf(what, sizeof(what), "flip x%llu",
+                    static_cast<unsigned long long>(flips));
+      return what;
+    }
+    case 1: {  // truncate to a random length
+      const uint64_t cut = rng->Below(size + 1);
+      (void)TruncateFile(path, cut);
+      std::snprintf(what, sizeof(what), "truncate %llu -> %llu",
+                    static_cast<unsigned long long>(size),
+                    static_cast<unsigned long long>(cut));
+      return what;
+    }
+    default: {  // append garbage (a crash can leave arbitrary tail bytes)
+      std::vector<uint8_t> junk(1 + rng->Below(96));
+      for (auto& b : junk) b = static_cast<uint8_t>(rng->Below(256));
+      std::vector<uint8_t> bytes(size);
+      if (size > 0) {
+        auto in = FileReader::Open(path);
+        if (!in.ok()) return "unreadable";
+        if (!in.ValueOrDie()->Read(bytes.data(), size).ok()) {
+          return "unreadable";
+        }
+      }
+      auto out = FileWriter::Create(path);
+      if (!out.ok()) return "unwritable";
+      if (size > 0) (void)out.ValueOrDie()->Write(bytes.data(), size);
+      (void)out.ValueOrDie()->Write(junk.data(), junk.size());
+      (void)out.ValueOrDie()->Close();
+      std::snprintf(what, sizeof(what), "append %zu junk bytes",
+                    junk.size());
+      return what;
+    }
+  }
+}
+
+TEST(WalFuzzTest, MutatedSegmentsAlwaysRecoverAValidPrefixOrFailLoudly) {
+  // Time-boxed: iterate until the budget (default 8 s, DM_FUZZ_MS to
+  // override) or the iteration cap runs out, whichever first — keeps the
+  // ctest entry bounded under sanitizers while soaking longer locally via
+  // DM_FUZZ_MS=60000.
+  const char* budget_env = std::getenv("DM_FUZZ_MS");
+  const uint64_t budget_ms =
+      budget_env != nullptr && *budget_env != '\0'
+          ? std::strtoull(budget_env, nullptr, 10)
+          : 8000;
+  const uint64_t max_iters = 400;
+
+  const uint64_t kOps = 500;
+  const uint64_t kBatch = 32;
+  const uint64_t kMergeEvery = 120;  // entries; produces real checkpoints
+  const std::vector<WriteOp> ops =
+      GenerateWriteOps(3, kOps, kTortureKeyDomain, /*seed=*/0xf522);
+  const std::vector<WriteOp> schedule = CoalesceInsertBatches(ops, kBatch);
+  const SchedulePlan plan = PlanSchedule(schedule, kMergeEvery);
+
+  TortureScratchDir dir("fuzz");
+  DurableTableOptions options;
+  options.wal.policy = WalSyncPolicy::kEveryCommit;
+  {
+    auto opened = DurableTable::Open(dir.path(), TortureSchema(), options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    WriteScheduleOptions sched_options;
+    sched_options.merge_every = kMergeEvery;
+    RunWriteSchedule(&opened.ValueOrDie()->table(), schedule, sched_options);
+    EXPECT_GE(opened.ValueOrDie()->durability().checkpoints_written(), 1u);
+  }
+  const DirImage pristine = SnapshotDir(dir.path());
+  ASSERT_GE(pristine.size(), 2u);  // >= 1 checkpoint + >= 1 WAL segment
+
+  Rng rng(0xfa22ed);
+  uint64_t opened_ok = 0, refused = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (uint64_t iter = 0; iter < max_iters; ++iter) {
+    if (std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count() > static_cast<int64_t>(budget_ms)) {
+      break;
+    }
+    RestoreDir(dir.path(), pristine);
+    if (::testing::Test::HasFatalFailure()) return;
+
+    // 1..3 mutations, each on a random file of the image.
+    std::vector<std::string> names;
+    for (const auto& [name, bytes] : pristine) names.push_back(name);
+    const uint64_t mutations = 1 + rng.Below(3);
+    std::string what;
+    for (uint64_t m = 0; m < mutations; ++m) {
+      const std::string& victim = names[rng.Below(names.size())];
+      what += victim + ": " +
+              MutateFile(dir.path() + "/" + victim, &rng) + "; ";
+    }
+
+    auto reopened = DurableTable::Open(dir.path(), TortureSchema(), options);
+    if (!reopened.ok()) {
+      // Refusing loudly is a legal outcome (e.g. the only checkpoint is
+      // corrupt and its history already dropped). Silently wrong is not.
+      ++refused;
+      continue;
+    }
+    ++opened_ok;
+    const auto& dt = *reopened.ValueOrDie();
+    const uint64_t recovered_ops =
+        plan.OpsRecovered(dt.recovery().recovered_lsn);
+    ASSERT_LE(recovered_ops, plan.total_ops) << "iter " << iter << ": " << what;
+    // A successful open means some checkpoint validated, and mutations can
+    // only reach the surviving (post-checkpoint) files — so the
+    // checkpoint-covered history must be fully present.
+    ASSERT_GE(recovered_ops, plan.checkpoint_ops)
+        << "iter " << iter << ": " << what;
+    const ReferenceModel model = ModelPrefix(ops, recovered_ops);
+    ExpectTableMatchesModel(dt.table(), model, /*seed=*/iter);
+    if (::testing::Test::HasFatalFailure()) {
+      ADD_FAILURE() << "iter " << iter << " mutations: " << what
+                    << " recovered_lsn=" << dt.recovery().recovered_lsn;
+      return;
+    }
+  }
+  // The run must have exercised both outcomes to mean anything.
+  EXPECT_GT(opened_ok, 0u);
+  EXPECT_GT(opened_ok + refused, 20u);
+  std::printf("wal_fuzz: %llu recovered, %llu refused\n",
+              static_cast<unsigned long long>(opened_ok),
+              static_cast<unsigned long long>(refused));
+}
+
+}  // namespace
+}  // namespace deltamerge
