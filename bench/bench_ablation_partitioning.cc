@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "core/merge_scheduler.h"
 #include "core/partitioned_table.h"
 
 using namespace deltamerge;
@@ -33,6 +34,10 @@ int main() {
   MergeTriggerPolicy policy;
   policy.delta_fraction = 0.01;
   policy.min_delta_rows = 256;
+  MergeDaemonPolicy part_policy;
+  part_policy.delta_fraction = policy.delta_fraction;
+  part_policy.min_delta_rows = policy.min_delta_rows;
+  part_policy.rate_lookahead = false;
   TableMergeOptions options;
 
   Rng rng(1234);
@@ -70,12 +75,13 @@ int main() {
       }
       part.InsertRow(row);
     }
-    const TableMergeReport rep = part.MergeDueSegments(policy, options);
-    if (rep.rows_merged > 0) {
+    const PartitionedMergeReport rep =
+        part.MergeDueSegments(part_policy, options);
+    if (rep.table.rows_merged > 0) {
       ++part_merges;
-      part_tuples_touched += rep.stats.nm + rep.stats.nd;
-      part_cycles += rep.wall_cycles;
-      part_max_merge = std::max(part_max_merge, rep.wall_cycles);
+      part_tuples_touched += rep.table.stats.nm + rep.table.stats.nd;
+      part_cycles += rep.table.wall_cycles;
+      part_max_merge = std::max(part_max_merge, rep.max_segment_wall_cycles);
     }
   }
 

@@ -42,17 +42,17 @@ int main() {
   schema.columns = {{8, "account"}, {8, "balance"}, {8, "version"}};
   PartitionedTable ledger(schema, /*segment_capacity=*/updates / 8 + 16);
 
-  MergeTriggerPolicy policy;
+  MergeDaemonPolicy policy;
   policy.delta_fraction = 0.02;
   policy.min_delta_rows = 1024;
+  policy.rate_lookahead = false;
   TableMergeOptions merge_options;
 
   // Track the current row of each account plus a reference balance sheet.
+  // Validity now lives in the table itself: UpdateRow routes the fresh
+  // version to the tail segment and invalidates the superseded global row.
   std::map<uint64_t, uint64_t> current_row;
   std::map<uint64_t, uint64_t> reference_balance;
-  // Row-level validity lives in the per-segment tables; this example tracks
-  // validity itself since PartitionedTable routes by global row id.
-  std::vector<bool> row_valid;
 
   Rng rng(20260611);
   uint64_t merges = 0;
@@ -61,22 +61,20 @@ int main() {
   for (uint64_t i = 0; i < updates; ++i) {
     const uint64_t account = rng.Below(accounts);
     const uint64_t balance = rng.Below(1'000'000);
-    const uint64_t version =
-        current_row.count(account) ? ledger.GetKey(2, current_row[account]) + 1
-                                   : 0;
-    const uint64_t row = ledger.InsertRow({account, balance, version});
-    if (row_valid.size() <= row) row_valid.resize(row + 1, false);
-    row_valid[row] = true;
+    uint64_t row;
     if (auto it = current_row.find(account); it != current_row.end()) {
-      row_valid[it->second] = false;  // supersede the old version
+      const uint64_t version = ledger.GetKey(2, it->second) + 1;
+      row = ledger.UpdateRow(it->second, {account, balance, version});
+    } else {
+      row = ledger.InsertRow({account, balance, 0});
     }
     current_row[account] = row;
     reference_balance[account] = balance;
 
     if (i % 4096 == 0) {
-      const TableMergeReport r =
+      const PartitionedMergeReport r =
           ledger.MergeDueSegments(policy, merge_options);
-      if (r.rows_merged > 0) ++merges;
+      if (r.segments_merged > 0) ++merges;
     }
   }
   ledger.MergeAll(merge_options);
@@ -94,7 +92,7 @@ int main() {
   unsigned __int128 audited = 0;
   uint64_t valid_rows = 0;
   for (uint64_t row = 0; row < ledger.num_rows(); ++row) {
-    if (row < row_valid.size() && row_valid[row]) {
+    if (ledger.IsRowValid(row)) {
       audited += ledger.GetKey(1, row);
       ++valid_rows;
     }
@@ -116,8 +114,7 @@ int main() {
       std::printf("  version %llu: balance %llu%s\n",
                   (unsigned long long)ledger.GetKey(2, row),
                   (unsigned long long)ledger.GetKey(1, row),
-                  (row < row_valid.size() && row_valid[row]) ? "  <- current"
-                                                             : "");
+                  ledger.IsRowValid(row) ? "  <- current" : "");
       ++versions;
       if (versions >= 12) {
         std::printf("  ... (%s more)\n", "output truncated; all versions remain queryable");

@@ -81,6 +81,27 @@ MergeTrigger EvaluateMergeTrigger(const Table& table,
   return MergeTrigger::kNone;
 }
 
+void DeltaRateEstimator::Reset(uint64_t delta_rows_now) {
+  last_delta_rows_ = delta_rows_now;
+  last_poll_cycles_ = CycleClock::Now();
+  delta_rows_per_sec_ = 0.0;
+}
+
+double DeltaRateEstimator::Update(uint64_t delta_rows_now) {
+  const uint64_t now = CycleClock::Now();
+  const double dt = CycleClock::ToSeconds(now - last_poll_cycles_);
+  if (dt > 0) {
+    const double grown =
+        delta_rows_now > last_delta_rows_
+            ? static_cast<double>(delta_rows_now - last_delta_rows_)
+            : 0.0;
+    delta_rows_per_sec_ = 0.5 * delta_rows_per_sec_ + 0.5 * (grown / dt);
+  }
+  last_delta_rows_ = delta_rows_now;
+  last_poll_cycles_ = now;
+  return delta_rows_per_sec_;
+}
+
 MergeDaemon::MergeDaemon(Table* table, MergeDaemonPolicy policy,
                          TableMergeOptions options)
     : table_(table),
@@ -99,9 +120,7 @@ void MergeDaemon::Start() {
   // reason).
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (poller_.running()) return;
-  last_delta_rows_ = table_->delta_rows();
-  last_poll_cycles_ = CycleClock::Now();
-  delta_rows_per_sec_ = 0.0;
+  rate_.Reset(table_->delta_rows());
   poller_.Start();
 }
 
@@ -123,24 +142,10 @@ MergeDaemonStats MergeDaemon::stats() const {
 }
 
 void MergeDaemon::PollOnce() {
-  // Update the arrival-rate estimate (exponentially smoothed so one idle
-  // poll does not erase a burst). Merges shrink the delta; only growth
-  // counts as arrival.
-  const uint64_t now = CycleClock::Now();
-  const uint64_t nd = table_->delta_rows();
-  const double dt = CycleClock::ToSeconds(now - last_poll_cycles_);
-  if (dt > 0) {
-    const double grown = nd > last_delta_rows_
-                             ? static_cast<double>(nd - last_delta_rows_)
-                             : 0.0;
-    const double inst_rate = grown / dt;
-    delta_rows_per_sec_ = 0.5 * delta_rows_per_sec_ + 0.5 * inst_rate;
-  }
-  last_delta_rows_ = nd;
-  last_poll_cycles_ = now;
+  const double delta_rows_per_sec = rate_.Update(table_->delta_rows());
 
   const MergeTrigger trigger = EvaluateMergeTrigger(
-      *table_, policy_, options_.num_threads, delta_rows_per_sec_);
+      *table_, policy_, options_.num_threads, delta_rows_per_sec);
   if (trigger == MergeTrigger::kNone) return;
 
   merge_in_flight_.store(true, std::memory_order_release);
@@ -171,7 +176,9 @@ void MergeDaemon::PollOnce() {
   stats_.rows_merged += report.rows_merged;
   stats_.merge_wall_cycles += report.wall_cycles;
   stats_.merge.Accumulate(report.stats);
-  last_delta_rows_ = table_->delta_rows();
+  // The merge shrank the delta; re-anchor so the shrink is not read as
+  // zero arrival next poll.
+  rate_.Rebase(table_->delta_rows());
 }
 
 }  // namespace deltamerge

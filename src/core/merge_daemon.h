@@ -88,6 +88,29 @@ MergeTrigger EvaluateMergeTrigger(const Table& table,
                                   int merge_threads,
                                   double delta_rows_per_sec);
 
+/// EWMA estimate of the delta arrival rate, shared by both merge daemons'
+/// poll loops (watcher thread only — no internal synchronization). Merges
+/// shrink the delta; only growth counts as arrival, and the smoothing
+/// keeps one idle poll from erasing a burst.
+class DeltaRateEstimator {
+ public:
+  /// Re-anchors the estimate at Start() time.
+  void Reset(uint64_t delta_rows_now);
+
+  /// Folds one poll's observation in; returns the rows-per-second
+  /// estimate for the trigger's lookahead.
+  double Update(uint64_t delta_rows_now);
+
+  /// Re-anchors the row count after a merge pass shrank the delta, so the
+  /// shrink is not mistaken for zero arrival next poll.
+  void Rebase(uint64_t delta_rows_now) { last_delta_rows_ = delta_rows_now; }
+
+ private:
+  uint64_t last_delta_rows_ = 0;
+  uint64_t last_poll_cycles_ = 0;
+  double delta_rows_per_sec_ = 0.0;
+};
+
 /// Background merge driver for one table. Start() spawns the watcher
 /// thread; each poll evaluates the trigger and, when it fires, runs
 /// Table::Merge with the configured options while inserts and snapshot
@@ -140,10 +163,8 @@ class MergeDaemon {
   mutable std::mutex stats_mu_;
   MergeDaemonStats stats_;
 
-  // Rate estimation state (watcher thread only).
-  uint64_t last_delta_rows_ = 0;
-  uint64_t last_poll_cycles_ = 0;
-  double delta_rows_per_sec_ = 0.0;
+  /// Arrival-rate estimate (watcher thread only).
+  DeltaRateEstimator rate_;
 };
 
 }  // namespace deltamerge

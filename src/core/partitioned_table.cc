@@ -2,112 +2,478 @@
 
 #include "core/partitioned_table.h"
 
-#include "core/merge_scheduler.h"
+#include <algorithm>
+#include <latch>
+
+#include "util/cycle_clock.h"
 
 namespace deltamerge {
 
-PartitionedTable::PartitionedTable(Schema schema, uint64_t segment_capacity)
-    : schema_(std::move(schema)), segment_capacity_(segment_capacity) {
+// ---------------------------------------------------------------------------
+// PartitionedTable
+// ---------------------------------------------------------------------------
+
+PartitionedTable::PartitionedTable(Schema schema, uint64_t segment_capacity,
+                                   SegmentHooks* hooks,
+                                   std::span<const RecoveredSegment> recovered)
+    : schema_(std::move(schema)),
+      segment_capacity_(segment_capacity),
+      hooks_(hooks) {
   DM_CHECK_MSG(segment_capacity_ >= 1, "segment capacity must be positive");
-  segments_.push_back(std::make_unique<Table>(schema_));
+  if (recovered.empty()) {
+    auto seg = std::make_shared<Segment>();
+    seg->base = 0;
+    if (hooks_ != nullptr) {
+      seg->table = hooks_->CreateSegment(0);
+      DM_CHECK_MSG(seg->table != nullptr, "segment hook returned no table");
+    } else {
+      seg->owned = std::make_unique<Table>(schema_);
+      seg->table = seg->owned.get();
+    }
+    segments_.push_back(std::move(seg));
+    return;
+  }
+  for (size_t i = 0; i < recovered.size(); ++i) {
+    DM_CHECK_MSG(recovered[i].table != nullptr,
+                 "recovered segment without a table");
+    const bool must_be_sealed = i + 1 < recovered.size();
+    DM_CHECK_MSG(recovered[i].sealed == must_be_sealed,
+                 "exactly the non-tail segments must be sealed");
+    DM_CHECK_MSG(!must_be_sealed ||
+                     recovered[i].table->num_rows() == segment_capacity_,
+                 "a sealed segment must hold exactly the segment capacity");
+    DM_CHECK_MSG(recovered[i].table->num_rows() <= segment_capacity_,
+                 "a recovered segment exceeds the segment capacity");
+    auto seg = std::make_shared<Segment>();
+    seg->table = recovered[i].table;
+    seg->base = i * segment_capacity_;
+    seg->sealed.store(recovered[i].sealed, std::memory_order_relaxed);
+    segments_.push_back(std::move(seg));
+  }
 }
 
 size_t PartitionedTable::num_segments() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock lock(segments_mu_);
   return segments_.size();
 }
 
 uint64_t PartitionedTable::num_rows() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  uint64_t rows = 0;
-  for (const auto& s : segments_) rows += s->num_rows();
-  return rows;
+  std::shared_lock lock(segments_mu_);
+  const Segment& tail = *segments_.back();
+  return tail.base + tail.table->num_rows();
+}
+
+std::vector<std::shared_ptr<PartitionedTable::Segment>>
+PartitionedTable::CaptureSegments() const {
+  std::shared_lock lock(segments_mu_);
+  return segments_;
+}
+
+std::shared_ptr<PartitionedTable::Segment> PartitionedTable::SlotAt(
+    size_t i) const {
+  std::shared_lock lock(segments_mu_);
+  DM_CHECK_MSG(i < segments_.size(), "segment index out of range");
+  return segments_[i];
+}
+
+template <typename Fn>
+uint64_t PartitionedTable::FanOutSum(Fn&& fn) const {
+  const std::vector<std::shared_ptr<Segment>> segs = CaptureSegments();
+  TaskQueue* pool = read_pool_.load(std::memory_order_acquire);
+  if (pool == nullptr || segs.size() < 2) {
+    uint64_t total = 0;
+    for (const auto& s : segs) total += fn(*s);
+    return total;
+  }
+  // Per-call completion latch rather than TaskQueue::WaitAll: WaitAll
+  // drains the whole pool, so one reader's aggregate would wait on every
+  // other reader's (and a batch writer's) in-flight tasks — on a busy
+  // shared pool that couples unrelated latencies and can starve a read.
+  // The caller scans the last segment itself instead of parking in the
+  // wait: same work, one fewer queued task, never an idle core.
+  std::vector<uint64_t> partial(segs.size(), 0);
+  const size_t pooled = segs.size() - 1;
+  std::latch done(static_cast<std::ptrdiff_t>(pooled));
+  for (size_t i = 0; i < pooled; ++i) {
+    pool->Submit([&fn, &partial, &segs, &done, i] {
+      partial[i] = fn(*segs[i]);
+      done.count_down();
+    });
+  }
+  partial[pooled] = fn(*segs[pooled]);
+  done.wait();
+  uint64_t total = 0;
+  for (uint64_t v : partial) total += v;
+  return total;
+}
+
+uint64_t PartitionedTable::valid_rows() const {
+  return FanOutSum([](const Segment& s) { return s.table->valid_rows(); });
+}
+
+uint64_t PartitionedTable::delta_rows() const {
+  return FanOutSum([](const Segment& s) { return s.table->delta_rows(); });
+}
+
+uint64_t PartitionedTable::tail_delta_rows() const {
+  std::shared_ptr<Segment> tail;
+  {
+    std::shared_lock lock(segments_mu_);
+    tail = segments_.back();
+  }
+  return tail->table->delta_rows();
 }
 
 void PartitionedTable::RollOverIfFullLocked() {
-  if (segments_.back()->num_rows() >= segment_capacity_) {
-    segments_.push_back(std::make_unique<Table>(schema_));
+  // The vector is stable under tail_mu_ alone: rollover is its only
+  // mutator, and every rollover holds tail_mu_.
+  Segment* tail = segments_.back().get();
+  if (tail->table->num_rows() < segment_capacity_) return;
+  const size_t index = segments_.size();
+  tail->sealed.store(true, std::memory_order_release);
+  auto seg = std::make_shared<Segment>();
+  seg->base = index * segment_capacity_;
+  if (hooks_ != nullptr) {
+    // The hook installs the segment durably (manifest fsync) before
+    // returning — deliberately outside segments_mu_, so readers are never
+    // blocked behind rollover I/O.
+    seg->table = hooks_->CreateSegment(index);
+    DM_CHECK_MSG(seg->table != nullptr, "segment hook returned no table");
+  } else {
+    seg->owned = std::make_unique<Table>(schema_);
+    seg->table = seg->owned.get();
   }
+  std::unique_lock lock(segments_mu_);
+  segments_.push_back(std::move(seg));
 }
 
 uint64_t PartitionedTable::InsertRow(std::span<const uint64_t> keys) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(tail_mu_);
   RollOverIfFullLocked();
-  uint64_t base = 0;
-  for (size_t i = 0; i + 1 < segments_.size(); ++i) {
-    base += segments_[i]->num_rows();
+  const Segment& tail = *segments_.back();
+  return tail.base + tail.table->InsertRow(keys);
+}
+
+uint64_t PartitionedTable::InsertRows(std::span<const uint64_t> row_major_keys,
+                                      uint64_t num_rows, TaskQueue* queue) {
+  const size_t nc = schema_.columns.size();
+  DM_CHECK_MSG(row_major_keys.size() == num_rows * nc,
+               "batch size does not match row count x column count");
+  // Sharing one queue between batch ingest and fan-out reads deadlocks:
+  // the segment's InsertRows drains the queue while holding its exclusive
+  // lock, and a concurrent reader's fan-out task needs that lock shared.
+  DM_CHECK_MSG(queue == nullptr ||
+                   queue != read_pool_.load(std::memory_order_acquire),
+               "the batch queue must not be the attached read pool");
+  std::lock_guard<std::mutex> lock(tail_mu_);
+  if (num_rows == 0) {
+    const Segment& tail = *segments_.back();
+    return tail.base + tail.table->num_rows();
   }
-  return base + segments_.back()->InsertRow(keys);
+  uint64_t first = 0;
+  bool first_set = false;
+  uint64_t done = 0;
+  while (done < num_rows) {
+    RollOverIfFullLocked();
+    const Segment& tail = *segments_.back();
+    const uint64_t room = segment_capacity_ - tail.table->num_rows();
+    const uint64_t n = std::min(room, num_rows - done);
+    const uint64_t local =
+        tail.table->InsertRows(row_major_keys.subspan(done * nc, n * nc), n,
+                               queue);
+    if (!first_set) {
+      first = tail.base + local;
+      first_set = true;
+    }
+    done += n;
+  }
+  return first;
+}
+
+uint64_t PartitionedTable::UpdateRow(uint64_t global_row,
+                                     std::span<const uint64_t> keys) {
+  std::lock_guard<std::mutex> lock(tail_mu_);
+  RollOverIfFullLocked();
+  const Segment& tail = *segments_.back();
+  // Out-of-range targets are accepted exactly like Table::UpdateRow: the
+  // fresh version is appended and nothing is invalidated. The live path
+  // and WAL replay must agree on this, so the sharded front door must not
+  // be stricter than the segment write path it logs through.
+  const size_t owner = global_row / segment_capacity_;
+  if (owner + 1 == segments_.size()) {
+    // The superseded row lives in the open tail: the segment's own
+    // insert-only update is one atomic operation (and, durably, ONE
+    // kUpdate record — both halves recover or neither does).
+    return tail.base + tail.table->UpdateRow(global_row - tail.base, keys);
+  }
+  // Cross-segment: fresh version into the tail FIRST, then the tombstone in
+  // the owning sealed segment — the same insert-then-invalidate order a
+  // single-segment update applies, so a crash between the halves leaves a
+  // state on the schedule's single-row-operation prefix lattice, never an
+  // invented one (the recovery tests rely on this order).
+  const uint64_t new_row = tail.base + tail.table->InsertRow(keys);
+  if (owner < segments_.size()) {
+    const Segment& old_seg = *segments_[owner];
+    (void)old_seg.table->DeleteRow(global_row - old_seg.base);
+  }
+  return new_row;
+}
+
+Status PartitionedTable::DeleteRow(uint64_t global_row) {
+  std::lock_guard<std::mutex> lock(tail_mu_);
+  const size_t owner = global_row / segment_capacity_;
+  if (owner >= segments_.size()) {
+    return Status::OutOfRange("row id beyond table size");
+  }
+  const Segment& seg = *segments_[owner];
+  return seg.table->DeleteRow(global_row - seg.base);
 }
 
 uint64_t PartitionedTable::GetKey(size_t col, uint64_t global_row) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  uint64_t row = global_row;
-  for (const auto& s : segments_) {
-    const uint64_t n = s->num_rows();
-    if (row < n) return s->GetKey(col, row);
-    row -= n;
+  const size_t owner = global_row / segment_capacity_;
+  std::shared_ptr<Segment> seg;
+  {
+    std::shared_lock lock(segments_mu_);
+    DM_CHECK_MSG(owner < segments_.size(), "global row id beyond table size");
+    seg = segments_[owner];
   }
-  DM_CHECK_MSG(false, "global row id beyond table size");
-  return 0;
+  const uint64_t local = global_row - seg->base;
+  DM_CHECK_MSG(local < seg->table->num_rows(),
+               "global row id beyond table size");
+  return seg->table->GetKey(col, local);
+}
+
+bool PartitionedTable::IsRowValid(uint64_t global_row) const {
+  const size_t owner = global_row / segment_capacity_;
+  std::shared_ptr<Segment> seg;
+  {
+    std::shared_lock lock(segments_mu_);
+    if (owner >= segments_.size()) return false;
+    seg = segments_[owner];
+  }
+  return seg->table->IsRowValid(global_row - seg->base);
 }
 
 uint64_t PartitionedTable::CountEquals(size_t col, uint64_t key) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  uint64_t n = 0;
-  for (const auto& s : segments_) n += s->CountEquals(col, key);
-  return n;
+  return FanOutSum(
+      [&](const Segment& s) { return s.table->CountEquals(col, key); });
 }
 
 uint64_t PartitionedTable::CountRange(size_t col, uint64_t lo,
                                       uint64_t hi) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  uint64_t n = 0;
-  for (const auto& s : segments_) n += s->CountRange(col, lo, hi);
-  return n;
+  return FanOutSum(
+      [&](const Segment& s) { return s.table->CountRange(col, lo, hi); });
 }
 
 uint64_t PartitionedTable::SumColumn(size_t col) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  uint64_t sum = 0;
-  for (const auto& s : segments_) sum += s->SumColumn(col);
-  return sum;
+  return FanOutSum([&](const Segment& s) { return s.table->SumColumn(col); });
 }
 
-uint64_t PartitionedTable::delta_rows() const {
-  std::lock_guard<std::mutex> lock(mu_);
+PartitionedSnapshot PartitionedTable::CreateSnapshot() const {
+  PartitionedSnapshot out;
+  // The write lock makes the capture atomic at logical-operation
+  // granularity: no insert, update, delete, or rollover is mid-flight
+  // while the per-segment epochs pin. Readers are unaffected (they never
+  // take tail_mu_), and per-segment merge commits need no exclusion — each
+  // segment Snapshot is commit-proof on its own.
+  std::lock_guard<std::mutex> wlock(tail_mu_);
+  std::shared_lock slock(segments_mu_);
+  out.segment_capacity_ = segment_capacity_;
+  out.num_columns_ = schema_.columns.size();
+  out.segments_.reserve(segments_.size());
+  for (const auto& s : segments_) {
+    PartitionedSnapshot::SegmentView v;
+    v.base = s->base;
+    v.snap = s->table->CreateSnapshot();
+    out.valid_rows_ += v.snap.valid_rows();
+    out.segments_.push_back(std::move(v));
+  }
+  const PartitionedSnapshot::SegmentView& tail = out.segments_.back();
+  out.visible_rows_ = tail.base + tail.snap.num_rows();
+  return out;
+}
+
+PartitionedMergeReport PartitionedTable::MergeDueSegments(
+    const MergeDaemonPolicy& policy, const TableMergeOptions& options,
+    double tail_delta_rows_per_sec, std::atomic<bool>* merge_in_flight) {
+  PartitionedMergeReport report;
+  const std::vector<std::shared_ptr<Segment>> segs = CaptureSegments();
+  for (const auto& seg : segs) {
+    const bool sealed = seg->sealed.load(std::memory_order_acquire);
+    if (sealed && seg->final_merged.load(std::memory_order_acquire)) continue;
+    bool is_final = false;
+    if (sealed) {
+      // A sealed segment never gains delta tuples again (only tombstones),
+      // so any delta it still carries gets one final merge; a clean one is
+      // marked delta-free without merging.
+      if (seg->table->delta_rows() == 0) {
+        seg->final_merged.store(true, std::memory_order_release);
+        continue;
+      }
+      is_final = true;
+    } else if (EvaluateMergeTrigger(*seg->table, policy, options.num_threads,
+                                    tail_delta_rows_per_sec) ==
+               MergeTrigger::kNone) {
+      continue;
+    }
+    if (merge_in_flight != nullptr) {
+      merge_in_flight->store(true, std::memory_order_release);
+    }
+    auto result = seg->table->Merge(options);
+    if (merge_in_flight != nullptr) {
+      merge_in_flight->store(false, std::memory_order_release);
+    }
+    if (!result.ok()) {  // segment merge already running; skip
+      ++report.failed_merges;
+      continue;
+    }
+    const TableMergeReport& r = result.ValueOrDie();
+    report.table.stats.Accumulate(r.stats);
+    report.table.wall_cycles += r.wall_cycles;
+    report.table.rows_merged += r.rows_merged;
+    report.max_segment_wall_cycles =
+        std::max(report.max_segment_wall_cycles, r.wall_cycles);
+    ++report.segments_merged;
+    if (is_final && seg->table->delta_rows() == 0) {
+      seg->final_merged.store(true, std::memory_order_release);
+      ++report.final_merges;
+    }
+  }
+  return report;
+}
+
+PartitionedMergeReport PartitionedTable::MergeAll(
+    const TableMergeOptions& options) {
+  MergeDaemonPolicy everything;
+  everything.delta_fraction = 0.0;
+  everything.min_delta_rows = 1;
+  everything.rate_lookahead = false;
+  return MergeDueSegments(everything, options);
+}
+
+// ---------------------------------------------------------------------------
+// PartitionedSnapshot
+// ---------------------------------------------------------------------------
+
+uint64_t PartitionedSnapshot::GetKey(size_t col, uint64_t global_row) const {
+  DM_DCHECK(valid());
+  DM_CHECK_MSG(global_row < visible_rows_, "row beyond the snapshot horizon");
+  const size_t owner =
+      static_cast<size_t>(global_row / segment_capacity_);
+  const SegmentView& v = segments_[owner];
+  return v.snap.GetKey(col, global_row - v.base);
+}
+
+bool PartitionedSnapshot::IsRowValid(uint64_t global_row) const {
+  DM_DCHECK(valid());
+  if (global_row >= visible_rows_) return false;
+  const size_t owner =
+      static_cast<size_t>(global_row / segment_capacity_);
+  const SegmentView& v = segments_[owner];
+  return v.snap.IsRowValid(global_row - v.base);
+}
+
+uint64_t PartitionedSnapshot::CountEquals(size_t col, uint64_t key) const {
+  DM_DCHECK(valid());
   uint64_t n = 0;
-  for (const auto& s : segments_) n += s->delta_rows();
+  for (const SegmentView& v : segments_) n += v.snap.CountEquals(col, key);
   return n;
 }
 
-TableMergeReport PartitionedTable::MergeDueSegments(
-    const MergeTriggerPolicy& policy, const TableMergeOptions& options) {
-  // Snapshot the segment pointers; segments are never removed, and the
-  // per-segment Table handles its own concurrency.
-  std::vector<Table*> snapshot;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& s : segments_) snapshot.push_back(s.get());
-  }
-  TableMergeReport total;
-  for (Table* s : snapshot) {
-    if (!ShouldMerge(*s, policy)) continue;
-    auto result = s->Merge(options);
-    if (!result.ok()) continue;  // segment merge already running; skip
-    const TableMergeReport& r = result.ValueOrDie();
-    total.stats.Accumulate(r.stats);
-    total.wall_cycles += r.wall_cycles;
-    total.rows_merged += r.rows_merged;
-  }
-  return total;
+uint64_t PartitionedSnapshot::CountRange(size_t col, uint64_t lo,
+                                         uint64_t hi) const {
+  DM_DCHECK(valid());
+  uint64_t n = 0;
+  for (const SegmentView& v : segments_) n += v.snap.CountRange(col, lo, hi);
+  return n;
 }
 
-TableMergeReport PartitionedTable::MergeAll(const TableMergeOptions& options) {
-  MergeTriggerPolicy everything;
-  everything.delta_fraction = 0.0;
-  everything.min_delta_rows = 1;
-  return MergeDueSegments(everything, options);
+uint64_t PartitionedSnapshot::SumColumn(size_t col) const {
+  DM_DCHECK(valid());
+  uint64_t sum = 0;
+  for (const SegmentView& v : segments_) sum += v.snap.SumColumn(col);
+  return sum;
+}
+
+std::vector<uint64_t> PartitionedSnapshot::CollectEquals(
+    size_t col, uint64_t key, bool only_valid) const {
+  DM_DCHECK(valid());
+  std::vector<uint64_t> out;
+  for (const SegmentView& v : segments_) {
+    // Per-segment results are ascending and bases are increasing, so the
+    // concatenation stays globally sorted.
+    for (uint64_t local : v.snap.CollectEquals(col, key, only_valid)) {
+      out.push_back(v.base + local);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// PartitionedMergeDaemon
+// ---------------------------------------------------------------------------
+
+PartitionedMergeDaemon::PartitionedMergeDaemon(PartitionedTable* table,
+                                               MergeDaemonPolicy policy,
+                                               TableMergeOptions options)
+    : table_(table),
+      policy_(policy),
+      options_(options),
+      poller_(policy.poll_interval_us, [this] { PollOnce(); }) {
+  DM_CHECK(table != nullptr);
+}
+
+PartitionedMergeDaemon::~PartitionedMergeDaemon() { Stop(); }
+
+void PartitionedMergeDaemon::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (poller_.running()) return;
+  rate_.Reset(table_->tail_delta_rows());
+  poller_.Start();
+}
+
+void PartitionedMergeDaemon::Stop() { poller_.Stop(); }
+
+void PartitionedMergeDaemon::Nudge() { poller_.Nudge(); }
+
+void PartitionedMergeDaemon::Pause() { poller_.Pause(); }
+
+void PartitionedMergeDaemon::Resume() { poller_.Resume(); }
+
+bool PartitionedMergeDaemon::paused() const { return poller_.paused(); }
+
+PartitionedMergeDaemonStats PartitionedMergeDaemon::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  PartitionedMergeDaemonStats out = stats_;
+  out.polls = poller_.polls();
+  return out;
+}
+
+void PartitionedMergeDaemon::PollOnce() {
+  // Tail-only arrival-rate estimate: O(1) in the segment count, where the
+  // table-wide delta_rows() would lock and scan every segment on each
+  // poll. (A just-sealed segment's still-unmerged delta is invisible to
+  // the estimate for one rollover — it is merge work, not new arrival.)
+  const double delta_rows_per_sec = rate_.Update(table_->tail_delta_rows());
+
+  const PartitionedMergeReport report = table_->MergeDueSegments(
+      policy_, options_, delta_rows_per_sec, &merge_in_flight_);
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (report.segments_merged > 0) ++stats_.merge_passes;
+    stats_.segments_merged += report.segments_merged;
+    stats_.final_merges += report.final_merges;
+    stats_.failed_merges += report.failed_merges;
+    stats_.rows_merged += report.table.rows_merged;
+    stats_.merge_wall_cycles += report.table.wall_cycles;
+    stats_.max_segment_wall_cycles = std::max(
+        stats_.max_segment_wall_cycles, report.max_segment_wall_cycles);
+    stats_.merge.Accumulate(report.table.stats);
+  }
+  // Merges shrank the delta; re-anchor so the shrink is not read as zero
+  // arrival next poll.
+  if (report.segments_merged > 0) rate_.Rebase(table_->tail_delta_rows());
 }
 
 }  // namespace deltamerge

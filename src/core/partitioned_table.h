@@ -1,5 +1,6 @@
 // Copyright (c) 2026 The DeltaMerge Authors.
-// PartitionedTable: the §9 horizontal-partitioning extension.
+// PartitionedTable: the §9 horizontal-partitioning extension, promoted to
+// the production write/read front door.
 //
 // "The memory consumption of the merge process has to be tackled. Possible
 // ideas include an incremental processing of the individual attributes ...
@@ -8,43 +9,178 @@
 //
 // The table is split into fixed-capacity horizontal segments, each a full
 // Table (own main + delta per column). Inserts go to the open tail segment;
-// a segment that reaches capacity is sealed, after which one final merge
-// leaves it permanently delta-free. Consequences:
+// a segment that reaches capacity is sealed at the next write, after which
+// one final merge leaves it permanently delta-free — sealed segments never
+// receive new rows (updates route their fresh version to the tail), only
+// tombstones, which live in the validity bitmap and add no delta tuples.
+// Consequences:
 //
 //   * merge working-set is bounded by the segment size, not the table size
 //     (the §9 memory-consumption concern);
 //   * merges are incremental — only the tail (plus newly sealed segments)
 //     ever needs merging;
 //   * queries fan out across segments and concatenate, with global row ids
-//     = segment base + local row id.
+//     = segment base + local row id (bases are multiples of the capacity,
+//     because a segment seals at exactly its capacity).
+//
+// Concurrency model (the locks are deliberately split):
+//
+//   * `tail_mu_`   — the write lock: serializes InsertRow / InsertRows /
+//     UpdateRow / DeleteRow (the same single-writer discipline Table
+//     documents) and snapshot capture. Readers NEVER take it, so
+//     sealed-segment scans never contend with ingest.
+//   * `segments_mu_` (shared) — guards only the segment vector. Readers
+//     hold it briefly to capture the segment list, then scan entirely
+//     lock-free at this level (each segment Table applies its own internal
+//     reader/writer protocol). Only a rollover — once per
+//     `segment_capacity` rows — takes it exclusively, for one push_back.
+//
+// Cross-segment consistency: point-in-time reads use PartitionedSnapshot,
+// which pins one epoch capture per segment *atomically with the segment
+// list* (under the write lock, so no logical operation is mid-flight).
+// The plain fan-out aggregates (CountEquals & co.) are per-segment
+// consistent only — same contract as Table's non-snapshot reads.
 //
 // This trades slightly costlier reads (one dictionary per segment) for
-// bounded, pause-friendly merges — quantified by bench_ablation_partitioning.
+// bounded, pause-friendly merges — quantified by bench_ablation_partitioning
+// and bench_sharded_scale.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
+#include <span>
 #include <vector>
 
-#include "core/merge_scheduler.h"
+#include "core/merge_daemon.h"
 #include "core/merge_types.h"
+#include "core/snapshot.h"
 #include "core/table.h"
+#include "parallel/task_queue.h"
+#include "util/poll_thread.h"
 
 namespace deltamerge {
 
+/// Consistent cross-segment point-in-time view: one epoch-pinned Snapshot
+/// per segment, all captured atomically with the segment list and with no
+/// write operation mid-flight. Reads compose per-segment answers with the
+/// global-row-id arithmetic baked in; like Snapshot, the handle must be
+/// released (destroyed) before the table it came from.
+class PartitionedSnapshot {
+ public:
+  PartitionedSnapshot() = default;
+
+  PartitionedSnapshot(PartitionedSnapshot&&) noexcept = default;
+  PartitionedSnapshot& operator=(PartitionedSnapshot&&) noexcept = default;
+  DM_DISALLOW_COPY(PartitionedSnapshot);
+
+  bool valid() const { return !segments_.empty(); }
+  void Release() { segments_.clear(); }
+
+  // --- shape (captured; no lock needed) ---
+  uint64_t num_rows() const { return visible_rows_; }
+  uint64_t valid_rows() const { return valid_rows_; }
+  size_t num_segments() const { return segments_.size(); }
+  size_t num_columns() const { return num_columns_; }
+
+  // --- reads (consistent as of the capture instant) ---
+  uint64_t GetKey(size_t col, uint64_t global_row) const;
+  bool IsRowValid(uint64_t global_row) const;
+  uint64_t CountEquals(size_t col, uint64_t key) const;
+  uint64_t CountRange(size_t col, uint64_t lo, uint64_t hi) const;
+  uint64_t SumColumn(size_t col) const;
+  /// Global row ids (ascending) whose value equals `key`.
+  std::vector<uint64_t> CollectEquals(size_t col, uint64_t key,
+                                      bool only_valid) const;
+
+ private:
+  friend class PartitionedTable;
+
+  struct SegmentView {
+    Snapshot snap;
+    uint64_t base = 0;
+  };
+
+  std::vector<SegmentView> segments_;
+  uint64_t segment_capacity_ = 1;
+  uint64_t visible_rows_ = 0;
+  uint64_t valid_rows_ = 0;
+  size_t num_columns_ = 0;
+};
+
+/// Accumulated outcome of a partitioned merge pass.
+struct PartitionedMergeReport {
+  TableMergeReport table;       ///< stats/rows/wall summed over segments
+  uint64_t segments_merged = 0;
+  /// Sealed segments whose final merge completed this pass — they are
+  /// permanently delta-free from here on and never re-merge.
+  uint64_t final_merges = 0;
+  uint64_t failed_merges = 0;   ///< lost the race to a concurrent merger
+  /// Worst single-segment merge wall time — the §9 "merge pause" bound,
+  /// which must track the segment capacity, not the table size.
+  uint64_t max_segment_wall_cycles = 0;
+};
+
 class PartitionedTable {
  public:
+  /// Hooks for an owner that manages segment storage (the durable wrapper).
+  /// A null hook set means plain in-memory segments.
+  class SegmentHooks {
+   public:
+    virtual ~SegmentHooks() = default;
+
+    /// Creates backing storage for segment `index` and returns its Table.
+    /// The hook implementor owns the returned table and must keep it alive
+    /// for the PartitionedTable's lifetime. Called from the rollover path
+    /// with the write lock held; a durable implementation must have the new
+    /// segment installed durably (manifest) before returning, so no write
+    /// can be acknowledged into a segment a crash would forget.
+    virtual Table* CreateSegment(size_t index) = 0;
+  };
+
+  /// A segment recovered by the durable wrapper before construction.
+  struct RecoveredSegment {
+    Table* table = nullptr;
+    bool sealed = false;
+  };
+
   /// `segment_capacity` rows per horizontal segment (>= 1).
-  PartitionedTable(Schema schema, uint64_t segment_capacity);
+  PartitionedTable(Schema schema, uint64_t segment_capacity)
+      : PartitionedTable(std::move(schema), segment_capacity, nullptr, {}) {}
+
+  /// Durable-wrapper constructor: segments come from `recovered` (tables
+  /// owned by the hooks implementor; the last one is the tail) and future
+  /// rollovers call `hooks->CreateSegment`. With an empty `recovered` list
+  /// the first segment is created through the hooks immediately.
+  PartitionedTable(Schema schema, uint64_t segment_capacity,
+                   SegmentHooks* hooks,
+                   std::span<const RecoveredSegment> recovered);
 
   DM_DISALLOW_COPY_AND_MOVE(PartitionedTable);
 
   size_t num_columns() const { return schema_.columns.size(); }
+  const Schema& schema() const { return schema_; }
   size_t num_segments() const;
   uint64_t num_rows() const;
+  uint64_t valid_rows() const;
   uint64_t segment_capacity() const { return segment_capacity_; }
+
+  /// Fans aggregate reads out across segments on `pool` (caller-owned,
+  /// outliving every read; may be null to scan serially). The pointer is
+  /// published atomically, so attaching mid-traffic is safe — in-flight
+  /// reads simply finish in whichever mode they started. The pool must be
+  /// dedicated to reads: passing the same queue to InsertRows would let a
+  /// batch writer (holding a segment's exclusive lock inside the queue's
+  /// drain) wait on reader tasks that need that lock shared — a deadlock
+  /// InsertRows checks against.
+  void AttachReadPool(TaskQueue* pool) {
+    read_pool_.store(pool, std::memory_order_release);
+  }
+
+  // --- write path (serialized by the tail-insert lock) ---
 
   /// Appends a row to the open tail segment (sealing and rolling over as
   /// needed). Returns the global row id.
@@ -53,35 +189,168 @@ class PartitionedTable {
     return InsertRow(std::span<const uint64_t>(keys.begin(), keys.size()));
   }
 
-  // --- reads (fan out across segments) ---
+  /// Batch ingest into the tail, split at segment boundaries: each chunk
+  /// rides the segment Table's column-parallel (and, when durable, batch-
+  /// logged) InsertRows path. Returns the first global row id.
+  uint64_t InsertRows(std::span<const uint64_t> row_major_keys,
+                      uint64_t num_rows, TaskQueue* queue = nullptr);
+
+  /// Insert-only update routed by global row id: the fresh version is
+  /// appended to the tail segment and the superseded row is invalidated in
+  /// whichever segment owns it. Returns the new global row id.
+  uint64_t UpdateRow(uint64_t global_row, std::span<const uint64_t> keys);
+  uint64_t UpdateRow(uint64_t global_row,
+                     std::initializer_list<uint64_t> keys) {
+    return UpdateRow(global_row,
+                     std::span<const uint64_t>(keys.begin(), keys.size()));
+  }
+
+  /// Invalidates a row in its owning segment.
+  Status DeleteRow(uint64_t global_row);
+
+  // --- reads (fan out across segments, lock-free at this level) ---
   uint64_t GetKey(size_t col, uint64_t global_row) const;
+  bool IsRowValid(uint64_t global_row) const;
   uint64_t CountEquals(size_t col, uint64_t key) const;
   uint64_t CountRange(size_t col, uint64_t lo, uint64_t hi) const;
   uint64_t SumColumn(size_t col) const;
 
+  /// Pins one epoch capture per segment atomically with the segment list
+  /// (brief write-lock acquisition, so no logical op is mid-flight): every
+  /// read on the returned snapshot answers as of this instant, across
+  /// concurrent inserts, rollovers, and per-segment merge commits.
+  PartitionedSnapshot CreateSnapshot() const;
+
   /// Total un-merged rows across all segments.
   uint64_t delta_rows() const;
 
-  /// Merges every segment whose delta exceeds `policy` — typically only the
-  /// tail plus any just-sealed segment. Each segment merge is a full
-  /// (bounded-size) table merge. Returns accumulated stats.
-  TableMergeReport MergeDueSegments(const MergeTriggerPolicy& policy,
-                                    const TableMergeOptions& options);
+  /// Un-merged rows of the open tail segment only — O(1) in the segment
+  /// count, which is what the merge daemon polls every millisecond
+  /// (sealed segments are delta-free after their final merge, so this is
+  /// the whole table's delta in steady state).
+  uint64_t tail_delta_rows() const;
 
-  /// Merges everything, regardless of policy.
-  TableMergeReport MergeAll(const TableMergeOptions& options);
+  /// One merge pass: a sealed segment with any delta gets its final merge
+  /// (after which it is skipped forever); the open tail merges when the
+  /// daemon trigger (§4 fill fraction, §9 cost budget, rate lookahead —
+  /// `tail_delta_rows_per_sec` feeds the lookahead) says it is due.
+  /// `merge_in_flight` (optional) is held true exactly while a segment
+  /// merge body executes — not across trigger evaluation — so observers
+  /// can classify overlap precisely.
+  PartitionedMergeReport MergeDueSegments(
+      const MergeDaemonPolicy& policy, const TableMergeOptions& options,
+      double tail_delta_rows_per_sec = 0.0,
+      std::atomic<bool>* merge_in_flight = nullptr);
+
+  /// Merges every segment with a non-empty delta, regardless of policy.
+  PartitionedMergeReport MergeAll(const TableMergeOptions& options);
 
   /// Direct access for tests/benches.
-  Table& segment(size_t i) { return *segments_[i]; }
-  const Table& segment(size_t i) const { return *segments_[i]; }
+  Table& segment(size_t i) { return *SlotAt(i)->table; }
+  const Table& segment(size_t i) const { return *SlotAt(i)->table; }
+  bool segment_sealed(size_t i) const { return SlotAt(i)->sealed.load(); }
+  bool segment_delta_free(size_t i) const {
+    return SlotAt(i)->final_merged.load();
+  }
 
  private:
+  struct Segment {
+    Table* table = nullptr;          ///< the segment (maybe hook-owned)
+    std::unique_ptr<Table> owned;    ///< in-memory mode: owning pointer
+    uint64_t base = 0;               ///< first global row id
+    std::atomic<bool> sealed{false};
+    /// Sealed AND delta-free: the final merge ran (or was never needed);
+    /// merge passes skip the segment without touching its lock.
+    std::atomic<bool> final_merged{false};
+  };
+
+  /// Seals the tail and opens a fresh segment if the tail is full. Caller
+  /// holds tail_mu_.
   void RollOverIfFullLocked();
+
+  /// Segment list capture: the shared-lock window is just the vector copy;
+  /// scans run on the captured shared_ptrs with no PartitionedTable lock.
+  std::vector<std::shared_ptr<Segment>> CaptureSegments() const;
+
+  std::shared_ptr<Segment> SlotAt(size_t i) const;
+
+  /// Fans `fn(segment) -> uint64_t` out over the captured segments on the
+  /// attached read pool (serial without one) and sums the results.
+  template <typename Fn>
+  uint64_t FanOutSum(Fn&& fn) const;
 
   Schema schema_;
   const uint64_t segment_capacity_;
-  mutable std::mutex mu_;  // guards the segment vector (not row data)
-  std::vector<std::unique_ptr<Table>> segments_;
+  SegmentHooks* hooks_ = nullptr;
+  std::atomic<TaskQueue*> read_pool_{nullptr};
+
+  /// The write lock: single writer at a time, never taken by readers.
+  mutable std::mutex tail_mu_;
+  /// Guards segments_ (the vector only, not row data).
+  mutable std::shared_mutex segments_mu_;
+  std::vector<std::shared_ptr<Segment>> segments_;
+};
+
+/// Running counters; retrieved atomically via PartitionedMergeDaemon::stats.
+struct PartitionedMergeDaemonStats {
+  uint64_t polls = 0;
+  uint64_t merge_passes = 0;       ///< polls on which >= 1 segment merged
+  uint64_t segments_merged = 0;
+  uint64_t final_merges = 0;
+  uint64_t failed_merges = 0;
+  uint64_t rows_merged = 0;
+  uint64_t merge_wall_cycles = 0;
+  uint64_t max_segment_wall_cycles = 0;
+  MergeStats merge;
+};
+
+/// Background merge driver for a partitioned table: one watcher thread for
+/// the whole table (segments are merged one at a time — the point of
+/// partitioning is that each merge is bounded, not that merges overlap).
+/// Each poll refreshes the tail arrival-rate estimate and runs
+/// MergeDueSegments, which final-merges newly sealed segments and applies
+/// the §4/§9 trigger stack to the tail. Reuses the MergeDaemon policy brain
+/// (EvaluateMergeTrigger / ProjectedMergeSeconds).
+class PartitionedMergeDaemon {
+ public:
+  PartitionedMergeDaemon(PartitionedTable* table, MergeDaemonPolicy policy,
+                         TableMergeOptions options);
+  ~PartitionedMergeDaemon();
+
+  DM_DISALLOW_COPY_AND_MOVE(PartitionedMergeDaemon);
+
+  void Start();
+  /// Stops the watcher; an in-flight merge pass completes first.
+  void Stop();
+  /// Wakes the watcher immediately (e.g. after a large batch insert).
+  void Nudge();
+  void Pause();
+  void Resume();
+  bool paused() const;
+
+  /// True while a segment merge is executing.
+  bool merge_in_flight() const {
+    return merge_in_flight_.load(std::memory_order_acquire);
+  }
+
+  PartitionedMergeDaemonStats stats() const;
+
+ private:
+  void PollOnce();
+
+  PartitionedTable* table_;
+  MergeDaemonPolicy policy_;
+  TableMergeOptions options_;
+  PollThread poller_;
+
+  std::atomic<bool> merge_in_flight_{false};
+  std::mutex lifecycle_mu_;  ///< serializes Start() (rate-state reset)
+  mutable std::mutex stats_mu_;
+  PartitionedMergeDaemonStats stats_;
+
+  /// Tail arrival-rate estimate (watcher thread only; shared machinery
+  /// with MergeDaemon).
+  DeltaRateEstimator rate_;
 };
 
 }  // namespace deltamerge

@@ -28,7 +28,9 @@
 #include "model/cost_model.h"      // IWYU pragma: export
 #include "model/machine_profile.h" // IWYU pragma: export
 #include "model/read_cost.h"       // IWYU pragma: export
+#include "persist/durable_partitioned_table.h"  // IWYU pragma: export
 #include "persist/durable_table.h" // IWYU pragma: export
+#include "persist/manifest.h"      // IWYU pragma: export
 #include "persist/wal.h"           // IWYU pragma: export
 #include "query/aggregate.h"       // IWYU pragma: export
 #include "query/lookup.h"          // IWYU pragma: export

@@ -1,0 +1,314 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+
+#include "persist/durable_partitioned_table.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "util/file_io.h"
+
+namespace deltamerge::persist {
+
+namespace {
+
+/// Index encoded in a `seg-<digits>` directory name, or UINT64_MAX if the
+/// name is not a segment directory. Accepts any digit-run length: the
+/// %06zu in SegmentDirName is a zero-pad minimum, not a cap, so segment
+/// indices beyond 999999 produce longer names that must still be
+/// recognized (notably by the stray-directory sweep).
+uint64_t ParseSegmentDirIndex(const std::string& name) {
+  if (name.rfind("seg-", 0) != 0 || name.size() <= 4) return UINT64_MAX;
+  const std::string digits = name.substr(4);
+  if (digits.find_first_not_of("0123456789") != std::string::npos) {
+    return UINT64_MAX;
+  }
+  return std::strtoull(digits.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+DurablePartitionedTable::DurablePartitionedTable(std::string dir,
+                                                 Schema schema,
+                                                 uint64_t segment_capacity,
+                                                 DurableTableOptions options)
+    : dir_(std::move(dir)),
+      schema_(std::move(schema)),
+      segment_capacity_(segment_capacity),
+      options_(options) {}
+
+DurablePartitionedTable::~DurablePartitionedTable() = default;
+
+std::string DurablePartitionedTable::SegmentDirName(size_t index) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg-%06zu", index);
+  return dir_ + "/" + buf;
+}
+
+Result<Table*> DurablePartitionedTable::OpenSegmentDir(
+    size_t index, RecoveryStats* recovered) {
+  const std::string seg_dir = SegmentDirName(index);
+  // The directory entry must be durable before a manifest referencing the
+  // segment can be installed; recovery reopens existing directories and
+  // skips the parent fsync.
+  const bool created = !FileExists(seg_dir);
+  DM_RETURN_NOT_OK(EnsureDir(seg_dir));
+  if (created) DM_RETURN_NOT_OK(SyncDir(dir_));
+  DM_ASSIGN_OR_RETURN(std::unique_ptr<DurableTable> seg,
+                      DurableTable::Open(seg_dir, schema_, options_));
+  if (recovered != nullptr) *recovered = seg->recovery();
+  Table* table = &seg->table();
+  std::lock_guard<std::mutex> lock(segs_mu_);
+  DM_CHECK_MSG(durable_segments_.size() == index,
+               "segments must be opened in order");
+  durable_segments_.push_back(std::move(seg));
+  return table;
+}
+
+Status DurablePartitionedTable::InstallManifest(size_t num_segments) {
+  ManifestContents contents;
+  {
+    std::lock_guard<std::mutex> lock(segs_mu_);
+    contents.version = manifest_version_ + 1;
+  }
+  contents.segment_capacity = segment_capacity_;
+  for (const ColumnSpec& col : schema_.columns) {
+    contents.column_widths.push_back(col.value_width);
+    contents.column_names.push_back(col.name);
+  }
+  for (size_t i = 0; i < num_segments; ++i) {
+    contents.segments.push_back(
+        ManifestSegment{i * segment_capacity_, i + 1 < num_segments});
+  }
+  DM_RETURN_NOT_OK(WriteManifest(dir_, contents));
+  {
+    std::lock_guard<std::mutex> lock(segs_mu_);
+    manifest_version_ = contents.version;
+  }
+  // Superseded manifests are redundant once the new one is durable; a
+  // failed cleanup costs disk, not correctness.
+  const Status cleanup = DropManifestsBefore(dir_, contents.version);
+  if (!cleanup.ok()) {
+    std::fprintf(stderr, "deltamerge: manifest cleanup failed: %s\n",
+                 cleanup.ToString().c_str());
+  }
+  return Status::OK();
+}
+
+Table* DurablePartitionedTable::CreateSegment(size_t index) {
+  // Rollover path, invoked under the partitioned table's write lock. The
+  // ordering is the crash-safety contract: the sealed predecessor's WAL
+  // durable first, then the new segment's directory, then the manifest,
+  // and only then may the caller route (and acknowledge) writes into the
+  // new segment. The predecessor sync matters under sync=none/interval:
+  // without it the manifest could durably claim the segment sealed while
+  // its rows sit in the page cache, and a crash would leave a permanently
+  // unopenable table (recovery — correctly — refuses a short sealed
+  // segment). Failures fail-stop — acknowledging writes a recovery would
+  // forget is worse than dying (same posture as a WAL sync failure).
+  if (index > 0) {
+    DurableTable* sealed = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(segs_mu_);
+      DM_CHECK_MSG(index == durable_segments_.size(),
+                   "segment rollover out of order");
+      sealed = durable_segments_[index - 1].get();
+    }
+    const Status synced = sealed->SyncWal();
+    DM_CHECK_MSG(synced.ok(),
+                 "segment rollover failed to sync the sealed segment's WAL");
+  }
+  auto opened = OpenSegmentDir(index, nullptr);
+  DM_CHECK_MSG(opened.ok(), "segment rollover failed to open storage");
+  const Status st = InstallManifest(index + 1);
+  DM_CHECK_MSG(st.ok(), "segment rollover failed to install the manifest");
+  return opened.ValueOrDie();
+}
+
+size_t DurablePartitionedTable::num_durable_segments() const {
+  std::lock_guard<std::mutex> lock(segs_mu_);
+  return durable_segments_.size();
+}
+
+const DurableTable& DurablePartitionedTable::durable_segment(size_t i) const {
+  std::lock_guard<std::mutex> lock(segs_mu_);
+  DM_CHECK_MSG(i < durable_segments_.size(), "segment index out of range");
+  return *durable_segments_[i];
+}
+
+Status DurablePartitionedTable::SyncWals() {
+  // Segments are only ever appended and live for the wrapper's lifetime:
+  // capture the pointers under one brief lock acquisition and run the
+  // (slow) fdatasyncs outside it, so a concurrent rollover never blocks
+  // behind disk I/O.
+  std::vector<DurableTable*> segments;
+  {
+    std::lock_guard<std::mutex> lock(segs_mu_);
+    segments.reserve(durable_segments_.size());
+    for (const auto& seg : durable_segments_) segments.push_back(seg.get());
+  }
+  for (DurableTable* seg : segments) {
+    DM_RETURN_NOT_OK(seg->SyncWal());
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<DurablePartitionedTable>> DurablePartitionedTable::Open(
+    const std::string& dir, Schema schema, uint64_t segment_capacity,
+    DurableTableOptions options) {
+  if (segment_capacity < 1) {
+    return Status::InvalidArgument("segment capacity must be positive");
+  }
+  DM_RETURN_NOT_OK(EnsureDir(dir));
+  std::unique_ptr<DurablePartitionedTable> t(new DurablePartitionedTable(
+      dir, std::move(schema), segment_capacity, options));
+
+  // 0. Sweep manifest temp files a crash mid-write left behind.
+  {
+    DM_ASSIGN_OR_RETURN(const std::vector<std::string> names, ListDir(dir));
+    for (const std::string& name : names) {
+      if (name.size() > 9 && name.substr(name.size() - 9) == ".dmpm.tmp") {
+        (void)RemoveFile(dir + "/" + name);
+      }
+    }
+  }
+
+  // 1. Newest manifest that validates; corrupt ones fall back to older
+  //    versions (deleted only after a successor became durable).
+  DM_ASSIGN_OR_RETURN(const auto manifest_files, ListManifests(dir));
+  ManifestContents manifest;
+  std::vector<std::string> corrupt_newer;
+  for (auto it = manifest_files.rbegin(); it != manifest_files.rend(); ++it) {
+    auto loaded = ReadManifest(dir + "/" + it->second);
+    if (loaded.ok()) {
+      manifest = std::move(loaded).ValueOrDie();
+      t->recovery_.manifest_loaded = true;
+      break;
+    }
+    ++t->recovery_.invalid_manifests;
+    corrupt_newer.push_back(it->second);
+    std::fprintf(stderr, "deltamerge: skipping bad manifest %s: %s\n",
+                 it->second.c_str(), loaded.status().ToString().c_str());
+  }
+
+  // 2a. Fresh directory: create segment 0 and install manifest v1 before
+  //     any write can be acknowledged.
+  if (!t->recovery_.manifest_loaded) {
+    if (!manifest_files.empty()) {
+      // Every manifest on disk is corrupt: the segment set is unknowable,
+      // and guessing from seg-* directories could resurrect unacknowledged
+      // data or drop acknowledged rows. Refuse loudly.
+      return Status::Internal(
+          "all partitioned-table manifests are corrupt in " + dir);
+    }
+    // No manifest at all, but segment data present (e.g. manifests deleted
+    // by hand, or a partial restore): treating this as fresh would adopt
+    // stale rows under brand-new global row ids. The only seg-* state a
+    // real crash can leave here is an empty seg-000000 from a first-open
+    // crash before manifest v1 became durable.
+    {
+      DM_ASSIGN_OR_RETURN(const std::vector<std::string> names,
+                          ListDir(dir));
+      for (const std::string& name : names) {
+        const uint64_t index = ParseSegmentDirIndex(name);
+        if (index != UINT64_MAX && index > 0) {
+          return Status::Internal(
+              "segment directories exist but no manifest lists them in " +
+              dir);
+        }
+      }
+    }
+    RecoveryStats seg_stats;
+    DM_ASSIGN_OR_RETURN(Table * seg0, t->OpenSegmentDir(0, &seg_stats));
+    if (seg0->num_rows() > 0 || seg_stats.recovered_lsn > 0) {
+      return Status::Internal(
+          "segment 0 holds data but no manifest lists it in " + dir);
+    }
+    t->recovery_.segments.push_back(seg_stats);
+    DM_RETURN_NOT_OK(t->InstallManifest(1));
+    t->recovery_.manifest_version = t->manifest_version_;
+    PartitionedTable::RecoveredSegment recovered{
+        &t->durable_segments_[0]->table(), false};
+    t->table_ = std::make_unique<PartitionedTable>(
+        t->schema_, segment_capacity, t.get(),
+        std::span<const PartitionedTable::RecoveredSegment>(&recovered, 1));
+    return t;
+  }
+
+  // 2b. Validate the manifest against the caller's expectations — global
+  //     row-id arithmetic depends on the capacity, so a mismatch must not
+  //     silently re-base anything.
+  t->recovery_.manifest_version = manifest.version;
+  t->manifest_version_ = manifest.version;
+  if (manifest.segment_capacity != segment_capacity) {
+    return Status::InvalidArgument(
+        "segment capacity does not match the manifest");
+  }
+  if (manifest.column_widths.size() != t->schema_.columns.size()) {
+    return Status::InvalidArgument(
+        "schema column count does not match the manifest");
+  }
+  for (size_t c = 0; c < t->schema_.columns.size(); ++c) {
+    if (manifest.column_widths[c] != t->schema_.columns[c].value_width) {
+      return Status::InvalidArgument(
+          "schema column width does not match the manifest");
+    }
+    if (manifest.column_names[c] != t->schema_.columns[c].name) {
+      return Status::InvalidArgument(
+          "schema column name '" + t->schema_.columns[c].name +
+          "' does not match manifest column '" + manifest.column_names[c] +
+          "'");
+    }
+  }
+
+  // A corrupt manifest newer than the one we recovered from must not
+  // shadow future recoveries (the next install reuses its version number).
+  for (const std::string& name : corrupt_newer) {
+    DM_RETURN_NOT_OK(RemoveFile(dir + "/" + name));
+  }
+  if (!corrupt_newer.empty()) DM_RETURN_NOT_OK(SyncDir(dir));
+
+  // 3. Recover every listed segment through its own DurableTable stack.
+  std::vector<PartitionedTable::RecoveredSegment> recovered;
+  for (size_t i = 0; i < manifest.segments.size(); ++i) {
+    RecoveryStats seg_stats;
+    DM_ASSIGN_OR_RETURN(Table * seg_table, t->OpenSegmentDir(i, &seg_stats));
+    t->recovery_.segments.push_back(seg_stats);
+    const bool sealed = manifest.segments[i].sealed;
+    // The rollover ordering invariant makes this exact: every row of a
+    // sealed segment was acknowledged (durable) before the next segment's
+    // first record could exist, so a short sealed segment means lost
+    // acknowledged history — refuse rather than leave a global row-id gap.
+    if (sealed && seg_table->num_rows() != segment_capacity) {
+      return Status::Internal(
+          "sealed segment " + std::to_string(i) +
+          " recovered short of its capacity (lost acknowledged rows?)");
+    }
+    if (!sealed && seg_table->num_rows() > segment_capacity) {
+      return Status::Internal("tail segment recovered beyond its capacity");
+    }
+    recovered.push_back(PartitionedTable::RecoveredSegment{seg_table, sealed});
+  }
+
+  // 4. Delete stray segment directories beyond the manifest: they can only
+  //    hold unacknowledged bytes from a crash between segment creation and
+  //    manifest install.
+  {
+    DM_ASSIGN_OR_RETURN(const std::vector<std::string> names, ListDir(dir));
+    bool removed = false;
+    for (const std::string& name : names) {
+      const uint64_t index = ParseSegmentDirIndex(name);
+      if (index == UINT64_MAX || index < manifest.segments.size()) continue;
+      DM_RETURN_NOT_OK(RemoveDirAll(dir + "/" + name));
+      ++t->recovery_.stray_segments_removed;
+      removed = true;
+    }
+    if (removed) DM_RETURN_NOT_OK(SyncDir(dir));
+  }
+
+  t->table_ = std::make_unique<PartitionedTable>(
+      t->schema_, segment_capacity, t.get(),
+      std::span<const PartitionedTable::RecoveredSegment>(recovered));
+  return t;
+}
+
+}  // namespace deltamerge::persist

@@ -1,0 +1,191 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+
+#include "persist/manifest.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "util/file_io.h"
+
+namespace deltamerge::persist {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x31304D50444D4644ULL;  // "DFMDPM01" little-endian
+constexpr uint32_t kVersion = 1;
+
+Status WriteManifestTmp(const std::string& tmp_path,
+                        const ManifestContents& contents) {
+  DM_ASSIGN_OR_RETURN(std::unique_ptr<FileWriter> out,
+                      FileWriter::Create(tmp_path));
+  DM_RETURN_NOT_OK(out->WriteU64(kMagic));
+  out->ResetCrc();  // the trailer CRC covers everything after the magic
+  DM_RETURN_NOT_OK(out->WriteU32(kVersion));
+  DM_RETURN_NOT_OK(out->WriteU64(contents.version));
+  DM_RETURN_NOT_OK(out->WriteU64(contents.segment_capacity));
+  DM_RETURN_NOT_OK(
+      out->WriteU32(static_cast<uint32_t>(contents.column_widths.size())));
+  for (size_t c = 0; c < contents.column_widths.size(); ++c) {
+    DM_RETURN_NOT_OK(
+        out->WriteU32(static_cast<uint32_t>(contents.column_widths[c])));
+    const std::string& name = contents.column_names[c];
+    DM_RETURN_NOT_OK(out->WriteU32(static_cast<uint32_t>(name.size())));
+    if (!name.empty()) {
+      DM_RETURN_NOT_OK(out->Write(name.data(), name.size()));
+    }
+  }
+  DM_RETURN_NOT_OK(
+      out->WriteU32(static_cast<uint32_t>(contents.segments.size())));
+  for (const ManifestSegment& seg : contents.segments) {
+    DM_RETURN_NOT_OK(out->WriteU64(seg.base));
+    DM_RETURN_NOT_OK(out->WriteU8(seg.sealed ? 1 : 0));
+  }
+  const uint32_t crc = out->crc();
+  DM_RETURN_NOT_OK(out->WriteU32(crc));
+  DM_RETURN_NOT_OK(out->Sync());
+  DM_RETURN_NOT_OK(out->Close());
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string ManifestFileName(uint64_t version) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "manifest-%020" PRIu64 ".dmpm", version);
+  return std::string(buf);
+}
+
+Status WriteManifest(const std::string& dir,
+                     const ManifestContents& contents) {
+  if (contents.column_widths.size() != contents.column_names.size()) {
+    return Status::InvalidArgument("manifest column widths/names mismatch");
+  }
+  const std::string final_name = ManifestFileName(contents.version);
+  const std::string tmp_path = dir + "/" + final_name + ".tmp";
+  const Status st = WriteManifestTmp(tmp_path, contents);
+  if (!st.ok()) {
+    (void)RemoveFile(tmp_path);  // don't leave partial files behind
+    return st;
+  }
+  return AtomicRename(tmp_path, dir + "/" + final_name, dir);
+}
+
+Result<ManifestContents> ReadManifest(const std::string& path) {
+  DM_ASSIGN_OR_RETURN(std::unique_ptr<FileReader> in, FileReader::Open(path));
+  uint64_t magic = 0;
+  DM_RETURN_NOT_OK(in->ReadU64(&magic));
+  if (magic != kMagic) {
+    return Status::Internal("not a manifest file: " + path);
+  }
+  in->ResetCrc();
+  uint32_t version = 0;
+  DM_RETURN_NOT_OK(in->ReadU32(&version));
+  if (version != kVersion) {
+    return Status::Internal("unsupported manifest version");
+  }
+  ManifestContents out;
+  DM_RETURN_NOT_OK(in->ReadU64(&out.version));
+  DM_RETURN_NOT_OK(in->ReadU64(&out.segment_capacity));
+  uint32_t num_columns = 0;
+  DM_RETURN_NOT_OK(in->ReadU32(&num_columns));
+  // Untrusted until the CRC trailer validates: bound by the file size
+  // before any allocation (every column costs >= 8 bytes in the file).
+  if (num_columns > (uint32_t{1} << 16) ||
+      num_columns > in->file_size() / 8) {
+    return Status::Internal("manifest column count implausible");
+  }
+  out.column_widths.reserve(num_columns);
+  out.column_names.reserve(num_columns);
+  for (uint32_t c = 0; c < num_columns; ++c) {
+    uint32_t width = 0, name_len = 0;
+    DM_RETURN_NOT_OK(in->ReadU32(&width));
+    DM_RETURN_NOT_OK(in->ReadU32(&name_len));
+    if (name_len > 4096) {
+      return Status::Internal("manifest column name implausibly long");
+    }
+    std::string name(name_len, '\0');
+    if (name_len > 0) {
+      DM_RETURN_NOT_OK(in->Read(name.data(), name_len));
+    }
+    out.column_widths.push_back(width);
+    out.column_names.push_back(std::move(name));
+  }
+  uint32_t num_segments = 0;
+  DM_RETURN_NOT_OK(in->ReadU32(&num_segments));
+  if (num_segments > in->file_size() / 9) {  // 9 bytes per segment entry
+    return Status::Internal("manifest segment count implausible");
+  }
+  out.segments.reserve(num_segments);
+  for (uint32_t s = 0; s < num_segments; ++s) {
+    ManifestSegment seg;
+    uint8_t sealed = 0;
+    DM_RETURN_NOT_OK(in->ReadU64(&seg.base));
+    DM_RETURN_NOT_OK(in->ReadU8(&sealed));
+    if (sealed > 1) {
+      return Status::Internal("manifest sealed flag out of range");
+    }
+    seg.sealed = sealed != 0;
+    out.segments.push_back(seg);
+  }
+  const uint32_t body_crc = in->crc();
+  uint32_t trailer = 0;
+  DM_RETURN_NOT_OK(in->ReadU32(&trailer));
+  if (trailer != body_crc) {
+    return Status::Internal("manifest CRC mismatch: " + path);
+  }
+  // Shape invariants the rest of recovery relies on.
+  if (out.segment_capacity == 0) {
+    return Status::Internal("manifest has zero segment capacity");
+  }
+  if (out.segments.empty()) {
+    return Status::Internal("manifest lists no segments");
+  }
+  for (size_t i = 0; i < out.segments.size(); ++i) {
+    if (out.segments[i].base != i * out.segment_capacity) {
+      return Status::Internal("manifest segment base offsets inconsistent");
+    }
+    const bool must_be_sealed = i + 1 < out.segments.size();
+    if (out.segments[i].sealed != must_be_sealed) {
+      return Status::Internal("manifest sealed flags inconsistent");
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<uint64_t, std::string>>> ListManifests(
+    const std::string& dir) {
+  DM_ASSIGN_OR_RETURN(const std::vector<std::string> names, ListDir(dir));
+  std::vector<std::pair<uint64_t, std::string>> out;
+  for (const std::string& name : names) {
+    if (name.rfind("manifest-", 0) != 0 || name.size() <= 14 ||
+        name.substr(name.size() - 5) != ".dmpm") {
+      continue;
+    }
+    const std::string digits = name.substr(9, name.size() - 14);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    out.emplace_back(std::strtoull(digits.c_str(), nullptr, 10), name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status DropManifestsBefore(const std::string& dir, uint64_t version) {
+  DM_ASSIGN_OR_RETURN(const auto manifests, ListManifests(dir));
+  Status st = Status::OK();
+  bool dropped = false;
+  for (const auto& [v, name] : manifests) {
+    if (v >= version) continue;
+    const Status rm = RemoveFile(dir + "/" + name);
+    if (!rm.ok() && st.ok()) st = rm;
+    dropped = true;
+  }
+  if (dropped && st.ok()) st = SyncDir(dir);
+  return st;
+}
+
+}  // namespace deltamerge::persist

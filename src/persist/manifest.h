@@ -1,0 +1,70 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Partitioned-table manifest: the durable record of the segment set.
+//
+// A DurablePartitionedTable is a directory of per-segment table directories
+// (each with its own WAL + checkpoints) plus a manifest that names them:
+// the segment count, each segment's global base offset and sealed state,
+// the segment capacity, and the schema. The manifest is the recovery root —
+// per-segment recovery is self-contained, but only the manifest says which
+// segments exist and how global row ids map onto them.
+//
+// Crash discipline mirrors the checkpoint files: the manifest is written to
+// a .tmp name, fsynced, atomically renamed to `manifest-<version>.dmpm`
+// (+ directory fsync), and covered after the magic by a trailing CRC-32.
+// Older versions are deleted only after a successor is durably installed,
+// so a torn or corrupt newest manifest falls back to its predecessor.
+//
+// The rollover ordering invariant every reader of this file should know:
+// the manifest version that first lists segment K is installed durably
+// BEFORE any write into segment K can be acknowledged. A crash therefore
+// never forgets a segment that held acknowledged data; a segment directory
+// the (recovered) manifest does not list contains only unacknowledged bytes
+// and is deleted at Open.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace deltamerge::persist {
+
+struct ManifestSegment {
+  uint64_t base = 0;   ///< first global row id (index * segment_capacity)
+  bool sealed = false;
+};
+
+struct ManifestContents {
+  /// Monotonic install counter; the newest valid file wins at recovery.
+  uint64_t version = 0;
+  uint64_t segment_capacity = 0;
+  /// Schema shape, persisted so recovery can refuse a mismatched caller
+  /// schema instead of silently reinterpreting segment bytes.
+  std::vector<uint64_t> column_widths;
+  std::vector<std::string> column_names;
+  std::vector<ManifestSegment> segments;
+};
+
+/// `manifest-<version>.dmpm`.
+std::string ManifestFileName(uint64_t version);
+
+/// Serializes `contents` into `dir` with the write-tmp/fsync/rename
+/// discipline; durable once it returns OK.
+Status WriteManifest(const std::string& dir, const ManifestContents& contents);
+
+/// Reads and validates one manifest file (magic, CRC, shape invariants).
+Result<ManifestContents> ReadManifest(const std::string& path);
+
+/// (version, filename) of every manifest file in `dir`, sorted ascending.
+Result<std::vector<std::pair<uint64_t, std::string>>> ListManifests(
+    const std::string& dir);
+
+/// Deletes every manifest whose version is below `version` (called once a
+/// newer manifest is durably installed).
+Status DropManifestsBefore(const std::string& dir, uint64_t version);
+
+}  // namespace deltamerge::persist

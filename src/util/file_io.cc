@@ -189,7 +189,14 @@ Status RemoveDirAll(const std::string& dir) {
   }
   Status st = Status::OK();
   for (const auto& name : names.ValueOrDie()) {
-    const Status rm = RemoveFile(dir + "/" + name);
+    const std::string path = dir + "/" + name;
+    // lstat, not stat: a symlink to a directory must be unlinked as a
+    // link, never followed and emptied out.
+    struct stat entry{};
+    const Status rm = (::lstat(path.c_str(), &entry) == 0 &&
+                       S_ISDIR(entry.st_mode))
+                          ? RemoveDirAll(path)
+                          : RemoveFile(path);
     if (!rm.ok() && st.ok()) st = rm;
   }
   if (::rmdir(dir.c_str()) != 0 && errno != ENOENT && st.ok()) {

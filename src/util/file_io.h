@@ -135,9 +135,10 @@ Status AtomicRename(const std::string& from, const std::string& to,
 /// Unlinks `path`; missing files are not an error.
 Status RemoveFile(const std::string& path);
 
-/// Removes every regular file directly inside `dir`, then the directory
-/// itself (one level — the persist layout is flat). A missing directory is
-/// not an error. For tests, benches, and tools tearing down table dirs.
+/// Removes everything inside `dir` (recursing into subdirectories — the
+/// partitioned layout nests one segment directory level), then the
+/// directory itself. A missing directory is not an error. For tests,
+/// benches, and tools tearing down table dirs.
 Status RemoveDirAll(const std::string& dir);
 
 bool FileExists(const std::string& path);

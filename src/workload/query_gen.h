@@ -24,6 +24,10 @@
 #include "workload/enterprise_stats.h"
 
 namespace deltamerge {
+class PartitionedTable;  // core/partitioned_table.h (pointer-only here)
+}
+
+namespace deltamerge {
 
 /// Samples query types i.i.d. from a mix.
 class QueryStream {
@@ -202,5 +206,21 @@ struct WriteScheduleReport {
 WriteScheduleReport RunWriteSchedule(Table* table,
                                      std::span<const WriteOp> ops,
                                      const WriteScheduleOptions& options);
+
+/// Applies one op through the sharded write path: global row-id routing for
+/// updates/deletes, rollover-splitting batch ingest for kInsertBatch.
+void ApplyWriteOp(PartitionedTable* table, const WriteOp& op,
+                  TaskQueue* batch_queue = nullptr);
+
+/// RunWriteSchedule's sharded twin. `merge_every` runs a foreground
+/// MergeAll pass — every dirty segment merges (bounded work each), and on a
+/// durable partitioned table every such segment merge produces a
+/// per-segment checkpoint. The same deterministic schedule therefore
+/// drives Table, DurableTable, PartitionedTable, and
+/// DurablePartitionedTable, which is what the sharded differential and
+/// crash-recovery tortures compare.
+WriteScheduleReport RunPartitionedWriteSchedule(
+    PartitionedTable* table, std::span<const WriteOp> ops,
+    const WriteScheduleOptions& options);
 
 }  // namespace deltamerge

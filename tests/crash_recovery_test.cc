@@ -45,6 +45,7 @@
 
 #include "core/table.h"
 #include "durable_torture_util.h"
+#include "persist/durable_partitioned_table.h"
 #include "persist/durable_table.h"
 #include "persist/wal.h"
 #include "util/file_io.h"
@@ -54,10 +55,14 @@
 namespace deltamerge {
 namespace {
 
+using persist::DurablePartitionedTable;
 using persist::DurableTable;
 using persist::DurableTableOptions;
 using persist::ListWalSegments;
 using persist::WalSyncPolicy;
+using testref::PartitionedPlan;
+using testref::PartitionedRecoveredModel;
+using testref::PlanPartitionedSchedule;
 using testref::ExpectTableMatchesModel;
 using testref::kTortureKeyDomain;
 using testref::ModelPrefix;
@@ -336,6 +341,264 @@ INSTANTIATE_TEST_SUITE_P(
                       KillParam{7005, 2000, 400, 300, 64},
                       KillParam{7006, 1500, 0, 200, 16},
                       KillParam{7007, 2500, 250, 400, 128}));
+
+// ---------------------------------------------------------------------------
+// DurablePartitionedTable (PR 5): per-segment WALs, manifest recovery.
+// ---------------------------------------------------------------------------
+
+/// Per-segment recovered LSNs of a reopened partitioned table.
+std::vector<uint64_t> RecoveredLsns(const DurablePartitionedTable& t) {
+  std::vector<uint64_t> lsns;
+  for (const persist::RecoveryStats& s : t.recovery().segments) {
+    lsns.push_back(s.recovered_lsn);
+  }
+  return lsns;
+}
+
+struct PartTruncateParam {
+  uint64_t seed;
+  uint64_t ops;
+  uint64_t capacity;     // small => the schedule crosses many rollovers
+  uint64_t merge_every;  // 0 = no per-segment checkpoints
+  uint64_t batch;        // 0 = per-row records; else max kInsertBatch rows
+};
+
+void PrintTo(const PartTruncateParam& p, std::ostream* os) {
+  *os << "seed=" << p.seed << " ops=" << p.ops << " capacity=" << p.capacity
+      << " merge_every=" << p.merge_every << " batch=" << p.batch;
+}
+
+class PartitionedCrashTruncate
+    : public ::testing::TestWithParam<PartTruncateParam> {};
+
+TEST_P(PartitionedCrashTruncate, RecoversPerSegmentPrefixAtRandomCuts) {
+  const PartTruncateParam p = GetParam();
+  const std::vector<WriteOp> ops =
+      GenerateWriteOps(3, p.ops, kTortureKeyDomain, p.seed);
+  const std::vector<WriteOp> schedule =
+      p.batch > 0 ? CoalesceInsertBatches(ops, p.batch) : ops;
+  const PartitionedPlan plan = PlanPartitionedSchedule(schedule, p.capacity);
+  const size_t num_segments = plan.planned_records.size();
+
+  TortureScratchDir dir("pcrash");
+  DurableTableOptions options;
+  options.wal.policy = WalSyncPolicy::kEveryCommit;
+  {
+    auto opened = DurablePartitionedTable::Open(dir.path(), TortureSchema(),
+                                                p.capacity, options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    WriteScheduleOptions sched;
+    sched.merge_every = p.merge_every;
+    RunPartitionedWriteSchedule(&opened.ValueOrDie()->table(), schedule,
+                                sched);
+    ASSERT_EQ(opened.ValueOrDie()->table().num_segments(), num_segments);
+  }
+
+  // Chop the tail segment's newest WAL at a random byte — the crash image
+  // where the globally newest inserts are torn away while later-logged
+  // tombstones in sealed segments survive. (Only the TAIL's WAL may be cut:
+  // sealed segments hold acknowledged history that later rows depend on,
+  // and recovery refuses to lose it — ShortSealedSegmentRefused covers
+  // that.)
+  const std::string tail_dir =
+      dir.path() + "/seg-" + [&] {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "%06zu", num_segments - 1);
+        return std::string(buf);
+      }();
+  auto segments = ListWalSegments(tail_dir);
+  ASSERT_TRUE(segments.ok());
+  ASSERT_FALSE(segments.ValueOrDie().empty());
+  const std::string last_segment =
+      tail_dir + "/" + segments.ValueOrDie().back().second;
+  auto size = FileSize(last_segment);
+  ASSERT_TRUE(size.ok());
+  Rng rng(p.seed ^ 0xca75c4a5ULL);
+  const uint64_t cut = rng.Below(size.ValueOrDie() + 1);
+  ASSERT_TRUE(TruncateFile(last_segment, cut).ok());
+
+  auto reopened = DurablePartitionedTable::Open(dir.path(), TortureSchema(),
+                                                p.capacity, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const auto& dt = *reopened.ValueOrDie();
+  ASSERT_EQ(dt.recovery().segments.size(), num_segments);
+
+  const std::vector<uint64_t> lsns = RecoveredLsns(dt);
+  // Only the cut segment may have lost records; everything else must have
+  // recovered its full planned history.
+  for (size_t s = 0; s < num_segments; ++s) {
+    if (s + 1 < num_segments) {
+      ASSERT_EQ(lsns[s], plan.planned_records[s]) << "segment " << s;
+    } else {
+      ASSERT_LE(lsns[s], plan.planned_records[s]);
+    }
+  }
+  const ReferenceModel model = PartitionedRecoveredModel(plan, lsns);
+  ExpectTableMatchesModel(dt.table(), model, p.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cuts, PartitionedCrashTruncate,
+    ::testing::Values(PartTruncateParam{8101, 600, 96, 0, 0},
+                      PartTruncateParam{8202, 600, 96, 150, 0},
+                      PartTruncateParam{8303, 900, 128, 200, 0},
+                      PartTruncateParam{8404, 500, 64, 100, 0},
+                      // Batched: rollover-straddling kInsertBatch chunks.
+                      PartTruncateParam{8505, 600, 96, 150, 32},
+                      PartTruncateParam{8606, 900, 128, 200, 64},
+                      PartTruncateParam{8707, 500, 48, 100, 8}));
+
+TEST(PartitionedCrashRollover, EmptiedFreshTailRecoversToSealedBoundary) {
+  // The rollover-straddling crash: the manifest already lists the fresh
+  // tail segment, but every record it held is torn away. Recovery must
+  // land exactly on the sealed boundary — and the table must keep working
+  // (rollover again, reopen again) from there.
+  TortureScratchDir dir("rollcut");
+  DurableTableOptions options;
+  options.wal.policy = WalSyncPolicy::kEveryCommit;
+  const uint64_t kCapacity = 50;
+  {
+    auto opened = DurablePartitionedTable::Open(dir.path(), TortureSchema(),
+                                                kCapacity, options);
+    ASSERT_TRUE(opened.ok());
+    for (uint64_t i = 0; i < kCapacity + 3; ++i) {
+      opened.ValueOrDie()->table().InsertRow({i, i, i});
+    }
+    ASSERT_EQ(opened.ValueOrDie()->table().num_segments(), 2u);
+  }
+  auto segments = ListWalSegments(dir.path() + "/seg-000001");
+  ASSERT_TRUE(segments.ok());
+  ASSERT_EQ(segments.ValueOrDie().size(), 1u);
+  ASSERT_TRUE(TruncateFile(dir.path() + "/seg-000001/" +
+                               segments.ValueOrDie().back().second,
+                           0)
+                  .ok());
+
+  {
+    auto reopened = DurablePartitionedTable::Open(dir.path(), TortureSchema(),
+                                                  kCapacity, options);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    auto& t = *reopened.ValueOrDie();
+    ASSERT_EQ(t.table().num_segments(), 2u);  // manifest still lists both
+    ASSERT_EQ(t.table().num_rows(), kCapacity);
+    for (uint64_t i = 0; i < kCapacity; ++i) {
+      ASSERT_EQ(t.table().GetKey(0, i), i);
+    }
+    // The recovered table keeps growing across the same boundary.
+    for (uint64_t i = 0; i < 5; ++i) {
+      ASSERT_EQ(t.table().InsertRow({900 + i, 0, 0}), kCapacity + i);
+    }
+  }
+  auto again = DurablePartitionedTable::Open(dir.path(), TortureSchema(),
+                                             kCapacity, options);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again.ValueOrDie()->table().num_rows(), kCapacity + 5);
+  ASSERT_EQ(again.ValueOrDie()->table().GetKey(0, kCapacity + 4), 904u);
+}
+
+struct PartKillParam {
+  uint64_t seed;
+  uint64_t ops;
+  uint64_t capacity;
+  uint64_t merge_every;
+  uint64_t max_sleep_ms;  // parent waits up to this long before SIGKILL
+  uint64_t batch;
+};
+
+void PrintTo(const PartKillParam& p, std::ostream* os) {
+  *os << "seed=" << p.seed << " ops=" << p.ops << " capacity=" << p.capacity
+      << " merge_every=" << p.merge_every << " batch=" << p.batch;
+}
+
+class PartitionedCrashSigkill
+    : public ::testing::TestWithParam<PartKillParam> {};
+
+TEST_P(PartitionedCrashSigkill, KilledMidWorkloadRecoversExactGlobalPrefix) {
+  const PartKillParam p = GetParam();
+  const std::vector<WriteOp> ops =
+      GenerateWriteOps(3, p.ops, kTortureKeyDomain, p.seed);
+  const std::vector<WriteOp> schedule =
+      p.batch > 0 ? CoalesceInsertBatches(ops, p.batch) : ops;
+  const PartitionedPlan plan = PlanPartitionedSchedule(schedule, p.capacity);
+
+  TortureScratchDir dir("pkill");
+  DurableTableOptions options;
+  options.wal.policy = WalSyncPolicy::kEveryCommit;
+
+  int pipe_fds[2];
+  ASSERT_EQ(::pipe(pipe_fds), 0);
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // --- child: write durably, report each acknowledged op, then idle ---
+    ::close(pipe_fds[0]);
+    auto opened = DurablePartitionedTable::Open(dir.path(), TortureSchema(),
+                                                p.capacity, options);
+    if (!opened.ok()) _exit(2);
+    auto& dt = *opened.ValueOrDie();
+    WriteScheduleOptions sched;
+    sched.merge_every = p.merge_every;
+    sched.on_op_acknowledged = [&](uint64_t op_index) {
+      const ssize_t w = ::write(pipe_fds[1], &op_index, sizeof(op_index));
+      if (w != sizeof(op_index)) _exit(3);
+    };
+    RunPartitionedWriteSchedule(&dt.table(), schedule, sched);
+    ::close(pipe_fds[1]);
+    for (;;) ::pause();
+  }
+
+  // --- parent: kill at a random moment (possibly mid-rollover, since the
+  // small capacity makes rollovers frequent), recover, verify ---
+  ::close(pipe_fds[1]);
+  Rng rng(p.seed ^ 0x5161c1a1ULL);
+  ::usleep(static_cast<useconds_t>(rng.Below(p.max_sleep_ms * 1000)));
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+
+  uint64_t acked_ops = 0;
+  uint64_t index = 0;
+  for (;;) {
+    const ssize_t r = ::read(pipe_fds[0], &index, sizeof(index));
+    if (r != sizeof(index)) break;
+    acked_ops = index + 1;
+  }
+  ::close(pipe_fds[0]);
+
+  auto reopened = DurablePartitionedTable::Open(dir.path(), TortureSchema(),
+                                                p.capacity, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const auto& dt = *reopened.ValueOrDie();
+
+  const std::vector<uint64_t> lsns = RecoveredLsns(dt);
+  uint64_t covered = 0;
+  bool global_prefix = false;
+  const ReferenceModel model =
+      PartitionedRecoveredModel(plan, lsns, &covered, &global_prefix);
+  // The cross-segment exactness contract: a real crash under
+  // sync=every-commit with a single writer recovers an exact prefix of the
+  // single-row-operation stream — ordered acknowledgments mean no record
+  // can be durable while an earlier one (in ANY segment's WAL) is not.
+  ASSERT_TRUE(global_prefix)
+      << "recovery left a hole in the global operation order";
+  ASSERT_LE(covered, plan.micros.size());
+  ASSERT_GE(covered, plan.micros_after_logical[acked_ops])
+      << "recovery lost acknowledged writes (acked=" << acked_ops << ")";
+  ExpectTableMatchesModel(dt.table(), model, p.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kills, PartitionedCrashSigkill,
+    ::testing::Values(PartKillParam{9001, 2000, 256, 400, 300, 0},
+                      PartKillParam{9002, 2000, 128, 400, 300, 0},
+                      PartKillParam{9003, 1500, 96, 0, 200, 0},
+                      PartKillParam{9004, 2500, 192, 250, 400, 0},
+                      // Batched: acknowledged rollover-straddling batches
+                      // must survive chunk-for-chunk.
+                      PartKillParam{9005, 2000, 256, 400, 300, 64},
+                      PartKillParam{9006, 1500, 64, 0, 200, 16},
+                      PartKillParam{9007, 2500, 128, 250, 400, 128}));
 
 }  // namespace
 }  // namespace deltamerge

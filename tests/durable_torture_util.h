@@ -19,6 +19,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <ostream>
@@ -103,8 +104,10 @@ inline ReferenceModel ModelPrefix(const std::vector<WriteOp>& ops,
 
 /// Full differential comparison, same checks the snapshot torture uses:
 /// shape, validity of every row, sampled materialization, and count/sum
-/// aggregates per column.
-inline void ExpectTableMatchesModel(const Table& table,
+/// aggregates per column. Templated because Table and PartitionedTable
+/// expose the identical read surface.
+template <typename TableT>
+inline void ExpectTableMatchesModel(const TableT& table,
                                     const ReferenceModel& model,
                                     uint64_t seed) {
   ASSERT_EQ(table.num_rows(), model.size());
@@ -158,6 +161,181 @@ struct SchedulePlan {
                : ops_after_lsn.back();
   }
 };
+
+// ---------------------------------------------------------------------------
+// Partitioned schedules: per-segment WAL accounting.
+//
+// A DurablePartitionedTable logs each segment's records into that segment's
+// own WAL, so "how much recovered" is a vector of per-segment LSNs, not one
+// number. The plan below simulates the sharded write path exactly — lazy
+// rollover at the capacity boundary, batch entries split at segment
+// boundaries (one kInsertBatch record per per-segment chunk), same-segment
+// updates as one atomic kUpdate record, cross-segment updates as a tail
+// kInsert record followed by a kDelete record in the owning segment — and
+// decomposes the logical stream into single-row micro operations (an
+// update is insert-then-invalidate, mirroring ReferenceModel::Update), each
+// tagged with the (segment, lsn) of the record that carries it. Given the
+// per-segment recovered LSNs of a reopened table, the covered micro ops
+// reconstruct the exact reference state recovery must land on.
+// ---------------------------------------------------------------------------
+
+struct PartitionedMicro {
+  bool is_insert = false;
+  /// Insert payload (one key per column); points into the schedule's
+  /// WriteOp storage, so the schedule must outlive the plan.
+  std::span<const uint64_t> keys;
+  uint64_t target = 0;  ///< delete-type micros: the global row id
+  size_t segment = 0;
+  uint64_t lsn = 0;     ///< LSN within that segment's WAL
+};
+
+struct PartitionedPlan {
+  std::vector<PartitionedMicro> micros;  ///< in global write order
+  /// [j] = micro ops composing the first j logical (single-row) ops; maps
+  /// the ack-pipe indices of the crash torture onto the micro stream.
+  std::vector<uint64_t> micros_after_logical;
+  /// Records each segment's WAL holds after a full, uncrashed run.
+  std::vector<uint64_t> planned_records;
+};
+
+inline PartitionedPlan PlanPartitionedSchedule(
+    std::span<const WriteOp> schedule, uint64_t capacity) {
+  PartitionedPlan plan;
+  plan.micros_after_logical.push_back(0);
+  std::vector<uint64_t> next_lsn(1, 1);  // per segment, starts at 1
+  size_t tail = 0;
+  uint64_t tail_rows = 0;
+  uint64_t rows_total = 0;
+  const size_t nc = TortureWidths().size();
+  const auto roll_over_if_full = [&] {
+    if (tail_rows < capacity) return;
+    ++tail;
+    tail_rows = 0;
+    next_lsn.push_back(1);
+  };
+  for (const WriteOp& op : schedule) {
+    switch (op.kind) {
+      case WriteOpKind::kInsert: {
+        roll_over_if_full();
+        plan.micros.push_back(
+            {true, op.keys, 0, tail, next_lsn[tail]++});
+        ++rows_total;
+        ++tail_rows;
+        break;
+      }
+      case WriteOpKind::kInsertBatch: {
+        uint64_t done = 0;
+        while (done < op.batch_rows) {
+          roll_over_if_full();
+          const uint64_t chunk =
+              std::min(capacity - tail_rows, op.batch_rows - done);
+          // One record per per-segment chunk — true only below the WAL's
+          // per-record key bound, beyond which Table::InsertRows splits a
+          // chunk into several kInsertBatch records. Fail loudly if a
+          // schedule ever crosses it instead of silently mis-counting
+          // LSNs (would need capacity >= ~350K rows at 3 columns).
+          EXPECT_LE(chunk * nc, uint64_t{1} << 20)
+              << "plan does not model TableJournal::MaxBatchKeys chunking";
+          const uint64_t lsn = next_lsn[tail]++;  // one record per chunk
+          for (uint64_t r = 0; r < chunk; ++r) {
+            plan.micros.push_back(
+                {true,
+                 std::span<const uint64_t>(op.keys).subspan(
+                     (done + r) * nc, nc),
+                 0, tail, lsn});
+          }
+          done += chunk;
+          rows_total += chunk;
+          tail_rows += chunk;
+        }
+        break;
+      }
+      case WriteOpKind::kUpdate: {
+        roll_over_if_full();
+        EXPECT_LT(op.target_row, rows_total) << "generator broke in-range";
+        const size_t owner = static_cast<size_t>(op.target_row / capacity);
+        if (owner == tail) {
+          const uint64_t lsn = next_lsn[tail]++;  // one atomic kUpdate
+          plan.micros.push_back({true, op.keys, 0, tail, lsn});
+          plan.micros.push_back({false, {}, op.target_row, tail, lsn});
+        } else {
+          plan.micros.push_back(
+              {true, op.keys, 0, tail, next_lsn[tail]++});
+          plan.micros.push_back(
+              {false, {}, op.target_row, owner, next_lsn[owner]++});
+        }
+        ++rows_total;
+        ++tail_rows;
+        break;
+      }
+      case WriteOpKind::kDelete: {
+        EXPECT_LT(op.target_row, rows_total) << "generator broke in-range";
+        const size_t owner = static_cast<size_t>(op.target_row / capacity);
+        plan.micros.push_back(
+            {false, {}, op.target_row, owner, next_lsn[owner]++});
+        break;
+      }
+    }
+    // One entry per logical (single-row) op: a batch spends one per row; an
+    // update's two micros belong to a single logical op.
+    switch (op.kind) {
+      case WriteOpKind::kInsert:
+      case WriteOpKind::kDelete:
+      case WriteOpKind::kUpdate:
+        plan.micros_after_logical.push_back(plan.micros.size());
+        break;
+      case WriteOpKind::kInsertBatch: {
+        const uint64_t base = plan.micros.size() - op.batch_rows;
+        for (uint64_t r = 1; r <= op.batch_rows; ++r) {
+          plan.micros_after_logical.push_back(base + r);
+        }
+        break;
+      }
+    }
+  }
+  for (uint64_t lsn : next_lsn) plan.planned_records.push_back(lsn - 1);
+  return plan;
+}
+
+/// Rebuilds the reference state a recovery with the given per-segment
+/// recovered LSNs must equal: every micro op whose record survived is
+/// applied in global order. Asserts the structural invariants recovery
+/// guarantees — a recovered insert can never follow a lost one (inserts
+/// are tail-routed, so lost inserts form a suffix), and `global_prefix`
+/// reports whether the covered set is an exact prefix of the whole micro
+/// stream (true for real crashes under sync=every-commit; deliberately
+/// false when a test truncates one segment's WAL while later records in
+/// other segments survive).
+inline ReferenceModel PartitionedRecoveredModel(
+    const PartitionedPlan& plan, const std::vector<uint64_t>& recovered_lsns,
+    uint64_t* covered_micros = nullptr, bool* global_prefix = nullptr) {
+  ReferenceModel model(TortureWidths());
+  bool any_lost = false;
+  bool insert_lost = false;
+  bool is_prefix = true;
+  uint64_t covered = 0;
+  for (const PartitionedMicro& m : plan.micros) {
+    const bool c = m.segment < recovered_lsns.size() &&
+                   m.lsn <= recovered_lsns[m.segment];
+    if (!c) {
+      any_lost = true;
+      if (m.is_insert) insert_lost = true;
+      continue;
+    }
+    if (any_lost) is_prefix = false;
+    EXPECT_FALSE(m.is_insert && insert_lost)
+        << "an insert recovered although an earlier insert was lost";
+    ++covered;
+    if (m.is_insert) {
+      model.Insert(m.keys);
+    } else {
+      model.Delete(m.target);
+    }
+  }
+  if (covered_micros != nullptr) *covered_micros = covered;
+  if (global_prefix != nullptr) *global_prefix = is_prefix;
+  return model;
+}
 
 inline SchedulePlan PlanSchedule(std::span<const WriteOp> schedule,
                                  uint64_t merge_every) {

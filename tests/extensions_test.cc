@@ -262,32 +262,43 @@ TEST(PartitionedTable, MergeDueSegmentsOnlyTouchesDirtySegments) {
   for (int i = 0; i < 120; ++i) t.InsertRow(row);
   EXPECT_EQ(t.delta_rows(), 120u);
 
-  MergeTriggerPolicy policy;
+  MergeDaemonPolicy policy;
   policy.delta_fraction = 0.0;
   policy.min_delta_rows = 1;
-  const TableMergeReport r = t.MergeDueSegments(policy, TableMergeOptions{});
-  EXPECT_EQ(r.rows_merged, 120u);
+  policy.rate_lookahead = false;
+  const PartitionedMergeReport r =
+      t.MergeDueSegments(policy, TableMergeOptions{});
+  EXPECT_EQ(r.table.rows_merged, 120u);
   EXPECT_EQ(t.delta_rows(), 0u);
 
-  // Insert a little more: only the tail segment is dirty now.
+  // Insert a little more: only the tail segment is dirty now (the sealed
+  // segments had their final merge and are skipped forever).
   for (int i = 0; i < 5; ++i) t.InsertRow(row);
-  const TableMergeReport r2 = t.MergeDueSegments(policy, TableMergeOptions{});
-  EXPECT_EQ(r2.rows_merged, 5u);
+  const PartitionedMergeReport r2 =
+      t.MergeDueSegments(policy, TableMergeOptions{});
+  EXPECT_EQ(r2.table.rows_merged, 5u);
+  EXPECT_EQ(r2.segments_merged, 1u);
   // Merge work touched only one bounded segment (2 columns x <=55 rows).
-  EXPECT_LE(r2.stats.nm + r2.stats.nd, 2u * 55u);
+  EXPECT_LE(r2.table.stats.nm + r2.table.stats.nd, 2u * 55u);
+  EXPECT_TRUE(t.segment_delta_free(0));
+  EXPECT_TRUE(t.segment_delta_free(1));
 }
 
 TEST(PartitionedTable, BoundedMergeWorkPerSegment) {
   // The §9 payoff: per-merge tuple volume is bounded by the segment
   // capacity regardless of total table size.
   PartitionedTable t(Schema::Uniform(1, 8), 64);
-  MergeTriggerPolicy policy;
+  MergeDaemonPolicy policy;
   policy.delta_fraction = 0.0;
   policy.min_delta_rows = 1;
+  policy.rate_lookahead = false;
   for (int batch = 0; batch < 10; ++batch) {
     for (int i = 0; i < 64; ++i) t.InsertRow({static_cast<uint64_t>(i)});
-    const TableMergeReport r = t.MergeDueSegments(policy, TableMergeOptions{});
-    EXPECT_LE(r.stats.nm + r.stats.nd, 2u * 64u) << "batch " << batch;
+    const PartitionedMergeReport r =
+        t.MergeDueSegments(policy, TableMergeOptions{});
+    EXPECT_LE(r.table.stats.nm + r.table.stats.nd, 2u * 64u)
+        << "batch " << batch;
+    EXPECT_LE(r.max_segment_wall_cycles, r.table.wall_cycles);
   }
   EXPECT_EQ(t.num_rows(), 640u);
   EXPECT_EQ(t.delta_rows(), 0u);
