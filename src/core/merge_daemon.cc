@@ -118,7 +118,7 @@ void MergeDaemon::Start() {
   // be reset while the poll thread is provably not running (the PR 2
   // hand-rolled loop held its mutex across all of Start for the same
   // reason).
-  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  MutexLock lock(lifecycle_mu_);
   if (poller_.running()) return;
   rate_.Reset(table_->delta_rows());
   poller_.Start();
@@ -135,7 +135,7 @@ void MergeDaemon::Resume() { poller_.Resume(); }
 bool MergeDaemon::paused() const { return poller_.paused(); }
 
 MergeDaemonStats MergeDaemon::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   MergeDaemonStats out = stats_;
   out.polls = poller_.polls();
   return out;
@@ -152,7 +152,7 @@ void MergeDaemon::PollOnce() {
   auto result = table_->Merge(options_);
   merge_in_flight_.store(false, std::memory_order_release);
 
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   switch (trigger) {
     case MergeTrigger::kDeltaSize:
       ++stats_.size_triggers;

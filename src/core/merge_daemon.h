@@ -24,12 +24,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
 #include "core/table.h"
 #include "model/cost_model.h"
 #include "model/machine_profile.h"
 #include "util/poll_thread.h"
+#include "util/thread_annotations.h"
 
 namespace deltamerge {
 
@@ -123,7 +123,7 @@ class MergeDaemon {
 
   DM_DISALLOW_COPY_AND_MOVE(MergeDaemon);
 
-  void Start();
+  void Start() DM_EXCLUDES(lifecycle_mu_);
   /// Stops the watcher; an in-flight merge completes first.
   void Stop();
 
@@ -143,12 +143,12 @@ class MergeDaemon {
     return merge_in_flight_.load(std::memory_order_acquire);
   }
 
-  MergeDaemonStats stats() const;
+  MergeDaemonStats stats() const DM_EXCLUDES(stats_mu_);
 
  private:
   /// One poll tick: refresh the arrival-rate estimate, evaluate the
   /// trigger, and run the merge if it fired. Invoked by poller_.
-  void PollOnce();
+  void PollOnce() DM_EXCLUDES(stats_mu_);
 
   Table* table_;
   MergeDaemonPolicy policy_;
@@ -159,9 +159,9 @@ class MergeDaemon {
   PollThread poller_;
 
   std::atomic<bool> merge_in_flight_{false};
-  std::mutex lifecycle_mu_;  ///< serializes Start() (rate-state reset)
-  mutable std::mutex stats_mu_;
-  MergeDaemonStats stats_;
+  Mutex lifecycle_mu_;  ///< serializes Start() (rate-state reset)
+  mutable Mutex stats_mu_;
+  MergeDaemonStats stats_ DM_GUARDED_BY(stats_mu_);
 
   /// Arrival-rate estimate (watcher thread only).
   DeltaRateEstimator rate_;

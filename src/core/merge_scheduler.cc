@@ -39,7 +39,7 @@ void MergeScheduler::Resume() { poller_.Resume(); }
 bool MergeScheduler::paused() const { return poller_.paused(); }
 
 MergeStats MergeScheduler::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return accumulated_;
 }
 
@@ -50,7 +50,7 @@ void MergeScheduler::PollOnce() {
   if (!result.ok()) return;  // another merger won the race; retry later
   const TableMergeReport& report = result.ValueOrDie();
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     accumulated_.Accumulate(report.stats);
   }
   merges_completed_.fetch_add(1, std::memory_order_relaxed);

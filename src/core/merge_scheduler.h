@@ -15,11 +15,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
 #include "core/merge_types.h"
 #include "core/table.h"
 #include "util/poll_thread.h"
+#include "util/thread_annotations.h"
 
 namespace deltamerge {
 
@@ -70,11 +70,11 @@ class MergeScheduler {
   }
 
   /// Accumulated merge statistics (valid while no merge is running).
-  MergeStats stats() const;
+  MergeStats stats() const DM_EXCLUDES(stats_mu_);
 
  private:
   /// One poll tick: evaluate the §4 trigger, merge if due (poller_ body).
-  void PollOnce();
+  void PollOnce() DM_EXCLUDES(stats_mu_);
 
   Table* table_;
   MergeTriggerPolicy policy_;
@@ -84,10 +84,10 @@ class MergeScheduler {
   /// cadence the original hand-rolled loop used.
   PollThread poller_;
 
-  mutable std::mutex stats_mu_;
+  mutable Mutex stats_mu_;
   std::atomic<uint64_t> merges_completed_{0};
   std::atomic<uint64_t> rows_merged_{0};
-  MergeStats accumulated_;
+  MergeStats accumulated_ DM_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace deltamerge

@@ -53,25 +53,25 @@ PartitionedTable::PartitionedTable(Schema schema, uint64_t segment_capacity,
 }
 
 size_t PartitionedTable::num_segments() const {
-  std::shared_lock lock(segments_mu_);
+  ReaderMutexLock lock(segments_mu_);
   return segments_.size();
 }
 
 uint64_t PartitionedTable::num_rows() const {
-  std::shared_lock lock(segments_mu_);
+  ReaderMutexLock lock(segments_mu_);
   const Segment& tail = *segments_.back();
   return tail.base + tail.table->num_rows();
 }
 
 std::vector<std::shared_ptr<PartitionedTable::Segment>>
 PartitionedTable::CaptureSegments() const {
-  std::shared_lock lock(segments_mu_);
+  ReaderMutexLock lock(segments_mu_);
   return segments_;
 }
 
 std::shared_ptr<PartitionedTable::Segment> PartitionedTable::SlotAt(
     size_t i) const {
-  std::shared_lock lock(segments_mu_);
+  ReaderMutexLock lock(segments_mu_);
   DM_CHECK_MSG(i < segments_.size(), "segment index out of range");
   return segments_[i];
 }
@@ -118,18 +118,32 @@ uint64_t PartitionedTable::delta_rows() const {
 uint64_t PartitionedTable::tail_delta_rows() const {
   std::shared_ptr<Segment> tail;
   {
-    std::shared_lock lock(segments_mu_);
+    ReaderMutexLock lock(segments_mu_);
     tail = segments_.back();
   }
   return tail->table->delta_rows();
 }
 
+std::shared_ptr<PartitionedTable::Segment> PartitionedTable::TailLocked()
+    const {
+  ReaderMutexLock lock(segments_mu_);
+  return segments_.back();
+}
+
 void PartitionedTable::RollOverIfFullLocked() {
-  // The vector is stable under tail_mu_ alone: rollover is its only
-  // mutator, and every rollover holds tail_mu_.
-  Segment* tail = segments_.back().get();
+  // tail_mu_ (held) keeps the tail identity stable: rollover is the vector's
+  // only mutator and every rollover holds tail_mu_. The vector accesses
+  // themselves still go through segments_mu_ — briefly shared for the reads
+  // below, exclusively for the push — so every touch of segments_ is under
+  // its guarding lock, on the writer path too.
+  std::shared_ptr<Segment> tail;
+  size_t index;
+  {
+    ReaderMutexLock lock(segments_mu_);
+    tail = segments_.back();
+    index = segments_.size();
+  }
   if (tail->table->num_rows() < segment_capacity_) return;
-  const size_t index = segments_.size();
   tail->sealed.store(true, std::memory_order_release);
   auto seg = std::make_shared<Segment>();
   seg->base = index * segment_capacity_;
@@ -143,15 +157,15 @@ void PartitionedTable::RollOverIfFullLocked() {
     seg->owned = std::make_unique<Table>(schema_);
     seg->table = seg->owned.get();
   }
-  std::unique_lock lock(segments_mu_);
+  WriterMutexLock lock(segments_mu_);
   segments_.push_back(std::move(seg));
 }
 
 uint64_t PartitionedTable::InsertRow(std::span<const uint64_t> keys) {
-  std::lock_guard<std::mutex> lock(tail_mu_);
+  MutexLock lock(tail_mu_);
   RollOverIfFullLocked();
-  const Segment& tail = *segments_.back();
-  return tail.base + tail.table->InsertRow(keys);
+  const std::shared_ptr<Segment> tail = TailLocked();
+  return tail->base + tail->table->InsertRow(keys);
 }
 
 uint64_t PartitionedTable::InsertRows(std::span<const uint64_t> row_major_keys,
@@ -165,24 +179,24 @@ uint64_t PartitionedTable::InsertRows(std::span<const uint64_t> row_major_keys,
   DM_CHECK_MSG(queue == nullptr ||
                    queue != read_pool_.load(std::memory_order_acquire),
                "the batch queue must not be the attached read pool");
-  std::lock_guard<std::mutex> lock(tail_mu_);
+  MutexLock lock(tail_mu_);
   if (num_rows == 0) {
-    const Segment& tail = *segments_.back();
-    return tail.base + tail.table->num_rows();
+    const std::shared_ptr<Segment> tail = TailLocked();
+    return tail->base + tail->table->num_rows();
   }
   uint64_t first = 0;
   bool first_set = false;
   uint64_t done = 0;
   while (done < num_rows) {
     RollOverIfFullLocked();
-    const Segment& tail = *segments_.back();
-    const uint64_t room = segment_capacity_ - tail.table->num_rows();
+    const std::shared_ptr<Segment> tail = TailLocked();
+    const uint64_t room = segment_capacity_ - tail->table->num_rows();
     const uint64_t n = std::min(room, num_rows - done);
     const uint64_t local =
-        tail.table->InsertRows(row_major_keys.subspan(done * nc, n * nc), n,
-                               queue);
+        tail->table->InsertRows(row_major_keys.subspan(done * nc, n * nc), n,
+                                queue);
     if (!first_set) {
-      first = tail.base + local;
+      first = tail->base + local;
       first_set = true;
     }
     done += n;
@@ -192,48 +206,62 @@ uint64_t PartitionedTable::InsertRows(std::span<const uint64_t> row_major_keys,
 
 uint64_t PartitionedTable::UpdateRow(uint64_t global_row,
                                      std::span<const uint64_t> keys) {
-  std::lock_guard<std::mutex> lock(tail_mu_);
+  MutexLock lock(tail_mu_);
   RollOverIfFullLocked();
-  const Segment& tail = *segments_.back();
+  std::shared_ptr<Segment> tail;
+  size_t num_segs;
+  {
+    ReaderMutexLock slock(segments_mu_);
+    tail = segments_.back();
+    num_segs = segments_.size();
+  }
   // Out-of-range targets are accepted exactly like Table::UpdateRow: the
   // fresh version is appended and nothing is invalidated. The live path
   // and WAL replay must agree on this, so the sharded front door must not
   // be stricter than the segment write path it logs through.
   const size_t owner = global_row / segment_capacity_;
-  if (owner + 1 == segments_.size()) {
+  if (owner + 1 == num_segs) {
     // The superseded row lives in the open tail: the segment's own
     // insert-only update is one atomic operation (and, durably, ONE
     // kUpdate record — both halves recover or neither does).
-    return tail.base + tail.table->UpdateRow(global_row - tail.base, keys);
+    return tail->base + tail->table->UpdateRow(global_row - tail->base, keys);
   }
   // Cross-segment: fresh version into the tail FIRST, then the tombstone in
   // the owning sealed segment — the same insert-then-invalidate order a
   // single-segment update applies, so a crash between the halves leaves a
   // state on the schedule's single-row-operation prefix lattice, never an
   // invented one (the recovery tests rely on this order).
-  const uint64_t new_row = tail.base + tail.table->InsertRow(keys);
-  if (owner < segments_.size()) {
-    const Segment& old_seg = *segments_[owner];
-    (void)old_seg.table->DeleteRow(global_row - old_seg.base);
+  const uint64_t new_row = tail->base + tail->table->InsertRow(keys);
+  if (owner < num_segs) {
+    std::shared_ptr<Segment> old_seg;
+    {
+      ReaderMutexLock slock(segments_mu_);
+      old_seg = segments_[owner];
+    }
+    (void)old_seg->table->DeleteRow(global_row - old_seg->base);
   }
   return new_row;
 }
 
 Status PartitionedTable::DeleteRow(uint64_t global_row) {
-  std::lock_guard<std::mutex> lock(tail_mu_);
+  MutexLock lock(tail_mu_);
   const size_t owner = global_row / segment_capacity_;
-  if (owner >= segments_.size()) {
-    return Status::OutOfRange("row id beyond table size");
+  std::shared_ptr<Segment> seg;
+  {
+    ReaderMutexLock slock(segments_mu_);
+    if (owner >= segments_.size()) {
+      return Status::OutOfRange("row id beyond table size");
+    }
+    seg = segments_[owner];
   }
-  const Segment& seg = *segments_[owner];
-  return seg.table->DeleteRow(global_row - seg.base);
+  return seg->table->DeleteRow(global_row - seg->base);
 }
 
 uint64_t PartitionedTable::GetKey(size_t col, uint64_t global_row) const {
   const size_t owner = global_row / segment_capacity_;
   std::shared_ptr<Segment> seg;
   {
-    std::shared_lock lock(segments_mu_);
+    ReaderMutexLock lock(segments_mu_);
     DM_CHECK_MSG(owner < segments_.size(), "global row id beyond table size");
     seg = segments_[owner];
   }
@@ -247,7 +275,7 @@ bool PartitionedTable::IsRowValid(uint64_t global_row) const {
   const size_t owner = global_row / segment_capacity_;
   std::shared_ptr<Segment> seg;
   {
-    std::shared_lock lock(segments_mu_);
+    ReaderMutexLock lock(segments_mu_);
     if (owner >= segments_.size()) return false;
     seg = segments_[owner];
   }
@@ -276,8 +304,8 @@ PartitionedSnapshot PartitionedTable::CreateSnapshot() const {
   // while the per-segment epochs pin. Readers are unaffected (they never
   // take tail_mu_), and per-segment merge commits need no exclusion — each
   // segment Snapshot is commit-proof on its own.
-  std::lock_guard<std::mutex> wlock(tail_mu_);
-  std::shared_lock slock(segments_mu_);
+  MutexLock wlock(tail_mu_);
+  ReaderMutexLock slock(segments_mu_);
   out.segment_capacity_ = segment_capacity_;
   out.num_columns_ = schema_.columns.size();
   out.segments_.reserve(segments_.size());
@@ -426,7 +454,7 @@ PartitionedMergeDaemon::PartitionedMergeDaemon(PartitionedTable* table,
 PartitionedMergeDaemon::~PartitionedMergeDaemon() { Stop(); }
 
 void PartitionedMergeDaemon::Start() {
-  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  MutexLock lock(lifecycle_mu_);
   if (poller_.running()) return;
   rate_.Reset(table_->tail_delta_rows());
   poller_.Start();
@@ -443,7 +471,7 @@ void PartitionedMergeDaemon::Resume() { poller_.Resume(); }
 bool PartitionedMergeDaemon::paused() const { return poller_.paused(); }
 
 PartitionedMergeDaemonStats PartitionedMergeDaemon::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   PartitionedMergeDaemonStats out = stats_;
   out.polls = poller_.polls();
   return out;
@@ -460,7 +488,7 @@ void PartitionedMergeDaemon::PollOnce() {
       policy_, options_, delta_rows_per_sec, &merge_in_flight_);
 
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     if (report.segments_merged > 0) ++stats_.merge_passes;
     stats_.segments_merged += report.segments_merged;
     stats_.final_merges += report.final_merges;

@@ -50,8 +50,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <span>
 #include <vector>
 
@@ -61,6 +59,7 @@
 #include "core/table.h"
 #include "parallel/task_queue.h"
 #include "util/poll_thread.h"
+#include "util/thread_annotations.h"
 
 namespace deltamerge {
 
@@ -163,9 +162,9 @@ class PartitionedTable {
 
   size_t num_columns() const { return schema_.columns.size(); }
   const Schema& schema() const { return schema_; }
-  size_t num_segments() const;
-  uint64_t num_rows() const;
-  uint64_t valid_rows() const;
+  size_t num_segments() const DM_EXCLUDES(segments_mu_);
+  uint64_t num_rows() const DM_EXCLUDES(segments_mu_);
+  uint64_t valid_rows() const DM_EXCLUDES(segments_mu_);
   uint64_t segment_capacity() const { return segment_capacity_; }
 
   /// Fans aggregate reads out across segments on `pool` (caller-owned,
@@ -184,7 +183,8 @@ class PartitionedTable {
 
   /// Appends a row to the open tail segment (sealing and rolling over as
   /// needed). Returns the global row id.
-  uint64_t InsertRow(std::span<const uint64_t> keys);
+  uint64_t InsertRow(std::span<const uint64_t> keys)
+      DM_EXCLUDES(tail_mu_, segments_mu_);
   uint64_t InsertRow(std::initializer_list<uint64_t> keys) {
     return InsertRow(std::span<const uint64_t>(keys.begin(), keys.size()));
   }
@@ -193,12 +193,14 @@ class PartitionedTable {
   /// rides the segment Table's column-parallel (and, when durable, batch-
   /// logged) InsertRows path. Returns the first global row id.
   uint64_t InsertRows(std::span<const uint64_t> row_major_keys,
-                      uint64_t num_rows, TaskQueue* queue = nullptr);
+                      uint64_t num_rows, TaskQueue* queue = nullptr)
+      DM_EXCLUDES(tail_mu_, segments_mu_);
 
   /// Insert-only update routed by global row id: the fresh version is
   /// appended to the tail segment and the superseded row is invalidated in
   /// whichever segment owns it. Returns the new global row id.
-  uint64_t UpdateRow(uint64_t global_row, std::span<const uint64_t> keys);
+  uint64_t UpdateRow(uint64_t global_row, std::span<const uint64_t> keys)
+      DM_EXCLUDES(tail_mu_, segments_mu_);
   uint64_t UpdateRow(uint64_t global_row,
                      std::initializer_list<uint64_t> keys) {
     return UpdateRow(global_row,
@@ -206,29 +208,33 @@ class PartitionedTable {
   }
 
   /// Invalidates a row in its owning segment.
-  Status DeleteRow(uint64_t global_row);
+  Status DeleteRow(uint64_t global_row) DM_EXCLUDES(tail_mu_, segments_mu_);
 
   // --- reads (fan out across segments, lock-free at this level) ---
-  uint64_t GetKey(size_t col, uint64_t global_row) const;
-  bool IsRowValid(uint64_t global_row) const;
-  uint64_t CountEquals(size_t col, uint64_t key) const;
-  uint64_t CountRange(size_t col, uint64_t lo, uint64_t hi) const;
-  uint64_t SumColumn(size_t col) const;
+  uint64_t GetKey(size_t col, uint64_t global_row) const
+      DM_EXCLUDES(segments_mu_);
+  bool IsRowValid(uint64_t global_row) const DM_EXCLUDES(segments_mu_);
+  uint64_t CountEquals(size_t col, uint64_t key) const
+      DM_EXCLUDES(segments_mu_);
+  uint64_t CountRange(size_t col, uint64_t lo, uint64_t hi) const
+      DM_EXCLUDES(segments_mu_);
+  uint64_t SumColumn(size_t col) const DM_EXCLUDES(segments_mu_);
 
   /// Pins one epoch capture per segment atomically with the segment list
   /// (brief write-lock acquisition, so no logical op is mid-flight): every
   /// read on the returned snapshot answers as of this instant, across
   /// concurrent inserts, rollovers, and per-segment merge commits.
-  PartitionedSnapshot CreateSnapshot() const;
+  PartitionedSnapshot CreateSnapshot() const
+      DM_EXCLUDES(tail_mu_, segments_mu_);
 
   /// Total un-merged rows across all segments.
-  uint64_t delta_rows() const;
+  uint64_t delta_rows() const DM_EXCLUDES(segments_mu_);
 
   /// Un-merged rows of the open tail segment only — O(1) in the segment
   /// count, which is what the merge daemon polls every millisecond
   /// (sealed segments are delta-free after their final merge, so this is
   /// the whole table's delta in steady state).
-  uint64_t tail_delta_rows() const;
+  uint64_t tail_delta_rows() const DM_EXCLUDES(segments_mu_);
 
   /// One merge pass: a sealed segment with any delta gets its final merge
   /// (after which it is skipped forever); the open tail merges when the
@@ -265,14 +271,21 @@ class PartitionedTable {
   };
 
   /// Seals the tail and opens a fresh segment if the tail is full. Caller
-  /// holds tail_mu_.
-  void RollOverIfFullLocked();
+  /// holds tail_mu_ (which keeps the tail identity stable); the vector
+  /// itself is still read/grown under segments_mu_.
+  void RollOverIfFullLocked() DM_REQUIRES(tail_mu_) DM_EXCLUDES(segments_mu_);
+
+  /// The open tail segment. tail_mu_ (held) is what keeps the returned
+  /// segment *the* tail until the caller's write completes.
+  std::shared_ptr<Segment> TailLocked() const DM_REQUIRES(tail_mu_)
+      DM_EXCLUDES(segments_mu_);
 
   /// Segment list capture: the shared-lock window is just the vector copy;
   /// scans run on the captured shared_ptrs with no PartitionedTable lock.
-  std::vector<std::shared_ptr<Segment>> CaptureSegments() const;
+  std::vector<std::shared_ptr<Segment>> CaptureSegments() const
+      DM_EXCLUDES(segments_mu_);
 
-  std::shared_ptr<Segment> SlotAt(size_t i) const;
+  std::shared_ptr<Segment> SlotAt(size_t i) const DM_EXCLUDES(segments_mu_);
 
   /// Fans `fn(segment) -> uint64_t` out over the captured segments on the
   /// attached read pool (serial without one) and sums the results.
@@ -285,10 +298,12 @@ class PartitionedTable {
   std::atomic<TaskQueue*> read_pool_{nullptr};
 
   /// The write lock: single writer at a time, never taken by readers.
-  mutable std::mutex tail_mu_;
+  /// Lock order: tail_mu_ first, segments_mu_ inside it — never acquire
+  /// tail_mu_ while holding segments_mu_.
+  mutable Mutex tail_mu_ DM_ACQUIRED_BEFORE(segments_mu_);
   /// Guards segments_ (the vector only, not row data).
-  mutable std::shared_mutex segments_mu_;
-  std::vector<std::shared_ptr<Segment>> segments_;
+  mutable SharedMutex segments_mu_;
+  std::vector<std::shared_ptr<Segment>> segments_ DM_GUARDED_BY(segments_mu_);
 };
 
 /// Running counters; retrieved atomically via PartitionedMergeDaemon::stats.
@@ -319,7 +334,7 @@ class PartitionedMergeDaemon {
 
   DM_DISALLOW_COPY_AND_MOVE(PartitionedMergeDaemon);
 
-  void Start();
+  void Start() DM_EXCLUDES(lifecycle_mu_);
   /// Stops the watcher; an in-flight merge pass completes first.
   void Stop();
   /// Wakes the watcher immediately (e.g. after a large batch insert).
@@ -333,10 +348,10 @@ class PartitionedMergeDaemon {
     return merge_in_flight_.load(std::memory_order_acquire);
   }
 
-  PartitionedMergeDaemonStats stats() const;
+  PartitionedMergeDaemonStats stats() const DM_EXCLUDES(stats_mu_);
 
  private:
-  void PollOnce();
+  void PollOnce() DM_EXCLUDES(stats_mu_);
 
   PartitionedTable* table_;
   MergeDaemonPolicy policy_;
@@ -344,9 +359,9 @@ class PartitionedMergeDaemon {
   PollThread poller_;
 
   std::atomic<bool> merge_in_flight_{false};
-  std::mutex lifecycle_mu_;  ///< serializes Start() (rate-state reset)
-  mutable std::mutex stats_mu_;
-  PartitionedMergeDaemonStats stats_;
+  Mutex lifecycle_mu_;  ///< serializes Start() (rate-state reset)
+  mutable Mutex stats_mu_;
+  PartitionedMergeDaemonStats stats_ DM_GUARDED_BY(stats_mu_);
 
   /// Tail arrival-rate estimate (watcher thread only; shared machinery
   /// with MergeDaemon).

@@ -15,7 +15,7 @@ EpochManager::~EpochManager() {
   DM_CHECK_MSG(pinned_count() == 0,
                "EpochManager destroyed with snapshots still pinned");
   // No readers left: everything retired is reclaimable.
-  std::lock_guard<std::mutex> lock(retired_mu_);
+  MutexLock lock(retired_mu_);
   reclaimed_total_.fetch_add(retired_.size(), std::memory_order_relaxed);
   retired_.clear();
 }
@@ -62,7 +62,7 @@ uint64_t EpochManager::MinPinnedSeq() const {
 
 void EpochManager::Retire(std::shared_ptr<void> obj) {
   if (obj == nullptr) return;
-  std::lock_guard<std::mutex> lock(retired_mu_);
+  MutexLock lock(retired_mu_);
   // Tag with the epoch readers could have pinned, then advance the clock so
   // later pins are distinguishable from earlier ones.
   const uint64_t tag = epoch_.fetch_add(1, std::memory_order_seq_cst);
@@ -80,7 +80,7 @@ size_t EpochManager::ReclaimExpired() {
   const uint64_t limit = min_pinned < horizon ? min_pinned : horizon;
   std::vector<std::shared_ptr<void>> doomed;
   {
-    std::lock_guard<std::mutex> lock(retired_mu_);
+    MutexLock lock(retired_mu_);
     auto keep = retired_.begin();
     for (auto& entry : retired_) {
       if (entry.first < limit) {
@@ -115,7 +115,7 @@ uint32_t EpochManager::pinned_count() const {
 }
 
 size_t EpochManager::retired_count() const {
-  std::lock_guard<std::mutex> lock(retired_mu_);
+  MutexLock lock(retired_mu_);
   return retired_.size();
 }
 
@@ -156,14 +156,14 @@ uint64_t Snapshot::GetKey(size_t col, uint64_t row) const {
   DM_CHECK_MSG(row < visible_rows_, "row beyond the snapshot horizon");
   const ColumnReadView& view = *cols_[col];
   if (row < view.pinned_rows()) return view.GetKeyPinned(row);
-  std::shared_lock lock(*mu_);
+  ReaderMutexLock lock(*mu_);
   return view.GetKeyActive(row);
 }
 
 bool Snapshot::IsRowValid(uint64_t row) const {
   DM_DCHECK(valid());
   if (row >= visible_rows_) return false;
-  std::shared_lock lock(*mu_);
+  ReaderMutexLock lock(*mu_);
   return validity_->IsValidAtSeq(row, tombstone_seq_);
 }
 
@@ -172,7 +172,7 @@ uint64_t Snapshot::CountEquals(size_t col, uint64_t key) const {
   const ColumnReadView& view = *cols_[col];
   uint64_t n = view.CountEqualsPinned(key);
   if (view.active_prefix() > 0) {
-    std::shared_lock lock(*mu_);
+    ReaderMutexLock lock(*mu_);
     n += view.CountEqualsActive(key);
   }
   return n;
@@ -183,7 +183,7 @@ uint64_t Snapshot::CountRange(size_t col, uint64_t lo, uint64_t hi) const {
   const ColumnReadView& view = *cols_[col];
   uint64_t n = view.CountRangePinned(lo, hi);
   if (view.active_prefix() > 0) {
-    std::shared_lock lock(*mu_);
+    ReaderMutexLock lock(*mu_);
     n += view.CountRangeActive(lo, hi);
   }
   return n;
@@ -194,7 +194,7 @@ uint64_t Snapshot::SumColumn(size_t col) const {
   const ColumnReadView& view = *cols_[col];
   uint64_t sum = view.SumPinned();
   if (view.active_prefix() > 0) {
-    std::shared_lock lock(*mu_);
+    ReaderMutexLock lock(*mu_);
     sum += view.SumActive();
   }
   return sum;
@@ -207,10 +207,17 @@ std::vector<uint64_t> Snapshot::CollectEquals(size_t col, uint64_t key,
   std::vector<uint64_t> rows;
   view.CollectEqualsPinned(key, &rows);
   if (view.active_prefix() > 0 || only_valid) {
-    std::shared_lock lock(*mu_);
+    ReaderMutexLock lock(*mu_);
     if (view.active_prefix() > 0) view.CollectEqualsActive(key, &rows);
     if (only_valid) {
-      std::erase_if(rows, [&](uint64_t r) { return !IsRowValidLocked(r); });
+      // Explicit compaction instead of std::erase_if: the analysis treats a
+      // lambda as a separate function that does not hold *mu_, so the
+      // IsRowValidLocked call must stay in this (locked) scope.
+      size_t kept = 0;
+      for (const uint64_t r : rows) {
+        if (IsRowValidLocked(r)) rows[kept++] = r;
+      }
+      rows.resize(kept);
     }
   }
   std::sort(rows.begin(), rows.end());
@@ -225,10 +232,14 @@ std::vector<uint64_t> Snapshot::CollectRange(size_t col, uint64_t lo,
   std::vector<uint64_t> rows;
   view.CollectRangePinned(lo, hi, &rows);
   if (view.active_prefix() > 0 || only_valid) {
-    std::shared_lock lock(*mu_);
+    ReaderMutexLock lock(*mu_);
     if (view.active_prefix() > 0) view.CollectRangeActive(lo, hi, &rows);
     if (only_valid) {
-      std::erase_if(rows, [&](uint64_t r) { return !IsRowValidLocked(r); });
+      size_t kept = 0;
+      for (const uint64_t r : rows) {
+        if (IsRowValidLocked(r)) rows[kept++] = r;
+      }
+      rows.resize(kept);
     }
   }
   std::sort(rows.begin(), rows.end());

@@ -34,8 +34,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <vector>
 
 #include "query/aggregate.h"
@@ -45,6 +43,7 @@
 #include "storage/main_partition.h"
 #include "storage/validity.h"
 #include "util/macros.h"
+#include "util/thread_annotations.h"
 
 namespace deltamerge {
 
@@ -93,18 +92,18 @@ class EpochManager final : public RetireSink {
   uint64_t MinPinnedSeq() const;
 
   /// Tags `obj` with the current epoch, queues it, and advances the clock.
-  void Retire(std::shared_ptr<void> obj) override;
+  void Retire(std::shared_ptr<void> obj) override DM_EXCLUDES(retired_mu_);
 
   /// Destroys every retired object whose tag is older than all pinned
   /// epochs. Returns how many were reclaimed.
-  size_t ReclaimExpired();
+  size_t ReclaimExpired() DM_EXCLUDES(retired_mu_);
 
   uint64_t current_epoch() const {
     return epoch_.load(std::memory_order_seq_cst);
   }
   uint32_t pinned_count() const;
   /// Retired objects still awaiting a drained epoch.
-  size_t retired_count() const;
+  size_t retired_count() const DM_EXCLUDES(retired_mu_);
   uint64_t reclaimed_total() const {
     return reclaimed_total_.load(std::memory_order_relaxed);
   }
@@ -119,8 +118,9 @@ class EpochManager final : public RetireSink {
 
   std::atomic<uint64_t> epoch_{1};
   std::array<Slot, kMaxPinnedSnapshots> slots_;
-  mutable std::mutex retired_mu_;
-  std::vector<std::pair<uint64_t, std::shared_ptr<void>>> retired_;
+  mutable Mutex retired_mu_;
+  std::vector<std::pair<uint64_t, std::shared_ptr<void>>> retired_
+      DM_GUARDED_BY(retired_mu_);
   std::atomic<uint64_t> reclaimed_total_{0};
 };
 
@@ -321,21 +321,23 @@ class Snapshot {
   friend class Table;
 
   Snapshot(EpochManager* epochs, uint32_t slot, uint64_t pinned_epoch,
-           std::shared_mutex* mu, const ValidityVector* validity)
+           SharedMutex* mu, const ValidityVector* validity)
       : epochs_(epochs),
         slot_(slot),
         pinned_epoch_(pinned_epoch),
         mu_(mu),
         validity_(validity) {}
 
-  bool IsRowValidLocked(uint64_t row) const {
+  bool IsRowValidLocked(uint64_t row) const DM_REQUIRES_SHARED(*mu_) {
     return row < visible_rows_ && validity_->IsValidAtSeq(row, tombstone_seq_);
   }
 
   EpochManager* epochs_ = nullptr;
   uint32_t slot_ = 0;
   uint64_t pinned_epoch_ = 0;
-  std::shared_mutex* mu_ = nullptr;
+  /// The owning table's lock; the active-delta prefix and validity log are
+  /// read under it (shared).
+  SharedMutex* mu_ = nullptr;
   const ValidityVector* validity_ = nullptr;
   uint64_t visible_rows_ = 0;
   uint64_t valid_rows_ = 0;

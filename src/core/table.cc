@@ -48,23 +48,29 @@ std::unique_ptr<Table> Table::FromColumns(
   }
   DM_CHECK_MSG(validity.size() == rows,
                "validity vector does not span the column rows");
-  t->columns_ = std::move(columns);
-  t->validity_ = std::move(validity);
+  {
+    // The table is not yet published, but validity_ is a guarded member:
+    // take the writer lock so the assignment is well-formed under the
+    // analysis (cold path — one uncontended acquisition per table build).
+    WriterMutexLock lock(t->mu_);
+    t->columns_ = std::move(columns);
+    t->validity_ = std::move(validity);
+  }
   return t;
 }
 
 uint64_t Table::num_rows() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return validity_.size();
 }
 
 uint64_t Table::valid_rows() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return validity_.valid_count();
 }
 
 size_t Table::memory_bytes() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   size_t total = 0;
   for (const auto& c : columns_) total += c->memory_bytes();
   return total;
@@ -77,7 +83,7 @@ uint64_t Table::InsertRow(std::span<const uint64_t> keys) {
   uint64_t lsn = 0;
   uint64_t row;
   {
-    std::unique_lock lock(mu_);
+    WriterMutexLock lock(mu_);
     journal = journal_;
     if (journal != nullptr) lsn = journal->LogInsert(keys);
     const uint64_t t0 = CycleClock::Now();
@@ -122,7 +128,7 @@ uint64_t Table::InsertRows(std::span<const uint64_t> row_major_keys,
   uint64_t lsn = 0;
   uint64_t first;
   {
-    std::unique_lock lock(mu_);
+    WriterMutexLock lock(mu_);
     for (const PreparedBatch& batch : batches) {
       lsn = journal->LogInsertBatch(batch);
     }
@@ -163,7 +169,7 @@ uint64_t Table::UpdateRow(uint64_t row, std::span<const uint64_t> keys) {
   uint64_t lsn = 0;
   uint64_t new_row;
   {
-    std::unique_lock lock(mu_);
+    WriterMutexLock lock(mu_);
     journal = journal_;
     if (journal != nullptr) lsn = journal->LogUpdate(row, keys);
     const uint64_t t0 = CycleClock::Now();
@@ -183,7 +189,7 @@ Status Table::DeleteRow(uint64_t row) {
   TableJournal* journal = nullptr;
   uint64_t lsn = 0;
   {
-    std::unique_lock lock(mu_);
+    WriterMutexLock lock(mu_);
     if (row >= validity_.size()) {
       return Status::OutOfRange("row id beyond table size");
     }
@@ -217,7 +223,7 @@ Snapshot Table::CreateSnapshot() const {
   // carries an epoch tag >= ours and therefore outlives this snapshot.
   const uint32_t slot = epochs_.Pin();
   const uint64_t pinned_epoch = epochs_.current_epoch();
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   Snapshot snap(&epochs_, slot, pinned_epoch, &mu_, &validity_);
   snap.visible_rows_ = validity_.size();
   snap.valid_rows_ = validity_.valid_count();
@@ -233,7 +239,7 @@ Snapshot Table::CreateSnapshot() const {
 }
 
 std::vector<Table::ColumnShape> Table::column_shapes() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   std::vector<ColumnShape> shapes;
   shapes.reserve(columns_.size());
   for (size_t i = 0; i < columns_.size(); ++i) {
@@ -251,43 +257,43 @@ std::vector<Table::ColumnShape> Table::column_shapes() const {
 }
 
 bool Table::IsRowValid(uint64_t row) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return row < validity_.size() && validity_.IsValid(row);
 }
 
 uint64_t Table::GetKey(size_t col, uint64_t row) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return columns_[col]->GetKey(row);
 }
 
 uint64_t Table::CountEquals(size_t col, uint64_t key) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return columns_[col]->CountEqualsKey(key);
 }
 
 uint64_t Table::CountRange(size_t col, uint64_t lo, uint64_t hi) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return columns_[col]->CountRangeKeys(lo, hi);
 }
 
 uint64_t Table::SumColumn(size_t col) const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return columns_[col]->SumKeys();
 }
 
 uint64_t Table::delta_rows() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   // All columns receive every row, so any column's delta size is the count.
   return columns_.empty() ? 0 : columns_[0]->delta_size();
 }
 
 void Table::AttachJournal(TableJournal* journal) {
-  std::unique_lock lock(mu_);
+  WriterMutexLock lock(mu_);
   journal_ = journal;
 }
 
 TableJournal* Table::journal() const {
-  std::shared_lock lock(mu_);
+  ReaderMutexLock lock(mu_);
   return journal_;
 }
 
@@ -332,7 +338,7 @@ Result<TableMergeReport> Table::Merge(const TableMergeOptions& options) {
   uint64_t freeze_rows = 0;
   uint64_t freeze_valid_rows = 0;
   {
-    std::unique_lock lock(mu_);
+    WriterMutexLock lock(mu_);
     journal = journal_;
     for (auto& c : columns_) c->FreezeDelta();
     report.rows_merged = columns_.empty() ? 0 : columns_[0]->frozen_size();
@@ -395,7 +401,7 @@ Result<TableMergeReport> Table::Merge(const TableMergeOptions& options) {
   if (journal != nullptr) ckpt_slot = epochs_.Pin();
   CheckpointCapture capture;
   {
-    std::unique_lock lock(mu_);
+    WriterMutexLock lock(mu_);
     for (auto& c : columns_) c->CommitMerge(&epochs_);
     if (journal != nullptr) {
       capture = BuildCheckpointCaptureLocked(replay_lsn);

@@ -17,7 +17,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -31,6 +30,7 @@
 #include "storage/validity.h"
 #include "util/result.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace deltamerge {
 
@@ -108,17 +108,17 @@ class Table {
 
   // --- shape ---
   size_t num_columns() const { return columns_.size(); }
-  uint64_t num_rows() const;
-  uint64_t valid_rows() const;
+  uint64_t num_rows() const DM_EXCLUDES(mu_);
+  uint64_t valid_rows() const DM_EXCLUDES(mu_);
   const Schema& schema() const { return schema_; }
   ColumnBase& column(size_t i) { return *columns_[i]; }
   const ColumnBase& column(size_t i) const { return *columns_[i]; }
-  size_t memory_bytes() const;
+  size_t memory_bytes() const DM_EXCLUDES(mu_);
 
   // --- write path (insert-only, §3) ---
 
   /// Appends a row; keys.size() must equal num_columns(). Returns the row id.
-  uint64_t InsertRow(std::span<const uint64_t> keys);
+  uint64_t InsertRow(std::span<const uint64_t> keys) DM_EXCLUDES(mu_);
   uint64_t InsertRow(std::initializer_list<uint64_t> keys) {
     return InsertRow(std::span<const uint64_t>(keys.begin(), keys.size()));
   }
@@ -132,26 +132,29 @@ class Table {
   /// record vanishes entirely), acknowledged by a single group-committed
   /// sync covering every row.
   uint64_t InsertRows(std::span<const uint64_t> row_major_keys,
-                      uint64_t num_rows, TaskQueue* queue = nullptr);
+                      uint64_t num_rows, TaskQueue* queue = nullptr)
+      DM_EXCLUDES(mu_);
 
   /// Insert-only update: writes the new version as a fresh row and
   /// invalidates the old one. Returns the new row id.
-  uint64_t UpdateRow(uint64_t row, std::span<const uint64_t> keys);
+  uint64_t UpdateRow(uint64_t row, std::span<const uint64_t> keys)
+      DM_EXCLUDES(mu_);
   uint64_t UpdateRow(uint64_t row, std::initializer_list<uint64_t> keys) {
     return UpdateRow(row,
                      std::span<const uint64_t>(keys.begin(), keys.size()));
   }
 
   /// Invalidates a row.
-  Status DeleteRow(uint64_t row);
+  Status DeleteRow(uint64_t row) DM_EXCLUDES(mu_);
 
-  bool IsRowValid(uint64_t row) const;
+  bool IsRowValid(uint64_t row) const DM_EXCLUDES(mu_);
 
   // --- read path ---
-  uint64_t GetKey(size_t col, uint64_t row) const;
-  uint64_t CountEquals(size_t col, uint64_t key) const;
-  uint64_t CountRange(size_t col, uint64_t lo, uint64_t hi) const;
-  uint64_t SumColumn(size_t col) const;
+  uint64_t GetKey(size_t col, uint64_t row) const DM_EXCLUDES(mu_);
+  uint64_t CountEquals(size_t col, uint64_t key) const DM_EXCLUDES(mu_);
+  uint64_t CountRange(size_t col, uint64_t lo, uint64_t hi) const
+      DM_EXCLUDES(mu_);
+  uint64_t SumColumn(size_t col) const DM_EXCLUDES(mu_);
 
   // --- snapshot reads (§3's online property, made precise) ---
 
@@ -162,7 +165,7 @@ class Table {
   /// must be released (destroyed) before the table is; partition
   /// generations a merge supersedes stay allocated until every snapshot
   /// pinned before the commit drains.
-  Snapshot CreateSnapshot() const;
+  Snapshot CreateSnapshot() const DM_EXCLUDES(mu_);
 
   /// The table's epoch/reclamation registry — exposed for the merge daemon
   /// and tests to observe retire/reclaim behaviour and to drive the
@@ -181,16 +184,17 @@ class Table {
     uint64_t ud = 0;         ///< |U_D| (active delta)
     size_t value_width = 8;
   };
-  std::vector<ColumnShape> column_shapes() const;
+  std::vector<ColumnShape> column_shapes() const DM_EXCLUDES(mu_);
 
   // --- merge ---
 
   /// Total tuples across all column deltas (the merge trigger input).
-  uint64_t delta_rows() const;
+  uint64_t delta_rows() const DM_EXCLUDES(mu_);
 
   /// Runs the full online merge: freeze -> per-column merges -> commit.
   /// Returns an error if a merge is already in progress.
-  Result<TableMergeReport> Merge(const TableMergeOptions& options);
+  Result<TableMergeReport> Merge(const TableMergeOptions& options)
+      DM_EXCLUDES(mu_);
 
   // --- durability (optional; see core/durability_hooks.h, src/persist) ---
 
@@ -200,8 +204,8 @@ class Table {
   /// hands it a checkpoint capture. Attach/detach only while no writer,
   /// reader, or merge is concurrently active (open/close time) — the hook
   /// pointer itself is then published by the table lock.
-  void AttachJournal(TableJournal* journal);
-  TableJournal* journal() const;
+  void AttachJournal(TableJournal* journal) DM_EXCLUDES(mu_);
+  TableJournal* journal() const DM_EXCLUDES(mu_);
 
   /// Cycles spent inside delta inserts since the last ResetCounters() — the
   /// T_U term of Eq. 1.
@@ -215,18 +219,24 @@ class Table {
  private:
   /// Invalidation under the exclusive lock + opportunistic tombstone-log
   /// prune (legal only while no snapshot is pinned; see validity.h).
-  void InvalidateLocked(uint64_t row);
+  void InvalidateLocked(uint64_t row) DM_REQUIRES(mu_);
 
   /// Builds the checkpoint capture for the merge that just committed
   /// (caller holds the exclusive lock and has already pinned an epoch).
-  CheckpointCapture BuildCheckpointCaptureLocked(uint64_t replay_lsn) const;
+  CheckpointCapture BuildCheckpointCaptureLocked(uint64_t replay_lsn) const
+      DM_REQUIRES(mu_);
 
   Schema schema_;
+  /// The vector itself is structurally fixed after construction (FromColumns
+  /// swaps it in before the table is published); the *columns* it points to
+  /// are mutated only under mu_ exclusive and scanned under mu_ shared or
+  /// via epoch-pinned immutable views — a per-pointee convention the
+  /// analysis cannot express on a vector of unique_ptrs, enforced by review.
   std::vector<std::unique_ptr<ColumnBase>> columns_;
-  ValidityVector validity_;
-  mutable std::shared_mutex mu_;
+  ValidityVector validity_ DM_GUARDED_BY(mu_);
+  mutable SharedMutex mu_;
   mutable EpochManager epochs_;
-  TableJournal* journal_ = nullptr;  ///< guarded by mu_
+  TableJournal* journal_ DM_GUARDED_BY(mu_) = nullptr;
   std::atomic<uint64_t> delta_update_cycles_{0};
   std::atomic<bool> merge_running_{false};
 };

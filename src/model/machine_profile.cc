@@ -11,6 +11,7 @@
 #include "util/aligned_buffer.h"
 #include "util/cycle_clock.h"
 #include "util/random.h"
+#include "util/thread_annotations.h"
 
 namespace deltamerge {
 

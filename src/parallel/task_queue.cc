@@ -2,6 +2,8 @@
 
 #include "parallel/task_queue.h"
 
+#include <utility>
+
 namespace deltamerge {
 
 TaskQueue::TaskQueue(int num_threads) {
@@ -15,51 +17,51 @@ TaskQueue::TaskQueue(int num_threads) {
 TaskQueue::~TaskQueue() {
   WaitAll();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
 void TaskQueue::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tasks_.push_back(std::move(task));
     ++in_flight_;
   }
-  task_ready_.notify_one();
+  task_ready_.NotifyOne();
 }
 
-bool TaskQueue::RunOne(std::unique_lock<std::mutex>& lock) {
+bool TaskQueue::RunOneLocked() {
   if (tasks_.empty()) return false;
   auto task = std::move(tasks_.front());
   tasks_.pop_front();
-  lock.unlock();
+  mu_.unlock();
   task();
-  lock.lock();
+  mu_.lock();
   --in_flight_;
-  if (in_flight_ == 0) all_done_.notify_all();
+  if (in_flight_ == 0) all_done_.NotifyAll();
   return true;
 }
 
 void TaskQueue::WaitAll() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Help out instead of blocking: guarantees progress even when all workers
   // are stuck behind this caller (e.g. nested WaitAll) and speeds up drains.
   while (in_flight_ != 0) {
-    if (!RunOne(lock)) {
-      all_done_.wait(lock, [this] { return in_flight_ == 0 || !tasks_.empty(); });
+    if (!RunOneLocked()) {
+      while (in_flight_ != 0 && tasks_.empty()) all_done_.Wait(mu_);
     }
   }
 }
 
 void TaskQueue::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
-    task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+    while (!stopping_ && tasks_.empty()) task_ready_.Wait(mu_);
     if (stopping_ && tasks_.empty()) return;
-    RunOne(lock);
+    RunOneLocked();
   }
 }
 

@@ -10,15 +10,14 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/macros.h"
+#include "util/thread_annotations.h"
 
 namespace deltamerge {
 
@@ -33,25 +32,30 @@ class TaskQueue {
   DM_DISALLOW_COPY_AND_MOVE(TaskQueue);
 
   /// Enqueues a task. Tasks may Submit() further tasks.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) DM_EXCLUDES(mu_);
 
   /// Blocks until every submitted task (including transitively submitted
   /// ones) has finished. The calling thread helps execute tasks while
   /// waiting, so a 1-thread queue still makes progress from within WaitAll.
-  void WaitAll();
+  void WaitAll() DM_EXCLUDES(mu_);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
  private:
-  void WorkerLoop();
-  bool RunOne(std::unique_lock<std::mutex>& lock);
+  void WorkerLoop() DM_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> tasks_;
-  uint64_t in_flight_ = 0;  // queued + executing
-  bool stopping_ = false;
+  /// Pops and runs one task if any is queued; returns whether it ran one.
+  /// Drops mu_ around the task body and re-acquires it before returning —
+  /// the caller's lockset is unchanged, which is exactly what DM_REQUIRES
+  /// expresses.
+  bool RunOneLocked() DM_REQUIRES(mu_);
+
+  Mutex mu_;
+  CondVar task_ready_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> tasks_ DM_GUARDED_BY(mu_);
+  uint64_t in_flight_ DM_GUARDED_BY(mu_) = 0;  // queued + executing
+  bool stopping_ DM_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -7,14 +7,13 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/macros.h"
+#include "util/thread_annotations.h"
 
 namespace deltamerge {
 
@@ -30,11 +29,11 @@ class ThreadTeam {
 
   ~ThreadTeam() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stopping_ = true;
       ++generation_;
     }
-    start_.notify_all();
+    start_.NotifyAll();
     for (auto& w : workers_) w.join();
   }
 
@@ -44,57 +43,57 @@ class ThreadTeam {
 
   /// Runs fn(tid) for tid in [0, size()); fn(0) executes on the caller.
   /// Returns when every thread has finished. Not reentrant.
-  void Run(const std::function<void(int)>& fn) {
+  void Run(const std::function<void(int)>& fn) DM_EXCLUDES(mu_) {
     if (size_ == 1) {
       fn(0);
       return;
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       job_ = &fn;
       done_count_ = 0;
       ++generation_;
     }
-    start_.notify_all();
+    start_.NotifyAll();
     fn(0);
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++done_count_;
     if (done_count_ == size_) {
       job_ = nullptr;
     } else {
-      finished_.wait(lock, [this] { return done_count_ == size_; });
+      while (done_count_ != size_) finished_.Wait(mu_);
     }
   }
 
  private:
-  void WorkerLoop(int tid) {
+  void WorkerLoop(int tid) DM_EXCLUDES(mu_) {
     uint64_t seen = 0;
     for (;;) {
       const std::function<void(int)>* job = nullptr;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        start_.wait(lock, [&] { return generation_ != seen; });
+        MutexLock lock(mu_);
+        while (generation_ == seen) start_.Wait(mu_);
         seen = generation_;
         if (stopping_) return;
         job = job_;
       }
       (*job)(tid);
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ++done_count_;
-        if (done_count_ == size_) finished_.notify_all();
+        if (done_count_ == size_) finished_.NotifyAll();
       }
     }
   }
 
   const int size_;
-  std::mutex mu_;
-  std::condition_variable start_;
-  std::condition_variable finished_;
-  const std::function<void(int)>* job_ = nullptr;
-  uint64_t generation_ = 0;
-  int done_count_ = 0;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar start_;
+  CondVar finished_;
+  const std::function<void(int)>* job_ DM_GUARDED_BY(mu_) = nullptr;
+  uint64_t generation_ DM_GUARDED_BY(mu_) = 0;
+  int done_count_ DM_GUARDED_BY(mu_) = 0;
+  bool stopping_ DM_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -57,7 +57,7 @@ Result<Table*> DurablePartitionedTable::OpenSegmentDir(
                       DurableTable::Open(seg_dir, schema_, options_));
   if (recovered != nullptr) *recovered = seg->recovery();
   Table* table = &seg->table();
-  std::lock_guard<std::mutex> lock(segs_mu_);
+  MutexLock lock(segs_mu_);
   DM_CHECK_MSG(durable_segments_.size() == index,
                "segments must be opened in order");
   durable_segments_.push_back(std::move(seg));
@@ -67,7 +67,7 @@ Result<Table*> DurablePartitionedTable::OpenSegmentDir(
 Status DurablePartitionedTable::InstallManifest(size_t num_segments) {
   ManifestContents contents;
   {
-    std::lock_guard<std::mutex> lock(segs_mu_);
+    MutexLock lock(segs_mu_);
     contents.version = manifest_version_ + 1;
   }
   contents.segment_capacity = segment_capacity_;
@@ -81,7 +81,7 @@ Status DurablePartitionedTable::InstallManifest(size_t num_segments) {
   }
   DM_RETURN_NOT_OK(WriteManifest(dir_, contents));
   {
-    std::lock_guard<std::mutex> lock(segs_mu_);
+    MutexLock lock(segs_mu_);
     manifest_version_ = contents.version;
   }
   // Superseded manifests are redundant once the new one is durable; a
@@ -108,7 +108,7 @@ Table* DurablePartitionedTable::CreateSegment(size_t index) {
   if (index > 0) {
     DurableTable* sealed = nullptr;
     {
-      std::lock_guard<std::mutex> lock(segs_mu_);
+      MutexLock lock(segs_mu_);
       DM_CHECK_MSG(index == durable_segments_.size(),
                    "segment rollover out of order");
       sealed = durable_segments_[index - 1].get();
@@ -125,12 +125,12 @@ Table* DurablePartitionedTable::CreateSegment(size_t index) {
 }
 
 size_t DurablePartitionedTable::num_durable_segments() const {
-  std::lock_guard<std::mutex> lock(segs_mu_);
+  MutexLock lock(segs_mu_);
   return durable_segments_.size();
 }
 
 const DurableTable& DurablePartitionedTable::durable_segment(size_t i) const {
-  std::lock_guard<std::mutex> lock(segs_mu_);
+  MutexLock lock(segs_mu_);
   DM_CHECK_MSG(i < durable_segments_.size(), "segment index out of range");
   return *durable_segments_[i];
 }
@@ -142,7 +142,7 @@ Status DurablePartitionedTable::SyncWals() {
   // behind disk I/O.
   std::vector<DurableTable*> segments;
   {
-    std::lock_guard<std::mutex> lock(segs_mu_);
+    MutexLock lock(segs_mu_);
     segments.reserve(durable_segments_.size());
     for (const auto& seg : durable_segments_) segments.push_back(seg.get());
   }

@@ -41,7 +41,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -50,6 +49,7 @@
 #include "persist/manifest.h"
 #include "util/result.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace deltamerge::persist {
 
@@ -85,13 +85,13 @@ class DurablePartitionedTable final : public PartitionedTable::SegmentHooks {
   const std::string& dir() const { return dir_; }
   const PartitionedRecoveryStats& recovery() const { return recovery_; }
 
-  size_t num_durable_segments() const;
+  size_t num_durable_segments() const DM_EXCLUDES(segs_mu_);
   /// The per-segment durability stack (WAL, checkpoints, recovery stats).
-  const DurableTable& durable_segment(size_t i) const;
+  const DurableTable& durable_segment(size_t i) const DM_EXCLUDES(segs_mu_);
 
   /// Forces an fdatasync on every segment WAL (orderly pause under
   /// sync=none/interval).
-  Status SyncWals();
+  Status SyncWals() DM_EXCLUDES(segs_mu_);
 
  private:
   DurablePartitionedTable(std::string dir, Schema schema,
@@ -102,25 +102,27 @@ class DurablePartitionedTable final : public PartitionedTable::SegmentHooks {
   /// segment directory and durably installs the manifest listing it before
   /// returning; fail-stops on I/O failure (continuing would acknowledge
   /// writes into a segment a crash would forget).
-  Table* CreateSegment(size_t index) override;
+  Table* CreateSegment(size_t index) override DM_EXCLUDES(segs_mu_);
 
   std::string SegmentDirName(size_t index) const;
   /// Opens seg-<index> (creating it durably) and appends it to the owned
   /// segment list. Returns the opened table's recovery stats via
   /// `recovered` when non-null.
-  Result<Table*> OpenSegmentDir(size_t index, RecoveryStats* recovered);
+  Result<Table*> OpenSegmentDir(size_t index, RecoveryStats* recovered)
+      DM_EXCLUDES(segs_mu_);
   /// Writes + installs manifest `version_ + 1` listing `num_segments`
   /// segments, then drops superseded manifest files.
-  Status InstallManifest(size_t num_segments);
+  Status InstallManifest(size_t num_segments) DM_EXCLUDES(segs_mu_);
 
   const std::string dir_;
   const Schema schema_;
   const uint64_t segment_capacity_;
   const DurableTableOptions options_;
 
-  mutable std::mutex segs_mu_;  ///< guards durable_segments_ + version_
-  std::vector<std::unique_ptr<DurableTable>> durable_segments_;
-  uint64_t manifest_version_ = 0;
+  mutable Mutex segs_mu_;
+  std::vector<std::unique_ptr<DurableTable>> durable_segments_
+      DM_GUARDED_BY(segs_mu_);
+  uint64_t manifest_version_ DM_GUARDED_BY(segs_mu_) = 0;
 
   PartitionedRecoveryStats recovery_;
   /// Last member: destroyed first, while the segment tables still exist.

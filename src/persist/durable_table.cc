@@ -82,7 +82,7 @@ void DurabilityManager::OnMergeCommitted(CheckpointCapture capture) {
   // merger can commit (and land here) while this checkpoint still writes.
   // Serialize them: concurrent writes could otherwise collide on the same
   // .tmp path when no records separate the two freezes.
-  std::lock_guard<std::mutex> lock(checkpoint_mu_);
+  MutexLock lock(checkpoint_mu_);
   const uint64_t replay_lsn = capture.replay_lsn;
   // A capture that lost the race to a newer one must not be installed:
   // its WAL segments were already dropped by the newer checkpoint's

@@ -30,7 +30,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "core/durability_hooks.h"
@@ -39,6 +38,7 @@
 #include "persist/wal.h"
 #include "util/result.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace deltamerge::persist {
 
@@ -58,7 +58,8 @@ class DurabilityManager final : public TableJournal {
   uint64_t LogInsertBatch(const PreparedBatch& batch) override;
   void Acknowledge(uint64_t lsn) override { wal_->Acknowledge(lsn); }
   uint64_t OnMergeFreezeLocked() override { return wal_->RotateSegment(); }
-  void OnMergeCommitted(CheckpointCapture capture) override;
+  void OnMergeCommitted(CheckpointCapture capture) override
+      DM_EXCLUDES(checkpoint_mu_);
 
   uint64_t checkpoints_written() const {
     return checkpoints_written_.load(std::memory_order_relaxed);
@@ -70,11 +71,14 @@ class DurabilityManager final : public TableJournal {
  private:
   const std::string dir_;
   WalWriter* wal_;
-  std::mutex checkpoint_mu_;      ///< serializes concurrent checkpoint writes
-  /// Newest durably installed checkpoint (guarded by checkpoint_mu_); an
-  /// older capture losing the install race is skipped, not written.
-  uint64_t last_installed_replay_lsn_ = 0;
-  std::vector<uint8_t> scratch_;  ///< record encode buffer (under table lock)
+  Mutex checkpoint_mu_;  ///< serializes concurrent checkpoint writes
+  /// Newest durably installed checkpoint; an older capture losing the
+  /// install race is skipped, not written.
+  uint64_t last_installed_replay_lsn_ DM_GUARDED_BY(checkpoint_mu_) = 0;
+  /// Record encode buffer. Guarded by an *external* capability — the owning
+  /// table's exclusive lock, under which every Log* hook runs — which the
+  /// analysis cannot name from here; enforced by the TableJournal contract.
+  std::vector<uint8_t> scratch_;
   std::atomic<uint64_t> checkpoints_written_{0};
   std::atomic<uint64_t> checkpoint_failures_{0};
 };

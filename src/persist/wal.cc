@@ -57,7 +57,7 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(std::string dir,
   std::unique_ptr<WalWriter> w(
       new WalWriter(std::move(dir), next_lsn, options));
   {
-    std::lock_guard<std::mutex> lock(w->mu_);
+    MutexLock lock(w->mu_);
     DM_RETURN_NOT_OK(w->OpenSegmentLocked());
   }
   // Make the first segment's directory entry durable up front (Open runs
@@ -66,7 +66,7 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(std::string dir,
   // redundant directory fsync.
   DM_RETURN_NOT_OK(SyncDir(w->dir_));
   {
-    std::lock_guard<std::mutex> lock(w->mu_);
+    MutexLock lock(w->mu_);
     w->dir_sync_pending_ = false;
   }
   if (options.policy == WalSyncPolicy::kInterval) {
@@ -119,7 +119,7 @@ uint64_t WalWriter::AppendImpl(WalRecordType type,
   // TableJournal::MaxBatchKeys chunks bulk inserts well below this.
   DM_CHECK_MSG(payload.size() <= kMaxPayloadBytes,
                "WAL record payload exceeds the replayable frame cap");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t lsn = next_lsn_++;
   lsn_frontier_.store(next_lsn_, std::memory_order_release);
   // Once an I/O error is latched the log can never promise durability
@@ -164,12 +164,14 @@ Status WalWriter::FlushLocked() {
 }
 
 Status WalWriter::SyncNow() {
-  std::unique_lock<std::mutex> sync_lock(sync_mu_);
-  while (sync_in_progress_) sync_cv_.wait(sync_lock);
-  return LeaderSync(sync_lock);
+  sync_mu_.lock();
+  while (sync_in_progress_) sync_cv_.Wait(sync_mu_);
+  const Status st = LeaderSync();
+  sync_mu_.unlock();
+  return st;
 }
 
-Status WalWriter::LeaderSync(std::unique_lock<std::mutex>& sync_lock) {
+Status WalWriter::LeaderSync() {
   sync_in_progress_ = true;
   // Group-commit boarding: if another acknowledger is already waiting (its
   // record may not be buffered yet, and more are typically right behind
@@ -182,7 +184,7 @@ Status WalWriter::LeaderSync(std::unique_lock<std::mutex>& sync_lock) {
   if (options_.policy == WalSyncPolicy::kEveryCommit &&
       options_.group_commit_delay_us > 0 &&
       ack_waiters_.load(std::memory_order_acquire) > 1) {
-    sync_lock.unlock();
+    sync_mu_.unlock();
     const uint64_t budget = static_cast<uint64_t>(
         static_cast<double>(options_.group_commit_delay_us) *
         CycleClock::FrequencyHz() / 1e6);
@@ -198,7 +200,7 @@ Status WalWriter::LeaderSync(std::unique_lock<std::mutex>& sync_lock) {
       stalled = now == frontier ? stalled + 1 : 0;
       frontier = now;
     }
-    sync_lock.lock();
+    sync_mu_.lock();
   }
   uint64_t target = 0;
   std::shared_ptr<FileWriter> seg;
@@ -206,7 +208,7 @@ Status WalWriter::LeaderSync(std::unique_lock<std::mutex>& sync_lock) {
   Status st;
   bool dir_sync = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     st = FlushLocked();
     target = next_lsn_ - 1;
     seg = segment_;
@@ -220,21 +222,21 @@ Status WalWriter::LeaderSync(std::unique_lock<std::mutex>& sync_lock) {
   }
   // The slow part runs outside both locks: appends keep buffering, and
   // followers wait on sync_cv_ instead of issuing their own fdatasync.
-  sync_lock.unlock();
+  sync_mu_.unlock();
   for (const auto& old_segment : pending) {
     if (st.ok()) st = old_segment->SyncData();
   }
   if (st.ok() && dir_sync) st = SyncDir(dir_);
   if (st.ok()) st = seg->SyncData();
   sync_count_.fetch_add(1, std::memory_order_relaxed);
-  sync_lock.lock();
+  sync_mu_.lock();
   if (st.ok()) {
     uint64_t cur = durable_lsn_.load(std::memory_order_relaxed);
     while (cur < target && !durable_lsn_.compare_exchange_weak(
                                cur, target, std::memory_order_release)) {
     }
   } else {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     LatchErrorLocked(st);
     // Put the unsynced work back so a later (post-transient-error) sync
     // still covers it before durable_lsn_ passes those records.
@@ -243,7 +245,7 @@ Status WalWriter::LeaderSync(std::unique_lock<std::mutex>& sync_lock) {
     if (dir_sync) dir_sync_pending_ = true;
   }
   sync_in_progress_ = false;
-  sync_cv_.notify_all();
+  sync_cv_.NotifyAll();
   return st;
 }
 
@@ -271,15 +273,21 @@ void WalWriter::Acknowledge(uint64_t lsn) {
     ~WaiterGuard() { counter->fetch_sub(1, std::memory_order_acq_rel); }
   } guard{&ack_waiters_};
   while (durable_lsn_.load(std::memory_order_acquire) < lsn) {
-    std::unique_lock<std::mutex> sync_lock(sync_mu_);
-    if (durable_lsn_.load(std::memory_order_acquire) >= lsn) return;
+    sync_mu_.lock();
+    if (durable_lsn_.load(std::memory_order_acquire) >= lsn) {
+      sync_mu_.unlock();
+      return;
+    }
     if (sync_in_progress_) {
       // Another caller is syncing; its fdatasync very likely covers our
       // record too (group commit) — wait and re-check.
-      sync_cv_.wait(sync_lock);
+      sync_cv_.Wait(sync_mu_);
+      sync_mu_.unlock();
       continue;
     }
-    if (!LeaderSync(sync_lock).ok()) {
+    const Status st = LeaderSync();
+    sync_mu_.unlock();
+    if (!st.ok()) {
       // A log that cannot sync must not acknowledge: returning would let
       // the caller treat the write as durable while a crash would lose it
       // — and after a failed fdatasync the kernel may already have dropped
@@ -292,7 +300,7 @@ void WalWriter::Acknowledge(uint64_t lsn) {
 }
 
 uint64_t WalWriter::RotateSegment() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Called inside the merge's freeze critical section (the caller holds
   // the table's exclusive lock), so only the cheap ordering work happens
   // here: flush the frame buffer to the outgoing segment and swap in a
@@ -332,12 +340,12 @@ Status WalWriter::DropSegmentsBefore(uint64_t lsn) {
 }
 
 uint64_t WalWriter::next_lsn() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_lsn_;
 }
 
 Status WalWriter::status() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return error_;
 }
 

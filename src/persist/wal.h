@@ -34,11 +34,9 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -50,6 +48,7 @@
 #include "util/poll_thread.h"
 #include "util/result.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace deltamerge::persist {
 
@@ -110,7 +109,8 @@ class WalWriter {
   /// Frames and buffers one record; returns its LSN. Never blocks on the
   /// disk (that is Acknowledge's job), so the table lock held by the caller
   /// stays cheap. I/O errors latch into status().
-  uint64_t Append(WalRecordType type, std::span<const uint8_t> payload);
+  uint64_t Append(WalRecordType type, std::span<const uint8_t> payload)
+      DM_EXCLUDES(mu_);
 
   /// Same, but the caller precomputed Crc32(payload) with no lock held
   /// (TableJournal::PrepareInsertBatch); the frame CRC is derived via
@@ -118,10 +118,10 @@ class WalWriter {
   /// a large batch costs the lock holder one memcpy and O(log n) bit
   /// matrices instead of a full checksum pass.
   uint64_t Append(WalRecordType type, std::span<const uint8_t> payload,
-                  uint32_t payload_crc);
+                  uint32_t payload_crc) DM_EXCLUDES(mu_);
 
   /// Blocks until record `lsn` is durable per the sync policy.
-  void Acknowledge(uint64_t lsn);
+  void Acknowledge(uint64_t lsn) DM_EXCLUDES(sync_mu_, mu_);
 
   /// Merge-freeze hook: flushes the current segment and switches appends
   /// to a fresh one starting at the current LSN frontier, which it
@@ -129,17 +129,17 @@ class WalWriter {
   /// partitions pre-freeze from post-freeze records. The outgoing
   /// segment's fdatasync is deferred to the next group-commit leader so no
   /// disk sync ever runs inside the freeze critical section.
-  uint64_t RotateSegment();
+  uint64_t RotateSegment() DM_EXCLUDES(mu_);
 
   /// Group-commit leader path, callable regardless of policy: flush + one
   /// fdatasync covering everything appended so far.
-  Status SyncNow();
+  Status SyncNow() DM_EXCLUDES(sync_mu_, mu_);
 
   /// Deletes every segment whose records all lie below `lsn` (called after
   /// a checkpoint with that replay LSN became durable).
   Status DropSegmentsBefore(uint64_t lsn);
 
-  uint64_t next_lsn() const;
+  uint64_t next_lsn() const DM_EXCLUDES(mu_);
   uint64_t durable_lsn() const {
     return durable_lsn_.load(std::memory_order_acquire);
   }
@@ -149,41 +149,49 @@ class WalWriter {
   const WalOptions& options() const { return options_; }
   /// First I/O error encountered, if any (latched; the WAL stops promising
   /// durability once it fails).
-  Status status() const;
+  Status status() const DM_EXCLUDES(mu_);
 
  private:
   WalWriter(std::string dir, uint64_t next_lsn, WalOptions options);
 
   uint64_t AppendImpl(WalRecordType type, std::span<const uint8_t> payload,
-                      bool have_payload_crc, uint32_t payload_crc);
-  Status OpenSegmentLocked();
-  Status FlushLocked();
-  /// Group-commit leader body. Caller holds `sync_lock` (on sync_mu_) and
-  /// has observed sync_in_progress_ == false; returns with it re-held.
-  Status LeaderSync(std::unique_lock<std::mutex>& sync_lock);
+                      bool have_payload_crc, uint32_t payload_crc)
+      DM_EXCLUDES(mu_);
+  Status OpenSegmentLocked() DM_REQUIRES(mu_);
+  Status FlushLocked() DM_REQUIRES(mu_);
+  /// Group-commit leader body. Caller holds sync_mu_ and has observed
+  /// sync_in_progress_ == false; the body drops and re-acquires sync_mu_
+  /// around the boarding window and the disk I/O, but the caller's lockset
+  /// is unchanged on return — which is exactly what DM_REQUIRES expresses.
+  Status LeaderSync() DM_REQUIRES(sync_mu_) DM_EXCLUDES(mu_);
   /// Records (and reports, first time) a WAL I/O failure; caller holds mu_.
-  void LatchErrorLocked(const Status& st);
+  void LatchErrorLocked(const Status& st) DM_REQUIRES(mu_);
 
   const std::string dir_;
   const WalOptions options_;
 
-  mutable std::mutex mu_;  ///< appends, buffer, segment swap
-  std::vector<uint8_t> buffer_;
-  std::shared_ptr<FileWriter> segment_;  ///< shared so a syncer outlives a rotate
+  /// Lock order: sync_mu_ before mu_ — a sync leader flushes the frame
+  /// buffer (mu_) while holding the leader slot (sync_mu_); appends take
+  /// mu_ alone and never touch sync_mu_.
+  mutable Mutex mu_ DM_ACQUIRED_AFTER(sync_mu_);  ///< appends, buffer, segment swap
+  std::vector<uint8_t> buffer_ DM_GUARDED_BY(mu_);
+  /// Shared so a syncer outlives a rotate.
+  std::shared_ptr<FileWriter> segment_ DM_GUARDED_BY(mu_);
   /// Rotated-away segments awaiting their (deferred) fdatasync; drained by
   /// the next LeaderSync before durable_lsn_ may pass their records.
-  std::vector<std::shared_ptr<FileWriter>> pending_syncs_;
-  bool dir_sync_pending_ = false;  ///< a created segment's dir entry awaits fsync
-  uint64_t segment_start_lsn_ = 1;
-  uint64_t next_lsn_ = 1;
+  std::vector<std::shared_ptr<FileWriter>> pending_syncs_ DM_GUARDED_BY(mu_);
+  /// A created segment's dir entry awaits fsync.
+  bool dir_sync_pending_ DM_GUARDED_BY(mu_) = false;
+  uint64_t segment_start_lsn_ DM_GUARDED_BY(mu_) = 1;
+  uint64_t next_lsn_ DM_GUARDED_BY(mu_) = 1;
   /// Lock-free mirror of next_lsn_ (updated under mu_), so the boarding
   /// loop can watch the append frontier without contending on mu_.
   std::atomic<uint64_t> lsn_frontier_{1};
-  Status error_;
+  Status error_ DM_GUARDED_BY(mu_);
 
-  std::mutex sync_mu_;  ///< group-commit leader election
-  std::condition_variable sync_cv_;
-  bool sync_in_progress_ = false;
+  Mutex sync_mu_;  ///< group-commit leader election
+  CondVar sync_cv_;
+  bool sync_in_progress_ DM_GUARDED_BY(sync_mu_) = false;
   std::atomic<uint64_t> durable_lsn_{0};
   std::atomic<uint64_t> sync_count_{0};
   /// Callers currently inside Acknowledge (the leader's commit_siblings

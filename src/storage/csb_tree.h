@@ -32,6 +32,7 @@
 
 #include "util/fixed_value.h"
 #include "util/macros.h"
+#include "util/thread_annotations.h"
 
 namespace deltamerge {
 

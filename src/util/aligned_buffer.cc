@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "util/bit_util.h"
+#include "util/thread_annotations.h"
 
 namespace deltamerge {
 

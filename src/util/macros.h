@@ -1,6 +1,8 @@
 // Copyright (c) 2026 The DeltaMerge Authors.
-// Core macros shared across the library: assertions, branch hints, cache-line
-// geometry. Follows the project convention of exception-free hot paths:
+// Core macros shared across the library: assertions, branch hints, copy
+// control. Concurrency-adjacent macros (thread-safety annotations and the
+// cache-line geometry) live in util/thread_annotations.h.
+// Follows the project convention of exception-free hot paths:
 // recoverable failures surface as Status (see util/status.h); programming
 // errors trip DM_DCHECK in debug builds and are undefined in release builds.
 
@@ -53,16 +55,6 @@
 #else
 #define DM_DCHECK(cond) DM_CHECK(cond)
 #endif
-
-// ---------------------------------------------------------------------------
-// Cache geometry. The paper's model parameterizes memory traffic on the cache
-// line size L (Table 1); 64 bytes on every x86 this library targets.
-// ---------------------------------------------------------------------------
-namespace deltamerge {
-inline constexpr std::size_t kCacheLineSize = 64;
-}  // namespace deltamerge
-
-#define DM_CACHELINE_ALIGNED alignas(::deltamerge::kCacheLineSize)
 
 // Marks a class non-copyable but movable.
 #define DM_DISALLOW_COPY(ClassName)      \

@@ -15,7 +15,9 @@ PollThread::PollThread(uint64_t interval_us, std::function<void()> body)
 PollThread::~PollThread() { Stop(); }
 
 void PollThread::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  // join_mu_ first (it guards thread_), then mu_ — the documented order.
+  MutexLock join_lock(join_mu_);
+  MutexLock lock(mu_);
   if (running_) return;
   stop_requested_ = false;
   nudged_ = false;
@@ -25,66 +27,70 @@ void PollThread::Start() {
 
 void PollThread::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!running_) return;
     stop_requested_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   // join_mu_ serializes concurrent stoppers: exactly one joins; the others
   // wait here until the poller has terminated, then see it already joined.
   {
-    std::lock_guard<std::mutex> join_lock(join_mu_);
+    MutexLock join_lock(join_mu_);
     if (thread_.joinable()) thread_.join();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   running_ = false;
 }
 
 void PollThread::Nudge() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     nudged_ = true;  // makes the wait predicate true — notify alone would
-                     // just re-enter wait_for until the poll deadline
+                     // just re-enter the wait until the poll deadline
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
 }
 
 void PollThread::Pause() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   paused_ = true;
 }
 
 void PollThread::Resume() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     paused_ = false;
     nudged_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
 }
 
 bool PollThread::paused() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return paused_;
 }
 
 bool PollThread::running() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return running_;
 }
 
 void PollThread::Loop() {
   for (;;) {
+    bool run_body = false;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      wake_.wait_for(lock, std::chrono::microseconds(interval_us_),
-                     [this] { return stop_requested_ || nudged_; });
+      MutexLock lock(mu_);
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(interval_us_);
+      while (!stop_requested_ && !nudged_) {
+        if (wake_.WaitUntil(mu_, deadline)) break;  // interval tick
+      }
       nudged_ = false;
       if (stop_requested_) return;
       polls_.fetch_add(1, std::memory_order_relaxed);
-      if (paused_) continue;
+      run_body = !paused_;
     }
-    body_();
+    if (run_body) body_();
   }
 }
 

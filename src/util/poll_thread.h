@@ -17,13 +17,12 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 
 #include "util/macros.h"
+#include "util/thread_annotations.h"
 
 namespace deltamerge {
 
@@ -38,41 +37,43 @@ class PollThread {
 
   /// Spawns the poll thread; no-op if already running. Restartable after
   /// Stop().
-  void Start();
+  void Start() DM_EXCLUDES(join_mu_, mu_);
 
   /// Stops and joins the thread; an in-flight body completes first. Safe to
   /// call concurrently (e.g. an explicit Stop racing the destructor) —
   /// exactly one caller joins, the rest wait for the join to finish.
-  void Stop();
+  void Stop() DM_EXCLUDES(join_mu_, mu_);
 
   /// Wakes the poller immediately instead of at the next interval tick.
-  void Nudge();
+  void Nudge() DM_EXCLUDES(mu_);
 
   /// Suspends body invocations without tearing the thread down; the poll
   /// ticks keep counting so callers can still observe liveness.
-  void Pause();
-  void Resume();
-  bool paused() const;
+  void Pause() DM_EXCLUDES(mu_);
+  void Resume() DM_EXCLUDES(mu_);
+  bool paused() const DM_EXCLUDES(mu_);
 
-  bool running() const;
+  bool running() const DM_EXCLUDES(mu_);
 
   /// Poll iterations since construction (including paused ticks).
   uint64_t polls() const { return polls_.load(std::memory_order_relaxed); }
 
  private:
-  void Loop();
+  void Loop() DM_EXCLUDES(mu_);
 
   const uint64_t interval_us_;
   const std::function<void()> body_;
 
-  mutable std::mutex mu_;
-  std::condition_variable wake_;
-  bool stop_requested_ = false;
-  bool nudged_ = false;
-  bool paused_ = false;
-  bool running_ = false;
-  std::mutex join_mu_;  ///< serializes concurrent Stop() calls on join
-  std::thread thread_;
+  // Lock order: join_mu_ before mu_ (Start takes both; the poll loop only
+  // ever takes mu_, so the join never deadlocks against a ticking poller).
+  Mutex join_mu_;  ///< serializes concurrent Stop() calls on join
+  mutable Mutex mu_ DM_ACQUIRED_AFTER(join_mu_);
+  CondVar wake_;
+  bool stop_requested_ DM_GUARDED_BY(mu_) = false;
+  bool nudged_ DM_GUARDED_BY(mu_) = false;
+  bool paused_ DM_GUARDED_BY(mu_) = false;
+  bool running_ DM_GUARDED_BY(mu_) = false;
+  std::thread thread_ DM_GUARDED_BY(join_mu_);
   std::atomic<uint64_t> polls_{0};
 };
 

@@ -1,0 +1,20 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Negative-compile case: CondVar::Wait declares DM_REQUIRES(mu) — calling
+// it without holding the mutex must be rejected. (At runtime that is
+// undefined behaviour on the underlying std::condition_variable; here it
+// never compiles.)
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+deltamerge::Mutex g_mu;
+deltamerge::CondVar g_cv;
+
+void WaitWithoutLock() {
+  g_cv.Wait(g_mu);  // BUG under analysis: g_mu is not held
+}
+
+}  // namespace
+
+int main() { return 0; }

@@ -1,0 +1,8 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Contract test for the umbrella header's language-standard guard: this TU
+// must compile under -std=c++20 and fail — with the guard's own #error
+// message, not a template-error cascade — under -std=c++17.
+
+#include "deltamerge.h"
+
+int main() { return 0; }

@@ -1,0 +1,25 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Negative-compile case: calling a DM_EXCLUDES(mu) function while holding
+// mu must be rejected — with a non-reentrant mutex that call path is a
+// self-deadlock. Every public entry point in src/ that takes its own lock
+// carries this annotation.
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+deltamerge::Mutex g_mu;
+
+void SelfLocking() DM_EXCLUDES(g_mu) { deltamerge::MutexLock lock(g_mu); }
+
+void Caller() {
+  deltamerge::MutexLock lock(g_mu);
+  SelfLocking();  // BUG under analysis: would deadlock on g_mu
+}
+
+}  // namespace
+
+int main() {
+  Caller();
+  return 0;
+}

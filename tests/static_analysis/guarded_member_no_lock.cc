@@ -1,0 +1,27 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Negative-compile case: writing a DM_GUARDED_BY member without holding
+// its mutex must be rejected under clang -Werror=thread-safety. Valid C++
+// otherwise (the gcc / -Wno-thread-safety controls accept it).
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    value_ += 1;  // BUG under analysis: mu_ is not held
+  }
+
+ private:
+  deltamerge::Mutex mu_;
+  int value_ DM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

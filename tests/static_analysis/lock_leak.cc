@@ -1,0 +1,23 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Negative-compile case: a function that returns while still holding a
+// capability it acquired (and does not advertise via DM_ACQUIRE) must be
+// rejected. This is what keeps the raw lock()/unlock() sequences in
+// WalWriter::LeaderSync balanced at every exit.
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+deltamerge::Mutex g_mu;
+
+void LeakLock() {
+  g_mu.lock();
+  // BUG under analysis: returns with g_mu still held
+}
+
+}  // namespace
+
+int main() {
+  LeakLock();
+  return 0;
+}

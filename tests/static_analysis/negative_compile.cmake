@@ -1,0 +1,51 @@
+# Copyright (c) 2026 The DeltaMerge Authors.
+# Compile-and-expect driver for the static-analysis contract tests.
+#
+# Invoked by ctest as a CMake script:
+#
+#   cmake -DCOMPILER=<c++ compiler> -DSOURCE=<file.cc> -DINCLUDE_DIR=<dir>
+#         -DEXTRA_FLAGS="<space-separated flags>" -DEXPECT=PASS|FAIL
+#         [-DEXPECT_SUBSTRING=<text the diagnostics must contain on FAIL>]
+#         -P negative_compile.cmake
+#
+# EXPECT=FAIL asserts the source does NOT compile — and, when
+# EXPECT_SUBSTRING is given, that it fails for the *intended* reason (a
+# thread-safety diagnostic, the C++20 #error guard) rather than a stray
+# syntax error. EXPECT=PASS is the control direction: the same source must
+# be accepted once the enforcement flag is dropped (or under a compiler for
+# which the annotations are no-ops).
+
+separate_arguments(_flags UNIX_COMMAND "${EXTRA_FLAGS}")
+
+execute_process(
+  COMMAND "${COMPILER}" -fsyntax-only -I "${INCLUDE_DIR}" ${_flags} "${SOURCE}"
+  RESULT_VARIABLE _rc
+  OUTPUT_VARIABLE _out
+  ERROR_VARIABLE _err)
+set(_diag "${_out}${_err}")
+
+if(EXPECT STREQUAL "FAIL")
+  if(_rc EQUAL 0)
+    message(FATAL_ERROR
+      "expected '${SOURCE}' to FAIL to compile with [${EXTRA_FLAGS}], "
+      "but it was accepted — the contract this test guards is not being "
+      "enforced")
+  endif()
+  if(EXPECT_SUBSTRING)
+    string(FIND "${_diag}" "${EXPECT_SUBSTRING}" _pos)
+    if(_pos EQUAL -1)
+      message(FATAL_ERROR
+        "'${SOURCE}' failed to compile, but not for the expected reason: "
+        "diagnostics do not contain '${EXPECT_SUBSTRING}'.\n"
+        "--- compiler output ---\n${_diag}")
+    endif()
+  endif()
+elseif(EXPECT STREQUAL "PASS")
+  if(NOT _rc EQUAL 0)
+    message(FATAL_ERROR
+      "expected '${SOURCE}' to compile with [${EXTRA_FLAGS}], but it "
+      "failed.\n--- compiler output ---\n${_diag}")
+  endif()
+else()
+  message(FATAL_ERROR "EXPECT must be PASS or FAIL (got '${EXPECT}')")
+endif()

@@ -1,0 +1,23 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Negative-compile case: dereferencing a DM_PT_GUARDED_BY pointer without
+// the guarding mutex must be rejected (the pointer itself may be read; the
+// pointee may not).
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+deltamerge::Mutex g_mu;
+int g_storage = 0;
+int* g_value DM_PT_GUARDED_BY(g_mu) = &g_storage;
+
+void DerefWithoutLock() {
+  *g_value = 7;  // BUG under analysis: the pointee is guarded by g_mu
+}
+
+}  // namespace
+
+int main() {
+  DerefWithoutLock();
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Negative-compile case: calling a DM_REQUIRES(mu) function without
+// holding mu must be rejected — this is the contract every *Locked helper
+// in src/ (InvalidateLocked, FlushLocked, RollOverIfFullLocked, ...)
+// relies on.
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+deltamerge::Mutex g_mu;
+int g_value DM_GUARDED_BY(g_mu) = 0;
+
+void TouchLocked() DM_REQUIRES(g_mu) { g_value += 1; }
+
+void Caller() {
+  TouchLocked();  // BUG under analysis: g_mu is not held
+}
+
+}  // namespace
+
+int main() {
+  Caller();
+  return 0;
+}

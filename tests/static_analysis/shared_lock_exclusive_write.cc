@@ -1,0 +1,23 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Negative-compile case: a shared (reader) hold does not license a write.
+// This is the reader/writer split Table::mu_ and
+// PartitionedTable::segments_mu_ depend on.
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+deltamerge::SharedMutex g_mu;
+int g_value DM_GUARDED_BY(g_mu) = 0;
+
+void WriteUnderSharedLock() {
+  deltamerge::ReaderMutexLock lock(g_mu);
+  g_value = 42;  // BUG under analysis: writing needs the exclusive hold
+}
+
+}  // namespace
+
+int main() {
+  WriteUnderSharedLock();
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include "util/random.h"
 #include "util/result.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace deltamerge {
 namespace {
