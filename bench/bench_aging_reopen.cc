@@ -1,0 +1,168 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Delete-heavy aging vs. reopen cost: does the tombstone-compaction
+// checkpoint (PR 7) actually bound recovery?
+//
+// The scenario is the sealed-segment afterlife. After its one final merge
+// a segment is permanently delta-free; the only records its WAL ever sees
+// again are tombstones from later deletes (and the delete half of
+// cross-segment updates). Merge-coupled checkpoints never fire again on a
+// delta-free table, so before PR 7 that tombstone tail replayed on every
+// reopen — recovery cost grew with LIFETIME deletes, unboundedly.
+//
+// The sweep: one table, one merge, then an aging phase deleting a growing
+// fraction of its rows. Each configuration runs twice — `baseline` (no
+// compaction, the pre-PR 7 behavior) and `compacted` (a validity-only
+// compaction checkpoint every DM_COMPACT_EVERY tombstones, the
+// PartitionedMergeDaemon trigger driven inline) — and reports the WAL
+// records replayed on reopen plus the reopen wall time (median of 3).
+// The acceptance shape: baseline replay grows linearly with deletes;
+// compacted replay stays under the compaction threshold no matter how
+// many tombstones the table absorbed.
+//
+// Knobs: DM_SCALE / DM_THREADS / DM_JSON (bench_common.h);
+// DM_COMPACT_EVERY compaction threshold in tombstone records (default
+// num_rows/20, min 1); DM_WAL_DIR to put the table directory on a real
+// disk instead of tmpfs.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/table.h"
+#include "persist/durable_table.h"
+#include "util/cycle_clock.h"
+#include "util/file_io.h"
+
+namespace deltamerge::bench {
+namespace {
+
+constexpr uint64_t kPaperRows = 1'000'000;
+constexpr size_t kColumns = 4;
+
+Schema MakeSchema() {
+  Schema schema;
+  for (size_t c = 0; c < kColumns; ++c) {
+    schema.columns.push_back({8, "col" + std::to_string(c)});
+  }
+  return schema;
+}
+
+struct AgingResult {
+  uint64_t replayed = 0;     ///< WAL records replayed by the reopen
+  uint64_t compactions = 0;  ///< compaction checkpoints the aging ran
+  double reopen_ms = 0;      ///< median-of-3 reopen wall time
+};
+
+/// Builds the aged table (insert + final merge + `deletes` tombstones,
+/// compacting every `compact_every` when nonzero), then measures reopen.
+AgingResult RunAging(uint64_t num_rows, uint64_t deletes,
+                     uint64_t compact_every, const char* mode) {
+  const char* base = std::getenv("DM_WAL_DIR");
+  const std::string dir =
+      std::string(base != nullptr && *base != '\0' ? base : ".") +
+      "/dm_bench_aging_" + mode;
+  AgingResult result;
+  (void)RemoveDirAll(dir);
+  persist::DurableTableOptions options;
+  // Replay cost, not commit latency, is probed; the clean close syncs.
+  options.wal.policy = persist::WalSyncPolicy::kNone;
+  {
+    auto opened = persist::DurableTable::Open(dir, MakeSchema(), options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   opened.status().ToString().c_str());
+      return result;
+    }
+    auto table = std::move(opened).ValueOrDie();
+    Table& t = table->table();
+    for (uint64_t i = 0; i < num_rows; ++i) {
+      t.InsertRow({i, i * 3, i * 7, i * 11});
+    }
+    if (!t.Merge(TableMergeOptions{}).ok()) return result;  // "final" merge
+    for (uint64_t j = 1; j <= deletes; ++j) {
+      (void)t.DeleteRow(j - 1);
+      if (compact_every > 0 && j % compact_every == 0) {
+        auto compacted = t.CompactCheckpoint();
+        if (!compacted.ok()) {
+          std::fprintf(stderr, "compaction failed: %s\n",
+                       compacted.status().ToString().c_str());
+          return result;
+        }
+      }
+    }
+    result.compactions = table->durability_stats().compaction_checkpoints;
+  }
+  double samples[3] = {0, 0, 0};
+  for (double& sample : samples) {
+    const uint64_t t0 = CycleClock::Now();
+    auto reopened = persist::DurableTable::Open(dir, MakeSchema(), options);
+    sample = CycleClock::ToSeconds(CycleClock::Now() - t0) * 1e3;
+    if (!reopened.ok()) {
+      std::fprintf(stderr, "reopen failed: %s\n",
+                   reopened.status().ToString().c_str());
+      return result;
+    }
+    result.replayed = reopened.ValueOrDie()->recovery().wal_records_applied;
+  }
+  std::sort(samples, samples + 3);
+  result.reopen_ms = samples[1];
+  (void)RemoveDirAll(dir);
+  return result;
+}
+
+}  // namespace
+}  // namespace deltamerge::bench
+
+int main() {
+  using namespace deltamerge;
+  using namespace deltamerge::bench;
+
+  const BenchConfig cfg = BenchConfig::FromEnv();
+  PrintHeader(
+      "Delete-heavy aging: reopen WAL replay with and without "
+      "tombstone-compaction checkpoints",
+      cfg);
+
+  const uint64_t num_rows = cfg.Scaled(kPaperRows);
+  const uint64_t compact_every = std::max<uint64_t>(
+      1, EnvU64("DM_COMPACT_EVERY", std::max<uint64_t>(1, num_rows / 20)));
+  std::printf("rows=%" PRIu64 "  columns=%zu  compact_every=%" PRIu64
+              "\n\n",
+              num_rows, kColumns, compact_every);
+  std::printf("%10s %14s %14s %12s %12s %8s\n", "deletes", "base replay",
+              "cmpct replay", "base ms", "cmpct ms", "ckpts");
+
+  for (const uint64_t denom : {8ull, 4ull, 2ull}) {
+    const uint64_t deletes = std::max<uint64_t>(1, num_rows / denom);
+    const AgingResult baseline =
+        RunAging(num_rows, deletes, /*compact_every=*/0, "baseline");
+    const AgingResult compacted =
+        RunAging(num_rows, deletes, compact_every, "compacted");
+    std::printf("%10" PRIu64 " %14" PRIu64 " %14" PRIu64
+                " %12.2f %12.2f %8" PRIu64 "\n",
+                deletes, baseline.replayed, compacted.replayed,
+                baseline.reopen_ms, compacted.reopen_ms,
+                compacted.compactions);
+    char json[384];
+    std::snprintf(
+        json, sizeof(json),
+        "\"bench\":\"aging_reopen\",\"rows\":%" PRIu64
+        ",\"deletes\":%" PRIu64 ",\"compact_every\":%" PRIu64
+        ",\"baseline_replayed\":%" PRIu64 ",\"compacted_replayed\":%" PRIu64
+        ",\"baseline_reopen_ms\":%.3f,\"compacted_reopen_ms\":%.3f,"
+        "\"compactions\":%" PRIu64,
+        num_rows, deletes, compact_every, baseline.replayed,
+        compacted.replayed, baseline.reopen_ms, compacted.reopen_ms,
+        compacted.compactions);
+    AppendJsonResult(json);
+  }
+
+  std::printf(
+      "\nbaseline replay grows with lifetime deletes; compacted replay "
+      "stays under the %" PRIu64 "-record threshold\n",
+      compact_every);
+  return 0;
+}

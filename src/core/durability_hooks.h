@@ -178,6 +178,26 @@ class TableJournal {
   /// file and truncate the WAL to capture.replay_lsn. Failures must leave
   /// the previous checkpoint + full WAL intact.
   virtual void OnMergeCommitted(CheckpointCapture capture) = 0;
+
+  /// Tombstone-compaction checkpoint for a sealed, delta-free table (no
+  /// lock held): same install discipline as OnMergeCommitted — the capture
+  /// re-serializes the *unchanged* final-merge main plus the current
+  /// validity bits, so the tombstone records accumulated since the last
+  /// checkpoint stop riding in the replay tail — but the outcome is
+  /// reported, because no merge ran and the caller (the compaction
+  /// trigger) must know whether to back off. Failures must leave the
+  /// previous checkpoint + full WAL intact.
+  virtual Status OnCompactionCheckpoint(CheckpointCapture capture) {
+    OnMergeCommitted(std::move(capture));
+    return Status::OK();
+  }
+
+  /// Journal records logged past the newest durably installed checkpoint —
+  /// what a reopen would replay right now. The compaction trigger for
+  /// sealed segments watches this count (their delta never grows again, so
+  /// only this backlog measures their reopen cost). Thread-safe, lock-free
+  /// (polled by the merge daemon every tick).
+  virtual uint64_t UncheckpointedRecords() const { return 0; }
 };
 
 }  // namespace deltamerge

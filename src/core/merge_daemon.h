@@ -57,6 +57,14 @@ struct MergeDaemonPolicy {
   uint64_t poll_interval_us = 1000;
   /// Machine model the cost hint projects against.
   MachineProfile profile = MachineProfile::Paper();
+  /// Sealed-segment tombstone compaction (PartitionedMergeDaemon passes
+  /// only): once a sealed, final-merged segment's journal holds this many
+  /// records past its newest durable checkpoint — only tombstones from
+  /// later deletes/updates of its rows can accumulate there — the pass
+  /// rewrites a validity-only compaction checkpoint (Table::
+  /// CompactCheckpoint) so the segment's reopen replay stays bounded by
+  /// this threshold instead of growing with lifetime deletes. 0 disables.
+  uint64_t compact_uncheckpointed_records = 0;
 };
 
 /// Running counters; retrieved atomically via MergeDaemon::stats().

@@ -328,7 +328,14 @@ PartitionedMergeReport PartitionedTable::MergeDueSegments(
   const std::vector<std::shared_ptr<Segment>> segs = CaptureSegments();
   for (const auto& seg : segs) {
     const bool sealed = seg->sealed.load(std::memory_order_acquire);
-    if (sealed && seg->final_merged.load(std::memory_order_acquire)) continue;
+    if (sealed && seg->final_merged.load(std::memory_order_acquire)) {
+      // Final-merged segments never merge again — but their journals keep
+      // accumulating tombstone records from later deletes/updates of their
+      // rows, and without re-checkpointing that backlog replays on every
+      // reopen, forever. Evaluate the compaction trigger instead.
+      CompactIfDue(*seg, policy, &report);
+      continue;
+    }
     bool is_final = false;
     if (sealed) {
       // A sealed segment never gains delta tuples again (only tombstones),
@@ -368,6 +375,26 @@ PartitionedMergeReport PartitionedTable::MergeDueSegments(
     }
   }
   return report;
+}
+
+void PartitionedTable::CompactIfDue(Segment& seg,
+                                    const MergeDaemonPolicy& policy,
+                                    PartitionedMergeReport* report) {
+  if (policy.compact_uncheckpointed_records == 0) return;  // disabled
+  TableJournal* journal = seg.table->journal();
+  if (journal == nullptr) return;  // in-memory segment: nothing to replay
+  const uint64_t backlog = journal->UncheckpointedRecords();
+  if (backlog < policy.compact_uncheckpointed_records) return;
+  if (backlog <= seg.compact_failed_at.load(std::memory_order_acquire)) {
+    return;  // already failed at this backlog; wait for it to grow
+  }
+  if (seg.table->CompactCheckpoint().ok()) {
+    seg.compact_failed_at.store(0, std::memory_order_release);
+    ++report->segments_compacted;
+  } else {
+    seg.compact_failed_at.store(backlog, std::memory_order_release);
+    ++report->failed_compactions;
+  }
 }
 
 PartitionedMergeReport PartitionedTable::MergeAll(
@@ -493,6 +520,8 @@ void PartitionedMergeDaemon::PollOnce() {
     stats_.segments_merged += report.segments_merged;
     stats_.final_merges += report.final_merges;
     stats_.failed_merges += report.failed_merges;
+    stats_.segments_compacted += report.segments_compacted;
+    stats_.failed_compactions += report.failed_compactions;
     stats_.rows_merged += report.table.rows_merged;
     stats_.merge_wall_cycles += report.table.wall_cycles;
     stats_.max_segment_wall_cycles = std::max(

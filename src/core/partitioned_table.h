@@ -121,6 +121,10 @@ struct PartitionedMergeReport {
   /// Worst single-segment merge wall time — the §9 "merge pause" bound,
   /// which must track the segment capacity, not the table size.
   uint64_t max_segment_wall_cycles = 0;
+  /// Sealed segments whose tombstone backlog crossed the policy threshold
+  /// and got a validity-only compaction checkpoint this pass.
+  uint64_t segments_compacted = 0;
+  uint64_t failed_compactions = 0;  ///< checkpoint write failed (backoff)
 };
 
 class PartitionedTable {
@@ -268,7 +272,21 @@ class PartitionedTable {
     /// Sealed AND delta-free: the final merge ran (or was never needed);
     /// merge passes skip the segment without touching its lock.
     std::atomic<bool> final_merged{false};
+    /// Un-checkpointed-record backlog observed at the last *failed*
+    /// compaction attempt: retry only once the backlog has grown past it.
+    /// The rotation a compaction attempt performs appends no records, so
+    /// without this a persistently failing checkpoint write would re-rotate
+    /// the segment's WAL on every daemon poll.
+    std::atomic<uint64_t> compact_failed_at{0};
   };
+
+  /// Sealed-segment tombstone-compaction trigger, evaluated by a merge
+  /// pass where the §4 fill trigger no longer applies (final-merged
+  /// segments): when the segment journal's un-checkpointed backlog reaches
+  /// the policy threshold, rewrite a validity-only checkpoint so its
+  /// reopen replay stays bounded.
+  static void CompactIfDue(Segment& seg, const MergeDaemonPolicy& policy,
+                           PartitionedMergeReport* report);
 
   /// Seals the tail and opens a fresh segment if the tail is full. Caller
   /// holds tail_mu_ (which keeps the tail identity stable); the vector
@@ -313,6 +331,8 @@ struct PartitionedMergeDaemonStats {
   uint64_t segments_merged = 0;
   uint64_t final_merges = 0;
   uint64_t failed_merges = 0;
+  uint64_t segments_compacted = 0;   ///< validity-only checkpoint rewrites
+  uint64_t failed_compactions = 0;
   uint64_t rows_merged = 0;
   uint64_t merge_wall_cycles = 0;
   uint64_t max_segment_wall_cycles = 0;

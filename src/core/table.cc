@@ -430,4 +430,64 @@ Result<TableMergeReport> Table::Merge(const TableMergeOptions& options) {
   return report;
 }
 
+Result<uint64_t> Table::CompactCheckpoint() {
+  // Take the merge slot for the whole capture: the freeze/commit sections
+  // of a concurrent merge must not interleave with the rotation (the
+  // replay LSN would no longer cleanly partition the history), and the
+  // slot also guarantees no frozen delta exists while we hold it.
+  bool expected = false;
+  if (!merge_running_.compare_exchange_strong(expected, true)) {
+    return Status::FailedPrecondition("a merge is already in progress");
+  }
+  // Pin before the lock (Pin can spin for a free slot; never do that under
+  // the exclusive lock) so the captured mains survive later merge commits
+  // while the checkpoint serializes lock-free.
+  const uint32_t ckpt_slot = epochs_.Pin();
+  CheckpointCapture capture;
+  TableJournal* journal = nullptr;
+  Status precondition = Status::OK();
+  {
+    WriterMutexLock lock(mu_);
+    journal = journal_;
+    const uint64_t delta_tuples =
+        columns_.empty() ? 0
+                         : columns_[0]->delta_size() + columns_[0]->frozen_size();
+    if (journal == nullptr) {
+      precondition = Status::FailedPrecondition(
+          "compaction checkpoint requires an attached journal");
+    } else if (delta_tuples != 0) {
+      precondition = Status::FailedPrecondition(
+          "compaction checkpoint requires an empty delta (merge first)");
+    } else {
+      // Same freeze discipline as a merge: rotate the WAL so records below
+      // the returned LSN are exactly the ones this checkpoint covers, then
+      // capture the validity bits at the very same instant. Unlike a merge
+      // there is no body for tombstones to race — the whole capture sits
+      // inside one critical section.
+      const uint64_t replay_lsn = journal->OnMergeFreezeLocked();
+      capture = BuildCheckpointCaptureLocked(replay_lsn);
+      DM_CHECK_MSG(capture.main_rows == validity_.size(),
+                   "compaction capture must cover every row (empty delta)");
+      capture.validity_words = validity_.CopyWordsPrefix(validity_.size());
+      capture.valid_main_rows = validity_.valid_count();
+      capture.AdoptPin(&epochs_, ckpt_slot);
+      // Publish the seq so the pin does not block tombstone pruning (the
+      // capture never consults the tombstone log).
+      epochs_.PublishPinnedSeq(ckpt_slot, validity_.tombstone_seq());
+    }
+  }
+  if (!precondition.ok()) {
+    epochs_.Unpin(ckpt_slot);
+    merge_running_.store(false);
+    return precondition;
+  }
+  const uint64_t replay_lsn = capture.replay_lsn;
+  // Release the merge slot BEFORE the checkpoint I/O (the discipline Merge
+  // documents): the capture's epoch pin keeps the serialized mains alive
+  // even if a merge commits while the file is still being written.
+  merge_running_.store(false);
+  DM_RETURN_NOT_OK(journal->OnCompactionCheckpoint(std::move(capture)));
+  return replay_lsn;
+}
+
 }  // namespace deltamerge

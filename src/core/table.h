@@ -196,6 +196,18 @@ class Table {
   Result<TableMergeReport> Merge(const TableMergeOptions& options)
       DM_EXCLUDES(mu_);
 
+  /// Tombstone-compaction checkpoint: re-serializes the *unchanged* main
+  /// plus the current validity bits into a fresh checkpoint, rotating the
+  /// WAL at the capture instant — no merge work, no writer stall beyond
+  /// the brief freeze-style lock. Legal only with a journal attached and
+  /// an empty delta (the checkpoint format carries main partitions only;
+  /// a delta row's record below the rotated replay LSN would be silently
+  /// dropped by recovery) — i.e. for sealed segments after their final
+  /// merge, where only tombstones ever arrive. Takes the merge slot for
+  /// the capture, so it cannot interleave with a merge's freeze/commit.
+  /// Returns the new checkpoint's replay LSN.
+  Result<uint64_t> CompactCheckpoint() DM_EXCLUDES(mu_);
+
   // --- durability (optional; see core/durability_hooks.h, src/persist) ---
 
   /// Attaches (or, with nullptr, detaches) the write-ahead journal. Every

@@ -2,30 +2,33 @@
 
 #include "persist/durable_partitioned_table.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "util/file_io.h"
 
 namespace deltamerge::persist {
 
-namespace {
-
-/// Index encoded in a `seg-<digits>` directory name, or UINT64_MAX if the
-/// name is not a segment directory. Accepts any digit-run length: the
-/// %06zu in SegmentDirName is a zero-pad minimum, not a cap, so segment
-/// indices beyond 999999 produce longer names that must still be
-/// recognized (notably by the stray-directory sweep).
-uint64_t ParseSegmentDirIndex(const std::string& name) {
-  if (name.rfind("seg-", 0) != 0 || name.size() <= 4) return UINT64_MAX;
+// Accepts any digit-run length: the %06zu in SegmentDirName is a zero-pad
+// minimum, not a cap, so segment indices beyond 999999 produce longer
+// names that must still be recognized (notably by the stray-directory
+// sweep).
+bool ParseSegmentDirIndex(const std::string& name, uint64_t* index) {
+  if (name.rfind("seg-", 0) != 0 || name.size() <= 4) return false;
   const std::string digits = name.substr(4);
   if (digits.find_first_not_of("0123456789") != std::string::npos) {
-    return UINT64_MAX;
+    return false;
   }
-  return std::strtoull(digits.c_str(), nullptr, 10);
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(digits.c_str(), nullptr, 10);
+  // An overflowing digit run clamps to ULLONG_MAX with errno=ERANGE; keep
+  // it pinned at UINT64_MAX so the callers' ordering comparisons treat the
+  // directory as beyond any manifest rather than as index-you-happen-to-get.
+  *index = errno == ERANGE ? UINT64_MAX : parsed;
+  return true;
 }
-
-}  // namespace
 
 DurablePartitionedTable::DurablePartitionedTable(std::string dir,
                                                  Schema schema,
@@ -209,8 +212,8 @@ Result<std::unique_ptr<DurablePartitionedTable>> DurablePartitionedTable::Open(
       DM_ASSIGN_OR_RETURN(const std::vector<std::string> names,
                           ListDir(dir));
       for (const std::string& name : names) {
-        const uint64_t index = ParseSegmentDirIndex(name);
-        if (index != UINT64_MAX && index > 0) {
+        uint64_t index = 0;
+        if (ParseSegmentDirIndex(name, &index) && index > 0) {
           return Status::Internal(
               "segment directories exist but no manifest lists them in " +
               dir);
@@ -296,8 +299,11 @@ Result<std::unique_ptr<DurablePartitionedTable>> DurablePartitionedTable::Open(
     DM_ASSIGN_OR_RETURN(const std::vector<std::string> names, ListDir(dir));
     bool removed = false;
     for (const std::string& name : names) {
-      const uint64_t index = ParseSegmentDirIndex(name);
-      if (index == UINT64_MAX || index < manifest.segments.size()) continue;
+      uint64_t index = 0;
+      if (!ParseSegmentDirIndex(name, &index) ||
+          index < manifest.segments.size()) {
+        continue;
+      }
       DM_RETURN_NOT_OK(RemoveDirAll(dir + "/" + name));
       ++t->recovery_.stray_segments_removed;
       removed = true;

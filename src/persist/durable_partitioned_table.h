@@ -53,6 +53,17 @@
 
 namespace deltamerge::persist {
 
+/// Parses the index encoded in a `seg-<digits>` directory name. Returns
+/// false when `name` is not a segment directory at all (wrong prefix,
+/// empty or non-digit run). A digit run that overflows uint64 — e.g. a
+/// crash-orphaned `seg-<20+ digits>` created by a corrupted caller — sets
+/// *index to UINT64_MAX, an index no real segment can hold (bases are
+/// index * capacity), so both recovery sweeps still classify the directory
+/// as stray instead of silently skipping it: strtoull alone would clamp
+/// the overflow to ULLONG_MAX, which older code used as its "not a
+/// segment" sentinel. Exposed for unit tests and fsck-style tooling.
+bool ParseSegmentDirIndex(const std::string& name, uint64_t* index);
+
 /// What partitioned recovery found; exposed for tests, tools, operators.
 struct PartitionedRecoveryStats {
   bool manifest_loaded = false;

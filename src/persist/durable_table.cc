@@ -31,8 +31,12 @@ uint64_t ReadU64At(std::span<const uint8_t> bytes, size_t offset) {
 
 // --- DurabilityManager ------------------------------------------------------
 
-DurabilityManager::DurabilityManager(std::string dir, WalWriter* wal)
-    : dir_(std::move(dir)), wal_(wal) {
+DurabilityManager::DurabilityManager(std::string dir, WalWriter* wal,
+                                     uint64_t installed_replay_lsn)
+    : dir_(std::move(dir)),
+      wal_(wal),
+      last_installed_replay_lsn_(installed_replay_lsn),
+      installed_replay_lsn_(installed_replay_lsn) {
   DM_CHECK(wal_ != nullptr);
 }
 
@@ -77,7 +81,9 @@ uint64_t DurabilityManager::LogInsertBatch(const PreparedBatch& batch) {
                       batch.payload_crc);
 }
 
-void DurabilityManager::OnMergeCommitted(CheckpointCapture capture) {
+Status DurabilityManager::InstallCheckpoint(CheckpointCapture capture,
+                                            bool* installed) {
+  if (installed != nullptr) *installed = false;
   // Table::Merge releases its merge slot before calling in, so a second
   // merger can commit (and land here) while this checkpoint still writes.
   // Serialize them: concurrent writes could otherwise collide on the same
@@ -91,7 +97,7 @@ void DurabilityManager::OnMergeCommitted(CheckpointCapture capture) {
   // logical state — nothing to add either.)
   if (replay_lsn <= last_installed_replay_lsn_) {
     capture.Release();
-    return;
+    return Status::OK();
   }
   const Status st = WriteCheckpoint(dir_, capture);
   capture.Release();  // unpin before the (slow) cleanup below
@@ -101,18 +107,48 @@ void DurabilityManager::OnMergeCommitted(CheckpointCapture capture) {
     checkpoint_failures_.fetch_add(1, std::memory_order_relaxed);
     std::fprintf(stderr, "deltamerge: checkpoint failed: %s\n",
                  st.ToString().c_str());
-    return;
+    return st;
   }
   checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
   last_installed_replay_lsn_ = replay_lsn;
+  installed_replay_lsn_.store(replay_lsn, std::memory_order_release);
+  if (installed != nullptr) *installed = true;
   // The new checkpoint is durably installed: everything below its replay
   // LSN is now redundant.
   Status cleanup = DropCheckpointsBefore(dir_, replay_lsn);
   if (cleanup.ok()) cleanup = wal_->DropSegmentsBefore(replay_lsn);
   if (!cleanup.ok()) {
+    cleanup_failures_.fetch_add(1, std::memory_order_relaxed);
     std::fprintf(stderr, "deltamerge: checkpoint cleanup failed: %s\n",
                  cleanup.ToString().c_str());
   }
+  return Status::OK();
+}
+
+void DurabilityManager::OnMergeCommitted(CheckpointCapture capture) {
+  // The merge already succeeded; a failed checkpoint write only lengthens
+  // the replay tail (counted + reported inside InstallCheckpoint).
+  (void)InstallCheckpoint(std::move(capture), nullptr);
+}
+
+Status DurabilityManager::OnCompactionCheckpoint(CheckpointCapture capture) {
+  bool installed = false;
+  DM_RETURN_NOT_OK(InstallCheckpoint(std::move(capture), &installed));
+  if (installed) {
+    compaction_checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+uint64_t DurabilityManager::UncheckpointedRecords() const {
+  // Records in [max(installed, 1), frontier) are not covered by any
+  // durable checkpoint: a reopen right now replays exactly them. Both
+  // reads are lock-free mirrors, so the daemon can poll this every tick
+  // without contending with appenders or an in-flight checkpoint write.
+  const uint64_t frontier = wal_->frontier_lsn();
+  uint64_t installed = installed_replay_lsn_.load(std::memory_order_acquire);
+  if (installed < 1) installed = 1;  // LSNs start at 1
+  return frontier > installed ? frontier - installed : 0;
 }
 
 // --- recovery ---------------------------------------------------------------
@@ -124,8 +160,23 @@ DurableTable::DurableTable(std::string dir, std::unique_ptr<Table> table,
       table_(std::move(table)),
       wal_(std::move(wal)),
       recovery_(recovery) {
-  manager_ = std::make_unique<DurabilityManager>(dir_, wal_.get());
+  // Seed the installed-LSN guard with what recovery loaded: the records a
+  // reopen just replayed are the un-checkpointed backlog, not zero — a
+  // sealed segment's compaction trigger must keep counting across reopens.
+  manager_ = std::make_unique<DurabilityManager>(
+      dir_, wal_.get(), recovery_.checkpoint_replay_lsn);
   table_->AttachJournal(manager_.get());
+}
+
+DurabilityStats DurableTable::durability_stats() const {
+  DurabilityStats s;
+  s.checkpoints_written = manager_->checkpoints_written();
+  s.compaction_checkpoints = manager_->compaction_checkpoints_written();
+  s.checkpoint_failures = manager_->checkpoint_failures();
+  s.cleanup_failures = manager_->cleanup_failures();
+  s.installed_replay_lsn = manager_->installed_replay_lsn();
+  s.uncheckpointed_records = manager_->UncheckpointedRecords();
+  return s;
 }
 
 DurableTable::~DurableTable() {
@@ -153,6 +204,7 @@ Result<std::unique_ptr<DurableTable>> DurableTable::Open(
   //    files (which are only deleted after a successor became durable).
   DM_ASSIGN_OR_RETURN(const auto checkpoint_files, ListCheckpoints(dir));
   CheckpointContents checkpoint;
+  std::vector<std::string> corrupt_newer;
   for (auto it = checkpoint_files.rbegin(); it != checkpoint_files.rend();
        ++it) {
     auto loaded = ReadCheckpoint(dir + "/" + it->second);
@@ -162,6 +214,7 @@ Result<std::unique_ptr<DurableTable>> DurableTable::Open(
       break;
     }
     ++stats.invalid_checkpoints;
+    corrupt_newer.push_back(it->second);
     std::fprintf(stderr, "deltamerge: skipping bad checkpoint %s: %s\n",
                  it->second.c_str(), loaded.status().ToString().c_str());
   }
@@ -215,6 +268,17 @@ Result<std::unique_ptr<DurableTable>> DurableTable::Open(
           "(a corrupt or missing checkpoint?)");
     }
   }
+  // The fallback succeeded (the replay history is complete from min_lsn):
+  // corrupt newer checkpoint files carry nothing recoverable and would be
+  // retried — with stderr noise — on every reopen until some future
+  // checkpoint happens to pass their LSN. Sweep them now, mirroring what
+  // the partitioned manifest path does for its corrupt_newer set.
+  if (!corrupt_newer.empty()) {
+    for (const std::string& name : corrupt_newer) {
+      DM_RETURN_NOT_OK(RemoveFile(dir + "/" + name));
+    }
+    DM_RETURN_NOT_OK(SyncDir(dir));
+  }
   std::vector<uint64_t> keys(nc);
   // Batch records replay through the same column-parallel InsertRows path
   // the live write uses; the queue is created lazily so row-only logs (and
@@ -256,8 +320,11 @@ Result<std::unique_ptr<DurableTable>> DurableTable::Open(
             if (rec.payload.size() != 8) {
               return Status::Internal("delete record has wrong size");
             }
-            stats.wal_ops_applied += 1;
-            return table->DeleteRow(ReadU64At(rec.payload, 0));
+            // Count only after DeleteRow succeeds: a failed open must not
+            // report a stat that includes the op that failed it.
+            const Status st = table->DeleteRow(ReadU64At(rec.payload, 0));
+            if (st.ok()) stats.wal_ops_applied += 1;
+            return st;
           }
           case WalRecordType::kInsertBatch: {
             // payload: u64 num_rows + u64 num_columns + row-major keys.

@@ -46,7 +46,12 @@ namespace deltamerge::persist {
 /// turns merge commits into checkpoints. One instance per DurableTable.
 class DurabilityManager final : public TableJournal {
  public:
-  DurabilityManager(std::string dir, WalWriter* wal);
+  /// `installed_replay_lsn` seeds the install-race guard and the
+  /// un-checkpointed-record count with the checkpoint recovery loaded
+  /// (0 for a fresh directory): records below it are already covered on
+  /// disk, everything from it to the WAL frontier is replay-tail backlog.
+  DurabilityManager(std::string dir, WalWriter* wal,
+                    uint64_t installed_replay_lsn = 0);
 
   uint64_t LogInsert(std::span<const uint64_t> keys) override;
   uint64_t LogUpdate(uint64_t old_row,
@@ -60,6 +65,9 @@ class DurabilityManager final : public TableJournal {
   uint64_t OnMergeFreezeLocked() override { return wal_->RotateSegment(); }
   void OnMergeCommitted(CheckpointCapture capture) override
       DM_EXCLUDES(checkpoint_mu_);
+  Status OnCompactionCheckpoint(CheckpointCapture capture) override
+      DM_EXCLUDES(checkpoint_mu_);
+  uint64_t UncheckpointedRecords() const override;
 
   uint64_t checkpoints_written() const {
     return checkpoints_written_.load(std::memory_order_relaxed);
@@ -67,8 +75,30 @@ class DurabilityManager final : public TableJournal {
   uint64_t checkpoint_failures() const {
     return checkpoint_failures_.load(std::memory_order_relaxed);
   }
+  /// Validity-only installs (subset of checkpoints_written()).
+  uint64_t compaction_checkpoints_written() const {
+    return compaction_checkpoints_.load(std::memory_order_relaxed);
+  }
+  /// Post-install DropCheckpointsBefore/DropSegmentsBefore failures —
+  /// stale files survive (disk cost, not a correctness loss), but an
+  /// operator should know the directory stopped shrinking.
+  uint64_t cleanup_failures() const {
+    return cleanup_failures_.load(std::memory_order_relaxed);
+  }
+  /// Replay LSN of the newest durably installed checkpoint (0 if none).
+  uint64_t installed_replay_lsn() const {
+    return installed_replay_lsn_.load(std::memory_order_acquire);
+  }
 
  private:
+  /// Shared install body (merge and compaction checkpoints): write the
+  /// file, advance the installed LSN, drop superseded checkpoints + WAL
+  /// segments. Returns the write status; `installed` (optional) reports
+  /// whether a new checkpoint actually landed (false when the capture lost
+  /// the install race to a newer one).
+  Status InstallCheckpoint(CheckpointCapture capture, bool* installed)
+      DM_EXCLUDES(checkpoint_mu_);
+
   const std::string dir_;
   WalWriter* wal_;
   Mutex checkpoint_mu_;  ///< serializes concurrent checkpoint writes
@@ -81,10 +111,29 @@ class DurabilityManager final : public TableJournal {
   std::vector<uint8_t> scratch_;
   std::atomic<uint64_t> checkpoints_written_{0};
   std::atomic<uint64_t> checkpoint_failures_{0};
+  std::atomic<uint64_t> compaction_checkpoints_{0};
+  std::atomic<uint64_t> cleanup_failures_{0};
+  /// Lock-free mirror of last_installed_replay_lsn_ (written under
+  /// checkpoint_mu_) for UncheckpointedRecords and the stats accessor.
+  std::atomic<uint64_t> installed_replay_lsn_{0};
 };
 
 struct DurableTableOptions {
   WalOptions wal;
+};
+
+/// Point-in-time durability health counters (DurableTable::durability_stats):
+/// everything that used to be stderr-only, so tests and operators can assert
+/// a table's checkpoint machinery never silently degraded.
+struct DurabilityStats {
+  uint64_t checkpoints_written = 0;     ///< merge + compaction installs
+  uint64_t compaction_checkpoints = 0;  ///< validity-only subset
+  uint64_t checkpoint_failures = 0;     ///< failed checkpoint writes
+  uint64_t cleanup_failures = 0;        ///< failed post-install cleanups
+  uint64_t installed_replay_lsn = 0;    ///< newest durable checkpoint
+  /// WAL records past the installed checkpoint — what a reopen would
+  /// replay right now (the sealed-segment compaction trigger input).
+  uint64_t uncheckpointed_records = 0;
 };
 
 /// What recovery found; exposed for tests, tools, and operators.
@@ -131,6 +180,8 @@ class DurableTable {
   const RecoveryStats& recovery() const { return recovery_; }
   const WalWriter& wal() const { return *wal_; }
   const DurabilityManager& durability() const { return *manager_; }
+  /// Consolidated durability health counters (see DurabilityStats).
+  DurabilityStats durability_stats() const;
 
   /// Forces an fdatasync covering every record appended so far (useful
   /// before an orderly pause under sync=none/interval).

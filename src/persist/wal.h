@@ -140,6 +140,13 @@ class WalWriter {
   Status DropSegmentsBefore(uint64_t lsn);
 
   uint64_t next_lsn() const DM_EXCLUDES(mu_);
+  /// Lock-free view of the append frontier (== next_lsn(), mirrored
+  /// atomically): the next LSN a record would receive. Feeds the
+  /// un-checkpointed-record count the compaction trigger polls every
+  /// daemon tick — which must never contend on mu_ with appenders.
+  uint64_t frontier_lsn() const {
+    return lsn_frontier_.load(std::memory_order_acquire);
+  }
   uint64_t durable_lsn() const {
     return durable_lsn_.load(std::memory_order_acquire);
   }

@@ -600,5 +600,160 @@ INSTANTIATE_TEST_SUITE_P(
                       PartKillParam{9006, 1500, 64, 0, 200, 16},
                       PartKillParam{9007, 2500, 128, 250, 400, 128}));
 
+// ---------------------------------------------------------------------------
+// Delete-heavy aging + compaction checkpoints (PR 7): crash cuts across the
+// compaction window, and the bounded-replay guarantee itself.
+// ---------------------------------------------------------------------------
+
+TEST(CrashRecoveryAging, CutAcrossCompactionWindowRecoversExactPrefix) {
+  // The sealed-segment aging profile on a single DurableTable: one merge,
+  // then tombstone-only traffic punctuated by validity-only compaction
+  // checkpoints. A crash cut at a random byte of the newest WAL segment
+  // must recover an exact prefix of the delete stream, never resurrect a
+  // compaction-covered tombstone, and never lose one either — the
+  // checkpoint's validity words and the replay tail must tile exactly at
+  // the rotation boundary.
+  const uint64_t kRows = 300;
+  const uint64_t kDeletes = 120;
+  const uint64_t kCompactEvery = 25;
+  for (const uint64_t seed : {421u, 422u, 423u, 424u, 425u, 426u}) {
+    TortureScratchDir dir("agecut");
+    DurableTableOptions options;
+    options.wal.policy = WalSyncPolicy::kEveryCommit;
+
+    // Distinct delete targets in shuffled order (Fisher-Yates).
+    Rng rng(seed);
+    std::vector<uint64_t> targets(kRows);
+    for (uint64_t i = 0; i < kRows; ++i) targets[i] = i;
+    for (uint64_t i = kRows - 1; i > 0; --i) {
+      std::swap(targets[i], targets[rng.Below(i + 1)]);
+    }
+    targets.resize(kDeletes);
+
+    uint64_t compacted_deletes = 0;  // deletes covered by a compaction
+    {
+      auto opened = DurableTable::Open(dir.path(), TortureSchema(), options);
+      ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+      Table& t = opened.ValueOrDie()->table();
+      for (uint64_t i = 0; i < kRows; ++i) t.InsertRow({i, i, i});
+      ASSERT_TRUE(t.Merge(TableMergeOptions{}).ok());
+      // Inserts held LSNs 1..kRows and the merge froze at kRows + 1, so
+      // delete j (1-based) deterministically holds LSN kRows + j: the
+      // compaction rotations append nothing and consume no LSNs.
+      for (uint64_t j = 1; j <= kDeletes; ++j) {
+        ASSERT_TRUE(t.DeleteRow(targets[j - 1]).ok());
+        if (j % kCompactEvery == 0) {
+          auto compacted = t.CompactCheckpoint();
+          ASSERT_TRUE(compacted.ok()) << compacted.status().ToString();
+          ASSERT_EQ(compacted.ValueOrDie(), kRows + j + 1);
+          compacted_deletes = j;
+        }
+      }
+    }
+
+    // Chop the newest WAL segment — the current compaction window.
+    auto segments = ListWalSegments(dir.path());
+    ASSERT_TRUE(segments.ok());
+    ASSERT_FALSE(segments.ValueOrDie().empty());
+    const std::string last_segment =
+        dir.path() + "/" + segments.ValueOrDie().back().second;
+    auto size = FileSize(last_segment);
+    ASSERT_TRUE(size.ok());
+    const uint64_t cut = rng.Below(size.ValueOrDie() + 1);
+    ASSERT_TRUE(TruncateFile(last_segment, cut).ok());
+
+    auto reopened = DurableTable::Open(dir.path(), TortureSchema(), options);
+    ASSERT_TRUE(reopened.ok())
+        << "seed " << seed << " cut " << cut << ": "
+        << reopened.status().ToString();
+    const auto& dt = *reopened.ValueOrDie();
+    // Replay is bounded by the compaction window regardless of lifetime
+    // delete volume.
+    EXPECT_LE(dt.recovery().wal_records_applied, kDeletes - compacted_deletes);
+    const uint64_t recovered = dt.recovery().recovered_lsn;
+    ASSERT_GE(recovered, kRows + compacted_deletes)
+        << "lost a compaction-covered tombstone";
+    ASSERT_LE(recovered, kRows + kDeletes);
+    const uint64_t deletes_recovered = recovered - kRows;
+
+    const Table& t = dt.table();
+    ASSERT_EQ(t.num_rows(), kRows);
+    EXPECT_EQ(t.valid_rows(), kRows - deletes_recovered);
+    for (uint64_t j = 1; j <= kDeletes; ++j) {
+      ASSERT_EQ(t.IsRowValid(targets[j - 1]), j > deletes_recovered)
+          << "seed " << seed << " cut " << cut << " delete " << j;
+    }
+  }
+}
+
+TEST(CrashRecoveryAging, ReplayStaysBoundedByCompactionThreshold) {
+  // The regression the tentpole exists for: before compaction checkpoints,
+  // a sealed segment's reopen replay grew with LIFETIME deletes. With the
+  // policy trigger active, the replayed record count after any clean close
+  // is bounded by threshold + one trigger-evaluation period, however many
+  // tombstones the segment absorbed.
+  const uint64_t kCapacity = 40;
+  const uint64_t kThreshold = 12;
+  const uint64_t kWave = 4;
+  TortureScratchDir dir("agebound");
+  DurableTableOptions options;
+  options.wal.policy = WalSyncPolicy::kEveryCommit;
+  MergeDaemonPolicy policy;
+  policy.delta_fraction = 0.0;
+  policy.min_delta_rows = 1;
+  policy.rate_lookahead = false;
+  policy.compact_uncheckpointed_records = kThreshold;
+  {
+    auto opened = DurablePartitionedTable::Open(dir.path(), TortureSchema(),
+                                                kCapacity, options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    PartitionedTable& t = opened.ValueOrDie()->table();
+    for (uint64_t i = 0; i < 100; ++i) t.InsertRow({i, i, i});
+    t.MergeDueSegments(policy, TableMergeOptions{});  // seal + final-merge
+    ASSERT_TRUE(t.segment_sealed(0));
+    ASSERT_TRUE(t.segment_sealed(1));
+
+    // Ten waves of deletes drain BOTH sealed segments completely — 40
+    // tombstones each, 3.3x the replay bound — with the compaction
+    // trigger evaluated after every wave, as a daemon poll would.
+    for (uint64_t wave = 0; wave < 10; ++wave) {
+      for (uint64_t k = 0; k < kWave; ++k) {
+        ASSERT_TRUE(t.DeleteRow(wave * kWave + k).ok());
+        ASSERT_TRUE(t.DeleteRow(kCapacity + wave * kWave + k).ok());
+      }
+      t.MergeDueSegments(policy, TableMergeOptions{});
+    }
+    // Both sealed segments were compacted (in-session counters).
+    for (size_t s = 0; s < 2; ++s) {
+      EXPECT_GE(opened.ValueOrDie()
+                    ->durable_segment(s)
+                    .durability_stats()
+                    .compaction_checkpoints,
+                2u)
+          << "segment " << s;
+    }
+  }
+  auto reopened = DurablePartitionedTable::Open(dir.path(), TortureSchema(),
+                                                kCapacity, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const auto& dpt = *reopened.ValueOrDie();
+  ASSERT_EQ(dpt.recovery().segments.size(), 3u);
+  for (size_t s = 0; s < 2; ++s) {
+    EXPECT_LE(dpt.recovery().segments[s].wal_records_applied,
+              kThreshold + kWave)
+        << "segment " << s << " replay grew past the compaction bound";
+    EXPECT_TRUE(dpt.recovery().segments[s].checkpoint_loaded)
+        << "segment " << s;
+  }
+  EXPECT_EQ(dpt.table().num_rows(), 100u);
+  EXPECT_EQ(dpt.table().valid_rows(), 20u);
+  for (uint64_t i = 0; i < 2 * kCapacity; ++i) {
+    ASSERT_FALSE(dpt.table().IsRowValid(i)) << "row " << i;
+  }
+  for (uint64_t i = 2 * kCapacity; i < 100; ++i) {
+    ASSERT_TRUE(dpt.table().IsRowValid(i)) << "row " << i;
+  }
+}
+
 }  // namespace
 }  // namespace deltamerge

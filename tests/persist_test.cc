@@ -1031,5 +1031,155 @@ TEST(DurableTableTest, DaemonMergesProduceCheckpoints) {
   EXPECT_EQ(dt.durability().checkpoint_failures(), 0u);
 }
 
+TEST(DurableTableTest, CompactionCheckpointTruncatesTombstoneTail) {
+  // The sealed-segment aging scenario: after the final merge only
+  // tombstone records land in the WAL, and before PR 7 they replayed on
+  // every reopen, forever. A validity-only compaction checkpoint must
+  // re-anchor the durable image at the current frontier: one checkpoint,
+  // one (empty) WAL segment, zero records to replay.
+  ScratchDir dir("dtcompact");
+  DurableTableOptions options;
+  options.wal.policy = WalSyncPolicy::kEveryCommit;
+  const uint64_t kDeletes = 40;
+  uint64_t rows = 0, valid = 0, sum = 0;
+  {
+    auto opened = DurableTable::Open(dir.path(), TestSchema(), options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    auto& dt = *opened.ValueOrDie();
+    Table& t = dt.table();
+    for (uint64_t i = 0; i < 500; ++i) t.InsertRow({i, i * 3, i * 7});
+    ASSERT_TRUE(t.Merge(TableMergeOptions{}).ok());
+    EXPECT_EQ(dt.durability_stats().uncheckpointed_records, 0u);
+
+    // Tombstone-only traffic grows the un-checkpointed backlog 1:1.
+    for (uint64_t i = 0; i < kDeletes; ++i) {
+      ASSERT_TRUE(t.DeleteRow(i * 3).ok());
+    }
+    EXPECT_EQ(dt.durability_stats().uncheckpointed_records, kDeletes);
+
+    // Inserts took LSNs 1..500, the merge froze at 501, deletes took
+    // 501..540 — the compaction rotates at the frontier, 541.
+    auto compacted = t.CompactCheckpoint();
+    ASSERT_TRUE(compacted.ok()) << compacted.status().ToString();
+    EXPECT_EQ(compacted.ValueOrDie(), 501u + kDeletes);
+
+    const persist::DurabilityStats stats = dt.durability_stats();
+    EXPECT_EQ(stats.compaction_checkpoints, 1u);
+    EXPECT_EQ(stats.checkpoints_written, 2u);  // merge + compaction
+    EXPECT_EQ(stats.checkpoint_failures, 0u);
+    EXPECT_EQ(stats.cleanup_failures, 0u);
+    EXPECT_EQ(stats.installed_replay_lsn, 501u + kDeletes);
+    EXPECT_EQ(stats.uncheckpointed_records, 0u);
+
+    // The superseded checkpoint and WAL history are gone: exactly one of
+    // each remains, both anchored at the compaction's replay LSN.
+    auto ckpts = persist::ListCheckpoints(dir.path());
+    ASSERT_TRUE(ckpts.ok());
+    ASSERT_EQ(ckpts.ValueOrDie().size(), 1u);
+    EXPECT_EQ(ckpts.ValueOrDie()[0].first, 501u + kDeletes);
+    auto segs = ListWalSegments(dir.path());
+    ASSERT_TRUE(segs.ok());
+    ASSERT_EQ(segs.ValueOrDie().size(), 1u);
+    EXPECT_EQ(segs.ValueOrDie()[0].first, 501u + kDeletes);
+
+    rows = t.num_rows();
+    valid = t.valid_rows();
+    sum = t.SumColumn(0);
+  }
+  auto reopened = DurableTable::Open(dir.path(), TestSchema(), options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const auto& dt = *reopened.ValueOrDie();
+  // Bounded replay: the tombstones are baked into the checkpoint's
+  // validity bits, so recovery replays NOTHING.
+  EXPECT_TRUE(dt.recovery().checkpoint_loaded);
+  EXPECT_EQ(dt.recovery().checkpoint_rows, 500u);
+  EXPECT_EQ(dt.recovery().wal_records_applied, 0u);
+  const Table& t = dt.table();
+  EXPECT_EQ(t.num_rows(), rows);
+  EXPECT_EQ(t.valid_rows(), valid);
+  EXPECT_EQ(t.SumColumn(0), sum);
+  EXPECT_FALSE(t.IsRowValid(0));   // deleted (i * 3 for i = 0)
+  EXPECT_TRUE(t.IsRowValid(1));
+  const persist::DurabilityStats stats = dt.durability_stats();
+  EXPECT_EQ(stats.checkpoint_failures, 0u);
+  EXPECT_EQ(stats.cleanup_failures, 0u);
+  EXPECT_EQ(stats.uncheckpointed_records, 0u);
+  // The recovered manager keeps counting from the compaction's LSN, so
+  // the trigger arithmetic stays exact across reopens.
+  EXPECT_EQ(stats.installed_replay_lsn, 501u + kDeletes);
+}
+
+TEST(DurableTableTest, CompactionCheckpointRequiresEmptyDelta) {
+  // The checkpoint format persists the main partition only; compacting
+  // with live delta rows would drop them below the rotated replay LSN.
+  // The precondition must refuse — and a journal-less table has no
+  // checkpoint stream to compact at all.
+  ScratchDir dir("dtcompactpre");
+  auto opened = DurableTable::Open(dir.path(), TestSchema(), {});
+  ASSERT_TRUE(opened.ok());
+  Table& t = opened.ValueOrDie()->table();
+  t.InsertRow({1, 2, 3});
+  EXPECT_FALSE(t.CompactCheckpoint().ok());  // unmerged delta row
+  ASSERT_TRUE(t.Merge(TableMergeOptions{}).ok());
+  EXPECT_TRUE(t.CompactCheckpoint().ok());  // delta drained: fine now
+
+  Table plain(TestSchema());
+  EXPECT_FALSE(plain.CompactCheckpoint().ok());  // no journal attached
+}
+
+TEST(DurableTableTest, CorruptNewerCheckpointIsSweptAfterFallback) {
+  // A torn rename or bit rot can leave a junk checkpoint that sorts
+  // newer than the good one while the WAL history behind it is intact.
+  // Recovery falls back — and must delete the corpse, or every future
+  // open pays the same fallback (and a later compaction's
+  // DropCheckpointsBefore could make the junk file newest-and-only).
+  ScratchDir dir("dtsweep");
+  DurableTableOptions options;
+  options.wal.policy = WalSyncPolicy::kEveryCommit;
+  {
+    auto opened = DurableTable::Open(dir.path(), TestSchema(), options);
+    ASSERT_TRUE(opened.ok());
+    auto& t = opened.ValueOrDie()->table();
+    for (uint64_t i = 0; i < 64; ++i) t.InsertRow({i, i, i});
+    ASSERT_TRUE(t.Merge(TableMergeOptions{}).ok());
+    for (uint64_t i = 0; i < 5; ++i) t.InsertRow({100 + i, i, i});
+  }
+  const std::string junk =
+      dir.path() + "/" + persist::CheckpointFileName(uint64_t{1} << 20);
+  {
+    auto out = FileWriter::Create(junk);
+    ASSERT_TRUE(out.ok());
+    ASSERT_TRUE(out.ValueOrDie()->Write("not a checkpoint", 16).ok());
+    ASSERT_TRUE(out.ValueOrDie()->Close().ok());
+  }
+
+  auto reopened = DurableTable::Open(dir.path(), TestSchema(), options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.ValueOrDie()->recovery().invalid_checkpoints, 1u);
+  EXPECT_EQ(reopened.ValueOrDie()->table().num_rows(), 69u);
+  EXPECT_FALSE(FileExists(junk));  // dead file cannot shadow later opens
+
+  auto again = DurableTable::Open(dir.path(), TestSchema(), options);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again.ValueOrDie()->recovery().invalid_checkpoints, 0u);
+  EXPECT_EQ(again.ValueOrDie()->table().num_rows(), 69u);
+}
+
+TEST(DurableTableTest, OutOfRangeDeleteInWalFailsRecovery) {
+  // Unlike out-of-range updates (which the live path accepts with append
+  // semantics), the live path never acknowledges a delete of a
+  // nonexistent row — such a record can only mean corruption, and replay
+  // must refuse it WITHOUT having counted it as applied.
+  ScratchDir dir("dtbaddel");
+  {
+    auto wal = WalWriter::Open(dir.path(), 1,
+                               {WalSyncPolicy::kEveryCommit, 1000});
+    ASSERT_TRUE(wal.ok());
+    wal.ValueOrDie()->Append(WalRecordType::kInsert, Payload({1, 2, 3}));
+    wal.ValueOrDie()->Append(WalRecordType::kDelete, Payload({99}));
+  }
+  EXPECT_FALSE(DurableTable::Open(dir.path(), TestSchema(), {}).ok());
+}
+
 }  // namespace
 }  // namespace deltamerge

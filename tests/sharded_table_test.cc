@@ -496,6 +496,13 @@ TEST(DurableShardedTable, ReopenRestoresExactStateAndKeepsGrowing) {
             model.size() % kCapacity == 0 ? model.size() / kCapacity
                                           : model.size() / kCapacity + 1);
   ExpectTableMatchesModel(t.table(), model, 555);
+  // A healthy lifecycle never fails a checkpoint write or a cleanup.
+  for (size_t i = 0; i < t.num_durable_segments(); ++i) {
+    const persist::DurabilityStats stats =
+        t.durable_segment(i).durability_stats();
+    EXPECT_EQ(stats.checkpoint_failures, 0u) << "segment " << i;
+    EXPECT_EQ(stats.cleanup_failures, 0u) << "segment " << i;
+  }
 
   // The recovered table keeps operating: more writes, rollovers, merges.
   const std::vector<WriteOp> more =
@@ -711,6 +718,151 @@ TEST(DurableShardedTable, ShortSealedSegmentRefused) {
   auto reopened =
       DurablePartitionedTable::Open(dir.path(), TortureSchema(), 10, options);
   EXPECT_FALSE(reopened.ok());
+}
+
+// --- segment directory name parsing ------------------------------------------
+
+TEST(ParseSegmentDirIndex, ClassifiesNamesAndClampsOverflow) {
+  uint64_t index = 123;
+  EXPECT_TRUE(persist::ParseSegmentDirIndex("seg-000001", &index));
+  EXPECT_EQ(index, 1u);
+  EXPECT_TRUE(persist::ParseSegmentDirIndex("seg-0", &index));
+  EXPECT_EQ(index, 0u);
+  EXPECT_FALSE(persist::ParseSegmentDirIndex("seg-", &index));
+  EXPECT_FALSE(persist::ParseSegmentDirIndex("seg-12x", &index));
+  EXPECT_FALSE(persist::ParseSegmentDirIndex("segment-1", &index));
+  EXPECT_FALSE(
+      persist::ParseSegmentDirIndex("manifest-000001.dmpm", &index));
+  // 2^64 overflows uint64: the name still classifies as a segment dir
+  // (so recovery sweeps it) and the index clamps to the impossible
+  // UINT64_MAX — strtoull's ULLONG_MAX saturation used to collide with
+  // the old "not a segment" sentinel and made such names invisible.
+  EXPECT_TRUE(
+      persist::ParseSegmentDirIndex("seg-18446744073709551616", &index));
+  EXPECT_EQ(index, UINT64_MAX);
+  EXPECT_TRUE(  // exactly UINT64_MAX parses to the same impossible index
+      persist::ParseSegmentDirIndex("seg-18446744073709551615", &index));
+  EXPECT_EQ(index, UINT64_MAX);
+}
+
+TEST(DurableShardedTable, OverflowNamedStraySegmentDirIsSweptNotSkipped) {
+  TortureScratchDir dir("strayovf");
+  DurableTableOptions options;
+  options.wal.policy = WalSyncPolicy::kEveryCommit;
+  {
+    auto opened = DurablePartitionedTable::Open(dir.path(), TortureSchema(),
+                                                25, options);
+    ASSERT_TRUE(opened.ok());
+    for (uint64_t i = 0; i < 30; ++i) {
+      opened.ValueOrDie()->table().InsertRow({i, i, i});
+    }
+  }
+  // A 20-digit index overflows uint64; the sweep must still classify the
+  // directory as an unlisted segment and delete it.
+  const std::string stray = dir.path() + "/seg-18446744073709551616";
+  ASSERT_TRUE(EnsureDir(stray).ok());
+  auto reopened =
+      DurablePartitionedTable::Open(dir.path(), TortureSchema(), 25, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.ValueOrDie()->recovery().stray_segments_removed, 1u);
+  EXPECT_EQ(reopened.ValueOrDie()->table().num_rows(), 30u);
+  EXPECT_FALSE(FileExists(stray));
+}
+
+TEST(DurableShardedTable, OverflowNamedSegmentWithoutManifestRefused) {
+  // Segment data without any manifest is refused (the segment set is
+  // unknowable) — including when the only evidence is an overflow-named
+  // directory the old parser would have ignored.
+  TortureScratchDir dir("ovfnomanifest");
+  ASSERT_TRUE(EnsureDir(dir.path() + "/seg-18446744073709551616").ok());
+  EXPECT_FALSE(
+      DurablePartitionedTable::Open(dir.path(), TortureSchema(), 10, {})
+          .ok());
+}
+
+// --- sealed-segment tombstone compaction --------------------------------------
+
+TEST(DurableShardedTable, SealedSegmentTombstoneCompactionBoundsReplay) {
+  TortureScratchDir dir("compact");
+  DurableTableOptions options;
+  options.wal.policy = WalSyncPolicy::kEveryCommit;
+  const uint64_t kCapacity = 50;
+  const uint64_t kThreshold = 16;
+  {
+    auto opened = DurablePartitionedTable::Open(dir.path(), TortureSchema(),
+                                                kCapacity, options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    auto& dpt = *opened.ValueOrDie();
+    PartitionedTable& t = dpt.table();
+    for (uint64_t i = 0; i < 120; ++i) t.InsertRow({i, i, i});  // 3 segments
+    t.MergeDueSegments(AggressivePolicy(), TableMergeOptions{});
+    ASSERT_TRUE(t.segment_sealed(0));
+    ASSERT_TRUE(t.segment_delta_free(0));
+
+    // Age segment 0 with tombstone-only traffic up to the threshold.
+    for (uint64_t i = 0; i < kThreshold; ++i) {
+      ASSERT_TRUE(t.DeleteRow(i).ok());
+    }
+    EXPECT_EQ(dpt.durable_segment(0).durability_stats().uncheckpointed_records,
+              kThreshold);
+
+    MergeDaemonPolicy policy = AggressivePolicy();
+    policy.compact_uncheckpointed_records = kThreshold;
+    const PartitionedMergeReport report =
+        t.MergeDueSegments(policy, TableMergeOptions{});
+    EXPECT_EQ(report.segments_compacted, 1u);
+    EXPECT_EQ(report.failed_compactions, 0u);
+    const persist::DurabilityStats stats =
+        dpt.durable_segment(0).durability_stats();
+    EXPECT_EQ(stats.compaction_checkpoints, 1u);
+    EXPECT_EQ(stats.uncheckpointed_records, 0u);
+    EXPECT_EQ(stats.checkpoint_failures, 0u);
+    EXPECT_EQ(stats.cleanup_failures, 0u);
+
+    // Below the threshold the next pass leaves the segment alone.
+    ASSERT_TRUE(t.DeleteRow(kThreshold).ok());
+    const PartitionedMergeReport again =
+        t.MergeDueSegments(policy, TableMergeOptions{});
+    EXPECT_EQ(again.segments_compacted, 0u);
+  }
+  // Reopen: segment 0 replays at most the single post-compaction delete
+  // instead of the whole tombstone history.
+  auto reopened = DurablePartitionedTable::Open(dir.path(), TortureSchema(),
+                                                kCapacity, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto& dpt = *reopened.ValueOrDie();
+  ASSERT_EQ(dpt.recovery().segments.size(), 3u);
+  EXPECT_EQ(dpt.recovery().segments[0].wal_records_applied, 1u);
+  EXPECT_TRUE(dpt.recovery().segments[0].checkpoint_loaded);
+  EXPECT_EQ(dpt.table().num_rows(), 120u);
+  EXPECT_EQ(dpt.table().valid_rows(), 120u - kThreshold - 1);
+  for (uint64_t i = 0; i <= kThreshold; ++i) {
+    EXPECT_FALSE(dpt.table().IsRowValid(i)) << "row " << i;
+  }
+  EXPECT_TRUE(dpt.table().IsRowValid(kThreshold + 1));
+
+  // The autonomous path: a PartitionedMergeDaemon with the compaction
+  // policy performs the same rewrite in the background (segment 1 here).
+  MergeDaemonPolicy policy = AggressivePolicy();
+  policy.poll_interval_us = 200;
+  policy.compact_uncheckpointed_records = kThreshold;
+  PartitionedMergeDaemon daemon(&dpt.table(), policy, TableMergeOptions{});
+  daemon.Start();
+  for (uint64_t i = 0; i < kThreshold; ++i) {
+    ASSERT_TRUE(dpt.table().DeleteRow(kCapacity + i).ok());
+  }
+  daemon.Nudge();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (daemon.stats().segments_compacted == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  daemon.Stop();
+  EXPECT_GE(daemon.stats().segments_compacted, 1u);
+  EXPECT_EQ(daemon.stats().failed_compactions, 0u);
+  EXPECT_EQ(dpt.durable_segment(1).durability_stats().uncheckpointed_records,
+            0u);
 }
 
 }  // namespace
