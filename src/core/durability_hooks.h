@@ -43,6 +43,23 @@
 
 namespace deltamerge {
 
+/// One buffered write inside an optimistic multi-row transaction
+/// (Table::Transaction). Ops apply in buffer order at commit; an update or
+/// delete may target a row id the same transaction created earlier (by then
+/// the row exists). The trio mirrors the single-row write API exactly —
+/// a transaction is N of these made atomic by one commit timestamp and one
+/// WAL record.
+struct TxnOp {
+  enum class Kind : uint8_t {
+    kInsert = 0,
+    kUpdate = 1,
+    kDelete = 2,
+  };
+  Kind kind = Kind::kInsert;
+  uint64_t target_row = 0;     ///< update/delete: the row to invalidate
+  std::vector<uint64_t> keys;  ///< insert/update: one key per column
+};
+
 /// Everything a checkpoint needs from the commit instant, decoupled from
 /// the table lock: closures over the immutable new main partitions plus a
 /// copy of the validity prefix they cover. Holds an epoch pin; destroying
@@ -69,6 +86,14 @@ struct CheckpointCapture {
   /// tombstones landing during the merge body belong to the replay tail
   /// (recovery applies them only if their records became durable).
   std::vector<uint64_t> validity_words;
+  /// Per-row insert commit timestamps for rows [0, main_rows), captured at
+  /// the same freeze instant as the validity words (the MVCC column of the
+  /// covered prefix).
+  std::vector<uint64_t> insert_ts;
+  /// The commit clock as of the freeze instant — >= every timestamp in
+  /// insert_ts. Recovery seeds the table's clock to at least this value so
+  /// restored rows stay visible to post-restart snapshots.
+  uint64_t commit_clock = 0;
   std::vector<ColumnMain> columns;
 
   CheckpointCapture() = default;
@@ -83,6 +108,8 @@ struct CheckpointCapture {
       main_rows = other.main_rows;
       valid_main_rows = other.valid_main_rows;
       validity_words = std::move(other.validity_words);
+      insert_ts = std::move(other.insert_ts);
+      commit_clock = other.commit_clock;
       columns = std::move(other.columns);
       epochs_ = other.epochs_;
       slot_ = other.slot_;
@@ -162,6 +189,31 @@ class TableJournal {
   /// a record can never outgrow the log's frame-length field or replay's
   /// sanity cap on it. The default (8 MiB of keys) sits far below both.
   virtual uint64_t MaxBatchKeys() const { return uint64_t{1} << 20; }
+
+  /// Encodes a whole transaction's op list into ONE journal record. Called
+  /// with NO lock held and must be thread-safe, like PrepareInsertBatch —
+  /// the commit's serialization cost is paid before (and regardless of)
+  /// readset validation. A transaction is never chunked (that would break
+  /// its atomicity); implementations must check the op list fits one
+  /// record. Journals that predate transactions keep the failing default.
+  virtual PreparedBatch PrepareTxnCommit(std::span<const TxnOp> ops,
+                                         uint64_t num_columns) const {
+    (void)ops;
+    (void)num_columns;
+    DM_CHECK_MSG(false, "this journal does not support transactions");
+    return {};
+  }
+
+  /// Logs a prepared transaction (under the exclusive lock, post-validation,
+  /// pre-mutation) as ONE record; returns its LSN. A single Acknowledge on
+  /// it makes the whole transaction durable — and the frame CRC makes it
+  /// atomic on replay: a torn commit record vanishes entirely, never
+  /// applies an op prefix.
+  virtual uint64_t LogTxnCommit(const PreparedBatch& txn) {
+    (void)txn;
+    DM_CHECK_MSG(false, "this journal does not support transactions");
+    return 0;
+  }
 
   /// Blocks until record `lsn` is durable per the sync policy (no lock
   /// held). sync=none returns immediately; sync=interval leaves a bounded

@@ -257,6 +257,180 @@ Status PartitionedTable::DeleteRow(uint64_t global_row) {
   return seg->table->DeleteRow(global_row - seg->base);
 }
 
+// ---------------------------------------------------------------------------
+// Optimistic multi-row transactions
+// ---------------------------------------------------------------------------
+
+bool PartitionedTable::Transaction::ReadRowValid(uint64_t global_row) {
+  DM_CHECK_MSG(table_ != nullptr, "transaction already committed or aborted");
+  const bool valid = table_->IsRowValid(global_row);
+  readset_.push_back(ReadEntry{global_row, valid});
+  return valid;
+}
+
+void PartitionedTable::Transaction::Insert(std::span<const uint64_t> keys) {
+  DM_CHECK_MSG(table_ != nullptr, "transaction already committed or aborted");
+  DM_CHECK_MSG(keys.size() == table_->num_columns(),
+               "key count does not match column count");
+  ops_.push_back(TxnOp{TxnOp::Kind::kInsert, 0,
+                       std::vector<uint64_t>(keys.begin(), keys.end())});
+}
+
+void PartitionedTable::Transaction::Update(uint64_t global_row,
+                                           std::span<const uint64_t> keys) {
+  DM_CHECK_MSG(table_ != nullptr, "transaction already committed or aborted");
+  DM_CHECK_MSG(keys.size() == table_->num_columns(),
+               "key count does not match column count");
+  ops_.push_back(TxnOp{TxnOp::Kind::kUpdate, global_row,
+                       std::vector<uint64_t>(keys.begin(), keys.end())});
+}
+
+void PartitionedTable::Transaction::Delete(uint64_t global_row) {
+  DM_CHECK_MSG(table_ != nullptr, "transaction already committed or aborted");
+  ops_.push_back(TxnOp{TxnOp::Kind::kDelete, global_row, {}});
+}
+
+void PartitionedTable::Transaction::Abort() {
+  ops_.clear();
+  readset_.clear();
+  table_ = nullptr;
+}
+
+Status PartitionedTable::Transaction::Commit() {
+  DM_CHECK_MSG(table_ != nullptr, "transaction already committed or aborted");
+  PartitionedTable* table = table_;
+  table_ = nullptr;  // consumed either way
+  const Status st = table->CommitTxn(ops_, readset_);
+  ops_.clear();
+  readset_.clear();
+  return st;
+}
+
+Status PartitionedTable::CommitTxn(
+    std::span<const TxnOp> ops,
+    std::span<const Transaction::ReadEntry> readset) {
+  MutexLock lock(tail_mu_);
+  // The segment list cannot change while tail_mu_ is held (rollover is its
+  // only mutator and always holds tail_mu_), so one capture serves both
+  // validation and decomposition.
+  const std::vector<std::shared_ptr<Segment>> segs = CaptureSegments();
+
+  // Phase 1 — validate: every readset observation must still hold. With
+  // tail_mu_ held no other logical write can run, so a validation that
+  // passes here stays true for the entire apply below.
+  for (const Transaction::ReadEntry& e : readset) {
+    const size_t owner = static_cast<size_t>(e.row / segment_capacity_);
+    bool valid = false;
+    if (owner < segs.size()) {
+      const Segment& seg = *segs[owner];
+      valid = seg.table->IsRowValid(e.row - seg.base);
+    }
+    if (valid != e.observed_valid) {
+      txn_aborts_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Aborted("transaction readset conflict");
+    }
+  }
+  if (ops.empty()) {
+    txn_commits_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  // Phase 2 — decompose the global-row op buffer into per-segment groups
+  // (contiguous runs in buffer order, target rows rebased to the segment).
+  // The tail is simulated so inserts past the capacity route to the
+  // segment the mid-commit rollover will create.
+  struct OpGroup {
+    size_t seg_index;
+    std::vector<TxnOp> ops;
+  };
+  std::vector<OpGroup> groups;
+  const auto route = [&groups](size_t seg_index) -> std::vector<TxnOp>& {
+    if (groups.empty() || groups.back().seg_index != seg_index) {
+      groups.push_back(OpGroup{seg_index, {}});
+    }
+    return groups.back().ops;
+  };
+  size_t sim_tail = segs.size() - 1;
+  uint64_t sim_tail_rows = segs.back()->table->num_rows();
+  for (const TxnOp& op : ops) {
+    switch (op.kind) {
+      case TxnOp::Kind::kInsert:
+      case TxnOp::Kind::kUpdate: {
+        // Both append a fresh version to the (possibly rolled-over) tail.
+        if (sim_tail_rows == segment_capacity_) {
+          ++sim_tail;
+          sim_tail_rows = 0;
+        }
+        const size_t owner =
+            static_cast<size_t>(op.target_row / segment_capacity_);
+        if (op.kind == TxnOp::Kind::kUpdate && owner == sim_tail) {
+          // Superseded row lives in the open tail: the segment's own
+          // insert-only update stays one atomic op inside its group.
+          route(sim_tail).push_back(
+              TxnOp{TxnOp::Kind::kUpdate,
+                    op.target_row - sim_tail * segment_capacity_, op.keys});
+          ++sim_tail_rows;
+          break;
+        }
+        const uint64_t sim_rows = sim_tail * segment_capacity_ + sim_tail_rows;
+        route(sim_tail).push_back(TxnOp{TxnOp::Kind::kInsert, 0, op.keys});
+        ++sim_tail_rows;
+        if (op.kind == TxnOp::Kind::kUpdate && op.target_row < sim_rows) {
+          // Cross-segment update: fresh version first (just routed), then
+          // the tombstone in the owning segment — the same
+          // insert-then-invalidate order the single-row path applies.
+          route(owner).push_back(
+              TxnOp{TxnOp::Kind::kDelete,
+                    op.target_row - owner * segment_capacity_, {}});
+        }
+        // An update whose target is beyond every (simulated) row degrades
+        // to a plain insert — the liberal contract UpdateRow documents.
+        break;
+      }
+      case TxnOp::Kind::kDelete: {
+        const uint64_t sim_rows = sim_tail * segment_capacity_ + sim_tail_rows;
+        if (op.target_row >= sim_rows) break;  // liberal no-op
+        const size_t owner =
+            static_cast<size_t>(op.target_row / segment_capacity_);
+        route(owner).push_back(
+            TxnOp{TxnOp::Kind::kDelete,
+                  op.target_row - owner * segment_capacity_, {}});
+        break;
+      }
+    }
+  }
+
+  // Phase 3 — commit the groups in first-op order, each through the
+  // segment's Table::Transaction (empty readset: it cannot abort), i.e. as
+  // ONE journaled kTxnCommit record, acknowledged before the next group.
+  for (const OpGroup& group : groups) {
+    if (group.seg_index >= num_segments()) {
+      // The simulation filled the previous tail exactly; materialize the
+      // next segment (RollOverIfFullLocked re-checks the fill).
+      RollOverIfFullLocked();
+    }
+    const std::shared_ptr<Segment> seg = SlotAt(group.seg_index);
+    Table::Transaction txn = seg->table->BeginTransaction();
+    for (const TxnOp& op : group.ops) {
+      switch (op.kind) {
+        case TxnOp::Kind::kInsert:
+          txn.Insert(op.keys);
+          break;
+        case TxnOp::Kind::kUpdate:
+          txn.Update(op.target_row, op.keys);
+          break;
+        case TxnOp::Kind::kDelete:
+          txn.Delete(op.target_row);
+          break;
+      }
+    }
+    const Status st = txn.Commit();
+    DM_CHECK_MSG(st.ok(), "a readset-free group commit cannot abort");
+  }
+  txn_commits_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
 uint64_t PartitionedTable::GetKey(size_t col, uint64_t global_row) const {
   const size_t owner = global_row / segment_capacity_;
   std::shared_ptr<Segment> seg;

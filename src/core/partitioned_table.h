@@ -214,6 +214,87 @@ class PartitionedTable {
   /// Invalidates a row in its owning segment.
   Status DeleteRow(uint64_t global_row) DM_EXCLUDES(tail_mu_, segments_mu_);
 
+  // --- optimistic multi-row transactions (global-row domain) ---
+  //
+  // The partitioned sibling of Table::Transaction: writes buffer locally,
+  // the readset validates under the write lock at commit, and the op buffer
+  // is decomposed into per-segment groups applied in buffer order — inserts
+  // route to the tail (rolling over mid-commit when it fills), an update
+  // whose superseded row lives in another segment becomes a tail insert
+  // plus an owner tombstone, and each group commits through the segment's
+  // own Table::Transaction, i.e. as ONE kTxnCommit record in that segment's
+  // journal, acknowledged before the next group appends.
+  //
+  // Atomicity contract: a transaction whose ops land in one segment is
+  // all-or-nothing across crash/recovery exactly like Table's; a
+  // cross-segment transaction can only tear at group boundaries — an
+  // unacknowledged suffix of groups may vanish, never a partial group and
+  // never an invented op. (With sync=every-commit every acknowledged
+  // transaction recovers whole, because the last group's Acknowledge
+  // returns only after all its groups are durable.)
+
+  class Transaction {
+   public:
+    Transaction() = default;
+    Transaction(Transaction&&) = default;
+    Transaction& operator=(Transaction&&) = default;
+    DM_DISALLOW_COPY(Transaction);
+
+    bool open() const { return table_ != nullptr; }
+    size_t num_ops() const { return ops_.size(); }
+
+    /// Reads a global row's current validity AND records the observation;
+    /// commit aborts if it no longer holds (read-then-update yields
+    /// first-updater-wins).
+    bool ReadRowValid(uint64_t global_row);
+
+    /// Buffers an insert; keys.size() must equal the table's column count.
+    void Insert(std::span<const uint64_t> keys);
+    void Insert(std::initializer_list<uint64_t> keys) {
+      Insert(std::span<const uint64_t>(keys.begin(), keys.size()));
+    }
+    /// Buffers an insert-only update of `global_row`.
+    void Update(uint64_t global_row, std::span<const uint64_t> keys);
+    void Update(uint64_t global_row, std::initializer_list<uint64_t> keys) {
+      Update(global_row,
+             std::span<const uint64_t>(keys.begin(), keys.size()));
+    }
+    /// Buffers a delete of `global_row`.
+    void Delete(uint64_t global_row);
+
+    /// Validates the readset and applies + journals the buffer as
+    /// per-segment groups. Returns Status::Aborted on a readset conflict
+    /// (nothing applied anywhere). The handle is consumed either way.
+    Status Commit();
+
+    /// Discards the buffered ops; the handle is consumed.
+    void Abort();
+
+   private:
+    friend class PartitionedTable;
+    explicit Transaction(PartitionedTable* table) : table_(table) {}
+
+    struct ReadEntry {
+      uint64_t row;  ///< global row id
+      bool observed_valid;
+    };
+
+    PartitionedTable* table_ = nullptr;
+    std::vector<TxnOp> ops_;  ///< target_row in the global domain
+    std::vector<ReadEntry> readset_;
+  };
+
+  /// Opens a transaction. Any number may be open concurrently (they hold
+  /// no lock); commits serialize on the write lock.
+  Transaction BeginTransaction() { return Transaction(this); }
+
+  /// Partitioned-transaction commits/aborts since construction (the
+  /// per-segment counters additionally count one commit per group).
+  Table::TxnStats txn_stats() const {
+    return Table::TxnStats{txn_commits_.load(std::memory_order_relaxed),
+                           txn_aborts_.load(std::memory_order_relaxed)};
+  }
+
   // --- reads (fan out across segments, lock-free at this level) ---
   uint64_t GetKey(size_t col, uint64_t global_row) const
       DM_EXCLUDES(segments_mu_);
@@ -280,6 +361,14 @@ class PartitionedTable {
     std::atomic<uint64_t> compact_failed_at{0};
   };
 
+  /// The partitioned commit body: validate the whole readset under the
+  /// write lock (no logical op mid-flight, so the validation outcome holds
+  /// for the entire apply), then decompose into per-segment groups and
+  /// commit each through the segment's Table::Transaction.
+  Status CommitTxn(std::span<const TxnOp> ops,
+                   std::span<const Transaction::ReadEntry> readset)
+      DM_EXCLUDES(tail_mu_, segments_mu_);
+
   /// Sealed-segment tombstone-compaction trigger, evaluated by a merge
   /// pass where the §4 fill trigger no longer applies (final-merged
   /// segments): when the segment journal's un-checkpointed backlog reaches
@@ -314,6 +403,10 @@ class PartitionedTable {
   const uint64_t segment_capacity_;
   SegmentHooks* hooks_ = nullptr;
   std::atomic<TaskQueue*> read_pool_{nullptr};
+  /// Whole-transaction outcomes (written under tail_mu_; atomics so the
+  /// stats read needs no lock).
+  std::atomic<uint64_t> txn_commits_{0};
+  std::atomic<uint64_t> txn_aborts_{0};
 
   /// The write lock: single writer at a time, never taken by readers.
   /// Lock order: tail_mu_ first, segments_mu_ inside it — never acquire

@@ -38,26 +38,33 @@ uint32_t EpochManager::Pin() {
 void EpochManager::Unpin(uint32_t slot) {
   DM_DCHECK(slot < kMaxPinnedSnapshots);
   DM_DCHECK(slots_[slot].epoch.load(std::memory_order_seq_cst) != 0);
-  // Reset the seq before freeing the slot so the next pinner starts in the
-  // conservative "unknown" state — a pruner that sees the slot occupied in
-  // between reads seq 0, which blocks pruning, never a stale value.
-  slots_[slot].seq.store(0, std::memory_order_seq_cst);
+  // Reset the read ts before freeing the slot so the next pinner starts in
+  // the conservative "unknown" state — a pruner that sees the slot occupied
+  // in between reads ts 0, which blocks pruning, never a stale value.
+  slots_[slot].read_ts.store(0, std::memory_order_seq_cst);
   slots_[slot].epoch.store(0, std::memory_order_seq_cst);
 }
 
-void EpochManager::PublishPinnedSeq(uint32_t slot, uint64_t seq) {
+void EpochManager::PublishPinnedReadTs(uint32_t slot, uint64_t read_ts) {
   DM_DCHECK(slot < kMaxPinnedSnapshots);
-  slots_[slot].seq.store(seq, std::memory_order_seq_cst);
+  slots_[slot].read_ts.store(read_ts, std::memory_order_seq_cst);
 }
 
-uint64_t EpochManager::MinPinnedSeq() const {
-  uint64_t min_seq = UINT64_MAX;
+uint64_t EpochManager::MinPinnedReadTs() const {
+  uint64_t min_ts = UINT64_MAX;
   for (const Slot& s : slots_) {
     if (s.epoch.load(std::memory_order_seq_cst) == 0) continue;
-    const uint64_t seq = s.seq.load(std::memory_order_seq_cst);
-    if (seq < min_seq) min_seq = seq;
+    const uint64_t ts = s.read_ts.load(std::memory_order_seq_cst);
+    if (ts < min_ts) min_ts = ts;
   }
-  return min_seq;
+  return min_ts;
+}
+
+void EpochManager::EnsureClockAtLeast(uint64_t ts) {
+  uint64_t cur = epoch_.load(std::memory_order_seq_cst);
+  while (cur < ts &&
+         !epoch_.compare_exchange_weak(cur, ts, std::memory_order_seq_cst)) {
+  }
 }
 
 void EpochManager::Retire(std::shared_ptr<void> obj) {
@@ -133,7 +140,7 @@ Snapshot& Snapshot::operator=(Snapshot&& other) noexcept {
     validity_ = other.validity_;
     visible_rows_ = other.visible_rows_;
     valid_rows_ = other.valid_rows_;
-    tombstone_seq_ = other.tombstone_seq_;
+    read_ts_ = other.read_ts_;
     cols_ = std::move(other.cols_);
     other.epochs_ = nullptr;
   }
@@ -164,7 +171,7 @@ bool Snapshot::IsRowValid(uint64_t row) const {
   DM_DCHECK(valid());
   if (row >= visible_rows_) return false;
   ReaderMutexLock lock(*mu_);
-  return validity_->IsValidAtSeq(row, tombstone_seq_);
+  return validity_->IsValidAtTs(row, read_ts_);
 }
 
 uint64_t Snapshot::CountEquals(size_t col, uint64_t key) const {

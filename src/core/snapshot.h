@@ -75,21 +75,22 @@ class EpochManager final : public RetireSink {
   DM_DISALLOW_COPY_AND_MOVE(EpochManager);
 
   /// Publishes the current epoch in a free slot; returns the slot index.
-  /// The slot's validity seq starts at 0 ("unknown": blocks tombstone
-  /// pruning) until PublishPinnedSeq.
+  /// The slot's read timestamp starts at 0 ("unknown": blocks tombstone
+  /// pruning) until PublishPinnedReadTs.
   uint32_t Pin();
 
   /// Clears the slot. The caller should follow with ReclaimExpired().
   void Unpin(uint32_t slot);
 
-  /// Records the validity tombstone seq the snapshot in `slot` captured, so
-  /// log entries below every pinned seq can be pruned (validity.h).
-  void PublishPinnedSeq(uint32_t slot, uint64_t seq);
+  /// Records the read timestamp the snapshot in `slot` captured, so
+  /// tombstone-log entries at or below every pinned read timestamp can be
+  /// pruned (validity.h).
+  void PublishPinnedReadTs(uint32_t slot, uint64_t read_ts);
 
-  /// Smallest validity seq any pinned snapshot may consult; UINT64_MAX when
-  /// nothing is pinned. A snapshot between Pin and PublishPinnedSeq counts
-  /// as 0 (nothing below it may be pruned).
-  uint64_t MinPinnedSeq() const;
+  /// Smallest read timestamp any pinned snapshot may consult; UINT64_MAX
+  /// when nothing is pinned. A snapshot between Pin and PublishPinnedReadTs
+  /// counts as 0 (nothing below it may be pruned).
+  uint64_t MinPinnedReadTs() const;
 
   /// Tags `obj` with the current epoch, queues it, and advances the clock.
   void Retire(std::shared_ptr<void> obj) override DM_EXCLUDES(retired_mu_);
@@ -101,6 +102,27 @@ class EpochManager final : public RetireSink {
   uint64_t current_epoch() const {
     return epoch_.load(std::memory_order_seq_cst);
   }
+
+  // --- commit clock (optimistic MVCC, Larson et al.) ------------------------
+  //
+  // The epoch counter doubles as the table's commit-timestamp clock. A
+  // committing write calls AdvanceClock() under the table's exclusive lock
+  // BEFORE stamping its rows/tombstones, so its timestamp is strictly
+  // greater than the read timestamp of any snapshot captured earlier (a
+  // snapshot reads current_epoch() under the shared lock). Retire() bumps
+  // the same counter; commit timestamps simply skip those values — the
+  // clock only ever needs to be monotone, not dense.
+
+  /// Bumps the clock and returns the NEW value — the commit timestamp for
+  /// the write being committed.
+  uint64_t AdvanceClock() {
+    return epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+
+  /// Recovery hook: raises the clock to at least `ts` (the checkpointed
+  /// commit clock / replayed commit timestamps). Without this, restored
+  /// rows stamped above the clock would be invisible to every new snapshot.
+  void EnsureClockAtLeast(uint64_t ts);
   uint32_t pinned_count() const;
   /// Retired objects still awaiting a drained epoch.
   size_t retired_count() const DM_EXCLUDES(retired_mu_);
@@ -112,8 +134,8 @@ class EpochManager final : public RetireSink {
   uint64_t MinPinnedEpoch() const;
 
   struct DM_CACHELINE_ALIGNED Slot {
-    std::atomic<uint64_t> epoch{0};  ///< 0 = free, else the pinned epoch
-    std::atomic<uint64_t> seq{0};    ///< captured validity seq; 0 = unknown
+    std::atomic<uint64_t> epoch{0};    ///< 0 = free, else the pinned epoch
+    std::atomic<uint64_t> read_ts{0};  ///< captured read ts; 0 = unknown
   };
 
   std::atomic<uint64_t> epoch_{1};
@@ -302,6 +324,9 @@ class Snapshot {
   size_t num_columns() const { return cols_.size(); }
   /// The epoch this snapshot pinned (diagnostic).
   uint64_t epoch() const { return pinned_epoch_; }
+  /// The commit-clock value this snapshot reads as of: writes with commit
+  /// timestamp <= read_ts() are visible, later ones are not.
+  uint64_t read_ts() const { return read_ts_; }
 
   // --- reads (consistent as of the capture instant) ---
   uint64_t GetKey(size_t col, uint64_t row) const;
@@ -329,7 +354,7 @@ class Snapshot {
         validity_(validity) {}
 
   bool IsRowValidLocked(uint64_t row) const DM_REQUIRES_SHARED(*mu_) {
-    return row < visible_rows_ && validity_->IsValidAtSeq(row, tombstone_seq_);
+    return row < visible_rows_ && validity_->IsValidAtTs(row, read_ts_);
   }
 
   EpochManager* epochs_ = nullptr;
@@ -341,7 +366,7 @@ class Snapshot {
   const ValidityVector* validity_ = nullptr;
   uint64_t visible_rows_ = 0;
   uint64_t valid_rows_ = 0;
-  uint64_t tombstone_seq_ = 0;
+  uint64_t read_ts_ = 0;
   std::vector<std::unique_ptr<ColumnReadView>> cols_;
 };
 

@@ -90,7 +90,9 @@ uint64_t Table::InsertRow(std::span<const uint64_t> keys) {
     for (size_t c = 0; c < columns_.size(); ++c) {
       columns_[c]->InsertKey(keys[c]);
     }
-    row = validity_.Append(1);
+    // Advance the commit clock BEFORE stamping: the new row's timestamp is
+    // strictly greater than any snapshot's read timestamp captured earlier.
+    row = validity_.Append(1, epochs_.AdvanceClock());
     delta_update_cycles_.fetch_add(CycleClock::Now() - t0,
                                    std::memory_order_relaxed);
   }
@@ -152,7 +154,7 @@ uint64_t Table::InsertRows(std::span<const uint64_t> row_major_keys,
       }
       queue->WaitAll();
     }
-    first = validity_.Append(num_rows);
+    first = validity_.Append(num_rows, epochs_.AdvanceClock());
     delta_update_cycles_.fetch_add(CycleClock::Now() - t0,
                                    std::memory_order_relaxed);
   }
@@ -176,8 +178,12 @@ uint64_t Table::UpdateRow(uint64_t row, std::span<const uint64_t> keys) {
     for (size_t c = 0; c < columns_.size(); ++c) {
       columns_[c]->InsertKey(keys[c]);
     }
-    new_row = validity_.Append(1);
-    if (row < new_row) InvalidateLocked(row);
+    // One commit timestamp covers both halves of the update — the new
+    // version and the old one's tombstone switch atomically at ts in every
+    // snapshot's history.
+    const uint64_t ts = epochs_.AdvanceClock();
+    new_row = validity_.Append(1, ts);
+    if (row < new_row) InvalidateLocked(row, ts);
     delta_update_cycles_.fetch_add(CycleClock::Now() - t0,
                                    std::memory_order_relaxed);
   }
@@ -195,27 +201,162 @@ Status Table::DeleteRow(uint64_t row) {
     }
     journal = journal_;
     if (journal != nullptr) lsn = journal->LogDelete(row);
-    InvalidateLocked(row);
+    InvalidateLocked(row, epochs_.AdvanceClock());
   }
   if (journal != nullptr) journal->Acknowledge(lsn);
   return Status::OK();
 }
 
-void Table::InvalidateLocked(uint64_t row) {
-  validity_.Invalidate(row);
-  // Keep the tombstone log bounded: drop every entry below the oldest
-  // pinned snapshot's captured seq. Safe under the exclusive lock — a
-  // snapshot pins its slot (seq 0, "unknown", which blocks pruning) before
-  // taking the shared lock to capture and publish its real seq, so any
+void Table::InvalidateLocked(uint64_t row, uint64_t ts) {
+  validity_.Invalidate(row, ts);
+  // Keep the tombstone log bounded: drop every entry at or below the
+  // oldest pinned snapshot's read timestamp (such entries answer "invalid"
+  // whether present or pruned). Safe under the exclusive lock — a snapshot
+  // pins its slot (read ts 0, "unknown", which blocks pruning) before
+  // taking the shared lock to capture and publish its real read ts, so any
   // capture still in flight holds the minimum at 0 and a capture that
-  // starts later observes the post-prune state.
+  // starts later observes the post-prune state. With nothing pinned the
+  // minimum is UINT64_MAX and the whole log drops.
   constexpr uint64_t kTombstonePruneThreshold = 4096;
   if (validity_.tombstone_log_size() >= kTombstonePruneThreshold) {
-    const uint64_t min_seq = epochs_.MinPinnedSeq();
-    validity_.PruneTombstonesBefore(
-        min_seq < validity_.tombstone_seq() ? min_seq
-                                            : validity_.tombstone_seq());
+    validity_.PruneTombstonesBefore(epochs_.MinPinnedReadTs());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Optimistic multi-row transactions
+// ---------------------------------------------------------------------------
+
+bool Table::Transaction::ReadRowValid(uint64_t row) {
+  DM_CHECK_MSG(table_ != nullptr, "transaction already committed or aborted");
+  const bool valid = table_->IsRowValid(row);
+  readset_.push_back(ReadEntry{row, valid});
+  return valid;
+}
+
+void Table::Transaction::Insert(std::span<const uint64_t> keys) {
+  DM_CHECK_MSG(table_ != nullptr, "transaction already committed or aborted");
+  DM_CHECK_MSG(keys.size() == table_->num_columns(),
+               "key count does not match column count");
+  ops_.push_back(TxnOp{TxnOp::Kind::kInsert, 0,
+                       std::vector<uint64_t>(keys.begin(), keys.end())});
+}
+
+void Table::Transaction::Update(uint64_t row, std::span<const uint64_t> keys) {
+  DM_CHECK_MSG(table_ != nullptr, "transaction already committed or aborted");
+  DM_CHECK_MSG(keys.size() == table_->num_columns(),
+               "key count does not match column count");
+  ops_.push_back(TxnOp{TxnOp::Kind::kUpdate, row,
+                       std::vector<uint64_t>(keys.begin(), keys.end())});
+}
+
+void Table::Transaction::Delete(uint64_t row) {
+  DM_CHECK_MSG(table_ != nullptr, "transaction already committed or aborted");
+  ops_.push_back(TxnOp{TxnOp::Kind::kDelete, row, {}});
+}
+
+void Table::Transaction::Abort() {
+  ops_.clear();
+  readset_.clear();
+  table_ = nullptr;
+}
+
+Status Table::Transaction::Commit() {
+  DM_CHECK_MSG(table_ != nullptr, "transaction already committed or aborted");
+  Table* table = table_;
+  table_ = nullptr;  // consumed either way
+  // Frame the commit record with NO lock held (like PrepareInsertBatch) —
+  // optimistically: an abort wastes the encode, a commit never pays it
+  // inside the critical section.
+  TableJournal* journal = table->journal();
+  PreparedBatch prepared;
+  if (journal != nullptr && !ops_.empty()) {
+    prepared = journal->PrepareTxnCommit(ops_, table->num_columns());
+  }
+  uint64_t lsn = 0;
+  Status st;
+  {
+    WriterMutexLock lock(table->mu_);
+    st = table->CommitTxnLocked(
+        ops_, readset_, journal != nullptr ? &prepared : nullptr, &lsn);
+    journal = table->journal_;  // the attach may have changed since begin
+  }
+  ops_.clear();
+  readset_.clear();
+  if (st.ok() && journal != nullptr && lsn != 0) journal->Acknowledge(lsn);
+  return st;
+}
+
+Status Table::CommitTxnLocked(std::span<const TxnOp> ops,
+                              std::span<const Transaction::ReadEntry> readset,
+                              const PreparedBatch* prepared,
+                              uint64_t* out_lsn) {
+  // Validate: every readset observation must still hold. Rows never
+  // disappear (the table is insert-only), so a recorded row id is always
+  // in range — unless it was recorded against a size the table has not
+  // reached yet, which cannot happen (reads observe committed state).
+  for (const Transaction::ReadEntry& e : readset) {
+    const bool valid = e.row < validity_.size() && validity_.IsValid(e.row);
+    if (valid != e.observed_valid) {
+      ++txn_aborts_;
+      return Status::Aborted("transaction readset conflict");
+    }
+  }
+  if (ops.empty()) {
+    ++txn_commits_;
+    return Status::OK();
+  }
+  // Log before mutating (the single-row discipline): the WAL sequence is
+  // the authoritative serialization of the write history.
+  if (journal_ != nullptr && prepared != nullptr) {
+    *out_lsn = journal_->LogTxnCommit(*prepared);
+  }
+  // One commit timestamp for the whole transaction: every inserted row and
+  // every tombstone it creates switches visibility atomically at `ts`.
+  const uint64_t ts = epochs_.AdvanceClock();
+  const uint64_t t0 = CycleClock::Now();
+  for (const TxnOp& op : ops) {
+    switch (op.kind) {
+      case TxnOp::Kind::kInsert: {
+        for (size_t c = 0; c < columns_.size(); ++c) {
+          columns_[c]->InsertKey(op.keys[c]);
+        }
+        validity_.Append(1, ts);
+        break;
+      }
+      case TxnOp::Kind::kUpdate: {
+        for (size_t c = 0; c < columns_.size(); ++c) {
+          columns_[c]->InsertKey(op.keys[c]);
+        }
+        const uint64_t new_row = validity_.Append(1, ts);
+        // Liberal write, mirroring UpdateRow: an out-of-range or already-
+        // dead target degrades to a plain insert of the new version.
+        if (op.target_row < new_row) InvalidateLocked(op.target_row, ts);
+        break;
+      }
+      case TxnOp::Kind::kDelete: {
+        // Liberal write: deleting a dead or out-of-range row is a no-op
+        // (replay must accept what the live commit accepted).
+        if (op.target_row < validity_.size()) {
+          InvalidateLocked(op.target_row, ts);
+        }
+        break;
+      }
+    }
+  }
+  ++txn_commits_;
+  delta_update_cycles_.fetch_add(CycleClock::Now() - t0,
+                                 std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Table::Transaction Table::BeginTransaction() {
+  return Transaction(this, epochs_.current_epoch());
+}
+
+Table::TxnStats Table::txn_stats() const {
+  ReaderMutexLock lock(mu_);
+  return TxnStats{txn_commits_, txn_aborts_};
 }
 
 Snapshot Table::CreateSnapshot() const {
@@ -227,14 +368,19 @@ Snapshot Table::CreateSnapshot() const {
   Snapshot snap(&epochs_, slot, pinned_epoch, &mu_, &validity_);
   snap.visible_rows_ = validity_.size();
   snap.valid_rows_ = validity_.valid_count();
-  snap.tombstone_seq_ = validity_.tombstone_seq();
+  // The read timestamp must be taken under the lock: every commit already
+  // applied advanced the clock to its own timestamp before releasing the
+  // exclusive lock (so it reads as visible here), and every later commit
+  // will advance past this value before stamping (so it reads as
+  // invisible).
+  snap.read_ts_ = epochs_.current_epoch();
   snap.cols_.reserve(columns_.size());
   for (const auto& c : columns_) {
     snap.cols_.push_back(c->CaptureView(snap.visible_rows_));
   }
-  // Publish the captured seq so tombstone pruning can advance past every
-  // entry this snapshot will never consult.
-  epochs_.PublishPinnedSeq(slot, snap.tombstone_seq_);
+  // Publish the read ts so tombstone pruning can advance past every entry
+  // this snapshot will never consult.
+  epochs_.PublishPinnedReadTs(slot, snap.read_ts_);
   return snap;
 }
 
@@ -335,6 +481,8 @@ Result<TableMergeReport> Table::Merge(const TableMergeOptions& options) {
   TableJournal* journal = nullptr;
   uint64_t replay_lsn = 0;
   std::vector<uint64_t> freeze_validity_words;
+  std::vector<uint64_t> freeze_insert_ts;
+  uint64_t freeze_commit_clock = 0;
   uint64_t freeze_rows = 0;
   uint64_t freeze_valid_rows = 0;
   {
@@ -346,9 +494,14 @@ Result<TableMergeReport> Table::Merge(const TableMergeOptions& options) {
       replay_lsn = journal->OnMergeFreezeLocked();
       // At the freeze instant the fresh active delta is empty, so every
       // existing row is about to be folded into the new main: the full
-      // validity prefix is exactly what the checkpoint covers.
+      // validity prefix is exactly what the checkpoint covers. The insert
+      // timestamps and commit clock ride along — recovery restores the
+      // MVCC column and seeds the clock so the restored stamps stay below
+      // every post-restart read timestamp.
       freeze_rows = validity_.size();
       freeze_validity_words = validity_.CopyWordsPrefix(freeze_rows);
+      freeze_insert_ts = validity_.CopyInsertTsPrefix(freeze_rows);
+      freeze_commit_clock = epochs_.current_epoch();
       freeze_valid_rows = validity_.valid_count();
     }
   }
@@ -408,11 +561,13 @@ Result<TableMergeReport> Table::Merge(const TableMergeOptions& options) {
       DM_CHECK_MSG(capture.main_rows == freeze_rows,
                    "merged main does not match the freeze-instant rows");
       capture.validity_words = std::move(freeze_validity_words);
+      capture.insert_ts = std::move(freeze_insert_ts);
+      capture.commit_clock = freeze_commit_clock;
       capture.valid_main_rows = freeze_valid_rows;
       capture.AdoptPin(&epochs_, ckpt_slot);
-      // Publish the seq so the pin does not block tombstone pruning (the
-      // capture never consults the tombstone log).
-      epochs_.PublishPinnedSeq(ckpt_slot, validity_.tombstone_seq());
+      // Publish UINT64_MAX — "consults nothing" — so the pin never blocks
+      // tombstone pruning (the capture carries its own validity copy).
+      epochs_.PublishPinnedReadTs(ckpt_slot, UINT64_MAX);
     }
   }
   epochs_.ReclaimExpired();
@@ -469,11 +624,13 @@ Result<uint64_t> Table::CompactCheckpoint() {
       DM_CHECK_MSG(capture.main_rows == validity_.size(),
                    "compaction capture must cover every row (empty delta)");
       capture.validity_words = validity_.CopyWordsPrefix(validity_.size());
+      capture.insert_ts = validity_.CopyInsertTsPrefix(validity_.size());
+      capture.commit_clock = epochs_.current_epoch();
       capture.valid_main_rows = validity_.valid_count();
       capture.AdoptPin(&epochs_, ckpt_slot);
-      // Publish the seq so the pin does not block tombstone pruning (the
-      // capture never consults the tombstone log).
-      epochs_.PublishPinnedSeq(ckpt_slot, validity_.tombstone_seq());
+      // Publish UINT64_MAX — "consults nothing" — so the pin never blocks
+      // tombstone pruning (the capture carries its own validity copy).
+      epochs_.PublishPinnedReadTs(ckpt_slot, UINT64_MAX);
     }
   }
   if (!precondition.ok()) {

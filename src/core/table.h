@@ -149,6 +149,93 @@ class Table {
 
   bool IsRowValid(uint64_t row) const DM_EXCLUDES(mu_);
 
+  // --- optimistic multi-row transactions (Hekaton-style MVCC) ---
+  //
+  // A Transaction buffers writes locally (no lock, no WAL traffic) and
+  // records a readset of (row, observed-validity) pairs. Commit takes the
+  // exclusive lock once: it re-checks every readset entry against the
+  // current validity bitmap, and on a mismatch aborts with Status::Aborted
+  // — nothing was applied, nothing was logged. On success every op is
+  // stamped with ONE fresh commit timestamp (AdvanceClock under the lock),
+  // applied in buffer order, and journaled as ONE kTxnCommit WAL record —
+  // so the transaction is atomic three ways: to concurrent snapshots (the
+  // exclusive lock), in the timestamp history (one commit ts), and across
+  // crash/recovery (one CRC'd record).
+  //
+  // Validation is readset-only (first-updater-wins is opted into by
+  // reading a row's validity before updating it); the writes themselves
+  // are liberal, mirroring the single-row API: an update whose target is
+  // already invalid still appends the new version, a delete of a dead row
+  // is a no-op. That keeps replay — which re-commits each logged
+  // transaction with an empty readset — byte-identical to the live apply.
+
+  class Transaction {
+   public:
+    Transaction() = default;
+    ~Transaction() = default;
+    Transaction(Transaction&&) = default;
+    Transaction& operator=(Transaction&&) = default;
+    DM_DISALLOW_COPY(Transaction);
+
+    bool open() const { return table_ != nullptr; }
+    /// The commit-clock value observed at begin (diagnostic).
+    uint64_t begin_ts() const { return begin_ts_; }
+    size_t num_ops() const { return ops_.size(); }
+
+    /// Reads a row's current validity AND records it in the readset:
+    /// commit aborts if the observation no longer holds. This is the
+    /// conflict hook — read-then-update yields first-updater-wins.
+    bool ReadRowValid(uint64_t row);
+
+    /// Buffers an insert; keys.size() must equal the table's column count.
+    void Insert(std::span<const uint64_t> keys);
+    void Insert(std::initializer_list<uint64_t> keys) {
+      Insert(std::span<const uint64_t>(keys.begin(), keys.size()));
+    }
+    /// Buffers an insert-only update of `row` (which may be a row this
+    /// transaction created earlier: ops apply in buffer order).
+    void Update(uint64_t row, std::span<const uint64_t> keys);
+    void Update(uint64_t row, std::initializer_list<uint64_t> keys) {
+      Update(row, std::span<const uint64_t>(keys.begin(), keys.size()));
+    }
+    /// Buffers a delete of `row`.
+    void Delete(uint64_t row);
+
+    /// Validates the readset and atomically applies + journals the op
+    /// buffer. Returns Status::Aborted on a readset conflict (nothing
+    /// applied). The handle is consumed either way.
+    Status Commit();
+
+    /// Discards the buffered ops; the handle is consumed.
+    void Abort();
+
+   private:
+    friend class Table;
+    explicit Transaction(Table* table, uint64_t begin_ts)
+        : table_(table), begin_ts_(begin_ts) {}
+
+    struct ReadEntry {
+      uint64_t row;
+      bool observed_valid;
+    };
+
+    Table* table_ = nullptr;
+    uint64_t begin_ts_ = 0;
+    std::vector<TxnOp> ops_;
+    std::vector<ReadEntry> readset_;
+  };
+
+  /// Opens a transaction. Any number may be open concurrently (they hold
+  /// no lock); commits serialize on the table's exclusive lock.
+  Transaction BeginTransaction() DM_EXCLUDES(mu_);
+
+  /// Commits/aborts since construction (bench + test observability).
+  struct TxnStats {
+    uint64_t commits = 0;
+    uint64_t aborts = 0;
+  };
+  TxnStats txn_stats() const DM_EXCLUDES(mu_);
+
   // --- read path ---
   uint64_t GetKey(size_t col, uint64_t row) const DM_EXCLUDES(mu_);
   uint64_t CountEquals(size_t col, uint64_t key) const DM_EXCLUDES(mu_);
@@ -229,9 +316,19 @@ class Table {
   }
 
  private:
-  /// Invalidation under the exclusive lock + opportunistic tombstone-log
-  /// prune (legal only while no snapshot is pinned; see validity.h).
-  void InvalidateLocked(uint64_t row) DM_REQUIRES(mu_);
+  /// Invalidation at commit timestamp `ts` under the exclusive lock +
+  /// opportunistic tombstone-log prune (bounded by the oldest pinned
+  /// snapshot's read timestamp; see validity.h).
+  void InvalidateLocked(uint64_t row, uint64_t ts) DM_REQUIRES(mu_);
+
+  /// The transaction commit body: readset validation, then stamp + apply +
+  /// journal. Factored out so the lock requirement is explicit — calling
+  /// it without the exclusive lock is a compile error under
+  /// -Werror=thread-safety (tests/static_analysis proves it).
+  Status CommitTxnLocked(std::span<const TxnOp> ops,
+                         std::span<const Transaction::ReadEntry> readset,
+                         const PreparedBatch* prepared, uint64_t* out_lsn)
+      DM_REQUIRES(mu_);
 
   /// Builds the checkpoint capture for the merge that just committed
   /// (caller holds the exclusive lock and has already pinned an epoch).
@@ -249,6 +346,8 @@ class Table {
   mutable SharedMutex mu_;
   mutable EpochManager epochs_;
   TableJournal* journal_ DM_GUARDED_BY(mu_) = nullptr;
+  uint64_t txn_commits_ DM_GUARDED_BY(mu_) = 0;
+  uint64_t txn_aborts_ DM_GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> delta_update_cycles_{0};
   std::atomic<bool> merge_running_{false};
 };

@@ -46,9 +46,12 @@ Status WriteCheckpoint(const std::string& dir,
 struct CheckpointContents {
   uint64_t replay_lsn = 0;
   uint64_t main_rows = 0;
+  /// The commit clock at the capture instant; recovery seeds the table's
+  /// clock to at least this so restored insert timestamps stay visible.
+  uint64_t commit_clock = 0;
   std::vector<std::unique_ptr<ColumnBase>> columns;
   std::vector<std::string> column_names;  ///< schema names, for validation
-  ValidityVector validity;
+  ValidityVector validity;  ///< bits + per-row insert timestamps
 };
 
 /// Reads and validates one checkpoint file (CRC, shape invariants).

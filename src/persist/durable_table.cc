@@ -81,6 +81,52 @@ uint64_t DurabilityManager::LogInsertBatch(const PreparedBatch& batch) {
                       batch.payload_crc);
 }
 
+PreparedBatch DurabilityManager::PrepareTxnCommit(std::span<const TxnOp> ops,
+                                                  uint64_t num_columns) const {
+  // Like PrepareInsertBatch: no lock held, possibly concurrent with other
+  // preparers, so everything lands in the caller-owned PreparedBatch.
+  // payload: u64 num_ops + u64 num_columns, then per op u64 kind +
+  // u64 target_row + (insert/update) num_columns x u64 keys.
+  uint64_t words = 2;
+  for (const TxnOp& op : ops) {
+    words += 2;
+    if (op.kind != TxnOp::Kind::kDelete) {
+      DM_CHECK_MSG(op.keys.size() == num_columns,
+                   "txn op key count does not match column count");
+      words += num_columns;
+    }
+  }
+  // A transaction must fit in ONE record — chunking would break its
+  // atomicity — so oversized op lists fail loudly instead of splitting.
+  DM_CHECK_MSG(words <= 2 + MaxBatchKeys(),
+               "transaction too large for one WAL record");
+  PreparedBatch txn;
+  txn.num_rows = ops.size();
+  txn.payload.resize(words * 8);
+  uint8_t* out = txn.payload.data();
+  const uint64_t num_ops = ops.size();
+  std::memcpy(out, &num_ops, 8);
+  std::memcpy(out + 8, &num_columns, 8);
+  size_t off = 16;
+  for (const TxnOp& op : ops) {
+    const uint64_t kind = static_cast<uint64_t>(op.kind);
+    std::memcpy(out + off, &kind, 8);
+    std::memcpy(out + off + 8, &op.target_row, 8);
+    off += 16;
+    if (op.kind != TxnOp::Kind::kDelete) {
+      std::memcpy(out + off, op.keys.data(), num_columns * 8);
+      off += num_columns * 8;
+    }
+  }
+  txn.payload_crc = Crc32(txn.payload.data(), txn.payload.size());
+  return txn;
+}
+
+uint64_t DurabilityManager::LogTxnCommit(const PreparedBatch& txn) {
+  return wal_->Append(WalRecordType::kTxnCommit, txn.payload,
+                      txn.payload_crc);
+}
+
 Status DurabilityManager::InstallCheckpoint(CheckpointCapture capture,
                                             bool* installed) {
   if (installed != nullptr) *installed = false;
@@ -243,6 +289,11 @@ Result<std::unique_ptr<DurableTable>> DurableTable::Open(
     }
     table = Table::FromColumns(schema, std::move(checkpoint.columns),
                                std::move(checkpoint.validity));
+    // Seed the commit clock from the checkpoint BEFORE replay: restored
+    // rows carry their pre-crash insert timestamps, which must stay at or
+    // below the clock or they would be invisible to every new snapshot;
+    // replayed tail records then stamp fresh (higher) timestamps.
+    table->epoch_manager().EnsureClockAtLeast(checkpoint.commit_clock);
   } else {
     table = std::make_unique<Table>(schema);
   }
@@ -355,6 +406,61 @@ Result<std::unique_ptr<DurableTable>> DurableTable::Open(
             table->InsertRows(batch_keys, num_rows, replay_queue.get());
             stats.wal_ops_applied += num_rows;
             return Status::OK();
+          }
+          case WalRecordType::kTxnCommit: {
+            // payload: u64 num_ops + u64 num_columns, then per op u64 kind
+            // + u64 target_row + (insert/update) num_columns x u64 keys.
+            // Every bound is checked against the actual payload size (which
+            // the CRC vouches for), never the declared counts alone.
+            if (rec.payload.size() < 16 || rec.payload.size() % 8 != 0) {
+              return Status::Internal("txn record has torn header");
+            }
+            const uint64_t num_ops = ReadU64At(rec.payload, 0);
+            const uint64_t num_cols = ReadU64At(rec.payload, 8);
+            if (num_cols != nc) {
+              return Status::Internal("txn record has wrong column count");
+            }
+            const size_t total = rec.payload.size();
+            Table::Transaction txn = table->BeginTransaction();
+            size_t off = 16;
+            for (uint64_t i = 0; i < num_ops; ++i) {
+              if (off + 16 > total) {
+                return Status::Internal("txn record is short an op header");
+              }
+              const uint64_t kind = ReadU64At(rec.payload, off);
+              const uint64_t target = ReadU64At(rec.payload, off + 8);
+              off += 16;
+              if (kind == 2) {  // delete
+                txn.Delete(target);
+                continue;
+              }
+              if (kind > 2) {
+                return Status::Internal("txn record has unknown op kind");
+              }
+              if (off + nc * 8 > total) {
+                return Status::Internal("txn record is short an op's keys");
+              }
+              for (size_t c = 0; c < nc; ++c) {
+                keys[c] = ReadU64At(rec.payload, off + c * 8);
+              }
+              off += nc * 8;
+              if (kind == 0) {
+                txn.Insert(keys);
+              } else {
+                txn.Update(target, keys);
+              }
+            }
+            if (off != total) {
+              return Status::Internal("txn record has trailing bytes");
+            }
+            // Re-commit through the live transaction path with an empty
+            // readset (validation trivially passes — the record only exists
+            // because the original validation passed) and no journal
+            // attached, so nothing re-logs. The whole op list applies under
+            // one commit timestamp, atomically — exactly the live commit.
+            const Status st = txn.Commit();
+            if (st.ok()) stats.wal_ops_applied += num_ops;
+            return st;
           }
         }
         return Status::Internal("unknown WAL record type");

@@ -61,6 +61,9 @@ class DurabilityManager final : public TableJournal {
                                    uint64_t num_rows,
                                    uint64_t num_columns) const override;
   uint64_t LogInsertBatch(const PreparedBatch& batch) override;
+  PreparedBatch PrepareTxnCommit(std::span<const TxnOp> ops,
+                                 uint64_t num_columns) const override;
+  uint64_t LogTxnCommit(const PreparedBatch& txn) override;
   void Acknowledge(uint64_t lsn) override { wal_->Acknowledge(lsn); }
   uint64_t OnMergeFreezeLocked() override { return wal_->RotateSegment(); }
   void OnMergeCommitted(CheckpointCapture capture) override

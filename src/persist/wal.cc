@@ -440,7 +440,7 @@ Result<WalReplayResult> ReplayWal(
       expected = lsn + 1;
       if (lsn > result.last_lsn) result.last_lsn = lsn;
       if (type < uint8_t(WalRecordType::kInsert) ||
-          type > uint8_t(WalRecordType::kInsertBatch)) {
+          type > uint8_t(WalRecordType::kTxnCommit)) {
         ++result.skipped;
         continue;
       }

@@ -72,6 +72,13 @@ enum class WalRecordType : uint8_t {
   /// frame CRC makes the batch atomic — a torn batch vanishes entirely,
   /// never applies a row prefix.
   kInsertBatch = 4,
+  /// One frame covering a whole committed transaction (PR 8, additive).
+  /// payload: u64 num_ops + u64 num_columns, then per op: u64 kind
+  /// (0 insert / 1 update / 2 delete) + u64 target_row + (for insert and
+  /// update) num_columns x u64 keys. Like kInsertBatch the record consumes
+  /// ONE LSN and the frame CRC makes it atomic — a torn commit vanishes
+  /// entirely; recovery replays all of the transaction's ops or none.
+  kTxnCommit = 5,
 };
 
 struct WalOptions {

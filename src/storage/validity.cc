@@ -6,7 +6,7 @@
 
 namespace deltamerge {
 
-uint64_t ValidityVector::Append(uint64_t n) {
+uint64_t ValidityVector::Append(uint64_t n, uint64_t ts) {
   const uint64_t first = size_;
   size_ += n;
   valid_count_ += n;
@@ -14,49 +14,49 @@ uint64_t ValidityVector::Append(uint64_t n) {
   if (words_.size() < needed_words) {
     words_.resize(needed_words, 0);
   }
+  insert_ts_.resize(size_, ts);
   for (uint64_t row = first; row < size_; ++row) {
     words_[row >> 6] |= uint64_t{1} << (row & 63);
   }
   return first;
 }
 
-void ValidityVector::Invalidate(uint64_t row) {
+void ValidityVector::Invalidate(uint64_t row, uint64_t ts) {
   DM_DCHECK(row < size_);
   uint64_t& word = words_[row >> 6];
   const uint64_t mask = uint64_t{1} << (row & 63);
   if (word & mask) {
     word &= ~mask;
     --valid_count_;
-    tombstone_seq_by_row_.emplace(row, tombstone_seq());
-    tombstones_.push_back(row);
+    DM_DCHECK(tombstones_.empty() || tombstones_.back().ts <= ts);
+    inv_ts_by_row_.emplace(row, ts);
+    tombstones_.push_back(Tombstone{row, ts});
   }
 }
 
-bool ValidityVector::IsValidAtSeq(uint64_t row, uint64_t seq) const {
+bool ValidityVector::IsValidAtTs(uint64_t row, uint64_t read_ts) const {
+  if (insert_ts_[row] > read_ts) return false;  // born after the capture
   if (IsValid(row)) return true;
-  // The row is invalid now; it was still valid at `seq` iff its (unique)
-  // invalidation landed at or after `seq`. A pruned (absent) entry is
-  // necessarily below every live snapshot's seq.
-  const auto it = tombstone_seq_by_row_.find(row);
-  return it != tombstone_seq_by_row_.end() && it->second >= seq;
+  // The row is invalid now; it was still alive at `read_ts` iff its (unique)
+  // invalidation committed after it. A pruned (absent) entry committed at or
+  // below every live read timestamp, so "invalid" is the right answer.
+  const auto it = inv_ts_by_row_.find(row);
+  return it != inv_ts_by_row_.end() && it->second > read_ts;
 }
 
 void ValidityVector::PruneTombstones() {
-  tombstone_base_ += tombstones_.size();
   tombstones_.clear();
-  tombstone_seq_by_row_.clear();
+  inv_ts_by_row_.clear();
 }
 
-void ValidityVector::PruneTombstonesBefore(uint64_t seq) {
-  if (seq <= tombstone_base_) return;
-  uint64_t drop = seq - tombstone_base_;
-  if (drop > tombstones_.size()) drop = tombstones_.size();
-  for (uint64_t i = 0; i < drop; ++i) {
-    tombstone_seq_by_row_.erase(tombstones_[i]);
+void ValidityVector::PruneTombstonesBefore(uint64_t limit_ts) {
+  size_t drop = 0;
+  while (drop < tombstones_.size() && tombstones_[drop].ts <= limit_ts) {
+    inv_ts_by_row_.erase(tombstones_[drop].row);
+    ++drop;
   }
   tombstones_.erase(tombstones_.begin(),
                     tombstones_.begin() + static_cast<ptrdiff_t>(drop));
-  tombstone_base_ += drop;
 }
 
 std::vector<uint64_t> ValidityVector::CopyWordsPrefix(uint64_t rows) const {
@@ -68,6 +68,12 @@ std::vector<uint64_t> ValidityVector::CopyWordsPrefix(uint64_t rows) const {
     out.back() &= (uint64_t{1} << (rows & 63)) - 1;
   }
   return out;
+}
+
+std::vector<uint64_t> ValidityVector::CopyInsertTsPrefix(uint64_t rows) const {
+  DM_CHECK_MSG(rows <= size_, "validity prefix beyond vector size");
+  return std::vector<uint64_t>(
+      insert_ts_.begin(), insert_ts_.begin() + static_cast<ptrdiff_t>(rows));
 }
 
 uint64_t ValidityVector::CountValidPrefix(uint64_t rows) const {
@@ -85,12 +91,17 @@ uint64_t ValidityVector::CountValidPrefix(uint64_t rows) const {
 }
 
 ValidityVector ValidityVector::FromWords(std::vector<uint64_t> words,
-                                         uint64_t rows) {
+                                         uint64_t rows,
+                                         std::vector<uint64_t> insert_ts) {
   DM_CHECK_MSG(words.size() >= ((rows + 63) >> 6),
                "validity words do not cover the row count");
+  DM_CHECK_MSG(insert_ts.empty() || insert_ts.size() == rows,
+               "insert-ts column does not cover the row count");
   ValidityVector v;
   v.words_ = std::move(words);
   v.size_ = rows;
+  v.insert_ts_ = std::move(insert_ts);
+  v.insert_ts_.resize(rows, 0);
   // Clear any stray bits beyond `rows` so valid_count_ and IsValid agree.
   if ((rows & 63) != 0) {
     v.words_[rows >> 6] &= (uint64_t{1} << (rows & 63)) - 1;
@@ -103,9 +114,9 @@ void ValidityVector::Clear() {
   words_.clear();
   size_ = 0;
   valid_count_ = 0;
+  insert_ts_.clear();
   tombstones_.clear();
-  tombstone_base_ = 0;
-  tombstone_seq_by_row_.clear();
+  inv_ts_by_row_.clear();
 }
 
 }  // namespace deltamerge

@@ -1,17 +1,27 @@
 // Copyright (c) 2026 The DeltaMerge Authors.
-// ValidityVector: the insert-only table's tombstone bitmap.
+// ValidityVector: the insert-only table's tombstone bitmap + row timestamps.
 //
 // "Updates are always modeled as new inserts and deletes only invalidate
 // rows. We keep the insertion order of tuples and only the lastly inserted
 // version is valid." (paper §3). One bit per table row; set = visible.
 //
-// Snapshot support: each invalidation is additionally appended to a
-// monotone tombstone log, so a reader that captured the log length S can
-// reconstruct the bitmap as of S: a row whose bit is now clear was still
-// valid at S iff its invalidation seq (= its log index) is >= S. A row is
-// invalidated at most once (bits never come back), so a row -> seq map
-// makes the reconstruction O(1) per row. The log itself orders pruning:
-// entries below every pinned snapshot's seq are dropped (see Table).
+// MVCC support (Hekaton-style, Larson et al.): every row carries the commit
+// timestamp of the write that inserted it, and every invalidation is logged
+// with the commit timestamp of the write that killed it. A reader that
+// captured read timestamp R reconstructs the bitmap as of R in O(1) per
+// row: the row existed at R iff insert_ts <= R, and was still alive iff its
+// bit is set now or its invalidation timestamp is > R. Timestamps come from
+// the table's commit clock (EpochManager): every committing write advances
+// the clock and stamps with the NEW value, so they are strictly monotone in
+// commit order — which makes the tombstone log monotone too, and pruning a
+// prefix of it sound. Timestamp 0 is the pre-MVCC sentinel ("outside any
+// snapshot's history"): a ts-0 insert is visible to every read timestamp,
+// a ts-0 invalidation to none. The table never stamps 0; plain unit tests
+// and legacy checkpoint images do.
+//
+// The log orders pruning: entries at or below every pinned snapshot's read
+// timestamp answer "invalid" exactly like an absent entry, so they can be
+// dropped (see Table).
 
 #pragma once
 
@@ -27,12 +37,14 @@ class ValidityVector {
  public:
   ValidityVector() = default;
 
-  /// Appends `n` rows, all valid. Returns the first new row id.
-  uint64_t Append(uint64_t n = 1);
+  /// Appends `n` rows, all valid, stamped with commit timestamp `ts`.
+  /// Returns the first new row id.
+  uint64_t Append(uint64_t n = 1, uint64_t ts = 0);
 
   /// Marks a row invisible (delete / superseded version) and logs the
-  /// transition. Idempotent: an already-invalid row is not re-logged.
-  void Invalidate(uint64_t row);
+  /// transition at commit timestamp `ts`. Idempotent: an already-invalid
+  /// row is not re-logged.
+  void Invalidate(uint64_t row, uint64_t ts = 0);
 
   bool IsValid(uint64_t row) const {
     DM_DCHECK(row < size_);
@@ -44,15 +56,16 @@ class ValidityVector {
 
   // --- snapshot hooks -------------------------------------------------------
 
-  /// Total invalidations ever applied — the version a snapshot captures.
-  uint64_t tombstone_seq() const {
-    return tombstone_base_ + tombstones_.size();
-  }
+  /// Was `row` alive at read timestamp `read_ts`? O(1). Requires that
+  /// tombstone entries above `read_ts` have not been pruned (the min-pinned
+  /// prune discipline guarantees this for every live snapshot).
+  bool IsValidAtTs(uint64_t row, uint64_t read_ts) const;
 
-  /// Was `row` valid when the tombstone log stood at `seq`? O(1). Requires
-  /// that entries at or above `seq` have not been pruned (the min-pinned
-  /// prune discipline guarantees this for every live snapshot's seq).
-  bool IsValidAtSeq(uint64_t row, uint64_t seq) const;
+  /// Commit timestamp of the insert that created `row` (0 = pre-MVCC).
+  uint64_t insert_ts(uint64_t row) const {
+    DM_DCHECK(row < size_);
+    return insert_ts_[row];
+  }
 
   /// Entries currently buffered (prune-pressure signal for the owner).
   uint64_t tombstone_log_size() const { return tombstones_.size(); }
@@ -61,11 +74,13 @@ class ValidityVector {
   /// the dropped entries is pinned.
   void PruneTombstones();
 
-  /// Drops entries below absolute seq `seq` — everything no live snapshot
-  /// can consult (IsValidAtSeq only scans from its captured seq upward), so
-  /// the log stays bounded by the span between the oldest pinned snapshot
-  /// and now even under continuous reader load.
-  void PruneTombstonesBefore(uint64_t seq);
+  /// Drops the log prefix whose invalidation timestamps are <= `limit_ts` —
+  /// for such an entry every live read timestamp R >= limit_ts answers
+  /// "invalid" whether the entry is present or pruned, so nothing a pinned
+  /// snapshot could consult is lost. The log stays bounded by the span
+  /// between the oldest pinned snapshot and now even under continuous
+  /// reader load.
+  void PruneTombstonesBefore(uint64_t limit_ts);
 
   /// Calls fn(row) for every valid row in order.
   template <typename Fn>
@@ -90,22 +105,37 @@ class ValidityVector {
   /// Cheap (one memcpy); safe to call under the table's commit lock.
   std::vector<uint64_t> CopyWordsPrefix(uint64_t rows) const;
 
+  /// The insert timestamps of the first `rows` rows — persisted alongside
+  /// the words so recovered rows keep their MVCC history (a checkpoint also
+  /// records the commit clock; recovery seeds the clock from it so these
+  /// stamps stay <= every post-restart read timestamp).
+  std::vector<uint64_t> CopyInsertTsPrefix(uint64_t rows) const;
+
   /// Valid rows among the first `rows` rows.
   uint64_t CountValidPrefix(uint64_t rows) const;
 
   /// Rebuilds a vector of `rows` rows from checkpoint words (the inverse of
   /// CopyWordsPrefix); the tombstone log starts empty — recovery has no
-  /// pinned snapshots.
-  static ValidityVector FromWords(std::vector<uint64_t> words, uint64_t rows);
+  /// pinned snapshots. `insert_ts` restores the per-row stamps (empty =
+  /// all 0, the pre-MVCC image).
+  static ValidityVector FromWords(std::vector<uint64_t> words, uint64_t rows,
+                                  std::vector<uint64_t> insert_ts = {});
 
  private:
+  struct Tombstone {
+    uint64_t row;
+    uint64_t ts;  ///< commit timestamp of the invalidation
+  };
+
   std::vector<uint64_t> words_;
   uint64_t size_ = 0;
   uint64_t valid_count_ = 0;
-  std::vector<uint64_t> tombstones_;  ///< rows, in invalidation order
-  uint64_t tombstone_base_ = 0;       ///< absolute seq of tombstones_[0]
-  /// row -> its invalidation seq, for unpruned entries only.
-  std::unordered_map<uint64_t, uint64_t> tombstone_seq_by_row_;
+  /// Per-row insert commit timestamp (size_ entries).
+  std::vector<uint64_t> insert_ts_;
+  /// Invalidation order == commit order, so ts is monotone non-decreasing.
+  std::vector<Tombstone> tombstones_;
+  /// row -> its invalidation ts, for unpruned entries only.
+  std::unordered_map<uint64_t, uint64_t> inv_ts_by_row_;
 };
 
 }  // namespace deltamerge

@@ -217,7 +217,9 @@ std::vector<WriteOp> GenerateWriteOps(size_t num_columns, uint64_t num_ops,
 }
 
 uint64_t WriteOpLogicalOps(const WriteOp& op) {
-  return op.kind == WriteOpKind::kInsertBatch ? op.batch_rows : 1;
+  if (op.kind == WriteOpKind::kInsertBatch) return op.batch_rows;
+  if (op.kind == WriteOpKind::kTxn) return op.txn_ops.size();
+  return 1;
 }
 
 std::vector<WriteOp> CoalesceInsertBatches(std::span<const WriteOp> ops,
@@ -246,6 +248,46 @@ std::vector<WriteOp> CoalesceInsertBatches(std::span<const WriteOp> ops,
   return out;
 }
 
+std::vector<WriteOp> GroupIntoTransactions(std::span<const WriteOp> ops,
+                                           uint64_t max_txn_ops,
+                                           uint64_t seed) {
+  DM_CHECK_MSG(max_txn_ops >= 1, "a transaction holds at least one op");
+  Rng rng(seed ^ 0x7a5a5eed5a7eULL);
+  std::vector<WriteOp> out;
+  out.reserve(ops.size());
+  for (size_t i = 0; i < ops.size();) {
+    if (ops[i].kind == WriteOpKind::kInsertBatch ||
+        ops[i].kind == WriteOpKind::kTxn) {
+      out.push_back(ops[i]);  // passes through; breaks the current run
+      ++i;
+      continue;
+    }
+    const uint64_t len = 1 + rng.Below(max_txn_ops);
+    if (len == 1) {
+      out.push_back(ops[i]);  // keep the plain op: the stream stays mixed
+      ++i;
+      continue;
+    }
+    WriteOp txn;
+    txn.kind = WriteOpKind::kTxn;
+    while (i < ops.size() && txn.txn_ops.size() < len &&
+           ops[i].kind != WriteOpKind::kInsertBatch &&
+           ops[i].kind != WriteOpKind::kTxn) {
+      const WriteOp& op = ops[i];
+      TxnOp t;
+      t.kind = op.kind == WriteOpKind::kInsert   ? TxnOp::Kind::kInsert
+               : op.kind == WriteOpKind::kUpdate ? TxnOp::Kind::kUpdate
+                                                 : TxnOp::Kind::kDelete;
+      t.target_row = op.target_row;
+      t.keys = op.keys;
+      txn.txn_ops.push_back(std::move(t));
+      ++i;
+    }
+    out.push_back(std::move(txn));
+  }
+  return out;
+}
+
 namespace {
 
 /// Table and PartitionedTable expose the identical write surface; one
@@ -267,6 +309,26 @@ void ApplyWriteOpImpl(TableT* table, const WriteOp& op,
     case WriteOpKind::kInsertBatch:
       table->InsertRows(op.keys, op.batch_rows, batch_queue);
       break;
+    case WriteOpKind::kTxn: {
+      auto txn = table->BeginTransaction();
+      for (const TxnOp& t : op.txn_ops) {
+        switch (t.kind) {
+          case TxnOp::Kind::kInsert:
+            txn.Insert(t.keys);
+            break;
+          case TxnOp::Kind::kUpdate:
+            txn.Update(t.target_row, t.keys);
+            break;
+          case TxnOp::Kind::kDelete:
+            txn.Delete(t.target_row);
+            break;
+        }
+      }
+      // An empty readset cannot conflict: a deterministic schedule commits.
+      const Status st = txn.Commit();
+      DM_CHECK_MSG(st.ok(), "schedule transaction unexpectedly aborted");
+      break;
+    }
   }
 }
 

@@ -143,6 +143,12 @@ enum class WriteOpKind : uint8_t {
   /// durable table, one WAL record and one group-committed acknowledgment
   /// for the whole batch.
   kInsertBatch = 3,
+  /// A multi-row optimistic transaction: txn_ops committed through
+  /// Table::BeginTransaction / PartitionedTable::BeginTransaction with an
+  /// empty readset (a deterministic schedule has no concurrent writers, so
+  /// it can never abort) — on a durable table, ONE kTxnCommit WAL record
+  /// that recovers whole or vanishes whole.
+  kTxn = 4,
 };
 
 struct WriteOp {
@@ -152,6 +158,8 @@ struct WriteOp {
   /// insert/update payload (one per column); kInsertBatch holds
   /// batch_rows x num_columns keys row-major.
   std::vector<uint64_t> keys;
+  /// kTxn: the buffered op set, applied atomically at commit.
+  std::vector<TxnOp> txn_ops;
 };
 
 /// Logical single-row operations an op represents (batch_rows for a batch,
@@ -172,6 +180,18 @@ std::vector<WriteOp> GenerateWriteOps(size_t num_columns, uint64_t num_ops,
 /// differential property the row-vs-batch recovery tests exercise.
 std::vector<WriteOp> CoalesceInsertBatches(std::span<const WriteOp> ops,
                                            uint64_t max_batch_rows);
+
+/// Rewrites a schedule so seeded runs of consecutive single-row ops become
+/// kTxn ops of 2..max_txn_ops buffered writes each (kInsertBatch entries
+/// break runs and pass through; a drawn length of 1 keeps the plain op, so
+/// the stream stays mixed). The logical operation sequence is unchanged —
+/// applying the grouped schedule yields a table identical to the original —
+/// but the durable record stream is now transaction-framed, so a crash may
+/// only land on a *transaction-atomic* prefix. That is exactly the
+/// differential property the interleaved-transaction crash tortures check.
+std::vector<WriteOp> GroupIntoTransactions(std::span<const WriteOp> ops,
+                                           uint64_t max_txn_ops,
+                                           uint64_t seed);
 
 /// Applies one op through the real write path; `batch_queue` (optional)
 /// column-parallelizes kInsertBatch ops.

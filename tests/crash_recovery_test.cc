@@ -3,9 +3,12 @@
 //
 // Three crash simulators, all checked against the shared deterministic
 // write schedule (workload/query_gen.h's GenerateWriteOps — the same
-// generator the reference-model torture uses), and all run **twice**: once
-// with per-row logging and once with insert runs coalesced into
-// kInsertBatch records (the PR 4 differential):
+// generator the reference-model torture uses), and all run in several
+// record framings: per-row logging, insert runs coalesced into
+// kInsertBatch records (the PR 4 differential), and runs grouped into
+// multi-row transactions whose kTxnCommit records must recover whole or
+// vanish whole (the PR 8 differential — a crash may only land on a
+// transaction-atomic prefix):
 //
 //   * WAL truncation at a random byte: run a schedule (checkpoints
 //     included), close, chop the newest segment mid-frame, reopen. The
@@ -77,11 +80,26 @@ struct TruncateParam {
   uint64_t ops;
   uint64_t merge_every;  // 0 = no checkpoints
   uint64_t batch;        // 0 = per-row records; else max kInsertBatch rows
+  uint64_t txn = 0;      // 0 = no grouping; else max ops per transaction
 };
 
 void PrintTo(const TruncateParam& p, std::ostream* os) {
   *os << "seed=" << p.seed << " ops=" << p.ops
-      << " merge_every=" << p.merge_every << " batch=" << p.batch;
+      << " merge_every=" << p.merge_every << " batch=" << p.batch
+      << " txn=" << p.txn;
+}
+
+/// The shared schedule pipeline: coalesce insert runs into batch records,
+/// then group seeded runs into multi-row transactions. Both transforms
+/// preserve the logical op stream, so every framing replays against the
+/// same reference model.
+std::vector<WriteOp> FrameSchedule(const std::vector<WriteOp>& ops,
+                                   uint64_t batch, uint64_t txn,
+                                   uint64_t seed) {
+  std::vector<WriteOp> schedule =
+      batch > 0 ? CoalesceInsertBatches(ops, batch) : ops;
+  if (txn > 0) schedule = GroupIntoTransactions(schedule, txn, seed);
+  return schedule;
 }
 
 class CrashRecoveryTruncate : public ::testing::TestWithParam<TruncateParam> {
@@ -92,7 +110,7 @@ TEST_P(CrashRecoveryTruncate, RecoversExactPrefixAtRandomCuts) {
   const std::vector<WriteOp> ops =
       GenerateWriteOps(3, p.ops, kTortureKeyDomain, p.seed);
   const std::vector<WriteOp> schedule =
-      p.batch > 0 ? CoalesceInsertBatches(ops, p.batch) : ops;
+      FrameSchedule(ops, p.batch, p.txn, p.seed);
   const SchedulePlan plan = PlanSchedule(schedule, p.merge_every);
 
   TortureScratchDir dir("crash");
@@ -112,16 +130,8 @@ TEST_P(CrashRecoveryTruncate, RecoversExactPrefixAtRandomCuts) {
   }
 
   // Chop the newest segment at a random byte — a hard crash mid-write.
-  auto segments = ListWalSegments(dir.path());
-  ASSERT_TRUE(segments.ok());
-  ASSERT_FALSE(segments.ValueOrDie().empty());
-  const std::string last_segment =
-      dir.path() + "/" + segments.ValueOrDie().back().second;
-  auto size = FileSize(last_segment);
-  ASSERT_TRUE(size.ok());
   Rng rng(p.seed ^ 0xca75c4a5ULL);
-  const uint64_t cut = rng.Below(size.ValueOrDie() + 1);
-  ASSERT_TRUE(TruncateFile(last_segment, cut).ok());
+  testref::ChopNewestWalSegment(dir.path(), &rng);
 
   auto reopened = DurableTable::Open(dir.path(), TortureSchema(), options);
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
@@ -153,7 +163,12 @@ INSTANTIATE_TEST_SUITE_P(
                       TruncateParam{303, 600, 150, 64},
                       TruncateParam{404, 900, 200, 256},
                       TruncateParam{505, 500, 100, 8},
-                      TruncateParam{606, 300, 75, 32}));
+                      TruncateParam{606, 300, 75, 32},
+                      // Transaction-grouped (and mixed batch+txn) framings:
+                      // a torn kTxnCommit must vanish atomically.
+                      TruncateParam{707, 600, 150, 0, 6},
+                      TruncateParam{808, 900, 200, 64, 4},
+                      TruncateParam{909, 500, 100, 16, 8}));
 
 // --- every-byte batch truncation --------------------------------------------
 
@@ -162,82 +177,38 @@ TEST(CrashRecoveryBatch, TornBatchRecordVanishesAtomicallyAtEveryCut) {
   // at each cut the recovered table must equal the model at the plan's
   // record-boundary op count — if a torn kInsertBatch ever applied a row
   // prefix, some cut inside its frame would mismatch.
-  const uint64_t kOps = 60;
-  const uint64_t kBatch = 8;
+  const uint64_t kSeed = 77;
+  SCOPED_TRACE("seed=77");
   const std::vector<WriteOp> ops =
-      GenerateWriteOps(3, kOps, kTortureKeyDomain, /*seed=*/77);
-  const std::vector<WriteOp> schedule = CoalesceInsertBatches(ops, kBatch);
-  const SchedulePlan plan = PlanSchedule(schedule, /*merge_every=*/0);
+      GenerateWriteOps(3, /*num_ops=*/60, kTortureKeyDomain, kSeed);
+  testref::RunEveryByteCutTorture(ops, CoalesceInsertBatches(ops, 8), kSeed,
+                                  "batchcut");
+}
 
-  TortureScratchDir dir("batchcut");
-  DurableTableOptions options;
-  options.wal.policy = WalSyncPolicy::kEveryCommit;
-  // The first segment's name is deterministic (LSNs start at 1), so the
-  // ack callback can record the frame-end offset of every entry:
-  // sync=every-commit flushes before acknowledging, making the post-ack
-  // file size exactly the cumulative frame boundary.
-  const std::string original = "wal-00000000000000000001.log";
-  const std::string seg_path = dir.path() + "/" + original;
-  std::vector<uint64_t> frame_ends;
-  {
-    auto opened = DurableTable::Open(dir.path(), TortureSchema(), options);
-    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
-    WriteScheduleOptions sched_options;
-    sched_options.on_op_acknowledged = [&](uint64_t) {
-      auto sz = FileSize(seg_path);
-      ASSERT_TRUE(sz.ok());
-      frame_ends.push_back(sz.ValueOrDie());
-    };
-    RunWriteSchedule(&opened.ValueOrDie()->table(), schedule, sched_options);
-  }
-  ASSERT_EQ(frame_ends.size(), schedule.size());
-  const uint64_t full = frame_ends.back();
+TEST(CrashRecoveryTxn, TornTxnCommitRecordVanishesAtomicallyAtEveryCut) {
+  // A transaction-grouped schedule cut at EVERY byte offset: a torn
+  // kTxnCommit record must vanish atomically — recovery may never land on
+  // a row prefix of a transaction's op set. Every cut inside a commit
+  // frame would otherwise mismatch the model at that boundary.
+  const uint64_t kSeed = 177;
+  SCOPED_TRACE("seed=177");
+  const std::vector<WriteOp> ops =
+      GenerateWriteOps(3, /*num_ops=*/70, kTortureKeyDomain, kSeed);
+  testref::RunEveryByteCutTorture(
+      ops, GroupIntoTransactions(ops, /*max_txn_ops=*/5, kSeed), kSeed,
+      "txncut");
+}
 
-  // Keep the pristine crash image in memory: each Open mutates the
-  // directory (a recovered_lsn of 0 even recreates — and truncates — the
-  // very segment under test), so every cut must start from a restored
-  // copy, not from whatever the previous iteration left behind.
-  std::vector<uint8_t> pristine(full);
-  {
-    auto in = FileReader::Open(seg_path);
-    ASSERT_TRUE(in.ok());
-    ASSERT_TRUE(in.ValueOrDie()->Read(pristine.data(), pristine.size()).ok());
-  }
-
-  for (uint64_t cut = full + 1; cut-- > 0;) {
-    // Restore the crash image truncated at `cut`; drop every other WAL
-    // file a previous Open created.
-    auto now = ListWalSegments(dir.path());
-    ASSERT_TRUE(now.ok());
-    for (const auto& [start_lsn, name] : now.ValueOrDie()) {
-      ASSERT_TRUE(RemoveFile(dir.path() + "/" + name).ok());
-    }
-    {
-      auto out = FileWriter::Create(seg_path);
-      ASSERT_TRUE(out.ok());
-      if (cut > 0) {
-        ASSERT_TRUE(out.ValueOrDie()->Write(pristine.data(), cut).ok());
-      }
-      ASSERT_TRUE(out.ValueOrDie()->Close().ok());
-    }
-    // Exactly the records whose frames fully survived may replay.
-    uint64_t expect_records = 0;
-    while (expect_records < frame_ends.size() &&
-           frame_ends[expect_records] <= cut) {
-      ++expect_records;
-    }
-    auto reopened = DurableTable::Open(dir.path(), TortureSchema(), options);
-    ASSERT_TRUE(reopened.ok())
-        << "cut at " << cut << ": " << reopened.status().ToString();
-    const auto& dt = *reopened.ValueOrDie();
-    ASSERT_EQ(dt.recovery().recovered_lsn, expect_records)
-        << "cut at " << cut;
-    const uint64_t recovered_ops =
-        plan.OpsRecovered(dt.recovery().recovered_lsn);
-    const ReferenceModel model = ModelPrefix(ops, recovered_ops);
-    ExpectTableMatchesModel(dt.table(), model, /*seed=*/77);
-    if (::testing::Test::HasFatalFailure()) return;
-  }
+TEST(CrashRecoveryTxn, MixedBatchAndTxnRecordsRecoverAtomicallyAtEveryCut) {
+  // Batch and transaction framings interleaved in one WAL: both multi-op
+  // record types must stay individually atomic at every cut.
+  const uint64_t kSeed = 178;
+  SCOPED_TRACE("seed=178");
+  const std::vector<WriteOp> ops =
+      GenerateWriteOps(3, /*num_ops=*/80, kTortureKeyDomain, kSeed);
+  const std::vector<WriteOp> schedule =
+      GroupIntoTransactions(CoalesceInsertBatches(ops, 8), 4, kSeed);
+  testref::RunEveryByteCutTorture(ops, schedule, kSeed, "mixcut");
 }
 
 // --- fork + SIGKILL ---------------------------------------------------------
@@ -248,11 +219,13 @@ struct KillParam {
   uint64_t merge_every;
   uint64_t max_sleep_ms;  // parent waits up to this long before SIGKILL
   uint64_t batch;         // 0 = per-row records; else max kInsertBatch rows
+  uint64_t txn = 0;       // 0 = no grouping; else max ops per transaction
 };
 
 void PrintTo(const KillParam& p, std::ostream* os) {
   *os << "seed=" << p.seed << " ops=" << p.ops
-      << " merge_every=" << p.merge_every << " batch=" << p.batch;
+      << " merge_every=" << p.merge_every << " batch=" << p.batch
+      << " txn=" << p.txn;
 }
 
 class CrashRecoverySigkill : public ::testing::TestWithParam<KillParam> {};
@@ -262,57 +235,30 @@ TEST_P(CrashRecoverySigkill, ChildKilledMidWorkloadLosesNoAcknowledgedOp) {
   const std::vector<WriteOp> ops =
       GenerateWriteOps(3, p.ops, kTortureKeyDomain, p.seed);
   const std::vector<WriteOp> schedule =
-      p.batch > 0 ? CoalesceInsertBatches(ops, p.batch) : ops;
+      FrameSchedule(ops, p.batch, p.txn, p.seed);
   const SchedulePlan plan = PlanSchedule(schedule, p.merge_every);
 
   TortureScratchDir dir("kill");
   DurableTableOptions options;
   options.wal.policy = WalSyncPolicy::kEveryCommit;
 
-  int pipe_fds[2];
-  ASSERT_EQ(::pipe(pipe_fds), 0);
-
-  const pid_t child = ::fork();
-  ASSERT_GE(child, 0);
-  if (child == 0) {
-    // --- child: write durably, report each acknowledged op, then idle ---
-    ::close(pipe_fds[0]);
-    auto opened = DurableTable::Open(dir.path(), TortureSchema(), options);
-    if (!opened.ok()) _exit(2);
-    auto& dt = *opened.ValueOrDie();
-    WriteScheduleOptions sched_options;
-    sched_options.merge_every = p.merge_every;
-    sched_options.on_op_acknowledged = [&](uint64_t op_index) {
-      // Everything up to logical op `op_index` is durable
-      // (sync=every-commit; one batch record covers its whole batch), so
-      // the parent may rely on anything it reads from the pipe.
-      const ssize_t w = ::write(pipe_fds[1], &op_index, sizeof(op_index));
-      if (w != sizeof(op_index)) _exit(3);
-    };
-    RunWriteSchedule(&dt.table(), schedule, sched_options);
-    ::close(pipe_fds[1]);  // parent sees EOF if we finished everything
-    for (;;) ::pause();    // wait for the SIGKILL
-  }
-
-  // --- parent: kill at a random moment, then recover and verify ---
-  ::close(pipe_fds[1]);
+  // A transaction acknowledges as a whole (its last logical op index), so
+  // everything the child reports is durable under sync=every-commit — one
+  // record covers the whole batch or transaction.
   Rng rng(p.seed ^ 0x5161c1a1ULL);
-  const uint64_t sleep_us = rng.Below(p.max_sleep_ms * 1000);
-  ::usleep(static_cast<useconds_t>(sleep_us));
-  ASSERT_EQ(::kill(child, SIGKILL), 0);
-  int wstatus = 0;
-  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
-
-  // Drain the pipe: the highest index read is the last logical op the
-  // child reported as acknowledged before dying.
-  uint64_t acked_ops = 0;
-  uint64_t index = 0;
-  for (;;) {
-    const ssize_t r = ::read(pipe_fds[0], &index, sizeof(index));
-    if (r != sizeof(index)) break;
-    acked_ops = index + 1;
-  }
-  ::close(pipe_fds[0]);
+  const uint64_t acked_ops = testref::ForkWriterAndKill(
+      [&](const std::function<void(uint64_t)>& report) {
+        auto opened =
+            DurableTable::Open(dir.path(), TortureSchema(), options);
+        if (!opened.ok()) return false;
+        WriteScheduleOptions sched_options;
+        sched_options.merge_every = p.merge_every;
+        sched_options.on_op_acknowledged = report;
+        RunWriteSchedule(&opened.ValueOrDie()->table(), schedule,
+                         sched_options);
+        return true;
+      },
+      p.max_sleep_ms, &rng);
 
   auto reopened = DurableTable::Open(dir.path(), TortureSchema(), options);
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
@@ -340,7 +286,12 @@ INSTANTIATE_TEST_SUITE_P(
                       // updates/deletes stay per-row records between them.
                       KillParam{7005, 2000, 400, 300, 64},
                       KillParam{7006, 1500, 0, 200, 16},
-                      KillParam{7007, 2500, 250, 400, 128}));
+                      KillParam{7007, 2500, 250, 400, 128},
+                      // Transaction-grouped: acknowledged transactions must
+                      // survive whole; unacknowledged ones may vanish whole.
+                      KillParam{7008, 2000, 400, 300, 0, 6},
+                      KillParam{7009, 1500, 0, 200, 0, 4},
+                      KillParam{7010, 2500, 250, 400, 64, 5}));
 
 // ---------------------------------------------------------------------------
 // DurablePartitionedTable (PR 5): per-segment WALs, manifest recovery.
@@ -361,11 +312,13 @@ struct PartTruncateParam {
   uint64_t capacity;     // small => the schedule crosses many rollovers
   uint64_t merge_every;  // 0 = no per-segment checkpoints
   uint64_t batch;        // 0 = per-row records; else max kInsertBatch rows
+  uint64_t txn = 0;      // 0 = no grouping; else max ops per transaction
 };
 
 void PrintTo(const PartTruncateParam& p, std::ostream* os) {
   *os << "seed=" << p.seed << " ops=" << p.ops << " capacity=" << p.capacity
-      << " merge_every=" << p.merge_every << " batch=" << p.batch;
+      << " merge_every=" << p.merge_every << " batch=" << p.batch
+      << " txn=" << p.txn;
 }
 
 class PartitionedCrashTruncate
@@ -376,7 +329,7 @@ TEST_P(PartitionedCrashTruncate, RecoversPerSegmentPrefixAtRandomCuts) {
   const std::vector<WriteOp> ops =
       GenerateWriteOps(3, p.ops, kTortureKeyDomain, p.seed);
   const std::vector<WriteOp> schedule =
-      p.batch > 0 ? CoalesceInsertBatches(ops, p.batch) : ops;
+      FrameSchedule(ops, p.batch, p.txn, p.seed);
   const PartitionedPlan plan = PlanPartitionedSchedule(schedule, p.capacity);
   const size_t num_segments = plan.planned_records.size();
 
@@ -406,16 +359,8 @@ TEST_P(PartitionedCrashTruncate, RecoversPerSegmentPrefixAtRandomCuts) {
         std::snprintf(buf, sizeof(buf), "%06zu", num_segments - 1);
         return std::string(buf);
       }();
-  auto segments = ListWalSegments(tail_dir);
-  ASSERT_TRUE(segments.ok());
-  ASSERT_FALSE(segments.ValueOrDie().empty());
-  const std::string last_segment =
-      tail_dir + "/" + segments.ValueOrDie().back().second;
-  auto size = FileSize(last_segment);
-  ASSERT_TRUE(size.ok());
   Rng rng(p.seed ^ 0xca75c4a5ULL);
-  const uint64_t cut = rng.Below(size.ValueOrDie() + 1);
-  ASSERT_TRUE(TruncateFile(last_segment, cut).ok());
+  testref::ChopNewestWalSegment(tail_dir, &rng);
 
   auto reopened = DurablePartitionedTable::Open(dir.path(), TortureSchema(),
                                                 p.capacity, options);
@@ -446,7 +391,12 @@ INSTANTIATE_TEST_SUITE_P(
                       // Batched: rollover-straddling kInsertBatch chunks.
                       PartTruncateParam{8505, 600, 96, 150, 32},
                       PartTruncateParam{8606, 900, 128, 200, 64},
-                      PartTruncateParam{8707, 500, 48, 100, 8}));
+                      PartTruncateParam{8707, 500, 48, 100, 8},
+                      // Transaction-grouped: torn tail groups may lose a
+                      // cross-segment transaction's tail half — the model
+                      // must agree run-for-run.
+                      PartTruncateParam{8808, 600, 96, 150, 0, 5},
+                      PartTruncateParam{8909, 900, 128, 200, 32, 4}));
 
 TEST(PartitionedCrashRollover, EmptiedFreshTailRecoversToSealedBoundary) {
   // The rollover-straddling crash: the manifest already lists the fresh
@@ -503,11 +453,13 @@ struct PartKillParam {
   uint64_t merge_every;
   uint64_t max_sleep_ms;  // parent waits up to this long before SIGKILL
   uint64_t batch;
+  uint64_t txn = 0;  // 0 = no grouping; else max ops per transaction
 };
 
 void PrintTo(const PartKillParam& p, std::ostream* os) {
   *os << "seed=" << p.seed << " ops=" << p.ops << " capacity=" << p.capacity
-      << " merge_every=" << p.merge_every << " batch=" << p.batch;
+      << " merge_every=" << p.merge_every << " batch=" << p.batch
+      << " txn=" << p.txn;
 }
 
 class PartitionedCrashSigkill
@@ -518,53 +470,30 @@ TEST_P(PartitionedCrashSigkill, KilledMidWorkloadRecoversExactGlobalPrefix) {
   const std::vector<WriteOp> ops =
       GenerateWriteOps(3, p.ops, kTortureKeyDomain, p.seed);
   const std::vector<WriteOp> schedule =
-      p.batch > 0 ? CoalesceInsertBatches(ops, p.batch) : ops;
+      FrameSchedule(ops, p.batch, p.txn, p.seed);
   const PartitionedPlan plan = PlanPartitionedSchedule(schedule, p.capacity);
 
   TortureScratchDir dir("pkill");
   DurableTableOptions options;
   options.wal.policy = WalSyncPolicy::kEveryCommit;
 
-  int pipe_fds[2];
-  ASSERT_EQ(::pipe(pipe_fds), 0);
-
-  const pid_t child = ::fork();
-  ASSERT_GE(child, 0);
-  if (child == 0) {
-    // --- child: write durably, report each acknowledged op, then idle ---
-    ::close(pipe_fds[0]);
-    auto opened = DurablePartitionedTable::Open(dir.path(), TortureSchema(),
-                                                p.capacity, options);
-    if (!opened.ok()) _exit(2);
-    auto& dt = *opened.ValueOrDie();
-    WriteScheduleOptions sched;
-    sched.merge_every = p.merge_every;
-    sched.on_op_acknowledged = [&](uint64_t op_index) {
-      const ssize_t w = ::write(pipe_fds[1], &op_index, sizeof(op_index));
-      if (w != sizeof(op_index)) _exit(3);
-    };
-    RunPartitionedWriteSchedule(&dt.table(), schedule, sched);
-    ::close(pipe_fds[1]);
-    for (;;) ::pause();
-  }
-
-  // --- parent: kill at a random moment (possibly mid-rollover, since the
-  // small capacity makes rollovers frequent), recover, verify ---
-  ::close(pipe_fds[1]);
+  // Kill lands at a random moment — possibly mid-rollover (the small
+  // capacity makes rollovers frequent) or between a cross-segment
+  // transaction's group commits.
   Rng rng(p.seed ^ 0x5161c1a1ULL);
-  ::usleep(static_cast<useconds_t>(rng.Below(p.max_sleep_ms * 1000)));
-  ASSERT_EQ(::kill(child, SIGKILL), 0);
-  int wstatus = 0;
-  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
-
-  uint64_t acked_ops = 0;
-  uint64_t index = 0;
-  for (;;) {
-    const ssize_t r = ::read(pipe_fds[0], &index, sizeof(index));
-    if (r != sizeof(index)) break;
-    acked_ops = index + 1;
-  }
-  ::close(pipe_fds[0]);
+  const uint64_t acked_ops = testref::ForkWriterAndKill(
+      [&](const std::function<void(uint64_t)>& report) {
+        auto opened = DurablePartitionedTable::Open(
+            dir.path(), TortureSchema(), p.capacity, options);
+        if (!opened.ok()) return false;
+        WriteScheduleOptions sched;
+        sched.merge_every = p.merge_every;
+        sched.on_op_acknowledged = report;
+        RunPartitionedWriteSchedule(&opened.ValueOrDie()->table(), schedule,
+                                    sched);
+        return true;
+      },
+      p.max_sleep_ms, &rng);
 
   auto reopened = DurablePartitionedTable::Open(dir.path(), TortureSchema(),
                                                 p.capacity, options);
@@ -598,7 +527,14 @@ INSTANTIATE_TEST_SUITE_P(
                       // must survive chunk-for-chunk.
                       PartKillParam{9005, 2000, 256, 400, 300, 64},
                       PartKillParam{9006, 1500, 64, 0, 200, 16},
-                      PartKillParam{9007, 2500, 128, 250, 400, 128}));
+                      PartKillParam{9007, 2500, 128, 250, 400, 128},
+                      // Transaction-grouped: a kill between a cross-segment
+                      // transaction's group commits may strand a group
+                      // prefix — still an exact global micro prefix, and
+                      // acknowledged transactions survive whole.
+                      PartKillParam{9008, 2000, 128, 400, 300, 0, 5},
+                      PartKillParam{9009, 1500, 96, 0, 200, 0, 4},
+                      PartKillParam{9010, 2500, 192, 250, 400, 64, 6}));
 
 // ---------------------------------------------------------------------------
 // Delete-heavy aging + compaction checkpoints (PR 7): crash cuts across the
@@ -617,6 +553,7 @@ TEST(CrashRecoveryAging, CutAcrossCompactionWindowRecoversExactPrefix) {
   const uint64_t kDeletes = 120;
   const uint64_t kCompactEvery = 25;
   for (const uint64_t seed : {421u, 422u, 423u, 424u, 425u, 426u}) {
+    SCOPED_TRACE(::testing::Message() << "seed=" << seed);
     TortureScratchDir dir("agecut");
     DurableTableOptions options;
     options.wal.policy = WalSyncPolicy::kEveryCommit;
@@ -652,15 +589,7 @@ TEST(CrashRecoveryAging, CutAcrossCompactionWindowRecoversExactPrefix) {
     }
 
     // Chop the newest WAL segment — the current compaction window.
-    auto segments = ListWalSegments(dir.path());
-    ASSERT_TRUE(segments.ok());
-    ASSERT_FALSE(segments.ValueOrDie().empty());
-    const std::string last_segment =
-        dir.path() + "/" + segments.ValueOrDie().back().second;
-    auto size = FileSize(last_segment);
-    ASSERT_TRUE(size.ok());
-    const uint64_t cut = rng.Below(size.ValueOrDie() + 1);
-    ASSERT_TRUE(TruncateFile(last_segment, cut).ok());
+    const uint64_t cut = testref::ChopNewestWalSegment(dir.path(), &rng);
 
     auto reopened = DurableTable::Open(dir.path(), TortureSchema(), options);
     ASSERT_TRUE(reopened.ok())

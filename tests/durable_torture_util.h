@@ -19,15 +19,22 @@
 
 #include <gtest/gtest.h>
 
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <ostream>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/table.h"
+#include "persist/durable_table.h"
+#include "persist/wal.h"
 #include "reference_model.h"
 #include "util/file_io.h"
 #include "util/random.h"
@@ -64,6 +71,74 @@ class TortureScratchDir {
   std::string path_;
 };
 
+// ---------------------------------------------------------------------------
+// Crash scaffolding shared by the tortures: random-byte WAL truncation and
+// the fork + SIGKILL harness. Both simulators are schedule-agnostic — the
+// same helpers drive per-row, batch-coalesced, and transaction-grouped
+// schedules against monolithic and partitioned durable tables.
+// ---------------------------------------------------------------------------
+
+/// Truncates the newest WAL segment under `wal_dir` at a random byte in
+/// [0, file_size] — a hard crash mid-write. Returns the cut offset.
+inline uint64_t ChopNewestWalSegment(const std::string& wal_dir, Rng* rng) {
+  auto segments = persist::ListWalSegments(wal_dir);
+  EXPECT_TRUE(segments.ok());
+  EXPECT_FALSE(segments.ValueOrDie().empty());
+  const std::string last_segment =
+      wal_dir + "/" + segments.ValueOrDie().back().second;
+  auto size = FileSize(last_segment);
+  EXPECT_TRUE(size.ok());
+  const uint64_t cut = rng->Below(size.ValueOrDie() + 1);
+  EXPECT_TRUE(TruncateFile(last_segment, cut).ok());
+  return cut;
+}
+
+/// Forks a child that runs `body(report)` — the body calls report(i) after
+/// logical op `i` is *acknowledged* (durable under sync=every-commit), then
+/// the helper parks the child until the parent SIGKILLs it at a random
+/// moment within `max_sleep_ms`. Returns the number of logical ops the
+/// child reported acknowledged before dying; the caller's durability
+/// contract is that recovery must cover at least that prefix. The child
+/// exits 2 if `body` returns false (setup failure) and 3 if an ack write
+/// fails — both surface as a short ack stream, which the recovery bound
+/// then flags.
+template <typename Body>
+inline uint64_t ForkWriterAndKill(Body&& body, uint64_t max_sleep_ms,
+                                  Rng* rng) {
+  int pipe_fds[2];
+  EXPECT_EQ(::pipe(pipe_fds), 0);
+  const pid_t child = ::fork();
+  EXPECT_GE(child, 0);
+  if (child < 0) return 0;
+  if (child == 0) {
+    // --- child: write durably, report each acknowledged op, then idle ---
+    ::close(pipe_fds[0]);
+    const std::function<void(uint64_t)> report = [&](uint64_t op_index) {
+      const ssize_t w = ::write(pipe_fds[1], &op_index, sizeof(op_index));
+      if (w != sizeof(op_index)) _exit(3);
+    };
+    if (!body(report)) _exit(2);
+    ::close(pipe_fds[1]);  // parent sees EOF if we finished everything
+    for (;;) ::pause();    // wait for the SIGKILL
+  }
+  // --- parent: kill at a random moment (possibly mid-fsync, mid-rename,
+  // mid-checkpoint, or mid-transaction-commit), then reap and drain ---
+  ::close(pipe_fds[1]);
+  ::usleep(static_cast<useconds_t>(rng->Below(max_sleep_ms * 1000)));
+  EXPECT_EQ(::kill(child, SIGKILL), 0);
+  int wstatus = 0;
+  EXPECT_EQ(::waitpid(child, &wstatus, 0), child);
+  uint64_t acked_ops = 0;
+  uint64_t index = 0;
+  for (;;) {
+    const ssize_t r = ::read(pipe_fds[0], &index, sizeof(index));
+    if (r != sizeof(index)) break;
+    acked_ops = index + 1;
+  }
+  ::close(pipe_fds[0]);
+  return acked_ops;
+}
+
 /// Replays the first `count` *logical* ops of the schedule into a fresh
 /// reference model. Works for per-row and batch-coalesced schedules alike:
 /// a batch entry spends one logical op per row, and a batch straddling the
@@ -96,6 +171,17 @@ inline ReferenceModel ModelPrefix(const std::vector<WriteOp>& ops,
               std::span<const uint64_t>(op.keys).subspan(r * nc, nc));
           ++applied;
         }
+        break;
+      case WriteOpKind::kTxn:
+        // Transactions recover whole or vanish whole, so a valid prefix
+        // budget always lands on a transaction boundary. Assert that and
+        // apply the complete op set — a budget cut mid-transaction is a
+        // torture bug (or the atomicity hole these tests exist to catch),
+        // and half-applying here would mask it.
+        EXPECT_LE(applied + op.txn_ops.size(), count)
+            << "prefix budget lands inside a transaction";
+        model.ApplyTxn(op.txn_ops);
+        applied += op.txn_ops.size();
         break;
     }
   }
@@ -275,6 +361,65 @@ inline PartitionedPlan PlanPartitionedSchedule(
             {false, {}, op.target_row, owner, next_lsn[owner]++});
         break;
       }
+      case WriteOpKind::kTxn: {
+        // Mirrors PartitionedTable::CommitTxn: the buffered ops decompose
+        // into contiguous same-segment runs, and each run commits as ONE
+        // kTxnCommit record (one LSN) in its segment's WAL — routing to a
+        // different segment closes the current run. A crash can therefore
+        // tear the transaction only at run boundaries, which is exactly the
+        // granularity these micros encode.
+        size_t run_seg = SIZE_MAX;
+        uint64_t run_lsn_value = 0;
+        const auto run_lsn = [&](size_t seg) {
+          if (seg != run_seg) {
+            run_seg = seg;
+            run_lsn_value = next_lsn[seg]++;
+          }
+          return run_lsn_value;
+        };
+        for (const TxnOp& t : op.txn_ops) {
+          switch (t.kind) {
+            case TxnOp::Kind::kInsert: {
+              roll_over_if_full();
+              plan.micros.push_back({true, t.keys, 0, tail, run_lsn(tail)});
+              ++rows_total;
+              ++tail_rows;
+              break;
+            }
+            case TxnOp::Kind::kUpdate: {
+              roll_over_if_full();
+              EXPECT_LT(t.target_row, rows_total)
+                  << "generator broke in-range";
+              const size_t owner =
+                  static_cast<size_t>(t.target_row / capacity);
+              if (owner == tail) {
+                const uint64_t lsn = run_lsn(tail);
+                plan.micros.push_back({true, t.keys, 0, tail, lsn});
+                plan.micros.push_back({false, {}, t.target_row, tail, lsn});
+              } else {
+                plan.micros.push_back(
+                    {true, t.keys, 0, tail, run_lsn(tail)});
+                plan.micros.push_back(
+                    {false, {}, t.target_row, owner, run_lsn(owner)});
+              }
+              ++rows_total;
+              ++tail_rows;
+              break;
+            }
+            case TxnOp::Kind::kDelete: {
+              EXPECT_LT(t.target_row, rows_total)
+                  << "generator broke in-range";
+              const size_t owner =
+                  static_cast<size_t>(t.target_row / capacity);
+              plan.micros.push_back(
+                  {false, {}, t.target_row, owner, run_lsn(owner)});
+              break;
+            }
+          }
+          plan.micros_after_logical.push_back(plan.micros.size());
+        }
+        break;
+      }
     }
     // One entry per logical (single-row) op: a batch spends one per row; an
     // update's two micros belong to a single logical op.
@@ -291,6 +436,8 @@ inline PartitionedPlan PlanPartitionedSchedule(
         }
         break;
       }
+      case WriteOpKind::kTxn:
+        break;  // entries pushed per sub-op above
     }
   }
   for (uint64_t lsn : next_lsn) plan.planned_records.push_back(lsn - 1);
@@ -355,6 +502,13 @@ inline SchedulePlan PlanSchedule(std::span<const WriteOp> schedule,
       case WriteOpKind::kInsertBatch:
         delta_rows += op.batch_rows;
         break;
+      case WriteOpKind::kTxn:
+        // One kTxnCommit record for the whole op set; each insert/update
+        // sub-op appends one delta row.
+        for (const TxnOp& t : op.txn_ops) {
+          if (t.kind != TxnOp::Kind::kDelete) delta_rows += 1;
+        }
+        break;
       case WriteOpKind::kDelete:
         break;
     }
@@ -366,6 +520,92 @@ inline SchedulePlan PlanSchedule(std::span<const WriteOp> schedule,
   plan.total_records = schedule.size();
   plan.total_ops = logical;
   return plan;
+}
+
+/// The every-byte truncation torture: runs `schedule` once on a fresh
+/// DurableTable under sync=every-commit, recording each entry's frame-end
+/// offset in the (single, deterministically named) WAL segment, then
+/// restores the crash image truncated at EVERY byte from full length down
+/// to zero and verifies each cut recovers the table to exactly the
+/// record-boundary logical prefix the surviving frames cover. If a torn
+/// multi-op record (kInsertBatch or kTxnCommit) ever applied a partial
+/// effect, some cut inside its frame would mismatch the model.
+/// `logical_ops` is the per-row schedule `schedule` was derived from (they
+/// share one logical op stream); `tag` names the scratch directory.
+inline void RunEveryByteCutTorture(const std::vector<WriteOp>& logical_ops,
+                                   const std::vector<WriteOp>& schedule,
+                                   uint64_t seed, const std::string& tag) {
+  const SchedulePlan plan = PlanSchedule(schedule, /*merge_every=*/0);
+
+  TortureScratchDir dir(tag);
+  persist::DurableTableOptions options;
+  options.wal.policy = persist::WalSyncPolicy::kEveryCommit;
+  // The first segment's name is deterministic (LSNs start at 1), so the
+  // ack callback can record the frame-end offset of every entry:
+  // sync=every-commit flushes before acknowledging, making the post-ack
+  // file size exactly the cumulative frame boundary.
+  const std::string seg_path = dir.path() + "/wal-00000000000000000001.log";
+  std::vector<uint64_t> frame_ends;
+  {
+    auto opened =
+        persist::DurableTable::Open(dir.path(), TortureSchema(), options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    WriteScheduleOptions sched_options;
+    sched_options.on_op_acknowledged = [&](uint64_t) {
+      auto sz = FileSize(seg_path);
+      ASSERT_TRUE(sz.ok());
+      frame_ends.push_back(sz.ValueOrDie());
+    };
+    RunWriteSchedule(&opened.ValueOrDie()->table(), schedule, sched_options);
+  }
+  ASSERT_EQ(frame_ends.size(), schedule.size());
+  const uint64_t full = frame_ends.back();
+
+  // Keep the pristine crash image in memory: each Open mutates the
+  // directory (a recovered_lsn of 0 even recreates — and truncates — the
+  // very segment under test), so every cut must start from a restored
+  // copy, not from whatever the previous iteration left behind.
+  std::vector<uint8_t> pristine(full);
+  {
+    auto in = FileReader::Open(seg_path);
+    ASSERT_TRUE(in.ok());
+    ASSERT_TRUE(in.ValueOrDie()->Read(pristine.data(), pristine.size()).ok());
+  }
+
+  for (uint64_t cut = full + 1; cut-- > 0;) {
+    // Restore the crash image truncated at `cut`; drop every other WAL
+    // file a previous Open created.
+    auto now = persist::ListWalSegments(dir.path());
+    ASSERT_TRUE(now.ok());
+    for (const auto& [start_lsn, name] : now.ValueOrDie()) {
+      ASSERT_TRUE(RemoveFile(dir.path() + "/" + name).ok());
+    }
+    {
+      auto out = FileWriter::Create(seg_path);
+      ASSERT_TRUE(out.ok());
+      if (cut > 0) {
+        ASSERT_TRUE(out.ValueOrDie()->Write(pristine.data(), cut).ok());
+      }
+      ASSERT_TRUE(out.ValueOrDie()->Close().ok());
+    }
+    // Exactly the records whose frames fully survived may replay.
+    uint64_t expect_records = 0;
+    while (expect_records < frame_ends.size() &&
+           frame_ends[expect_records] <= cut) {
+      ++expect_records;
+    }
+    auto reopened =
+        persist::DurableTable::Open(dir.path(), TortureSchema(), options);
+    ASSERT_TRUE(reopened.ok())
+        << "cut at " << cut << ": " << reopened.status().ToString();
+    const auto& dt = *reopened.ValueOrDie();
+    ASSERT_EQ(dt.recovery().recovered_lsn, expect_records) << "cut at " << cut;
+    const uint64_t recovered_ops =
+        plan.OpsRecovered(dt.recovery().recovered_lsn);
+    const ReferenceModel model = ModelPrefix(logical_ops, recovered_ops);
+    ExpectTableMatchesModel(dt.table(), model, seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
 }
 
 }  // namespace testref

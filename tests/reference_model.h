@@ -10,7 +10,11 @@
 //   * validity is a per-row flag flipped by deletes and supersession;
 //   * a 4-byte column truncates keys to 32 bits on insert AND on probe,
 //     because FixedValue<4>::FromKey does (8- and 16-byte columns carry the
-//     full 64-bit ordering key).
+//     full 64-bit ordering key);
+//   * transactions (ApplyTxn) apply a buffered op set in order — atomically
+//     or not at all, meaning callers must never hand the model a partial
+//     transaction (ModelPrefix enforces the boundary when replaying a
+//     schedule prefix).
 //
 // The model is cheaply copyable: a copy taken at the instant a Snapshot is
 // pinned is the ground truth that snapshot must agree with forever after,
@@ -21,6 +25,8 @@
 #include <cstdint>
 #include <span>
 #include <vector>
+
+#include "core/durability_hooks.h"
 
 namespace deltamerge::testref {
 
@@ -54,6 +60,28 @@ class ReferenceModel {
     if (row < valid_.size() && valid_[row]) {
       valid_[row] = false;
       --valid_count_;
+    }
+  }
+
+  /// Txn-aware mode: applies a whole buffered transaction in op order. The
+  /// table's transaction layer uses the same liberal write semantics as the
+  /// single-op path (an update of a dead/out-of-range row degrades to a
+  /// plain insert; a delete of one is a no-op), so each TxnOp maps onto the
+  /// existing model methods. Callers must hand over the complete op set —
+  /// a crash-recovered table either contains all of these effects or none.
+  void ApplyTxn(std::span<const TxnOp> ops) {
+    for (const TxnOp& op : ops) {
+      switch (op.kind) {
+        case TxnOp::Kind::kInsert:
+          Insert(op.keys);
+          break;
+        case TxnOp::Kind::kUpdate:
+          Update(op.target_row, op.keys);
+          break;
+        case TxnOp::Kind::kDelete:
+          Delete(op.target_row);
+          break;
+      }
     }
   }
 

@@ -195,6 +195,7 @@ TEST(ShardedTable, SealedSegmentsBecomePermanentlyDeltaFree) {
 // --- parallel fan-out reads --------------------------------------------------
 
 TEST(ShardedTable, ParallelFanOutMatchesSerial) {
+  SCOPED_TRACE("seed=77");
   PartitionedTable t(Schema::Uniform(3, 8), 128);
   Rng rng(77);
   std::vector<uint64_t> row(3);
@@ -263,6 +264,7 @@ TEST(ShardedTableTorture, PooledReadsRaceWriterAndRollovers) {
 // --- cross-segment snapshots -------------------------------------------------
 
 TEST(PartitionedSnapshotTest, AnswersAsOfCaptureAcrossLaterWritesAndMerges) {
+  SCOPED_TRACE("seeds: schedule=1313 probe=99");
   PartitionedTable t(TortureSchema(), 50);
   ReferenceModel model(TortureWidths());
   const std::vector<WriteOp> ops =
@@ -283,6 +285,7 @@ TEST(PartitionedSnapshotTest, AnswersAsOfCaptureAcrossLaterWritesAndMerges) {
         model.Delete(ops[i].target_row);
         break;
       case WriteOpKind::kInsertBatch:
+      case WriteOpKind::kTxn:
         break;  // not generated here
     }
     if (i % 211 == 0) {
@@ -331,6 +334,7 @@ TEST(PartitionedSnapshotTorture, ReadersVerifyCaptureInstantWhileWriterRuns) {
   PartitionedMergeDaemon daemon(&table, policy, merge_options);
   daemon.Start();
 
+  SCOPED_TRACE("writer schedule seed=4242");
   constexpr uint64_t kWriterOps = 12000;
   const std::vector<WriteOp> ops =
       GenerateWriteOps(3, kWriterOps, kTortureKeyDomain, 4242);
@@ -339,6 +343,7 @@ TEST(PartitionedSnapshotTorture, ReadersVerifyCaptureInstantWhileWriterRuns) {
   std::atomic<uint64_t> verified_during_merge{0};
 
   const auto reader_body = [&](uint64_t seed) {
+    SCOPED_TRACE(::testing::Message() << "reader seed=" << seed);
     Rng rng(seed);
     while (!stop.load(std::memory_order_acquire)) {
       PartitionedSnapshot snap;
@@ -388,6 +393,7 @@ TEST(PartitionedSnapshotTorture, ReadersVerifyCaptureInstantWhileWriterRuns) {
         model.Delete(op.target_row);
         break;
       case WriteOpKind::kInsertBatch:
+      case WriteOpKind::kTxn:
         break;  // not generated here
     }
   }
@@ -463,6 +469,7 @@ TEST(PartitionedMergeDaemon, PausedDaemonDoesNotMerge) {
 // --- DurablePartitionedTable: clean paths ------------------------------------
 
 TEST(DurableShardedTable, ReopenRestoresExactStateAndKeepsGrowing) {
+  SCOPED_TRACE("seeds: initial=555 post-recovery=556");
   const uint64_t kOps = 1500;
   const uint64_t kCapacity = 193;
   const std::vector<WriteOp> ops =

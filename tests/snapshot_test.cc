@@ -71,25 +71,41 @@ TEST(EpochManager, LaterPinDoesNotResurrectOlderGarbage) {
   em.Unpin(slot);
 }
 
-TEST(EpochManager, MinPinnedSeqIsConservativeUntilPublished) {
+TEST(EpochManager, MinPinnedReadTsIsConservativeUntilPublished) {
   EpochManager em;
-  EXPECT_EQ(em.MinPinnedSeq(), UINT64_MAX);  // nothing pinned
+  EXPECT_EQ(em.MinPinnedReadTs(), UINT64_MAX);  // nothing pinned
   const uint32_t a = em.Pin();
-  EXPECT_EQ(em.MinPinnedSeq(), 0u);  // pinned but not yet published
-  em.PublishPinnedSeq(a, 17);
-  EXPECT_EQ(em.MinPinnedSeq(), 17u);
+  EXPECT_EQ(em.MinPinnedReadTs(), 0u);  // pinned but not yet published
+  em.PublishPinnedReadTs(a, 17);
+  EXPECT_EQ(em.MinPinnedReadTs(), 17u);
   const uint32_t b = em.Pin();
-  EXPECT_EQ(em.MinPinnedSeq(), 0u);  // second pin back to unknown
-  em.PublishPinnedSeq(b, 40);
-  EXPECT_EQ(em.MinPinnedSeq(), 17u);
+  EXPECT_EQ(em.MinPinnedReadTs(), 0u);  // second pin back to unknown
+  em.PublishPinnedReadTs(b, 40);
+  EXPECT_EQ(em.MinPinnedReadTs(), 17u);
   em.Unpin(a);
-  EXPECT_EQ(em.MinPinnedSeq(), 40u);
+  EXPECT_EQ(em.MinPinnedReadTs(), 40u);
   em.Unpin(b);
-  EXPECT_EQ(em.MinPinnedSeq(), UINT64_MAX);
-  // A reused slot must not leak the previous occupant's seq.
+  EXPECT_EQ(em.MinPinnedReadTs(), UINT64_MAX);
+  // A reused slot must not leak the previous occupant's read timestamp.
   const uint32_t c = em.Pin();
-  EXPECT_EQ(em.MinPinnedSeq(), 0u);
+  EXPECT_EQ(em.MinPinnedReadTs(), 0u);
   em.Unpin(c);
+}
+
+TEST(EpochManager, CommitClockAdvancesAndSeeds) {
+  EpochManager em;
+  const uint64_t base = em.current_epoch();
+  const uint64_t t1 = em.AdvanceClock();
+  EXPECT_EQ(t1, base + 1);  // returns the NEW value
+  EXPECT_EQ(em.current_epoch(), t1);
+  EXPECT_LT(t1, em.AdvanceClock());  // strictly monotone
+
+  // Recovery seeding: CAS-max, never moves the clock backwards.
+  em.EnsureClockAtLeast(1000);
+  EXPECT_EQ(em.current_epoch(), 1000u);
+  em.EnsureClockAtLeast(5);  // stale seed is a no-op
+  EXPECT_EQ(em.current_epoch(), 1000u);
+  EXPECT_EQ(em.AdvanceClock(), 1001u);
 }
 
 TEST(EpochManager, SlotsAreReusable) {
@@ -107,58 +123,72 @@ TEST(EpochManager, SlotsAreReusable) {
 // ValidityVector tombstone log
 // ---------------------------------------------------------------------------
 
-TEST(ValidityTombstones, IsValidAtSeqReconstructsHistory) {
+TEST(ValidityTombstones, IsValidAtTsReconstructsHistory) {
   ValidityVector v;
-  v.Append(4);
-  const uint64_t s0 = v.tombstone_seq();  // all 4 valid
-  v.Invalidate(1);
-  const uint64_t s1 = v.tombstone_seq();
-  v.Invalidate(3);
-  const uint64_t s2 = v.tombstone_seq();
+  v.Append(2, /*ts=*/5);  // rows 0,1 committed at ts 5
+  v.Append(2, /*ts=*/7);  // rows 2,3 committed at ts 7
+  v.Invalidate(1, /*ts=*/9);
+  v.Invalidate(3, /*ts=*/12);
 
-  // Now: 0,2 valid; 1,3 invalid.
-  EXPECT_TRUE(v.IsValidAtSeq(1, s0));   // invalidated after s0
-  EXPECT_TRUE(v.IsValidAtSeq(3, s0));
-  EXPECT_FALSE(v.IsValidAtSeq(1, s1));  // already dead at s1
-  EXPECT_TRUE(v.IsValidAtSeq(3, s1));
-  EXPECT_FALSE(v.IsValidAtSeq(1, s2));
-  EXPECT_FALSE(v.IsValidAtSeq(3, s2));
-  EXPECT_TRUE(v.IsValidAtSeq(0, s0));
-  EXPECT_TRUE(v.IsValidAtSeq(2, s2));
+  // Insert visibility: a row exists only at read_ts >= its insert ts.
+  EXPECT_FALSE(v.IsValidAtTs(0, 4));
+  EXPECT_TRUE(v.IsValidAtTs(0, 5));
+  EXPECT_FALSE(v.IsValidAtTs(2, 6));
+  EXPECT_TRUE(v.IsValidAtTs(2, 7));
 
-  // Double-invalidate is not re-logged.
-  v.Invalidate(1);
-  EXPECT_EQ(v.tombstone_seq(), s2);
+  // Tombstone visibility: dead exactly from its invalidation ts onward.
+  EXPECT_TRUE(v.IsValidAtTs(1, 8));
+  EXPECT_FALSE(v.IsValidAtTs(1, 9));
+  EXPECT_TRUE(v.IsValidAtTs(3, 11));
+  EXPECT_FALSE(v.IsValidAtTs(3, 12));
+  EXPECT_TRUE(v.IsValidAtTs(0, 1 << 20));  // never invalidated
 
-  // Prune keeps the absolute clock monotone.
-  v.PruneTombstones();
-  EXPECT_EQ(v.tombstone_seq(), s2);
-  EXPECT_EQ(v.tombstone_log_size(), 0u);
-  EXPECT_FALSE(v.IsValidAtSeq(1, s2));
+  // Double-invalidate is idempotent and not re-logged.
+  EXPECT_EQ(v.tombstone_log_size(), 2u);
+  v.Invalidate(1, /*ts=*/13);
+  EXPECT_EQ(v.tombstone_log_size(), 2u);
+  EXPECT_FALSE(v.IsValidAtTs(1, 9));  // original ts survives
+
+  // insert_ts accessor round-trips the stamps.
+  EXPECT_EQ(v.insert_ts(0), 5u);
+  EXPECT_EQ(v.insert_ts(3), 7u);
+}
+
+TEST(ValidityTombstones, TsZeroIsThePreMvccSentinel) {
+  ValidityVector v;
+  v.Append(3);  // ts 0: visible to every read timestamp, even 0
+  EXPECT_TRUE(v.IsValidAtTs(0, 0));
+  EXPECT_TRUE(v.IsValidAtTs(2, 0));
+  v.Invalidate(1, /*ts=*/4);
+  EXPECT_TRUE(v.IsValidAtTs(1, 3));
+  EXPECT_FALSE(v.IsValidAtTs(1, 4));
 }
 
 TEST(ValidityTombstones, PartialPruneKeepsLiveSuffix) {
   ValidityVector v;
-  v.Append(10);
-  for (uint64_t row : {0ull, 2ull, 4ull, 6ull, 8ull}) v.Invalidate(row);
-  const uint64_t seq = v.tombstone_seq();  // 5
-  v.Invalidate(1);
-  v.Invalidate(3);
+  v.Append(10, /*ts=*/1);
+  uint64_t ts = 1;
+  for (uint64_t row : {0ull, 2ull, 4ull, 6ull, 8ull}) v.Invalidate(row, ++ts);
+  const uint64_t cut = ts;  // 6: every tombstone so far is at or below it
+  v.Invalidate(1, ++ts);    // 7
+  v.Invalidate(3, ++ts);    // 8
 
-  // Prune everything below `seq`: rows 1 and 3 stay consultable.
-  v.PruneTombstonesBefore(seq);
+  // Prune at `cut`: the five old entries go, rows 1 and 3 stay consultable.
+  v.PruneTombstonesBefore(cut);
   EXPECT_EQ(v.tombstone_log_size(), 2u);
-  EXPECT_EQ(v.tombstone_seq(), seq + 2);
-  EXPECT_TRUE(v.IsValidAtSeq(1, seq));    // invalidated after seq
-  EXPECT_TRUE(v.IsValidAtSeq(3, seq));
-  EXPECT_FALSE(v.IsValidAtSeq(1, seq + 2));
+  EXPECT_TRUE(v.IsValidAtTs(1, cut));  // invalidated after the cut
+  EXPECT_TRUE(v.IsValidAtTs(3, cut));
+  EXPECT_FALSE(v.IsValidAtTs(1, ts));
+  // A pruned entry answers "invalid" for every read_ts at/above its ts,
+  // exactly as if it were still present.
+  EXPECT_FALSE(v.IsValidAtTs(0, cut));
   // Pruning below an already-pruned point is a no-op.
   v.PruneTombstonesBefore(2);
   EXPECT_EQ(v.tombstone_log_size(), 2u);
-  // Pruning past the end clears the log but keeps the clock.
-  v.PruneTombstonesBefore(v.tombstone_seq() + 100);
+  // Pruning past the newest entry clears the log entirely.
+  v.PruneTombstonesBefore(ts + 100);
   EXPECT_EQ(v.tombstone_log_size(), 0u);
-  EXPECT_EQ(v.tombstone_seq(), seq + 2);
+  EXPECT_FALSE(v.IsValidAtTs(3, ts));
 }
 
 // ---------------------------------------------------------------------------

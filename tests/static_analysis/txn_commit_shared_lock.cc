@@ -1,0 +1,33 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Negative-compile case: the transaction commit body requires the
+// EXCLUSIVE table lock — Table::CommitTxnLocked validates the readset and
+// stamps every op with one commit timestamp, and doing that under a shared
+// (reader) hold would let two commits interleave their validations and
+// both win the same conflict. Calling a DM_REQUIRES(mu) commit helper
+// while holding mu only in shared mode must be rejected.
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+class MiniTable {
+ public:
+  void CommitTxn() {
+    deltamerge::ReaderMutexLock lock(mu_);
+    CommitTxnLocked();  // BUG under analysis: mu_ held shared, not exclusive
+  }
+
+ private:
+  void CommitTxnLocked() DM_REQUIRES(mu_) { ++commits_; }
+
+  deltamerge::SharedMutex mu_;
+  unsigned commits_ DM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  MiniTable t;
+  t.CommitTxn();
+  return 0;
+}

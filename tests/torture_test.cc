@@ -168,6 +168,7 @@ TEST(OnlineMergeTorture, ReadersScanWhileWriterAndDaemonRun) {
   readers.reserve(kReaders);
   for (int r = 0; r < kReaders; ++r) {
     readers.emplace_back([&, r] {
+      SCOPED_TRACE(::testing::Message() << "reader seed=0xbeef+" << r);
       Rng rng(0xbeef + static_cast<uint64_t>(r));
       while (!stop.load(std::memory_order_acquire)) {
         // Capture a snapshot and its expected answers atomically with
@@ -220,6 +221,7 @@ TEST(OnlineMergeTorture, ReadersScanWhileWriterAndDaemonRun) {
   }
 
   // Single writer on the main thread.
+  SCOPED_TRACE("writer seed=0xfeed");
   Rng rng(0xfeed);
   std::vector<uint64_t> keys(3);
   int op = 0;

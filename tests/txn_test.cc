@@ -1,0 +1,426 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Optimistic multi-row transactions (PR 8): unit tests for the buffered
+// write / readset-validation / single-commit-timestamp protocol on Table
+// and its global-row-domain sibling on PartitionedTable, the
+// GroupIntoTransactions schedule transform (the differential backbone of
+// the crash tortures), kTxnCommit replay on a DurableTable, and a
+// fork-free multi-writer contention torture (TSan runs this suite): with
+// read-then-update transactions racing on the same rows, exactly one
+// writer wins each row — first-updater-wins, enforced by readset
+// validation under the commit lock.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/partitioned_table.h"
+#include "core/table.h"
+#include "durable_torture_util.h"
+#include "persist/durable_table.h"
+#include "workload/query_gen.h"
+
+namespace deltamerge {
+namespace {
+
+using persist::DurableTable;
+using persist::DurableTableOptions;
+using persist::WalSyncPolicy;
+using testref::ExpectTableMatchesModel;
+using testref::kTortureKeyDomain;
+using testref::ModelPrefix;
+using testref::ReferenceModel;
+using testref::TortureSchema;
+using testref::TortureScratchDir;
+using testref::TortureWidths;
+
+// --- Table::Transaction -----------------------------------------------------
+
+TEST(TableTxn, CommitAppliesAllOpsAtomically) {
+  Table t(TortureSchema());
+  t.InsertRow({1, 1, 1});
+  t.InsertRow({2, 2, 2});
+
+  auto txn = t.BeginTransaction();
+  EXPECT_TRUE(txn.open());
+  txn.Insert({10, 10, 10});
+  txn.Update(0, {11, 11, 11});
+  txn.Delete(1);
+  EXPECT_EQ(txn.num_ops(), 3u);
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_FALSE(txn.open());
+
+  // Rows: 0,1 pre-existing; 2 = txn insert; 3 = update's new version.
+  EXPECT_EQ(t.num_rows(), 4u);
+  EXPECT_FALSE(t.IsRowValid(0));  // superseded by the update
+  EXPECT_FALSE(t.IsRowValid(1));  // deleted
+  EXPECT_TRUE(t.IsRowValid(2));
+  EXPECT_TRUE(t.IsRowValid(3));
+  EXPECT_EQ(t.GetKey(0, 2), 10u);
+  EXPECT_EQ(t.GetKey(0, 3), 11u);
+  EXPECT_EQ(t.txn_stats().commits, 1u);
+  EXPECT_EQ(t.txn_stats().aborts, 0u);
+}
+
+TEST(TableTxn, OpsMayTargetRowsTheTransactionCreates) {
+  Table t(TortureSchema());
+  t.InsertRow({1, 1, 1});
+  // Row ids are assigned at commit in buffer order, so the transaction can
+  // address its own inserts: the insert below lands at row 1, the update
+  // of row 1 appends row 2 and supersedes it.
+  auto txn = t.BeginTransaction();
+  txn.Insert({5, 5, 5});
+  txn.Update(1, {6, 6, 6});
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_FALSE(t.IsRowValid(1));
+  EXPECT_TRUE(t.IsRowValid(2));
+  EXPECT_EQ(t.GetKey(0, 2), 6u);
+}
+
+TEST(TableTxn, AbortDiscardsEverything) {
+  Table t(TortureSchema());
+  t.InsertRow({1, 1, 1});
+  auto txn = t.BeginTransaction();
+  txn.Insert({9, 9, 9});
+  txn.Delete(0);
+  txn.Abort();
+  EXPECT_FALSE(txn.open());
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_TRUE(t.IsRowValid(0));
+  EXPECT_EQ(t.txn_stats().commits, 0u);
+  EXPECT_EQ(t.txn_stats().aborts, 0u);  // an explicit abort is not a conflict
+}
+
+TEST(TableTxn, ReadsetConflictAbortsWithNothingApplied) {
+  Table t(TortureSchema());
+  t.InsertRow({1, 1, 1});
+
+  auto txn = t.BeginTransaction();
+  ASSERT_TRUE(txn.ReadRowValid(0));
+  txn.Delete(0);
+  txn.Insert({7, 7, 7});
+
+  // A concurrent writer invalidates the observed row before commit.
+  ASSERT_TRUE(t.DeleteRow(0).ok());
+
+  const Status st = txn.Commit();
+  EXPECT_EQ(st.code(), StatusCode::kAborted) << st.ToString();
+  EXPECT_EQ(t.num_rows(), 1u);  // the buffered insert was NOT applied
+  EXPECT_EQ(t.txn_stats().commits, 0u);
+  EXPECT_EQ(t.txn_stats().aborts, 1u);
+
+  // A transaction that observes the post-delete state commits fine.
+  auto retry = t.BeginTransaction();
+  EXPECT_FALSE(retry.ReadRowValid(0));
+  retry.Insert({7, 7, 7});
+  EXPECT_TRUE(retry.Commit().ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTxn, EmptyReadsetCommitCannotAbort) {
+  // Replay re-commits logged transactions with an empty readset; the
+  // deterministic schedules rely on the same property.
+  Table t(TortureSchema());
+  t.InsertRow({1, 1, 1});
+  ASSERT_TRUE(t.DeleteRow(0).ok());
+  auto txn = t.BeginTransaction();
+  txn.Update(0, {2, 2, 2});  // liberal: dead target degrades to insert
+  txn.Delete(0);             // liberal: deleting a dead row is a no-op
+  txn.Delete(99);            // liberal: out-of-range delete is a no-op
+  EXPECT_TRUE(txn.Commit().ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_TRUE(t.IsRowValid(1));
+  EXPECT_EQ(t.GetKey(0, 1), 2u);
+}
+
+TEST(TableTxn, OneCommitTimestampMakesTheTransactionAtomicToSnapshots) {
+  Table t(TortureSchema());
+  t.InsertRow({1, 1, 1});
+
+  // Snapshot pinned between two transactions: it must see all of the
+  // first and nothing of the second — the second's tombstone and insert
+  // carry a commit timestamp past the snapshot's read timestamp.
+  auto txn1 = t.BeginTransaction();
+  txn1.Insert({2, 2, 2});
+  ASSERT_TRUE(txn1.Commit().ok());
+
+  Snapshot snap = t.CreateSnapshot();
+
+  auto txn2 = t.BeginTransaction();
+  txn2.Delete(1);
+  txn2.Insert({3, 3, 3});
+  ASSERT_TRUE(txn2.Commit().ok());
+
+  EXPECT_EQ(snap.num_rows(), 2u);
+  EXPECT_TRUE(snap.IsRowValid(1));  // txn2's tombstone is in its future
+  EXPECT_EQ(snap.valid_rows(), 2u);
+  EXPECT_FALSE(t.IsRowValid(1));
+  EXPECT_EQ(t.num_rows(), 3u);
+}
+
+// --- PartitionedTable::Transaction ------------------------------------------
+
+TEST(PartitionedTxn, SingleSegmentCommitIsAtomic) {
+  PartitionedTable t(TortureSchema(), /*segment_capacity=*/100);
+  t.InsertRow({1, 1, 1});
+  auto txn = t.BeginTransaction();
+  txn.Insert({4, 4, 4});
+  txn.Update(0, {5, 5, 5});
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_FALSE(t.IsRowValid(0));
+  EXPECT_EQ(t.GetKey(0, 1), 4u);
+  EXPECT_EQ(t.GetKey(0, 2), 5u);
+  EXPECT_EQ(t.txn_stats().commits, 1u);
+}
+
+TEST(PartitionedTxn, CrossSegmentUpdateRoutesTailInsertPlusOwnerTombstone) {
+  PartitionedTable t(TortureSchema(), /*segment_capacity=*/4);
+  for (uint64_t i = 0; i < 6; ++i) t.InsertRow({i, i, i});
+  ASSERT_EQ(t.num_segments(), 2u);
+
+  auto txn = t.BeginTransaction();
+  ASSERT_TRUE(txn.ReadRowValid(1));  // row 1 lives in sealed segment 0
+  txn.Update(1, {100, 100, 100});
+  txn.Delete(2);  // also segment 0
+  ASSERT_TRUE(txn.Commit().ok());
+
+  EXPECT_EQ(t.num_rows(), 7u);
+  EXPECT_FALSE(t.IsRowValid(1));
+  EXPECT_FALSE(t.IsRowValid(2));
+  EXPECT_TRUE(t.IsRowValid(6));  // the new version, appended to the tail
+  EXPECT_EQ(t.GetKey(0, 6), 100u);
+}
+
+TEST(PartitionedTxn, MidCommitRolloverSplitsTheTailGroup) {
+  PartitionedTable t(TortureSchema(), /*segment_capacity=*/4);
+  for (uint64_t i = 0; i < 3; ++i) t.InsertRow({i, i, i});
+  ASSERT_EQ(t.num_segments(), 1u);
+
+  // Three inserts: one fits the current tail, the rollover happens inside
+  // the commit, and the rest land in the fresh segment — still ONE
+  // transaction commit from the caller's point of view.
+  auto txn = t.BeginTransaction();
+  txn.Insert({10, 10, 10});
+  txn.Insert({11, 11, 11});
+  txn.Insert({12, 12, 12});
+  ASSERT_TRUE(txn.Commit().ok());
+
+  EXPECT_EQ(t.num_segments(), 2u);
+  EXPECT_EQ(t.num_rows(), 6u);
+  for (uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(t.GetKey(0, 3 + i), 10 + i) << "row " << 3 + i;
+  }
+  EXPECT_EQ(t.txn_stats().commits, 1u);
+}
+
+TEST(PartitionedTxn, ReadsetConflictAbortsAcrossSegments) {
+  PartitionedTable t(TortureSchema(), /*segment_capacity=*/4);
+  for (uint64_t i = 0; i < 6; ++i) t.InsertRow({i, i, i});
+
+  auto txn = t.BeginTransaction();
+  ASSERT_TRUE(txn.ReadRowValid(1));  // sealed segment 0
+  txn.Update(1, {100, 100, 100});    // would insert into the tail (seg 1)
+  txn.Insert({101, 101, 101});
+
+  ASSERT_TRUE(t.DeleteRow(1).ok());  // invalidate the observation
+
+  EXPECT_EQ(txn.Commit().code(), StatusCode::kAborted);
+  EXPECT_EQ(t.num_rows(), 6u);  // nothing applied in ANY segment
+  EXPECT_EQ(t.txn_stats().commits, 0u);
+  EXPECT_EQ(t.txn_stats().aborts, 1u);
+}
+
+// --- GroupIntoTransactions: the differential transform ----------------------
+
+TEST(TxnSchedule, GroupingPreservesTheLogicalOpStream) {
+  // The property every txn crash torture stands on: applying the grouped
+  // schedule yields a table identical to the per-row original.
+  const uint64_t kOps = 600;
+  for (const uint64_t seed : {31u, 32u, 33u}) {
+    SCOPED_TRACE(::testing::Message() << "seed=" << seed);
+    const std::vector<WriteOp> ops =
+        GenerateWriteOps(3, kOps, kTortureKeyDomain, seed);
+    const std::vector<WriteOp> grouped =
+        GroupIntoTransactions(ops, /*max_txn_ops=*/6, seed);
+
+    uint64_t txns = 0, logical = 0;
+    for (const WriteOp& op : grouped) {
+      if (op.kind == WriteOpKind::kTxn) {
+        ++txns;
+        EXPECT_GE(op.txn_ops.size(), 2u);  // singletons stay plain ops
+        EXPECT_LE(op.txn_ops.size(), 6u);
+      }
+      logical += WriteOpLogicalOps(op);
+    }
+    EXPECT_GT(txns, 0u);
+    EXPECT_EQ(logical, kOps);
+
+    Table table(TortureSchema());
+    RunWriteSchedule(&table, grouped, WriteScheduleOptions{});
+    ExpectTableMatchesModel(table, ModelPrefix(ops, kOps), seed);
+
+    PartitionedTable sharded(TortureSchema(), /*segment_capacity=*/96);
+    RunPartitionedWriteSchedule(&sharded, grouped, WriteScheduleOptions{});
+    ExpectTableMatchesModel(sharded, ModelPrefix(ops, kOps), seed);
+  }
+}
+
+// --- kTxnCommit replay ------------------------------------------------------
+
+TEST(DurableTxn, CommittedTransactionsReplayAtomically) {
+  TortureScratchDir dir("txnreplay");
+  DurableTableOptions options;
+  options.wal.policy = WalSyncPolicy::kEveryCommit;
+  ReferenceModel model(TortureWidths());
+  {
+    auto opened = DurableTable::Open(dir.path(), TortureSchema(), options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    Table& t = opened.ValueOrDie()->table();
+    const std::vector<uint64_t> r1{1, 1, 1}, r2{2, 2, 2}, r3{3, 3, 3},
+        r4{4, 4, 4};
+    t.InsertRow({1, 1, 1});
+    model.Insert(r1);
+
+    auto txn = t.BeginTransaction();
+    txn.Insert({2, 2, 2});
+    txn.Update(0, {3, 3, 3});
+    txn.Delete(1);
+    ASSERT_TRUE(txn.Commit().ok());
+    model.Insert(r2);
+    model.Update(0, r3);
+    model.Delete(1);
+
+    // An aborted transaction logs nothing.
+    auto doomed = t.BeginTransaction();
+    ASSERT_TRUE(doomed.ReadRowValid(2));
+    doomed.Insert({9, 9, 9});
+    ASSERT_TRUE(t.DeleteRow(2).ok());
+    model.Delete(2);
+    EXPECT_EQ(doomed.Commit().code(), StatusCode::kAborted);
+
+    // One surviving row (row 3) for the post-recovery snapshot check.
+    t.InsertRow({4, 4, 4});
+    model.Insert(r4);
+  }
+  auto reopened = DurableTable::Open(dir.path(), TortureSchema(), options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const auto& dt = *reopened.ValueOrDie();
+  // Records: insert + txn-commit + delete + insert; the abort left no trace.
+  EXPECT_EQ(dt.recovery().recovered_lsn, 4u);
+  ExpectTableMatchesModel(dt.table(), model, /*seed=*/1);
+
+  // The replayed timestamps keep working: a snapshot pinned now still
+  // shields against deletes committed after it.
+  Table& t = reopened.ValueOrDie()->table();
+  Snapshot snap = t.CreateSnapshot();
+  auto txn = t.BeginTransaction();
+  txn.Delete(3);
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_TRUE(snap.IsRowValid(3));
+  EXPECT_FALSE(t.IsRowValid(3));
+}
+
+// --- multi-writer contention (TSan runs this) -------------------------------
+
+TEST(TxnConcurrency, FirstUpdaterWinsExactlyOncePerRow) {
+  // kThreads writers race read-then-claim transactions over the same rows:
+  // observe a row valid, then atomically delete it and insert a marker
+  // row. Readset validation under the commit lock must hand each row to
+  // exactly one winner — the loser's commit aborts with nothing applied.
+  constexpr uint64_t kRows = 256;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kMarkerBase = 1u << 20;
+
+  Table t(TortureSchema());
+  for (uint64_t i = 0; i < kRows; ++i) t.InsertRow({i, i, i});
+
+  std::atomic<uint64_t> claims{0};
+  std::atomic<uint64_t> conflicts{0};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kThreads; ++w) {
+    writers.emplace_back([&, w] {
+      // Stagger starting offsets so threads collide from both directions.
+      for (uint64_t k = 0; k < kRows; ++k) {
+        const uint64_t row = (k + static_cast<uint64_t>(w) * 64) % kRows;
+        auto txn = t.BeginTransaction();
+        if (!txn.ReadRowValid(row)) {
+          txn.Abort();  // someone already claimed it
+          continue;
+        }
+        txn.Delete(row);
+        txn.Insert({kMarkerBase + row, static_cast<uint64_t>(w), 0});
+        const Status st = txn.Commit();
+        if (st.ok()) {
+          claims.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          ASSERT_EQ(st.code(), StatusCode::kAborted) << st.ToString();
+          conflicts.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+
+  EXPECT_EQ(claims.load(), kRows);
+  for (uint64_t row = 0; row < kRows; ++row) {
+    ASSERT_FALSE(t.IsRowValid(row)) << "row " << row << " never claimed";
+    ASSERT_EQ(t.CountEquals(0, kMarkerBase + row), 1u)
+        << "row " << row << " claimed more than once";
+  }
+  const Table::TxnStats stats = t.txn_stats();
+  EXPECT_EQ(stats.commits, kRows);
+  EXPECT_EQ(stats.aborts, conflicts.load());
+  EXPECT_EQ(t.num_rows(), 2 * kRows);
+}
+
+TEST(TxnConcurrency, PartitionedFirstUpdaterWinsAcrossRollovers) {
+  // Same contention protocol on the sharded table, with a capacity small
+  // enough that marker inserts keep rolling the tail over mid-run — claim
+  // transactions are cross-segment (owner tombstone + tail insert) and
+  // commits interleave with rollovers under the same write lock.
+  constexpr uint64_t kRows = 192;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kMarkerBase = 1u << 20;
+
+  PartitionedTable t(TortureSchema(), /*segment_capacity=*/64);
+  for (uint64_t i = 0; i < kRows; ++i) t.InsertRow({i, i, i});
+
+  std::atomic<uint64_t> claims{0};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kThreads; ++w) {
+    writers.emplace_back([&, w] {
+      for (uint64_t k = 0; k < kRows; ++k) {
+        const uint64_t row = (k + static_cast<uint64_t>(w) * 48) % kRows;
+        auto txn = t.BeginTransaction();
+        if (!txn.ReadRowValid(row)) {
+          txn.Abort();
+          continue;
+        }
+        txn.Delete(row);
+        txn.Insert({kMarkerBase + row, static_cast<uint64_t>(w), 0});
+        const Status st = txn.Commit();
+        if (st.ok()) {
+          claims.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          ASSERT_EQ(st.code(), StatusCode::kAborted) << st.ToString();
+        }
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+
+  EXPECT_EQ(claims.load(), kRows);
+  EXPECT_GT(t.num_segments(), kRows / 64);  // markers rolled the tail over
+  for (uint64_t row = 0; row < kRows; ++row) {
+    ASSERT_FALSE(t.IsRowValid(row)) << "row " << row;
+    ASSERT_EQ(t.CountEquals(0, kMarkerBase + row), 1u) << "row " << row;
+  }
+  EXPECT_EQ(t.txn_stats().commits, kRows);
+  EXPECT_EQ(t.num_rows(), 2 * kRows);
+}
+
+}  // namespace
+}  // namespace deltamerge

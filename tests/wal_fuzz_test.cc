@@ -1,11 +1,14 @@
 // Copyright (c) 2026 The DeltaMerge Authors.
 // WAL corruption fuzzer: a seeded, time-boxed property test.
 //
-// A mixed row/batch schedule (checkpoints included) is written once and the
-// table directory snapshotted to memory. Each iteration restores the
-// pristine image, mutates it — random byte flips, random truncation,
-// garbage extension, checkpoint damage, or several at once — and reopens.
-// The properties, asserted every time:
+// A mixed schedule (checkpoints included) is written once and the table
+// directory snapshotted to memory. Each iteration restores the pristine
+// image, mutates it — random byte flips, random truncation, garbage
+// extension, byte-range duplication (a doubled frame), checkpoint damage,
+// or several at once — and reopens. Two schedule framings run: row/batch
+// records, and multi-row transactions whose kTxnCommit frames must replay
+// whole or vanish whole — never a row prefix. The properties, asserted
+// every time:
 //
 //   1. recovery never crashes (it returns a Status — ASan/the process both
 //      stay clean; CI runs this suite under ASan);
@@ -24,7 +27,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <map>
@@ -96,7 +101,7 @@ std::string MutateFile(const std::string& path, Rng* rng) {
   if (!size_or.ok()) return "unreadable";
   const uint64_t size = size_or.ValueOrDie();
   char what[96];
-  switch (rng->Below(3)) {
+  switch (rng->Below(4)) {
     case 0: {  // flip 1..8 random bytes
       if (size == 0) return "empty";
       std::vector<uint8_t> bytes(size);
@@ -128,6 +133,32 @@ std::string MutateFile(const std::string& path, Rng* rng) {
                     static_cast<unsigned long long>(cut));
       return what;
     }
+    case 2: {  // duplicate a byte range in place (a doubled frame: replay
+               // must not apply the same record — LSN — twice)
+      if (size == 0) return "empty";
+      std::vector<uint8_t> bytes(size);
+      {
+        auto in = FileReader::Open(path);
+        if (!in.ok()) return "unreadable";
+        if (!in.ValueOrDie()->Read(bytes.data(), size).ok()) {
+          return "unreadable";
+        }
+      }
+      const uint64_t off = rng->Below(size);
+      const uint64_t len =
+          1 + rng->Below(std::min<uint64_t>(size - off, 256));
+      bytes.insert(bytes.begin() + static_cast<ptrdiff_t>(off + len),
+                   bytes.begin() + static_cast<ptrdiff_t>(off),
+                   bytes.begin() + static_cast<ptrdiff_t>(off + len));
+      auto out = FileWriter::Create(path);
+      if (!out.ok()) return "unwritable";
+      (void)out.ValueOrDie()->Write(bytes.data(), bytes.size());
+      (void)out.ValueOrDie()->Close();
+      std::snprintf(what, sizeof(what), "duplicate [%llu, +%llu)",
+                    static_cast<unsigned long long>(off),
+                    static_cast<unsigned long long>(len));
+      return what;
+    }
     default: {  // append garbage (a crash can leave arbitrary tail bytes)
       std::vector<uint8_t> junk(1 + rng->Below(96));
       for (auto& b : junk) b = static_cast<uint8_t>(rng->Below(256));
@@ -151,41 +182,40 @@ std::string MutateFile(const std::string& path, Rng* rng) {
   }
 }
 
-TEST(WalFuzzTest, MutatedSegmentsAlwaysRecoverAValidPrefixOrFailLoudly) {
-  // Time-boxed: iterate until the budget (default 8 s, DM_FUZZ_MS to
-  // override) or the iteration cap runs out, whichever first — keeps the
-  // ctest entry bounded under sanitizers while soaking longer locally via
-  // DM_FUZZ_MS=60000.
+/// The fuzz loop shared by every schedule framing: write `schedule` once
+/// (checkpoints every `merge_every` entries), snapshot the directory, then
+/// mutate-and-reopen until the time budget (default 8 s, DM_FUZZ_MS to
+/// override) or the iteration cap runs out — keeps the ctest entry bounded
+/// under sanitizers while soaking longer locally via DM_FUZZ_MS=60000.
+/// `logical_ops` is the per-row schedule the framing was derived from;
+/// `base_seed` drives the mutation stream and prints on every failure.
+void RunWalFuzz(const std::vector<WriteOp>& logical_ops,
+                const std::vector<WriteOp>& schedule, uint64_t merge_every,
+                uint64_t base_seed, const std::string& tag) {
+  SCOPED_TRACE(::testing::Message() << "mutation base_seed=" << base_seed);
   const char* budget_env = std::getenv("DM_FUZZ_MS");
   const uint64_t budget_ms =
       budget_env != nullptr && *budget_env != '\0'
           ? std::strtoull(budget_env, nullptr, 10)
           : 8000;
   const uint64_t max_iters = 400;
+  const SchedulePlan plan = PlanSchedule(schedule, merge_every);
 
-  const uint64_t kOps = 500;
-  const uint64_t kBatch = 32;
-  const uint64_t kMergeEvery = 120;  // entries; produces real checkpoints
-  const std::vector<WriteOp> ops =
-      GenerateWriteOps(3, kOps, kTortureKeyDomain, /*seed=*/0xf522);
-  const std::vector<WriteOp> schedule = CoalesceInsertBatches(ops, kBatch);
-  const SchedulePlan plan = PlanSchedule(schedule, kMergeEvery);
-
-  TortureScratchDir dir("fuzz");
+  TortureScratchDir dir(tag);
   DurableTableOptions options;
   options.wal.policy = WalSyncPolicy::kEveryCommit;
   {
     auto opened = DurableTable::Open(dir.path(), TortureSchema(), options);
     ASSERT_TRUE(opened.ok()) << opened.status().ToString();
     WriteScheduleOptions sched_options;
-    sched_options.merge_every = kMergeEvery;
+    sched_options.merge_every = merge_every;
     RunWriteSchedule(&opened.ValueOrDie()->table(), schedule, sched_options);
     EXPECT_GE(opened.ValueOrDie()->durability().checkpoints_written(), 1u);
   }
   const DirImage pristine = SnapshotDir(dir.path());
   ASSERT_GE(pristine.size(), 2u);  // >= 1 checkpoint + >= 1 WAL segment
 
-  Rng rng(0xfa22ed);
+  Rng rng(base_seed);
   uint64_t opened_ok = 0, refused = 0;
   const auto t0 = std::chrono::steady_clock::now();
   for (uint64_t iter = 0; iter < max_iters; ++iter) {
@@ -225,7 +255,7 @@ TEST(WalFuzzTest, MutatedSegmentsAlwaysRecoverAValidPrefixOrFailLoudly) {
     // checkpoint-covered history must be fully present.
     ASSERT_GE(recovered_ops, plan.checkpoint_ops)
         << "iter " << iter << ": " << what;
-    const ReferenceModel model = ModelPrefix(ops, recovered_ops);
+    const ReferenceModel model = ModelPrefix(logical_ops, recovered_ops);
     ExpectTableMatchesModel(dt.table(), model, /*seed=*/iter);
     if (::testing::Test::HasFatalFailure()) {
       ADD_FAILURE() << "iter " << iter << " mutations: " << what
@@ -236,9 +266,37 @@ TEST(WalFuzzTest, MutatedSegmentsAlwaysRecoverAValidPrefixOrFailLoudly) {
   // The run must have exercised both outcomes to mean anything.
   EXPECT_GT(opened_ok, 0u);
   EXPECT_GT(opened_ok + refused, 20u);
-  std::printf("wal_fuzz: %llu recovered, %llu refused\n",
+  std::printf("wal_fuzz[%s]: %llu recovered, %llu refused\n", tag.c_str(),
               static_cast<unsigned long long>(opened_ok),
               static_cast<unsigned long long>(refused));
+}
+
+TEST(WalFuzzTest, MutatedSegmentsAlwaysRecoverAValidPrefixOrFailLoudly) {
+  const uint64_t kOps = 500;
+  const uint64_t kBatch = 32;
+  const uint64_t kMergeEvery = 120;  // entries; produces real checkpoints
+  const std::vector<WriteOp> ops =
+      GenerateWriteOps(3, kOps, kTortureKeyDomain, /*seed=*/0xf522);
+  SCOPED_TRACE("schedule seed=0xf522");
+  RunWalFuzz(ops, CoalesceInsertBatches(ops, kBatch), kMergeEvery,
+             /*base_seed=*/0xfa22ed, "fuzz");
+}
+
+TEST(WalFuzzTest, MutatedTxnCommitFramesReplayWholeOrVanishWhole) {
+  // The kTxnCommit seeds: a schedule dominated by multi-row transaction
+  // frames, mutated every way the fuzzer knows (including range
+  // duplication, which doubles whole commit frames — replay must not
+  // apply an LSN twice). A bit-flipped, truncated, or duplicated commit
+  // record must contribute all of its ops or none: the differential
+  // against the per-row model at the plan's record-boundary prefix fails
+  // on any row-prefix application.
+  const uint64_t kOps = 500;
+  const uint64_t kMergeEvery = 120;
+  const std::vector<WriteOp> ops =
+      GenerateWriteOps(3, kOps, kTortureKeyDomain, /*seed=*/0x7a22);
+  SCOPED_TRACE("schedule seed=0x7a22");
+  RunWalFuzz(ops, GroupIntoTransactions(ops, /*max_txn_ops=*/6, 0x7a22),
+             kMergeEvery, /*base_seed=*/0x7a22edULL, "txnfuzz");
 }
 
 }  // namespace
