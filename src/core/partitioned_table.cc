@@ -91,19 +91,27 @@ uint64_t PartitionedTable::FanOutSum(Fn&& fn) const {
   // shared pool that couples unrelated latencies and can starve a read.
   // The caller scans the last segment itself instead of parking in the
   // wait: same work, one fewer queued task, never an idle core.
-  std::vector<uint64_t> partial(segs.size(), 0);
+  //
+  // One slot per CACHE LINE, not per uint64_t: adjacent bare slots put up
+  // to 8 workers' result stores on one line, and the resulting ownership
+  // ping-pong taxes every fan-out read on multi-core hosts (quantified by
+  // bench_sharded_scale's fan-out rows in the CI trajectory artifact).
+  struct DM_CACHELINE_ALIGNED PaddedSum {
+    uint64_t v = 0;
+  };
+  std::vector<PaddedSum> partial(segs.size());
   const size_t pooled = segs.size() - 1;
   std::latch done(static_cast<std::ptrdiff_t>(pooled));
   for (size_t i = 0; i < pooled; ++i) {
     pool->Submit([&fn, &partial, &segs, &done, i] {
-      partial[i] = fn(*segs[i]);
+      partial[i].v = fn(*segs[i]);
       done.count_down();
     });
   }
-  partial[pooled] = fn(*segs[pooled]);
+  partial[pooled].v = fn(*segs[pooled]);
   done.wait();
   uint64_t total = 0;
-  for (uint64_t v : partial) total += v;
+  for (const PaddedSum& p : partial) total += p.v;
   return total;
 }
 
@@ -162,10 +170,19 @@ void PartitionedTable::RollOverIfFullLocked() {
 }
 
 uint64_t PartitionedTable::InsertRow(std::span<const uint64_t> keys) {
-  MutexLock lock(tail_mu_);
+  // tail_mu_ covers only rollover + tail selection + commit-lock entry;
+  // the append itself runs under the tail's commit lock alone, so inserts
+  // overlap with commits into sealed segments. Holding the commit lock
+  // freezes the fill (every appender holds it), so the row cannot overflow
+  // the capacity RollOverIfFullLocked just checked.
+  tail_mu_.lock();
   RollOverIfFullLocked();
   const std::shared_ptr<Segment> tail = TailLocked();
-  return tail->base + tail->table->InsertRow(keys);
+  tail->commit_mu.lock();
+  tail_mu_.unlock();
+  const uint64_t row = tail->table->InsertRow(keys);
+  tail->commit_mu.unlock();
+  return tail->base + row;
 }
 
 uint64_t PartitionedTable::InsertRows(std::span<const uint64_t> row_major_keys,
@@ -190,6 +207,10 @@ uint64_t PartitionedTable::InsertRows(std::span<const uint64_t> row_major_keys,
   while (done < num_rows) {
     RollOverIfFullLocked();
     const std::shared_ptr<Segment> tail = TailLocked();
+    // The chunk appends under the tail's commit lock (the per-segment
+    // append invariant); tail_mu_ stays held across the loop so the batch
+    // remains one contiguous run of global row ids across rollovers.
+    MutexLock commit_lock(tail->commit_mu);
     const uint64_t room = segment_capacity_ - tail->table->num_rows();
     const uint64_t n = std::min(room, num_rows - done);
     const uint64_t local =
@@ -206,46 +227,65 @@ uint64_t PartitionedTable::InsertRows(std::span<const uint64_t> row_major_keys,
 
 uint64_t PartitionedTable::UpdateRow(uint64_t global_row,
                                      std::span<const uint64_t> keys) {
-  MutexLock lock(tail_mu_);
+  tail_mu_.lock();
   RollOverIfFullLocked();
   std::shared_ptr<Segment> tail;
+  std::shared_ptr<Segment> old_seg;
   size_t num_segs;
   {
     ReaderMutexLock slock(segments_mu_);
     tail = segments_.back();
     num_segs = segments_.size();
+    const size_t owner = static_cast<size_t>(global_row / segment_capacity_);
+    if (owner + 1 < num_segs) old_seg = segments_[owner];
   }
   // Out-of-range targets are accepted exactly like Table::UpdateRow: the
   // fresh version is appended and nothing is invalidated. The live path
   // and WAL replay must agree on this, so the sharded front door must not
   // be stricter than the segment write path it logs through.
-  const size_t owner = global_row / segment_capacity_;
+  const size_t owner = static_cast<size_t>(global_row / segment_capacity_);
   if (owner + 1 == num_segs) {
     // The superseded row lives in the open tail: the segment's own
     // insert-only update is one atomic operation (and, durably, ONE
     // kUpdate record — both halves recover or neither does).
-    return tail->base + tail->table->UpdateRow(global_row - tail->base, keys);
+    tail->commit_mu.lock();
+    tail_mu_.unlock();
+    const uint64_t new_row =
+        tail->table->UpdateRow(global_row - tail->base, keys);
+    tail->commit_mu.unlock();
+    return tail->base + new_row;
   }
-  // Cross-segment: fresh version into the tail FIRST, then the tombstone in
-  // the owning sealed segment — the same insert-then-invalidate order a
-  // single-segment update applies, so a crash between the halves leaves a
-  // state on the schedule's single-row-operation prefix lattice, never an
-  // invented one (the recovery tests rely on this order).
+  // Cross-segment (or out-of-range): commit locks ascending — the owner
+  // (when it exists) is always below the tail — then release tail_mu_ so
+  // disjoint writers proceed. Fresh version into the tail FIRST, then the
+  // tombstone in the owning sealed segment — the same insert-then-
+  // invalidate order a single-segment update applies, so a crash between
+  // the halves leaves a state on the schedule's single-row-operation
+  // prefix lattice, never an invented one (the recovery tests rely on
+  // this order).
+  if (old_seg == nullptr) {
+    // Beyond-size target: liberal degrade to a plain tail insert.
+    tail->commit_mu.lock();
+    tail_mu_.unlock();
+    const uint64_t new_row = tail->base + tail->table->InsertRow(keys);
+    tail->commit_mu.unlock();
+    return new_row;
+  }
+  old_seg->commit_mu.lock();
+  tail->commit_mu.lock();
+  tail_mu_.unlock();
   const uint64_t new_row = tail->base + tail->table->InsertRow(keys);
-  if (owner < num_segs) {
-    std::shared_ptr<Segment> old_seg;
-    {
-      ReaderMutexLock slock(segments_mu_);
-      old_seg = segments_[owner];
-    }
-    (void)old_seg->table->DeleteRow(global_row - old_seg->base);
-  }
+  (void)old_seg->table->DeleteRow(global_row - old_seg->base);
+  tail->commit_mu.unlock();
+  old_seg->commit_mu.unlock();
   return new_row;
 }
 
 Status PartitionedTable::DeleteRow(uint64_t global_row) {
-  MutexLock lock(tail_mu_);
-  const size_t owner = global_row / segment_capacity_;
+  // Never touches tail_mu_: a tombstone in segment k only needs k's commit
+  // lock, so deletes into sealed segments run concurrently with tail
+  // ingest and with commits into other segments.
+  const size_t owner = static_cast<size_t>(global_row / segment_capacity_);
   std::shared_ptr<Segment> seg;
   {
     ReaderMutexLock slock(segments_mu_);
@@ -254,6 +294,7 @@ Status PartitionedTable::DeleteRow(uint64_t global_row) {
     }
     seg = segments_[owner];
   }
+  MutexLock commit_lock(seg->commit_mu);
   return seg->table->DeleteRow(global_row - seg->base);
 }
 
@@ -264,7 +305,7 @@ Status PartitionedTable::DeleteRow(uint64_t global_row) {
 bool PartitionedTable::Transaction::ReadRowValid(uint64_t global_row) {
   DM_CHECK_MSG(table_ != nullptr, "transaction already committed or aborted");
   const bool valid = table_->IsRowValid(global_row);
-  readset_.push_back(ReadEntry{global_row, valid});
+  readset_.push_back(TxnRead{global_row, valid});
   return valid;
 }
 
@@ -306,43 +347,54 @@ Status PartitionedTable::Transaction::Commit() {
   return st;
 }
 
-Status PartitionedTable::CommitTxn(
-    std::span<const TxnOp> ops,
-    std::span<const Transaction::ReadEntry> readset) {
-  MutexLock lock(tail_mu_);
-  // The segment list cannot change while tail_mu_ is held (rollover is its
-  // only mutator and always holds tail_mu_), so one capture serves both
-  // validation and decomposition.
-  const std::vector<std::shared_ptr<Segment>> segs = CaptureSegments();
+// --- SegmentCommitLockSet -------------------------------------------------
 
-  // Phase 1 — validate: every readset observation must still hold. With
-  // tail_mu_ held no other logical write can run, so a validation that
-  // passes here stays true for the entire apply below.
-  for (const Transaction::ReadEntry& e : readset) {
-    const size_t owner = static_cast<size_t>(e.row / segment_capacity_);
-    bool valid = false;
-    if (owner < segs.size()) {
-      const Segment& seg = *segs[owner];
-      valid = seg.table->IsRowValid(e.row - seg.base);
-    }
-    if (valid != e.observed_valid) {
-      txn_aborts_.fetch_add(1, std::memory_order_relaxed);
-      return Status::Aborted("transaction readset conflict");
-    }
+PartitionedTable::SegmentCommitLockSet::SegmentCommitLockSet(
+    std::vector<std::shared_ptr<Segment>> segments)
+    : segments_(std::move(segments)) {
+  // DM_NO_THREAD_SAFETY_ANALYSIS: a vector of capabilities is
+  // inexpressible to the analysis. The deadlock-freedom invariant —
+  // ascending segment order — is checked here instead.
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    DM_CHECK_MSG(i == 0 || segments_[i - 1]->base < segments_[i]->base,
+                 "commit locks must be acquired in ascending segment order");
+    segments_[i]->commit_mu.lock();
   }
-  if (ops.empty()) {
-    txn_commits_.fetch_add(1, std::memory_order_relaxed);
-    return Status::OK();
-  }
+}
 
-  // Phase 2 — decompose the global-row op buffer into per-segment groups
-  // (contiguous runs in buffer order, target rows rebased to the segment).
-  // The tail is simulated so inserts past the capacity route to the
-  // segment the mid-commit rollover will create.
-  struct OpGroup {
-    size_t seg_index;
-    std::vector<TxnOp> ops;
-  };
+PartitionedTable::SegmentCommitLockSet::~SegmentCommitLockSet() {
+  for (size_t i = segments_.size(); i-- > 0;) {
+    segments_[i]->commit_mu.unlock();
+  }
+}
+
+void PartitionedTable::SegmentCommitLockSet::Add(
+    std::shared_ptr<Segment> seg) {
+  DM_CHECK_MSG(segments_.empty() || segments_.back()->base < seg->base,
+               "commit locks must be acquired in ascending segment order");
+  seg->commit_mu.lock();
+  segments_.push_back(std::move(seg));
+}
+
+// --- commit decomposition -------------------------------------------------
+
+namespace {
+
+/// One per-segment run of a decomposed transaction, in buffer order.
+struct OpGroup {
+  size_t seg_index;
+  std::vector<TxnOp> ops;  ///< target rows rebased to the segment
+};
+
+/// Decomposes a global-row op buffer into per-segment groups (contiguous
+/// runs in buffer order, target rows rebased to the segment). The tail is
+/// simulated from (tail_index, tail_rows) so inserts past the capacity
+/// route to the segment a mid-commit rollover will create. Pure: the
+/// caller supplies a fill read under the tail's commit lock, so the
+/// simulation matches what the apply phase will do.
+std::vector<OpGroup> BuildGroups(std::span<const TxnOp> ops,
+                                 uint64_t segment_capacity, size_t tail_index,
+                                 uint64_t tail_rows) {
   std::vector<OpGroup> groups;
   const auto route = [&groups](size_t seg_index) -> std::vector<TxnOp>& {
     if (groups.empty() || groups.back().seg_index != seg_index) {
@@ -350,29 +402,29 @@ Status PartitionedTable::CommitTxn(
     }
     return groups.back().ops;
   };
-  size_t sim_tail = segs.size() - 1;
-  uint64_t sim_tail_rows = segs.back()->table->num_rows();
+  size_t sim_tail = tail_index;
+  uint64_t sim_tail_rows = tail_rows;
   for (const TxnOp& op : ops) {
     switch (op.kind) {
       case TxnOp::Kind::kInsert:
       case TxnOp::Kind::kUpdate: {
         // Both append a fresh version to the (possibly rolled-over) tail.
-        if (sim_tail_rows == segment_capacity_) {
+        if (sim_tail_rows == segment_capacity) {
           ++sim_tail;
           sim_tail_rows = 0;
         }
         const size_t owner =
-            static_cast<size_t>(op.target_row / segment_capacity_);
+            static_cast<size_t>(op.target_row / segment_capacity);
         if (op.kind == TxnOp::Kind::kUpdate && owner == sim_tail) {
           // Superseded row lives in the open tail: the segment's own
           // insert-only update stays one atomic op inside its group.
           route(sim_tail).push_back(
               TxnOp{TxnOp::Kind::kUpdate,
-                    op.target_row - sim_tail * segment_capacity_, op.keys});
+                    op.target_row - sim_tail * segment_capacity, op.keys});
           ++sim_tail_rows;
           break;
         }
-        const uint64_t sim_rows = sim_tail * segment_capacity_ + sim_tail_rows;
+        const uint64_t sim_rows = sim_tail * segment_capacity + sim_tail_rows;
         route(sim_tail).push_back(TxnOp{TxnOp::Kind::kInsert, 0, op.keys});
         ++sim_tail_rows;
         if (op.kind == TxnOp::Kind::kUpdate && op.target_row < sim_rows) {
@@ -381,54 +433,248 @@ Status PartitionedTable::CommitTxn(
           // insert-then-invalidate order the single-row path applies.
           route(owner).push_back(
               TxnOp{TxnOp::Kind::kDelete,
-                    op.target_row - owner * segment_capacity_, {}});
+                    op.target_row - owner * segment_capacity, {}});
         }
         // An update whose target is beyond every (simulated) row degrades
         // to a plain insert — the liberal contract UpdateRow documents.
         break;
       }
       case TxnOp::Kind::kDelete: {
-        const uint64_t sim_rows = sim_tail * segment_capacity_ + sim_tail_rows;
+        const uint64_t sim_rows = sim_tail * segment_capacity + sim_tail_rows;
         if (op.target_row >= sim_rows) break;  // liberal no-op
         const size_t owner =
-            static_cast<size_t>(op.target_row / segment_capacity_);
+            static_cast<size_t>(op.target_row / segment_capacity);
         route(owner).push_back(
             TxnOp{TxnOp::Kind::kDelete,
-                  op.target_row - owner * segment_capacity_, {}});
+                  op.target_row - owner * segment_capacity, {}});
         break;
       }
     }
   }
+  return groups;
+}
 
-  // Phase 3 — commit the groups in first-op order, each through the
-  // segment's Table::Transaction (empty readset: it cannot abort), i.e. as
-  // ONE journaled kTxnCommit record, acknowledged before the next group.
-  for (const OpGroup& group : groups) {
-    if (group.seg_index >= num_segments()) {
-      // The simulation filled the previous tail exactly; materialize the
-      // next segment (RollOverIfFullLocked re-checks the fill).
-      RollOverIfFullLocked();
-    }
-    const std::shared_ptr<Segment> seg = SlotAt(group.seg_index);
-    Table::Transaction txn = seg->table->BeginTransaction();
-    for (const TxnOp& op : group.ops) {
-      switch (op.kind) {
-        case TxnOp::Kind::kInsert:
-          txn.Insert(op.keys);
-          break;
-        case TxnOp::Kind::kUpdate:
-          txn.Update(op.target_row, op.keys);
-          break;
-        case TxnOp::Kind::kDelete:
-          txn.Delete(op.target_row);
-          break;
+/// The segment indices a transaction's locks must cover before validation:
+/// owners of every readset row and every update/delete target, clipped to
+/// the segments that exist (`num_segments`). Ascending and deduplicated —
+/// the acquisition order SegmentCommitLockSet enforces.
+std::vector<size_t> TouchedSegments(std::span<const TxnOp> ops,
+                                    std::span<const TxnRead> readset,
+                                    uint64_t segment_capacity,
+                                    size_t num_segments) {
+  std::vector<size_t> indices;
+  const auto add = [&](uint64_t global_row) {
+    const size_t owner = static_cast<size_t>(global_row / segment_capacity);
+    if (owner < num_segments) indices.push_back(owner);
+  };
+  for (const TxnRead& e : readset) add(e.row);
+  for (const TxnOp& op : ops) {
+    if (op.kind != TxnOp::Kind::kInsert) add(op.target_row);
+  }
+  std::sort(indices.begin(), indices.end());
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+  return indices;
+}
+
+}  // namespace
+
+Status PartitionedTable::CommitSegmentGroupLocked(
+    Segment& seg, std::span<const TxnOp> ops,
+    std::span<const TxnRead> readset) {
+  // One atomic Table-level step: validate + stamp + apply + journal under
+  // a single exclusive acquisition of the segment's internal lock, as ONE
+  // kTxnCommit record acknowledged through the group-commit boarding path
+  // — committers of different segments acknowledge genuinely concurrently.
+  return seg.table->CommitTxnOps(ops, readset);
+}
+
+Status PartitionedTable::CommitTxn(std::span<const TxnOp> ops,
+                                   std::span<const TxnRead> readset) {
+  // Classify at commit time: a transaction with no appends (deletes +
+  // reads only) never needs the tail and never touches tail_mu_; an
+  // append-bearing one coordinates rollover and tail selection through a
+  // short tail_mu_ section and keeps it across the apply only when it
+  // straddles a rollover.
+  size_t appends = 0;
+  for (const TxnOp& op : ops) {
+    if (op.kind != TxnOp::Kind::kDelete) ++appends;
+  }
+  const Status st = appends == 0 ? CommitSealedOnlyTxn(ops, readset)
+                                 : CommitAppendTxn(ops, readset, appends);
+  if (st.ok()) {
+    txn_commits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    txn_aborts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return st;
+}
+
+Status PartitionedTable::CommitSealedOnlyTxn(std::span<const TxnOp> ops,
+                                             std::span<const TxnRead> readset) {
+  // Sealed-only shape (the tail may still be touched by a delete or a
+  // readset row — then its commit lock joins the set like any other
+  // owner's). No tail_mu_, so the segment list can grow between the
+  // capture and the lock acquisition: re-capture after locking and extend
+  // the set until it covers every touched owner that exists. New segments
+  // only ever append at larger indices, so every extension stays ascending
+  // and each round either finishes or locks at least one more of the
+  // finitely many touched owners.
+  SegmentCommitLockSet locks;
+  std::vector<std::shared_ptr<Segment>> segs;
+  for (;;) {
+    segs = CaptureSegments();
+    const std::vector<size_t> need =
+        TouchedSegments(ops, readset, segment_capacity_, segs.size());
+    bool extended = false;
+    for (const size_t idx : need) {
+      if (locks.segments().empty() ||
+          segs[idx]->base > locks.segments().back()->base) {
+        locks.Add(segs[idx]);
+        extended = true;
       }
     }
-    const Status st = txn.Commit();
+    if (!extended) break;
+  }
+  const uint64_t tail_rows = segs.back()->table->num_rows();
+  return CommitTxnLockedSet(ops, readset, /*appends=*/0, segs, &locks,
+                            /*straddles=*/false, tail_rows);
+}
+
+Status PartitionedTable::CommitAppendTxn(std::span<const TxnOp> ops,
+                                         std::span<const TxnRead> readset,
+                                         size_t appends) {
+  // Append-bearing: tail_mu_ freezes the segment list (rollover is its
+  // only mutator), so one capture is authoritative. Acquire the commit
+  // locks of every touched segment plus the tail, ascending (the tail is
+  // always the maximum index).
+  tail_mu_.lock();
+  RollOverIfFullLocked();
+  const std::vector<std::shared_ptr<Segment>> segs = CaptureSegments();
+  std::vector<size_t> need =
+      TouchedSegments(ops, readset, segment_capacity_, segs.size());
+  if (need.empty() || need.back() != segs.size() - 1) {
+    need.push_back(segs.size() - 1);
+  }
+  SegmentCommitLockSet locks;
+  for (const size_t idx : need) locks.Add(segs[idx]);
+  // The fill read under the tail's commit lock is frozen: every appender
+  // holds that lock (a waiter who queued behind us at RollOverIfFullLocked
+  // time may have filled the tail before our commit lock came through —
+  // this read, not the rollover check, is what the classification trusts).
+  const uint64_t tail_rows = segs.back()->table->num_rows();
+  if (tail_rows + appends <= segment_capacity_) {
+    // Fast path: the transaction fits the open tail, so no mid-commit
+    // rollover can occur — release tail_mu_ before validate/apply and let
+    // disjoint writers commit in parallel.
+    tail_mu_.unlock();
+    return CommitTxnLockedSet(ops, readset, appends, segs, &locks,
+                              /*straddles=*/false, tail_rows);
+  }
+  // Straddling path: the commit spans a rollover, which must happen under
+  // tail_mu_ — keep it for the whole apply (at most one commit per
+  // segment_capacity fills pays this serialization).
+  const Status st = CommitTxnLockedSet(ops, readset, appends, segs, &locks,
+                                       /*straddles=*/true, tail_rows);
+  tail_mu_.unlock();
+  return st;
+}
+
+Status PartitionedTable::CommitTxnLockedSet(
+    std::span<const TxnOp> ops, std::span<const TxnRead> readset,
+    size_t appends, const std::vector<std::shared_ptr<Segment>>& segs,
+    SegmentCommitLockSet* locks, bool straddles, uint64_t tail_rows) {
+  // Readset rows whose owner segment does not exist serialize this
+  // transaction BEFORE any transaction that creates them: the observation
+  // must have been "invalid", and it holds at our serialization point
+  // because the segment list was re-checked after every lock was taken
+  // (sealed-only path) or is frozen under tail_mu_ (append paths).
+  for (const TxnRead& e : readset) {
+    const size_t owner = static_cast<size_t>(e.row / segment_capacity_);
+    if (owner >= segs.size() && e.observed_valid) {
+      return Status::Aborted("transaction readset conflict");
+    }
+  }
+
+  // Single-segment classification: every op and every existing readset row
+  // lands in ONE segment — validate + apply through that segment Table's
+  // atomic CommitTxnOps, with rows rebased to its local domain. This is
+  // the disjoint-writer fast path: nothing here touches any shared
+  // PartitionedTable state.
+  const std::vector<OpGroup> groups =
+      BuildGroups(ops, segment_capacity_, segs.size() - 1, tail_rows);
+  if (locks->segments().size() == 1 &&
+      (groups.empty() ||
+       (groups.size() == 1 && groups[0].seg_index < segs.size() &&
+        segs[groups[0].seg_index].get() == locks->segments()[0].get()))) {
+    Segment& seg = *locks->segments()[0];
+    std::vector<TxnRead> local_reads;
+    local_reads.reserve(readset.size());
+    for (const TxnRead& e : readset) {
+      const size_t owner = static_cast<size_t>(e.row / segment_capacity_);
+      if (owner >= segs.size()) continue;  // validated above
+      local_reads.push_back(TxnRead{e.row - seg.base, e.observed_valid});
+    }
+    AssertCommitHeld(seg);
+    const std::span<const TxnOp> local_ops =
+        groups.empty() ? std::span<const TxnOp>()
+                       : std::span<const TxnOp>(groups[0].ops);
+    return CommitSegmentGroupLocked(seg, local_ops, local_reads);
+  }
+
+  // Cross-segment: two-phase validate-then-install. Phase 1 validates each
+  // involved segment's readset slice under its (held) commit lock; phase 2
+  // installs the groups in buffer order with empty readsets — each as ONE
+  // journaled kTxnCommit record, acknowledged before the next group
+  // appends, so recovery can only tear at group boundaries (invariant 14).
+  for (const std::shared_ptr<Segment>& seg : locks->segments()) {
+    std::vector<TxnRead> local_reads;
+    for (const TxnRead& e : readset) {
+      const size_t owner = static_cast<size_t>(e.row / segment_capacity_);
+      if (owner < segs.size() && segs[owner].get() == seg.get()) {
+        local_reads.push_back(TxnRead{e.row - seg->base, e.observed_valid});
+      }
+    }
+    if (!local_reads.empty() && !seg->table->ValidateReadset(local_reads)) {
+      return Status::Aborted("transaction readset conflict");
+    }
+  }
+  if (ops.empty()) return Status::OK();
+
+  for (const OpGroup& group : groups) {
+    std::shared_ptr<Segment> seg;
+    if (group.seg_index < segs.size()) {
+      seg = segs[group.seg_index];
+    } else {
+      // The simulation filled the previous tail exactly; materialize the
+      // next segment (legal: the straddling path holds tail_mu_, and a
+      // new segment's index exceeds every held lock, so adding it keeps
+      // the acquisition order ascending). A transaction whose op buffer
+      // revisits the rolled-over segment (insert, delete, insert) hits
+      // this branch twice for the same index — materialization is
+      // idempotent and locks each new segment exactly once.
+      DM_CHECK_MSG(straddles && appends > 0,
+                   "only a straddling commit can roll the tail over");
+      seg = MaterializeTailForCommitLocked(group.seg_index, locks);
+    }
+    // A miss here would be an appender or tombstoner outside its lock —
+    // TouchedSegments plus the tail covers every routed group by
+    // construction; keep the invariant loud.
+    DM_CHECK_MSG(locks->Holds(*seg),
+                 "commit group outside the acquired lock set");
+    AssertCommitHeld(*seg);
+    const Status st = CommitSegmentGroupLocked(*seg, group.ops, {});
     DM_CHECK_MSG(st.ok(), "a readset-free group commit cannot abort");
   }
-  txn_commits_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
+}
+
+std::shared_ptr<PartitionedTable::Segment>
+PartitionedTable::MaterializeTailForCommitLocked(size_t seg_index,
+                                                 SegmentCommitLockSet* locks) {
+  RollOverIfFullLocked();
+  std::shared_ptr<Segment> seg = SlotAt(seg_index);
+  if (!locks->Holds(*seg)) locks->Add(seg);
+  return seg;
 }
 
 uint64_t PartitionedTable::GetKey(size_t col, uint64_t global_row) const {
@@ -473,17 +719,21 @@ uint64_t PartitionedTable::SumColumn(size_t col) const {
 
 PartitionedSnapshot PartitionedTable::CreateSnapshot() const {
   PartitionedSnapshot out;
-  // The write lock makes the capture atomic at logical-operation
-  // granularity: no insert, update, delete, or rollover is mid-flight
-  // while the per-segment epochs pin. Readers are unaffected (they never
-  // take tail_mu_), and per-segment merge commits need no exclusion — each
-  // segment Snapshot is commit-proof on its own.
+  // Atomic at logical-operation granularity: tail_mu_ excludes rollovers
+  // and straddling commits, and holding EVERY segment's commit lock
+  // excludes the commits that no longer serialize on tail_mu_ (fast-path
+  // transactions, sealed-only transactions, bare deletes) — so no
+  // cross-segment operation is mid-flight while the per-segment epochs
+  // pin. tail_mu_ first, commit locks ascending: the global lock order.
+  // Readers are unaffected (they take none of these locks), and
+  // per-segment merge commits need no exclusion — each segment Snapshot
+  // is commit-proof on its own.
   MutexLock wlock(tail_mu_);
-  ReaderMutexLock slock(segments_mu_);
+  SegmentCommitLockSet locks(CaptureSegments());
   out.segment_capacity_ = segment_capacity_;
   out.num_columns_ = schema_.columns.size();
-  out.segments_.reserve(segments_.size());
-  for (const auto& s : segments_) {
+  out.segments_.reserve(locks.segments().size());
+  for (const auto& s : locks.segments()) {
     PartitionedSnapshot::SegmentView v;
     v.base = s->base;
     v.snap = s->table->CreateSnapshot();

@@ -23,17 +23,31 @@
 //     = segment base + local row id (bases are multiples of the capacity,
 //     because a segment seals at exactly its capacity).
 //
-// Concurrency model (the locks are deliberately split):
+// Concurrency model (the locks are deliberately split; full protocol in
+// docs/ARCHITECTURE.md "Per-segment parallel commits"):
 //
-//   * `tail_mu_`   — the write lock: serializes InsertRow / InsertRows /
-//     UpdateRow / DeleteRow (the same single-writer discipline Table
-//     documents) and snapshot capture. Readers NEVER take it, so
+//   * `tail_mu_`   — the tail-coordination lock: covers rollover and
+//     tail-segment selection only (a short critical section), plus snapshot
+//     capture. It is NOT held across whole commits — disjoint-segment
+//     writers commit fully in parallel. Readers NEVER take it, so
 //     sealed-segment scans never contend with ingest.
+//   * `Segment::commit_mu` — one commit lock per segment. Every append to
+//     and every validity mutation of a segment's Table, and every
+//     commit-time readset validation against it, happens under that
+//     segment's commit lock. A writer acquires the commit locks of exactly
+//     the segments its operation touches, in ascending segment order (so
+//     two cross-segment committers can never deadlock); holding them from
+//     validation through apply is strict two-phase locking over segments,
+//     which is what keeps parallel commits serializable.
 //   * `segments_mu_` (shared) — guards only the segment vector. Readers
 //     hold it briefly to capture the segment list, then scan entirely
 //     lock-free at this level (each segment Table applies its own internal
 //     reader/writer protocol). Only a rollover — once per
 //     `segment_capacity` rows — takes it exclusively, for one push_back.
+//
+// Lock order: tail_mu_ -> commit_mu (ascending segment index) ->
+// segments_mu_; each segment Table's internal mu_ is a leaf acquired only
+// inside Table methods.
 //
 // Cross-segment consistency: point-in-time reads use PartitionedSnapshot,
 // which pins one epoch capture per segment *atomically with the segment
@@ -183,7 +197,9 @@ class PartitionedTable {
     read_pool_.store(pool, std::memory_order_release);
   }
 
-  // --- write path (serialized by the tail-insert lock) ---
+  // --- write path (tail selection under tail_mu_; the write itself under
+  //     the owning segments' commit locks, so disjoint-segment writers
+  //     proceed in parallel) ---
 
   /// Appends a row to the open tail segment (sealing and rolling over as
   /// needed). Returns the global row id.
@@ -217,13 +233,17 @@ class PartitionedTable {
   // --- optimistic multi-row transactions (global-row domain) ---
   //
   // The partitioned sibling of Table::Transaction: writes buffer locally,
-  // the readset validates under the write lock at commit, and the op buffer
-  // is decomposed into per-segment groups applied in buffer order — inserts
-  // route to the tail (rolling over mid-commit when it fills), an update
-  // whose superseded row lives in another segment becomes a tail insert
-  // plus an owner tombstone, and each group commits through the segment's
-  // own Table::Transaction, i.e. as ONE kTxnCommit record in that segment's
-  // journal, acknowledged before the next group appends.
+  // the readset validates at commit under the commit locks of exactly the
+  // segments the transaction touches (ascending order; see the lock-order
+  // header comment), and the op buffer is decomposed into per-segment
+  // groups applied in buffer order — inserts route to the tail (rolling
+  // over mid-commit when it fills), an update whose superseded row lives in
+  // another segment becomes a tail insert plus an owner tombstone, and each
+  // group commits through the segment Table's atomic validate/apply
+  // (CommitTxnOps), i.e. as ONE kTxnCommit record in that segment's
+  // journal, acknowledged before the next group appends. Transactions over
+  // disjoint segment sets commit fully in parallel; only tail rollover and
+  // tail selection serialize on the short tail_mu_ critical section.
   //
   // Atomicity contract: a transaction whose ops land in one segment is
   // all-or-nothing across crash/recovery exactly like Table's; a
@@ -274,22 +294,19 @@ class PartitionedTable {
     friend class PartitionedTable;
     explicit Transaction(PartitionedTable* table) : table_(table) {}
 
-    struct ReadEntry {
-      uint64_t row;  ///< global row id
-      bool observed_valid;
-    };
-
     PartitionedTable* table_ = nullptr;
     std::vector<TxnOp> ops_;  ///< target_row in the global domain
-    std::vector<ReadEntry> readset_;
+    std::vector<TxnRead> readset_;  ///< row in the global domain
   };
 
   /// Opens a transaction. Any number may be open concurrently (they hold
-  /// no lock); commits serialize on the write lock.
+  /// no lock); commits over disjoint segment sets run in parallel.
   Transaction BeginTransaction() { return Transaction(this); }
 
   /// Partitioned-transaction commits/aborts since construction (the
-  /// per-segment counters additionally count one commit per group).
+  /// per-segment counters additionally count one commit per group, and a
+  /// single-segment transaction's abort also lands on its segment — the
+  /// fast path validates inside the segment Table).
   Table::TxnStats txn_stats() const {
     return Table::TxnStats{txn_commits_.load(std::memory_order_relaxed),
                            txn_aborts_.load(std::memory_order_relaxed)};
@@ -349,6 +366,14 @@ class PartitionedTable {
     Table* table = nullptr;          ///< the segment (maybe hook-owned)
     std::unique_ptr<Table> owned;    ///< in-memory mode: owning pointer
     uint64_t base = 0;               ///< first global row id
+    /// The segment's commit lock: every append to and every validity
+    /// mutation of `table`, and every commit-time readset validation
+    /// against it, holds this lock. Multi-segment operations acquire
+    /// commit locks in ascending segment order (see the header comment);
+    /// holding a segment's commit lock freezes its fill — no concurrent
+    /// writer can append — which is what lets the tail fast path release
+    /// tail_mu_ before applying.
+    Mutex commit_mu;
     std::atomic<bool> sealed{false};
     /// Sealed AND delta-free: the final merge ran (or was never needed);
     /// merge passes skip the segment without touching its lock.
@@ -361,13 +386,122 @@ class PartitionedTable {
     std::atomic<uint64_t> compact_failed_at{0};
   };
 
-  /// The partitioned commit body: validate the whole readset under the
-  /// write lock (no logical op mid-flight, so the validation outcome holds
-  /// for the entire apply), then decompose into per-segment groups and
-  /// commit each through the segment's Table::Transaction.
+  /// RAII multi-lock over a set of segments: acquires each commit_mu in
+  /// ascending segment order (callers pass a base-ascending, deduplicated
+  /// list) and releases in reverse, keeping the shared_ptrs alive for the
+  /// hold. A dynamic vector of capabilities is inexpressible to the
+  /// analysis, so acquisition/release are opted out
+  /// (DM_NO_THREAD_SAFETY_ANALYSIS); analysis coverage resumes at each
+  /// apply site via AssertCommitHeld + the DM_REQUIRES on
+  /// CommitSegmentGroupLocked.
+  class SegmentCommitLockSet {
+   public:
+    SegmentCommitLockSet() = default;
+    explicit SegmentCommitLockSet(
+        std::vector<std::shared_ptr<Segment>> segments)
+        DM_NO_THREAD_SAFETY_ANALYSIS;
+    ~SegmentCommitLockSet() DM_NO_THREAD_SAFETY_ANALYSIS;
+    DM_DISALLOW_COPY_AND_MOVE(SegmentCommitLockSet);
+
+    /// Locks one more segment; its base must exceed every held one (the
+    /// ascending-order rule) — how mid-commit rollovers and late-discovered
+    /// readset owners join the set.
+    void Add(std::shared_ptr<Segment> seg) DM_NO_THREAD_SAFETY_ANALYSIS;
+
+    bool Holds(const Segment& seg) const {
+      for (const auto& s : segments_) {
+        if (s.get() == &seg) return true;
+      }
+      return false;
+    }
+
+    const std::vector<std::shared_ptr<Segment>>& segments() const {
+      return segments_;
+    }
+
+   private:
+    std::vector<std::shared_ptr<Segment>> segments_;
+  };
+
+  /// The partitioned commit body. Classifies the transaction at lock time:
+  ///
+  ///   * sealed-only (no appends): never touches tail_mu_ — acquire the
+  ///     involved segments' commit locks ascending, validate, apply.
+  ///   * append-bearing, fitting the tail: a short tail_mu_ section does
+  ///     rollover + tail selection + commit-lock acquisition, then tail_mu_
+  ///     is RELEASED before validate/apply (the held tail commit lock
+  ///     freezes the fill, so no mid-commit rollover can be needed).
+  ///   * append-bearing, straddling a rollover: tail_mu_ is kept for the
+  ///     whole commit (at most once per segment_capacity fills) so the
+  ///     mid-commit rollover stays inside the lock order.
+  ///
+  /// Validation + apply both run under the commit locks (strict 2PL over
+  /// segments), so a validation that passes stays true for the entire
+  /// apply. Single-segment transactions apply through the segment Table's
+  /// atomic CommitTxnOps; cross-segment ones validate via per-segment
+  /// ValidateReadset, then install readset-free groups in buffer order.
   Status CommitTxn(std::span<const TxnOp> ops,
-                   std::span<const Transaction::ReadEntry> readset)
+                   std::span<const TxnRead> readset)
       DM_EXCLUDES(tail_mu_, segments_mu_);
+
+  /// The no-append commit shape: acquire the touched segments' commit
+  /// locks (extension loop — no tail_mu_, so the list is re-captured until
+  /// it covers every touched owner that exists), then validate + apply.
+  Status CommitSealedOnlyTxn(std::span<const TxnOp> ops,
+                             std::span<const TxnRead> readset)
+      DM_EXCLUDES(tail_mu_, segments_mu_);
+
+  /// The append-bearing commit shape: short tail_mu_ section (rollover +
+  /// capture + lock acquisition + frozen fill read), released before the
+  /// apply when the transaction fits the open tail, kept across it when
+  /// the commit straddles a rollover.
+  Status CommitAppendTxn(std::span<const TxnOp> ops,
+                         std::span<const TxnRead> readset, size_t appends)
+      DM_EXCLUDES(segments_mu_);
+
+  /// Validate-then-install under the already-acquired lock set (strict
+  /// two-phase locking over segments: every lock is held from before
+  /// validation to after the last group installs, so the validation
+  /// outcome cannot go stale and parallel commits stay serializable).
+  /// `straddles` callers hold tail_mu_ for the mid-commit rollover.
+  /// DM_NO_THREAD_SAFETY_ANALYSIS: the lock set is dynamic and tail_mu_ is
+  /// conditionally held — inexpressible; the per-segment teeth come back
+  /// via AssertCommitHeld + CommitSegmentGroupLocked's DM_REQUIRES.
+  Status CommitTxnLockedSet(std::span<const TxnOp> ops,
+                            std::span<const TxnRead> readset, size_t appends,
+                            const std::vector<std::shared_ptr<Segment>>& segs,
+                            SegmentCommitLockSet* locks, bool straddles,
+                            uint64_t tail_rows) DM_NO_THREAD_SAFETY_ANALYSIS;
+
+  /// Straddling-commit rollover: materializes the segment a mid-commit
+  /// rollover created in simulation and adds its commit lock to the set
+  /// (a new segment's index exceeds every held one, so the acquisition
+  /// order stays ascending). Idempotent: an op buffer that revisits the
+  /// rolled-over segment resolves to the already-locked slot. Returns the
+  /// segment at `seg_index`.
+  std::shared_ptr<Segment> MaterializeTailForCommitLocked(
+      size_t seg_index, SegmentCommitLockSet* locks) DM_REQUIRES(tail_mu_)
+      DM_EXCLUDES(segments_mu_);
+
+  /// Commits one decomposed op group (ops rebased to the segment's local
+  /// row domain) through seg's Table::CommitTxnOps. The caller must hold
+  /// seg.commit_mu — enforced by the analysis (the negative-compile case
+  /// txn_commit_skips_segment_lock proves a call without the lock is
+  /// rejected under -Werror=thread-safety). Returns Aborted only when
+  /// `readset` is non-empty and stale (the single-segment fast path);
+  /// readset-free groups cannot abort.
+  static Status CommitSegmentGroupLocked(Segment& seg,
+                                         std::span<const TxnOp> ops,
+                                         std::span<const TxnRead> readset)
+      DM_REQUIRES(seg.commit_mu);
+
+  /// Escape hatch for lock sets the analysis cannot follow (a vector of
+  /// segments locked by SegmentCommitLockSet): asserts at analysis level
+  /// that `seg.commit_mu` is held so CommitSegmentGroupLocked may be
+  /// called. Runtime-free; only ever invoked after the RAII set acquired
+  /// the lock.
+  static void AssertCommitHeld([[maybe_unused]] Segment& seg)
+      DM_ASSERT_CAPABILITY(seg.commit_mu) {}
 
   /// Sealed-segment tombstone-compaction trigger, evaluated by a merge
   /// pass where the §4 fill trigger no longer applies (final-merged
@@ -408,9 +542,11 @@ class PartitionedTable {
   std::atomic<uint64_t> txn_commits_{0};
   std::atomic<uint64_t> txn_aborts_{0};
 
-  /// The write lock: single writer at a time, never taken by readers.
-  /// Lock order: tail_mu_ first, segments_mu_ inside it — never acquire
-  /// tail_mu_ while holding segments_mu_.
+  /// The tail-coordination lock: covers rollover + tail selection (and, on
+  /// the straddling slow path, a whole commit), never taken by readers.
+  /// Lock order: tail_mu_ -> Segment::commit_mu (ascending index) ->
+  /// segments_mu_ — never acquire tail_mu_ while holding a commit lock or
+  /// segments_mu_, never acquire a commit lock while holding segments_mu_.
   mutable Mutex tail_mu_ DM_ACQUIRED_BEFORE(segments_mu_);
   /// Guards segments_ (the vector only, not row data).
   mutable SharedMutex segments_mu_;

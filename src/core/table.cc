@@ -230,7 +230,7 @@ void Table::InvalidateLocked(uint64_t row, uint64_t ts) {
 bool Table::Transaction::ReadRowValid(uint64_t row) {
   DM_CHECK_MSG(table_ != nullptr, "transaction already committed or aborted");
   const bool valid = table_->IsRowValid(row);
-  readset_.push_back(ReadEntry{row, valid});
+  readset_.push_back(TxnRead{row, valid});
   return valid;
 }
 
@@ -265,37 +265,52 @@ Status Table::Transaction::Commit() {
   DM_CHECK_MSG(table_ != nullptr, "transaction already committed or aborted");
   Table* table = table_;
   table_ = nullptr;  // consumed either way
+  const Status st = table->CommitTxnOps(ops_, readset_);
+  ops_.clear();
+  readset_.clear();
+  return st;
+}
+
+Status Table::CommitTxnOps(std::span<const TxnOp> ops,
+                           std::span<const TxnRead> readset) {
   // Frame the commit record with NO lock held (like PrepareInsertBatch) —
   // optimistically: an abort wastes the encode, a commit never pays it
   // inside the critical section.
-  TableJournal* journal = table->journal();
+  TableJournal* journal = this->journal();
   PreparedBatch prepared;
-  if (journal != nullptr && !ops_.empty()) {
-    prepared = journal->PrepareTxnCommit(ops_, table->num_columns());
+  if (journal != nullptr && !ops.empty()) {
+    prepared = journal->PrepareTxnCommit(ops, num_columns());
   }
   uint64_t lsn = 0;
   Status st;
   {
-    WriterMutexLock lock(table->mu_);
-    st = table->CommitTxnLocked(
-        ops_, readset_, journal != nullptr ? &prepared : nullptr, &lsn);
-    journal = table->journal_;  // the attach may have changed since begin
+    WriterMutexLock lock(mu_);
+    st = CommitTxnLocked(ops, readset,
+                         journal != nullptr ? &prepared : nullptr, &lsn);
+    journal = journal_;  // the attach may have changed since begin
   }
-  ops_.clear();
-  readset_.clear();
   if (st.ok() && journal != nullptr && lsn != 0) journal->Acknowledge(lsn);
   return st;
 }
 
+bool Table::ValidateReadset(std::span<const TxnRead> readset) const {
+  ReaderMutexLock lock(mu_);
+  for (const TxnRead& e : readset) {
+    const bool valid = e.row < validity_.size() && validity_.IsValid(e.row);
+    if (valid != e.observed_valid) return false;
+  }
+  return true;
+}
+
 Status Table::CommitTxnLocked(std::span<const TxnOp> ops,
-                              std::span<const Transaction::ReadEntry> readset,
+                              std::span<const TxnRead> readset,
                               const PreparedBatch* prepared,
                               uint64_t* out_lsn) {
   // Validate: every readset observation must still hold. Rows never
   // disappear (the table is insert-only), so a recorded row id is always
   // in range — unless it was recorded against a size the table has not
   // reached yet, which cannot happen (reads observe committed state).
-  for (const Transaction::ReadEntry& e : readset) {
+  for (const TxnRead& e : readset) {
     const bool valid = e.row < validity_.size() && validity_.IsValid(e.row);
     if (valid != e.observed_valid) {
       ++txn_aborts_;

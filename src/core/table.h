@@ -55,6 +55,16 @@ struct Schema {
   }
 };
 
+/// One readset observation: `row`'s validity as the transaction saw it.
+/// Commit-time validation re-checks the observation against the current
+/// bitmap and aborts on a mismatch (first-updater-wins). Namespace-scope —
+/// shared by Table::Transaction, PartitionedTable's per-segment commit
+/// paths, and the validate/apply split (CommitTxnOps / ValidateReadset).
+struct TxnRead {
+  uint64_t row;
+  bool observed_valid;
+};
+
 /// How a table-level merge distributes work over threads (§6.2.1):
 /// kColumnTasks  — scheme (i): each column is a task on a shared queue; a
 ///                 column's merge itself runs single-threaded.
@@ -214,20 +224,36 @@ class Table {
     explicit Transaction(Table* table, uint64_t begin_ts)
         : table_(table), begin_ts_(begin_ts) {}
 
-    struct ReadEntry {
-      uint64_t row;
-      bool observed_valid;
-    };
-
     Table* table_ = nullptr;
     uint64_t begin_ts_ = 0;
     std::vector<TxnOp> ops_;
-    std::vector<ReadEntry> readset_;
+    std::vector<TxnRead> readset_;
   };
 
   /// Opens a transaction. Any number may be open concurrently (they hold
   /// no lock); commits serialize on the table's exclusive lock.
   Transaction BeginTransaction() DM_EXCLUDES(mu_);
+
+  /// The validate/apply split, exposed directly: atomically validates
+  /// `readset` against the current validity bitmap and, on success, stamps,
+  /// applies, and journals `ops` as ONE transaction commit (one commit
+  /// timestamp, one kTxnCommit record) — all under a single exclusive-lock
+  /// acquisition. Returns Status::Aborted on a readset conflict (nothing
+  /// applied, nothing logged). Transaction::Commit delegates here; the
+  /// partitioned per-segment commit path drives it directly so a
+  /// single-segment transaction is one atomic Table-level step with no
+  /// intermediate Transaction buffering.
+  Status CommitTxnOps(std::span<const TxnOp> ops,
+                      std::span<const TxnRead> readset) DM_EXCLUDES(mu_);
+
+  /// Validates `readset` only — one shared-lock acquisition, no writes, no
+  /// journal traffic. Returns true iff every observation still holds. Used
+  /// by cross-segment commits that hold the segment's external commit lock:
+  /// validation here stays true for the duration of that hold, because
+  /// every validity mutation of a partitioned segment goes through the
+  /// same commit lock.
+  bool ValidateReadset(std::span<const TxnRead> readset) const
+      DM_EXCLUDES(mu_);
 
   /// Commits/aborts since construction (bench + test observability).
   struct TxnStats {
@@ -326,7 +352,7 @@ class Table {
   /// it without the exclusive lock is a compile error under
   /// -Werror=thread-safety (tests/static_analysis proves it).
   Status CommitTxnLocked(std::span<const TxnOp> ops,
-                         std::span<const Transaction::ReadEntry> readset,
+                         std::span<const TxnRead> readset,
                          const PreparedBatch* prepared, uint64_t* out_lsn)
       DM_REQUIRES(mu_);
 

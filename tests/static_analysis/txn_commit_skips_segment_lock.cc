@@ -1,0 +1,43 @@
+// Copyright (c) 2026 The DeltaMerge Authors.
+// Negative-compile case: installing a transaction's op group into a
+// segment requires that segment's COMMIT lock —
+// PartitionedTable::CommitSegmentGroupLocked carries
+// DM_REQUIRES(seg.commit_mu) because a group applied outside the lock
+// could interleave with a racing committer's validate+apply and tear the
+// first-updater-wins decision. A commit path that reaches the per-segment
+// install helper without holding that segment's commit lock must be
+// rejected.
+
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct MiniSegment {
+  deltamerge::Mutex commit_mu;
+  unsigned rows DM_GUARDED_BY(commit_mu) = 0;
+};
+
+class MiniPartitionedTable {
+ public:
+  void CommitTxn() {
+    // BUG under analysis: the group is installed without first taking
+    // seg_.commit_mu — the per-segment commit protocol is skipped.
+    CommitSegmentGroupLocked(seg_);
+  }
+
+ private:
+  static void CommitSegmentGroupLocked(MiniSegment& seg)
+      DM_REQUIRES(seg.commit_mu) {
+    ++seg.rows;
+  }
+
+  MiniSegment seg_;
+};
+
+}  // namespace
+
+int main() {
+  MiniPartitionedTable t;
+  t.CommitTxn();
+  return 0;
+}
