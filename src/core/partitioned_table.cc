@@ -169,16 +169,36 @@ void PartitionedTable::RollOverIfFullLocked() {
   segments_.push_back(std::move(seg));
 }
 
+std::shared_ptr<PartitionedTable::Segment>
+PartitionedTable::AcquireTailForAppendLocked() {
+  // The only fill read an appender may trust is one taken under the tail's
+  // commit lock: a predecessor appender that entered that lock under an
+  // EARLIER tail_mu_ hold (and has since released tail_mu_) may fill the
+  // last slot while we wait on the lock, so the rollover pre-check below is
+  // stale by the time the lock comes through. Re-check under the lock and
+  // retry: the fill is monotone (appends only; deletes just invalidate), so
+  // a full-under-lock read stays full, the retry's rollover takes it, and —
+  // because tail_mu_ (held throughout) is the only gate to a tail commit
+  // lock for appenders — the fresh tail cannot fill behind us: the loop
+  // runs at most twice.
+  for (;;) {
+    RollOverIfFullLocked();
+    std::shared_ptr<Segment> tail = TailLocked();
+    tail->commit_mu.lock();
+    if (tail->table->num_rows() < segment_capacity_) return tail;
+    tail->commit_mu.unlock();
+  }
+}
+
 uint64_t PartitionedTable::InsertRow(std::span<const uint64_t> keys) {
   // tail_mu_ covers only rollover + tail selection + commit-lock entry;
   // the append itself runs under the tail's commit lock alone, so inserts
-  // overlap with commits into sealed segments. Holding the commit lock
-  // freezes the fill (every appender holds it), so the row cannot overflow
-  // the capacity RollOverIfFullLocked just checked.
+  // overlap with commits into sealed segments. The returned tail has its
+  // fill verified UNDER the commit lock (see AcquireTailForAppendLocked),
+  // so the row cannot overflow the capacity.
   tail_mu_.lock();
-  RollOverIfFullLocked();
-  const std::shared_ptr<Segment> tail = TailLocked();
-  tail->commit_mu.lock();
+  const std::shared_ptr<Segment> tail = AcquireTailForAppendLocked();
+  AssertCommitHeld(*tail);
   tail_mu_.unlock();
   const uint64_t row = tail->table->InsertRow(keys);
   tail->commit_mu.unlock();
@@ -212,6 +232,10 @@ uint64_t PartitionedTable::InsertRows(std::span<const uint64_t> row_major_keys,
     // remains one contiguous run of global row ids across rollovers.
     MutexLock commit_lock(tail->commit_mu);
     const uint64_t room = segment_capacity_ - tail->table->num_rows();
+    if (room == 0) continue;  // pre-check was stale (a predecessor appender
+                              // filled the tail while we waited on its
+                              // commit lock); the re-run rollover sees the
+                              // full segment and rolls over for real.
     const uint64_t n = std::min(room, num_rows - done);
     const uint64_t local =
         tail->table->InsertRows(row_major_keys.subspan(done * nc, n * nc), n,
@@ -227,58 +251,85 @@ uint64_t PartitionedTable::InsertRows(std::span<const uint64_t> row_major_keys,
 
 uint64_t PartitionedTable::UpdateRow(uint64_t global_row,
                                      std::span<const uint64_t> keys) {
+  // Like InsertRow, only a fill read taken under the tail's commit lock is
+  // trustworthy — the rollover pre-check can go stale while we wait on a
+  // predecessor appender holding that lock. Unlike InsertRow the routing
+  // depends on the segment list (tail-owner vs cross-segment vs beyond-
+  // size), and the cross-segment path must take the owner's commit lock
+  // BEFORE the tail's (ascending order), so the re-check cannot be folded
+  // into AcquireTailForAppendLocked: each retry releases every commit
+  // lock, rolls over, and re-classifies from scratch — a tail-owner update
+  // whose tail just sealed correctly re-routes to the cross-segment path.
+  // The fill is monotone and tail_mu_ (held) gates all tail appenders, so
+  // the loop runs at most twice.
   tail_mu_.lock();
-  RollOverIfFullLocked();
-  std::shared_ptr<Segment> tail;
-  std::shared_ptr<Segment> old_seg;
-  size_t num_segs;
-  {
-    ReaderMutexLock slock(segments_mu_);
-    tail = segments_.back();
-    num_segs = segments_.size();
+  for (;;) {
+    RollOverIfFullLocked();
+    std::shared_ptr<Segment> tail;
+    std::shared_ptr<Segment> old_seg;
+    size_t num_segs;
+    {
+      ReaderMutexLock slock(segments_mu_);
+      tail = segments_.back();
+      num_segs = segments_.size();
+      const size_t owner =
+          static_cast<size_t>(global_row / segment_capacity_);
+      if (owner + 1 < num_segs) old_seg = segments_[owner];
+    }
+    // Out-of-range targets are accepted exactly like Table::UpdateRow: the
+    // fresh version is appended and nothing is invalidated. The live path
+    // and WAL replay must agree on this, so the sharded front door must not
+    // be stricter than the segment write path it logs through.
     const size_t owner = static_cast<size_t>(global_row / segment_capacity_);
-    if (owner + 1 < num_segs) old_seg = segments_[owner];
-  }
-  // Out-of-range targets are accepted exactly like Table::UpdateRow: the
-  // fresh version is appended and nothing is invalidated. The live path
-  // and WAL replay must agree on this, so the sharded front door must not
-  // be stricter than the segment write path it logs through.
-  const size_t owner = static_cast<size_t>(global_row / segment_capacity_);
-  if (owner + 1 == num_segs) {
-    // The superseded row lives in the open tail: the segment's own
-    // insert-only update is one atomic operation (and, durably, ONE
-    // kUpdate record — both halves recover or neither does).
+    if (owner + 1 == num_segs) {
+      // The superseded row lives in the open tail: the segment's own
+      // insert-only update is one atomic operation (and, durably, ONE
+      // kUpdate record — both halves recover or neither does).
+      tail->commit_mu.lock();
+      if (tail->table->num_rows() == segment_capacity_) {
+        tail->commit_mu.unlock();
+        continue;  // stale pre-check: re-roll and re-classify
+      }
+      tail_mu_.unlock();
+      const uint64_t new_row =
+          tail->table->UpdateRow(global_row - tail->base, keys);
+      tail->commit_mu.unlock();
+      return tail->base + new_row;
+    }
+    // Cross-segment (or out-of-range): commit locks ascending — the owner
+    // (when it exists) is always below the tail — then release tail_mu_ so
+    // disjoint writers proceed. Fresh version into the tail FIRST, then the
+    // tombstone in the owning sealed segment — the same insert-then-
+    // invalidate order a single-segment update applies, so a crash between
+    // the halves leaves a state on the schedule's single-row-operation
+    // prefix lattice, never an invented one (the recovery tests rely on
+    // this order).
+    if (old_seg == nullptr) {
+      // Beyond-size target: liberal degrade to a plain tail insert.
+      tail->commit_mu.lock();
+      if (tail->table->num_rows() == segment_capacity_) {
+        tail->commit_mu.unlock();
+        continue;  // stale pre-check: re-roll and re-classify
+      }
+      tail_mu_.unlock();
+      const uint64_t new_row = tail->base + tail->table->InsertRow(keys);
+      tail->commit_mu.unlock();
+      return new_row;
+    }
+    old_seg->commit_mu.lock();
     tail->commit_mu.lock();
-    tail_mu_.unlock();
-    const uint64_t new_row =
-        tail->table->UpdateRow(global_row - tail->base, keys);
-    tail->commit_mu.unlock();
-    return tail->base + new_row;
-  }
-  // Cross-segment (or out-of-range): commit locks ascending — the owner
-  // (when it exists) is always below the tail — then release tail_mu_ so
-  // disjoint writers proceed. Fresh version into the tail FIRST, then the
-  // tombstone in the owning sealed segment — the same insert-then-
-  // invalidate order a single-segment update applies, so a crash between
-  // the halves leaves a state on the schedule's single-row-operation
-  // prefix lattice, never an invented one (the recovery tests rely on
-  // this order).
-  if (old_seg == nullptr) {
-    // Beyond-size target: liberal degrade to a plain tail insert.
-    tail->commit_mu.lock();
+    if (tail->table->num_rows() == segment_capacity_) {
+      tail->commit_mu.unlock();
+      old_seg->commit_mu.unlock();
+      continue;  // stale pre-check: re-roll and re-classify
+    }
     tail_mu_.unlock();
     const uint64_t new_row = tail->base + tail->table->InsertRow(keys);
+    (void)old_seg->table->DeleteRow(global_row - old_seg->base);
     tail->commit_mu.unlock();
+    old_seg->commit_mu.unlock();
     return new_row;
   }
-  old_seg->commit_mu.lock();
-  tail->commit_mu.lock();
-  tail_mu_.unlock();
-  const uint64_t new_row = tail->base + tail->table->InsertRow(keys);
-  (void)old_seg->table->DeleteRow(global_row - old_seg->base);
-  tail->commit_mu.unlock();
-  old_seg->commit_mu.unlock();
-  return new_row;
 }
 
 Status PartitionedTable::DeleteRow(uint64_t global_row) {
@@ -728,6 +779,18 @@ PartitionedSnapshot PartitionedTable::CreateSnapshot() const {
   // Readers are unaffected (they take none of these locks), and
   // per-segment merge commits need no exclusion — each segment Snapshot
   // is commit-proof on its own.
+  //
+  // COST (deliberate, documented in the header and ARCHITECTURE.md):
+  // capture blocks every writer for its duration, and that duration is
+  // O(num_segments) lock acquisitions plus the drain of any in-flight
+  // commit — including a single-row writer's group-commit fsync, which is
+  // acknowledged under its segment's commit lock. The per-segment shared-
+  // capture scheme this replaced (PR 5) was cheaper to create but could
+  // interleave with the multi-segment commits PR 9 introduced, tearing a
+  // cross-segment transaction in the capture. Snapshot-heavy workloads
+  // should amortize: one capture serves any number of reads. Revisit with
+  // per-segment epoch capture + a validation pass if capture latency ever
+  // shows up in bench_sharded_scale's snapshot rows.
   MutexLock wlock(tail_mu_);
   SegmentCommitLockSet locks(CaptureSegments());
   out.segment_capacity_ = segment_capacity_;

@@ -323,9 +323,14 @@ class PartitionedTable {
   uint64_t SumColumn(size_t col) const DM_EXCLUDES(segments_mu_);
 
   /// Pins one epoch capture per segment atomically with the segment list
-  /// (brief write-lock acquisition, so no logical op is mid-flight): every
-  /// read on the returned snapshot answers as of this instant, across
-  /// concurrent inserts, rollovers, and per-segment merge commits.
+  /// (tail_mu_ plus every segment's commit lock, so no logical op is
+  /// mid-flight): every read on the returned snapshot answers as of this
+  /// instant, across concurrent inserts, rollovers, and per-segment merge
+  /// commits. Capture blocks all writers for its duration, which is
+  /// O(num_segments) lock acquisitions plus the drain of any in-flight
+  /// commit (including its group-commit fsync) — cheap reads, deliberately
+  /// non-cheap capture; snapshot-heavy workloads should reuse one capture
+  /// across many reads (see the cost note in ARCHITECTURE.md).
   PartitionedSnapshot CreateSnapshot() const
       DM_EXCLUDES(tail_mu_, segments_mu_);
 
@@ -514,7 +519,29 @@ class PartitionedTable {
   /// Seals the tail and opens a fresh segment if the tail is full. Caller
   /// holds tail_mu_ (which keeps the tail identity stable); the vector
   /// itself is still read/grown under segments_mu_.
+  ///
+  /// The fill read here is a PRE-check only: it runs before the tail's
+  /// commit lock is taken, so a predecessor appender still holding that
+  /// lock (acquired under an earlier tail_mu_ hold) can fill the last slot
+  /// afterwards. Every append path must therefore re-validate the fill
+  /// under the commit lock before appending — AcquireTailForAppendLocked
+  /// for inserts, the retry loops in UpdateRow, the `room == 0` guard in
+  /// InsertRows, and the frozen fill read in CommitAppendTxn.
   void RollOverIfFullLocked() DM_REQUIRES(tail_mu_) DM_EXCLUDES(segments_mu_);
+
+  /// Rolls over as needed and returns the open tail with its commit_mu
+  /// HELD and its fill verified < segment_capacity_ UNDER that lock (the
+  /// only fill read an appender may trust — see RollOverIfFullLocked).
+  /// Full-under-lock means a predecessor filled the tail while we waited:
+  /// release, roll over, retry. The fill is monotone and tail_mu_ (held)
+  /// gates every appender's path to a tail commit lock, so the fresh tail
+  /// cannot fill behind us — the loop runs at most twice.
+  /// DM_NO_THREAD_SAFETY_ANALYSIS: returns with a dynamically selected
+  /// commit_mu held, which the analysis cannot express; callers re-enter
+  /// the analysis via AssertCommitHeld on the returned segment.
+  std::shared_ptr<Segment> AcquireTailForAppendLocked()
+      DM_REQUIRES(tail_mu_) DM_EXCLUDES(segments_mu_)
+      DM_NO_THREAD_SAFETY_ANALYSIS;
 
   /// The open tail segment. tail_mu_ (held) is what keeps the returned
   /// segment *the* tail until the caller's write completes.

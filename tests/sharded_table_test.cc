@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <mutex>
@@ -259,6 +260,90 @@ TEST(ShardedTableTorture, PooledReadsRaceWriterAndRollovers) {
   EXPECT_GE(t.num_segments(), 60u);
   EXPECT_EQ(t.CountEquals(0, 3), (inserted + 3) / 7);
   t.AttachReadPool(nullptr);
+}
+
+TEST(ShardedTableTorture, BoundaryAppendersNeverOverflowSegments) {
+  // Regression for the stale rollover pre-check: RollOverIfFullLocked reads
+  // the tail fill BEFORE the tail's commit lock is acquired, so a
+  // predecessor appender still holding that lock (entered under an earlier
+  // tail_mu_ hold) could fill the last slot and the successor would append
+  // row segment_capacity + 1 — a global id colliding with the next
+  // segment's base, and a sealed segment recovery refuses. The appenders
+  // must re-validate the fill under the commit lock (all three UpdateRow
+  // paths included) for this to pass.
+  //
+  // Shape tuned for the worst case (one core, preemption-driven
+  // interleavings): capacity 2 makes every other append a boundary fill,
+  // 16 columns stretch the append a predecessor performs under the commit
+  // lock — together the unfixed code failed ~87% of single rounds on a
+  // 1-vCPU host; two fresh-table rounds push the catch rate past ~98%
+  // there, and a multi-core host hits the window essentially always.
+  constexpr uint64_t kCapacity = 2;
+  constexpr int kThreads = 12;
+  constexpr int kOpsPerThread = 1000;
+  constexpr int kRounds = 2;
+  constexpr uint64_t kBeyondAnySize =
+      2ull * kThreads * kOpsPerThread + 1'000'000;
+  constexpr size_t kColumns = 16;
+  for (int round = 0; round < kRounds; ++round) {
+    SCOPED_TRACE(testing::Message() << "round=" << round);
+    PartitionedTable t(Schema::Uniform(kColumns, 8), kCapacity);
+    std::vector<std::vector<uint64_t>> ids(kThreads);
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int w = 0; w < kThreads; ++w) {
+      workers.emplace_back([&t, &ids, w, round] {
+        Rng rng(0x9e3779b9ull * static_cast<uint64_t>(w + 1) + round);
+        std::vector<uint64_t>& mine = ids[w];
+        mine.reserve(kOpsPerThread);
+        std::vector<uint64_t> row(kColumns, 0);
+        for (int i = 0; i < kOpsPerThread; ++i) {
+          for (size_t c = 0; c + 1 < kColumns; ++c) row[c] = rng.Below(7);
+          row[kColumns - 1] =
+              static_cast<uint64_t>(w) << 32 | static_cast<uint64_t>(i);
+          const uint64_t dice = rng.Below(4);
+          if (dice == 0 || mine.empty()) {
+            // Plain tail append.
+            mine.push_back(t.InsertRow(row));
+          } else if (dice == 1) {
+            // Beyond-size target: the liberal degrade-to-insert path.
+            mine.push_back(t.UpdateRow(kBeyondAnySize, row));
+          } else {
+            // Supersede one of our own earlier versions: exercises both
+            // the tail-owner and the cross-segment (owner lock + tail
+            // lock) routes, depending on where the old version lives.
+            const uint64_t target = mine[rng.Below(mine.size())];
+            mine.push_back(t.UpdateRow(target, row));
+          }
+        }
+      });
+    }
+    for (std::thread& th : workers) th.join();
+
+    // Every append reserved a distinct global row id (an overflow hands
+    // the successor `base + capacity`, which collides with the next
+    // segment's first id).
+    std::vector<uint64_t> all;
+    all.reserve(static_cast<size_t>(kThreads) * kOpsPerThread);
+    for (const auto& v : ids) all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+    EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end())
+        << "duplicate global row id handed to concurrent appenders";
+
+    // Exactly one row per append, no segment past its capacity, and every
+    // sealed segment holds exactly the capacity (the recovery invariant).
+    const uint64_t total = static_cast<uint64_t>(kThreads) * kOpsPerThread;
+    EXPECT_EQ(t.num_rows(), total);
+    EXPECT_EQ(all.back(), total - 1);
+    const size_t num_segments = t.num_segments();
+    for (size_t s = 0; s < num_segments; ++s) {
+      const uint64_t rows = t.segment(s).num_rows();
+      ASSERT_LE(rows, kCapacity) << "segment " << s << " overflowed";
+      if (t.segment_sealed(s)) {
+        ASSERT_EQ(rows, kCapacity) << "sealed segment " << s << " short";
+      }
+    }
+  }
 }
 
 // --- cross-segment snapshots -------------------------------------------------
