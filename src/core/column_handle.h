@@ -135,12 +135,15 @@ class ColumnHandle final : public ColumnBase {
   }
 
   uint64_t SumKeys() const override {
-    unsigned __int128 sum = query::SumKeysMain(column_.main()) +
-                            query::SumKeysDelta(column_.delta());
+    // Truncated to 64 bits anyway, so the mod-2^64 translate-and-sum kernel
+    // is exact here (query_test pins the equivalence with SumKeysMain).
+    uint64_t sum =
+        query::SumKeysMainMod64(column_.main(), 0, column_.main_size()) +
+        static_cast<uint64_t>(query::SumKeysDelta(column_.delta()));
     if (column_.frozen() != nullptr) {
-      sum += query::SumKeysDelta(*column_.frozen());
+      sum += static_cast<uint64_t>(query::SumKeysDelta(*column_.frozen()));
     }
-    return static_cast<uint64_t>(sum);
+    return sum;
   }
 
   std::unique_ptr<ColumnReadView> CaptureView(

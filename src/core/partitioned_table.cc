@@ -69,6 +69,31 @@ PartitionedTable::CaptureSegments() const {
   return segments_;
 }
 
+void PartitionedTable::EnableSharedScans(bool on) {
+  // Flag write and current-segment sweep are one critical section on
+  // segments_mu_, and rollover consults the flag under the same lock at
+  // push time — so a racing rollover's segment either gets toggled by this
+  // sweep (pushed first) or toggles itself (observed the flag). No segment
+  // can miss the policy.
+  WriterMutexLock lock(segments_mu_);
+  shared_scans_.store(on, std::memory_order_relaxed);
+  for (const auto& seg : segments_) {
+    seg->table->EnableSharedScans(on);
+  }
+}
+
+query::ScanGate::Stats PartitionedTable::shared_scan_stats() const {
+  query::ScanGate::Stats total;
+  for (const auto& seg : CaptureSegments()) {
+    const query::ScanGate::Stats s = seg->table->shared_scan_stats();
+    total.sweeps += s.sweeps;
+    total.queries_served += s.queries_served;
+    total.shared_queries += s.shared_queries;
+    total.bypasses += s.bypasses;
+  }
+  return total;
+}
+
 std::shared_ptr<PartitionedTable::Segment> PartitionedTable::SlotAt(
     size_t i) const {
   ReaderMutexLock lock(segments_mu_);
@@ -166,6 +191,12 @@ void PartitionedTable::RollOverIfFullLocked() {
     seg->table = seg->owned.get();
   }
   WriterMutexLock lock(segments_mu_);
+  // Policy check under segments_mu_: EnableSharedScans sweeps the vector
+  // under the same lock, so this push either observes its flag write or
+  // happens first and is covered by its sweep — no segment is missed.
+  if (shared_scans_.load(std::memory_order_relaxed)) {
+    seg->table->EnableSharedScans(true);
+  }
   segments_.push_back(std::move(seg));
 }
 

@@ -197,6 +197,14 @@ class PartitionedTable {
     read_pool_.store(pool, std::memory_order_release);
   }
 
+  /// Enables (or disables) cooperative scan sharing on every current
+  /// segment and on segments created by future rollovers. See
+  /// Table::EnableSharedScans for the per-segment semantics.
+  void EnableSharedScans(bool on) DM_EXCLUDES(segments_mu_);
+  /// ScanGate counters summed over the current segments.
+  query::ScanGate::Stats shared_scan_stats() const
+      DM_EXCLUDES(segments_mu_);
+
   // --- write path (tail selection under tail_mu_; the write itself under
   //     the owning segments' commit locks, so disjoint-segment writers
   //     proceed in parallel) ---
@@ -564,6 +572,9 @@ class PartitionedTable {
   const uint64_t segment_capacity_;
   SegmentHooks* hooks_ = nullptr;
   std::atomic<TaskQueue*> read_pool_{nullptr};
+  /// Scan-sharing policy for segments created by future rollovers (current
+  /// segments are toggled directly by EnableSharedScans).
+  std::atomic<bool> shared_scans_{false};
   /// Whole-transaction outcomes (written under tail_mu_; atomics so the
   /// stats read needs no lock).
   std::atomic<uint64_t> txn_commits_{0};

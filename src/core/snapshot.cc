@@ -138,6 +138,7 @@ Snapshot& Snapshot::operator=(Snapshot&& other) noexcept {
     pinned_epoch_ = other.pinned_epoch_;
     mu_ = other.mu_;
     validity_ = other.validity_;
+    gate_ = other.gate_;
     visible_rows_ = other.visible_rows_;
     valid_rows_ = other.valid_rows_;
     read_ts_ = other.read_ts_;
@@ -177,7 +178,16 @@ bool Snapshot::IsRowValid(uint64_t row) const {
 uint64_t Snapshot::CountEquals(size_t col, uint64_t key) const {
   DM_DCHECK(valid());
   const ColumnReadView& view = *cols_[col];
-  uint64_t n = view.CountEqualsPinned(key);
+  // With a gate, the main partition's share of the count enrolls in the
+  // cooperative sweep (possibly riding a batch with concurrent queries);
+  // the frozen share is a tree lookup either way.
+  uint64_t n;
+  if (gate_ != nullptr) {
+    n = gate_->Count(col, view.MainEqualSpec(key)) +
+        view.CountEqualsFrozen(key);
+  } else {
+    n = view.CountEqualsPinned(key);
+  }
   if (view.active_prefix() > 0) {
     ReaderMutexLock lock(*mu_);
     n += view.CountEqualsActive(key);
@@ -188,7 +198,13 @@ uint64_t Snapshot::CountEquals(size_t col, uint64_t key) const {
 uint64_t Snapshot::CountRange(size_t col, uint64_t lo, uint64_t hi) const {
   DM_DCHECK(valid());
   const ColumnReadView& view = *cols_[col];
-  uint64_t n = view.CountRangePinned(lo, hi);
+  uint64_t n;
+  if (gate_ != nullptr) {
+    n = gate_->Count(col, view.MainRangeSpec(lo, hi)) +
+        view.CountRangeFrozen(lo, hi);
+  } else {
+    n = view.CountRangePinned(lo, hi);
+  }
   if (view.active_prefix() > 0) {
     ReaderMutexLock lock(*mu_);
     n += view.CountRangeActive(lo, hi);
@@ -229,6 +245,63 @@ std::vector<uint64_t> Snapshot::CollectEquals(size_t col, uint64_t key,
   }
   std::sort(rows.begin(), rows.end());
   return rows;
+}
+
+uint64_t Snapshot::CountEqualsValid(size_t col, uint64_t key) const {
+  DM_DCHECK(valid());
+  const ColumnReadView& view = *cols_[col];
+  // One brief lock hold copies the validity bits as of read_ts and collects
+  // the active-prefix matches; the pinned partitions (the bulk) then sweep
+  // lock-free through the masked kernels.
+  std::vector<uint64_t> mask;
+  std::vector<uint64_t> active_rows;
+  {
+    ReaderMutexLock lock(*mu_);
+    mask = validity_->CopyWordsAtTs(visible_rows_, read_ts_);
+    if (view.active_prefix() > 0) view.CollectEqualsActive(key, &active_rows);
+  }
+  uint64_t n = view.CountEqualsPinnedValid(key, mask.data());
+  for (const uint64_t r : active_rows) {
+    n += simd::ValidBit(mask.data(), r) ? 1 : 0;
+  }
+  return n;
+}
+
+uint64_t Snapshot::CountRangeValid(size_t col, uint64_t lo,
+                                   uint64_t hi) const {
+  DM_DCHECK(valid());
+  const ColumnReadView& view = *cols_[col];
+  std::vector<uint64_t> mask;
+  std::vector<uint64_t> active_rows;
+  {
+    ReaderMutexLock lock(*mu_);
+    mask = validity_->CopyWordsAtTs(visible_rows_, read_ts_);
+    if (view.active_prefix() > 0) {
+      view.CollectRangeActive(lo, hi, &active_rows);
+    }
+  }
+  uint64_t n = view.CountRangePinnedValid(lo, hi, mask.data());
+  for (const uint64_t r : active_rows) {
+    n += simd::ValidBit(mask.data(), r) ? 1 : 0;
+  }
+  return n;
+}
+
+uint64_t Snapshot::SumColumnValid(size_t col) const {
+  DM_DCHECK(valid());
+  const ColumnReadView& view = *cols_[col];
+  std::vector<uint64_t> mask;
+  uint64_t active_sum = 0;
+  {
+    ReaderMutexLock lock(*mu_);
+    mask = validity_->CopyWordsAtTs(visible_rows_, read_ts_);
+    // Active prefix is small by the merge discipline: point reads under the
+    // same lock hold that copied the mask.
+    for (uint64_t r = view.pinned_rows(); r < visible_rows_; ++r) {
+      if (simd::ValidBit(mask.data(), r)) active_sum += view.GetKeyActive(r);
+    }
+  }
+  return view.SumPinnedValid(mask.data()) + active_sum;
 }
 
 std::vector<uint64_t> Snapshot::CollectRange(size_t col, uint64_t lo,

@@ -39,6 +39,8 @@
 #include "query/aggregate.h"
 #include "query/lookup.h"
 #include "query/range_select.h"
+#include "query/shared_scan.h"
+#include "simd/simd_kernels.h"
 #include "storage/delta_partition.h"
 #include "storage/main_partition.h"
 #include "storage/validity.h"
@@ -180,6 +182,30 @@ class ColumnReadView {
   virtual void CollectRangePinned(uint64_t lo, uint64_t hi,
                                   std::vector<uint64_t>* rows) const = 0;
 
+  // --- scan-sharing decomposition of the pinned counts ---
+  // The main partition's share of a count, expressed as a PackedScanSpec
+  // (the value predicate translated to a dictionary-code range) so a
+  // ScanGate can batch it with concurrent queries; the frozen partition's
+  // share stays a direct (tree) lookup. Gate count + frozen count ==
+  // CountEqualsPinned / CountRangePinned.
+  virtual query::PackedScanSpec MainEqualSpec(uint64_t key) const = 0;
+  virtual query::PackedScanSpec MainRangeSpec(uint64_t lo,
+                                              uint64_t hi) const = 0;
+  virtual uint64_t CountEqualsFrozen(uint64_t key) const = 0;
+  virtual uint64_t CountRangeFrozen(uint64_t lo, uint64_t hi) const = 0;
+
+  // --- validity-masked pinned reads: no lock required ---
+  // `valid` is a word array of validity bits indexed by GLOBAL row id
+  // (bit r set = row r valid as of the snapshot), covering at least
+  // pinned_rows() bits — the snapshot copies it out of the versioned
+  // ValidityVector once, then these sweep lock-free with the masked
+  // kernels.
+  virtual uint64_t CountEqualsPinnedValid(uint64_t key,
+                                          const uint64_t* valid) const = 0;
+  virtual uint64_t CountRangePinnedValid(uint64_t lo, uint64_t hi,
+                                         const uint64_t* valid) const = 0;
+  virtual uint64_t SumPinnedValid(const uint64_t* valid) const = 0;
+
   // --- active-delta prefix: caller holds the table's shared lock ---
   virtual uint64_t GetKeyActive(uint64_t row) const = 0;
   virtual uint64_t CountEqualsActive(uint64_t key) const = 0;
@@ -257,6 +283,102 @@ class ColumnSnapshotView final : public ColumnReadView {
     if (frozen_ != nullptr) {
       query::CollectRangeDelta(*frozen_, vlo, vhi, main_rows_, rows);
     }
+  }
+
+  query::PackedScanSpec MainEqualSpec(uint64_t key) const override {
+    query::PackedScanSpec spec;
+    spec.codes = &main_->codes();
+    spec.tuples = main_rows_;
+    const auto code = main_->dictionary().Find(Value::FromKey(key));
+    if (code.has_value()) {
+      spec.c_lo = *code;
+      spec.c_hi = *code;
+      spec.match = true;
+    }
+    return spec;
+  }
+
+  query::PackedScanSpec MainRangeSpec(uint64_t lo,
+                                      uint64_t hi) const override {
+    query::PackedScanSpec spec;
+    spec.codes = &main_->codes();
+    spec.tuples = main_rows_;
+    const auto& dict = main_->dictionary();
+    const uint32_t c_lo = dict.LowerBound(Value::FromKey(lo));
+    const uint32_t c_hi = dict.UpperBound(Value::FromKey(hi));
+    if (c_lo < c_hi) {
+      spec.c_lo = c_lo;
+      spec.c_hi = c_hi - 1;
+      spec.match = true;
+    }
+    return spec;
+  }
+
+  uint64_t CountEqualsFrozen(uint64_t key) const override {
+    if (frozen_ == nullptr) return 0;
+    return query::CountEqualsDelta(*frozen_, Value::FromKey(key));
+  }
+
+  uint64_t CountRangeFrozen(uint64_t lo, uint64_t hi) const override {
+    if (frozen_ == nullptr) return 0;
+    return query::CountRangeDelta(*frozen_, Value::FromKey(lo),
+                                  Value::FromKey(hi));
+  }
+
+  uint64_t CountEqualsPinnedValid(uint64_t key,
+                                  const uint64_t* valid) const override {
+    const Value v = Value::FromKey(key);
+    uint64_t n = 0;
+    const auto code = main_->dictionary().Find(v);
+    if (code.has_value()) {
+      n = simd::CountEqualPackedMasked(main_->codes(), 0, main_rows_, *code,
+                                       valid, 0);
+    }
+    if (frozen_ != nullptr) {
+      for (PostingsCursor c = frozen_->tree().Find(v); !c.Done();
+           c.Advance()) {
+        n += simd::ValidBit(valid, main_rows_ + c.TupleId()) ? 1 : 0;
+      }
+    }
+    return n;
+  }
+
+  uint64_t CountRangePinnedValid(uint64_t lo, uint64_t hi,
+                                 const uint64_t* valid) const override {
+    const Value vlo = Value::FromKey(lo);
+    const Value vhi = Value::FromKey(hi);
+    uint64_t n = 0;
+    const auto& dict = main_->dictionary();
+    const uint32_t c_lo = dict.LowerBound(vlo);
+    const uint32_t c_hi = dict.UpperBound(vhi);
+    if (c_lo < c_hi) {
+      n = simd::CountRangePackedMasked(main_->codes(), 0, main_rows_, c_lo,
+                                       c_hi - 1, valid, 0);
+    }
+    if (frozen_ != nullptr) {
+      std::vector<uint64_t> rows;
+      query::CollectRangeDelta(*frozen_, vlo, vhi, main_rows_, &rows);
+      for (const uint64_t r : rows) {
+        n += simd::ValidBit(valid, r) ? 1 : 0;
+      }
+    }
+    return n;
+  }
+
+  uint64_t SumPinnedValid(const uint64_t* valid) const override {
+    uint64_t sum = 0;
+    if (main_rows_ > 0) {
+      const std::vector<uint64_t> table = query::DictionaryKeyTable(*main_);
+      sum = simd::SumPackedTranslatedMasked(main_->codes(), 0, main_rows_,
+                                            table.data(), valid, 0);
+    }
+    if (frozen_ != nullptr) {
+      const auto values = frozen_->values();
+      for (uint64_t i = 0; i < values.size(); ++i) {
+        if (simd::ValidBit(valid, main_rows_ + i)) sum += values[i].key();
+      }
+    }
+    return sum;
   }
 
   uint64_t GetKeyActive(uint64_t row) const override {
@@ -342,6 +464,21 @@ class Snapshot {
   std::vector<uint64_t> CollectRange(size_t col, uint64_t lo, uint64_t hi,
                                      bool only_valid) const;
 
+  // --- validity-filtered aggregates ---
+  // Same answers as filtering CollectEquals/CollectRange(..., true), with
+  // no row materialization: the snapshot copies its validity bits once
+  // (CopyWordsAtTs — current words with post-read_ts tombstones
+  // resurrected), then the pinned partitions sweep lock-free through the
+  // masked kernels. These never enroll in a ScanGate — a validity mask is
+  // per-snapshot, so masked sweeps are not shareable.
+  uint64_t CountEqualsValid(size_t col, uint64_t key) const;
+  uint64_t CountRangeValid(size_t col, uint64_t lo, uint64_t hi) const;
+  uint64_t SumColumnValid(size_t col) const;
+
+  /// The scan gate this snapshot's main-partition counts enroll in, or
+  /// null when sharing is disabled (Table::EnableSharedScans).
+  query::ScanGate* scan_gate() const { return gate_; }
+
  private:
   friend class Table;
 
@@ -364,6 +501,8 @@ class Snapshot {
   /// read under it (shared).
   SharedMutex* mu_ = nullptr;
   const ValidityVector* validity_ = nullptr;
+  /// Cooperative scan gate (owned by the table); null = solo scans.
+  query::ScanGate* gate_ = nullptr;
   uint64_t visible_rows_ = 0;
   uint64_t valid_rows_ = 0;
   uint64_t read_ts_ = 0;

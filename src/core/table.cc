@@ -389,6 +389,9 @@ Snapshot Table::CreateSnapshot() const {
   // will advance past this value before stamping (so it reads as
   // invisible).
   snap.read_ts_ = epochs_.current_epoch();
+  if (shared_scans_.load(std::memory_order_relaxed)) {
+    snap.gate_ = &scan_gate_;
+  }
   snap.cols_.reserve(columns_.size());
   for (const auto& c : columns_) {
     snap.cols_.push_back(c->CaptureView(snap.visible_rows_));

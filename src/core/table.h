@@ -285,6 +285,23 @@ class Table {
   /// column-level merge protocol directly.
   EpochManager& epoch_manager() const { return epochs_; }
 
+  // --- cooperative scan sharing (query/shared_scan.h) ---
+  /// When enabled, snapshots created afterwards enroll their main-partition
+  /// CountEquals/CountRange sweeps at the table's ScanGate, batching
+  /// compatible concurrent queries into one pass. Off by default (a solo
+  /// query pays a small enrollment cost for no sharing win). Affects only
+  /// snapshots created after the call; existing snapshots keep the policy
+  /// they captured.
+  void EnableSharedScans(bool on) {
+    shared_scans_.store(on, std::memory_order_relaxed);
+  }
+  bool shared_scans_enabled() const {
+    return shared_scans_.load(std::memory_order_relaxed);
+  }
+  query::ScanGate::Stats shared_scan_stats() const {
+    return scan_gate_.stats();
+  }
+
   /// One column's cardinalities, captured consistently under one lock
   /// acquisition — the merge daemon's trigger and cost projections must not
   /// read column state lock-free (writers mutate it under the exclusive
@@ -371,6 +388,10 @@ class Table {
   ValidityVector validity_ DM_GUARDED_BY(mu_);
   mutable SharedMutex mu_;
   mutable EpochManager epochs_;
+  /// Cooperative scan gate (internally synchronized) + the opt-in flag
+  /// consulted at snapshot creation.
+  mutable query::ScanGate scan_gate_;
+  std::atomic<bool> shared_scans_{false};
   TableJournal* journal_ DM_GUARDED_BY(mu_) = nullptr;
   uint64_t txn_commits_ DM_GUARDED_BY(mu_) = 0;
   uint64_t txn_aborts_ DM_GUARDED_BY(mu_) = 0;

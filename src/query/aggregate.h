@@ -8,28 +8,53 @@
 
 #include <cstdint>
 
+#include "simd/simd_kernels.h"
 #include "storage/delta_partition.h"
 #include "storage/main_partition.h"
 
 namespace deltamerge::query {
 
-/// Sum of value keys over the main partition. Exploits compression: sums per
-/// dictionary code are weighted by occurrence counts, touching the (small)
-/// dictionary once per distinct value instead of materializing every tuple.
+/// The main partition's dictionary keys as a dense code→key translate
+/// table — the gather target of the SumPackedTranslated kernel.
+template <size_t W>
+std::vector<uint64_t> DictionaryKeyTable(const MainPartition<W>& main) {
+  const auto& dict = main.dictionary();
+  std::vector<uint64_t> table(main.unique_values());
+  for (uint32_t c = 0; c < table.size(); ++c) {
+    table[c] = dict.At(c).key();
+  }
+  return table;
+}
+
+/// Sum of value keys over the main partition, exact to 128 bits. Exploits
+/// compression: sums per dictionary code are weighted by occurrence counts
+/// (the histogram sweep is the vectorized HistogramPacked kernel), touching
+/// the (small) dictionary once per distinct value instead of materializing
+/// every tuple.
 template <size_t W>
 unsigned __int128 SumKeysMain(const MainPartition<W>& main) {
   if (main.empty()) return 0;
   std::vector<uint64_t> histogram(main.unique_values(), 0);
-  PackedVector::Reader reader(main.codes());
-  for (uint64_t i = 0; i < main.size(); ++i) {
-    ++histogram[reader.Next()];
-  }
+  simd::HistogramPacked(main.codes(), 0, main.size(), histogram.data());
   unsigned __int128 sum = 0;
   const auto& dict = main.dictionary();
   for (uint32_t c = 0; c < histogram.size(); ++c) {
     sum += static_cast<unsigned __int128>(dict.At(c).key()) * histogram[c];
   }
   return sum;
+}
+
+/// Sum of value keys over main tuples [begin, end), modulo 2^64 — the
+/// translate-and-sum kernel (vpgatherqq) over a code→key table. Equal to
+/// SumKeysMain truncated to 64 bits when [begin, end) spans the partition;
+/// every uint64-returning sum consumer (ColumnHandle::SumKeys, the snapshot
+/// views, Table/PartitionedTable::SumColumn) rides this path.
+template <size_t W>
+uint64_t SumKeysMainMod64(const MainPartition<W>& main, uint64_t begin,
+                          uint64_t end) {
+  if (begin >= end) return 0;
+  const std::vector<uint64_t> table = DictionaryKeyTable(main);
+  return simd::SumPackedTranslated(main.codes(), begin, end, table.data());
 }
 
 /// Sum of value keys over the delta partition (direct reads).

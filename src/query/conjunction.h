@@ -21,6 +21,7 @@
 #include "query/column_stats.h"
 #include "query/lookup.h"
 #include "query/range_select.h"
+#include "simd/simd_kernels.h"
 #include "storage/column.h"
 
 namespace deltamerge::query {
@@ -76,6 +77,66 @@ bool RowMatches(const Column<W>& col, uint64_t row,
   const auto v = col.Get(row);
   return FixedValue<W>::FromKey(p.lo_key) <= v &&
          v <= FixedValue<W>::FromKey(p.hi_key);
+}
+
+/// COUNT of rows satisfying every predicate — the fused one-sweep plan.
+/// Where ConjunctiveScan drives one column and point-verifies the others
+/// per candidate (best when one predicate is highly selective), the fused
+/// plan evaluates ALL predicates per 8-tuple block in-register
+/// (CountConjunctionPacked): the conjunction costs one sweep over the main
+/// partitions instead of N, with no candidate materialization at all.
+/// Frozen/delta rows (small by the merge discipline) verify per row.
+template <size_t W>
+uint64_t ConjunctiveCount(const std::vector<const Column<W>*>& columns,
+                          const std::vector<RangePredicate>& predicates) {
+  DM_CHECK(!predicates.empty());
+
+  // Zone-map pruning, as in ConjunctiveScan.
+  for (const auto& p : predicates) {
+    const Column<W>& col = *columns[p.column];
+    const auto stats = ComputeColumnStats<W>(col.main(), col.delta());
+    if (!stats.RangeMightMatch(FixedValue<W>::FromKey(p.lo_key),
+                               FixedValue<W>::FromKey(p.hi_key))) {
+      return 0;
+    }
+  }
+
+  // Translate each value range to a code range on its column's main
+  // dictionary. Main partitions of one table share a row count; an empty
+  // code range empties the main count but not the delta rows.
+  const uint64_t main_rows = columns[predicates[0].column]->main_size();
+  const uint64_t total_rows = columns[predicates[0].column]->size();
+  bool main_can_match = main_rows > 0;
+  std::vector<simd::ConjunctPredicate> fused;
+  fused.reserve(predicates.size());
+  for (const auto& p : predicates) {
+    const Column<W>& col = *columns[p.column];
+    DM_CHECK(col.main_size() == main_rows && col.size() == total_rows);
+    const auto& dict = col.main().dictionary();
+    const uint32_t c_lo = dict.LowerBound(FixedValue<W>::FromKey(p.lo_key));
+    const uint32_t c_hi = dict.UpperBound(FixedValue<W>::FromKey(p.hi_key));
+    if (c_lo >= c_hi) {
+      main_can_match = false;
+      break;
+    }
+    fused.push_back(
+        simd::ConjunctPredicate{&col.main().codes(), c_lo, c_hi - 1});
+  }
+
+  uint64_t count = 0;
+  if (main_can_match) {
+    count = simd::CountConjunctionPacked(fused, 0, main_rows);
+  }
+
+  // Frozen + active delta rows: point-verify every predicate.
+  for (uint64_t row = main_rows; row < total_rows; ++row) {
+    bool ok = true;
+    for (size_t i = 0; i < predicates.size() && ok; ++i) {
+      ok = RowMatches(*columns[predicates[i].column], row, predicates[i]);
+    }
+    count += ok;
+  }
+  return count;
 }
 
 /// Conjunctive scan over same-width columns: rows satisfying every

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "query/aggregate.h"
+#include "simd/simd_kernels.h"
 #include "storage/delta_partition.h"
 #include "storage/main_partition.h"
 
@@ -33,13 +35,11 @@ struct GroupResult {
 template <size_t W>
 std::vector<GroupResult<W>> GroupByColumn(const MainPartition<W>& main,
                                           const DeltaPartition<W>& delta) {
-  // Main: histogram over codes (dense, in dictionary order).
+  // Main: histogram over codes (dense, in dictionary order; vectorized
+  // block unpack).
   std::vector<uint64_t> histogram(main.unique_values(), 0);
   if (!main.empty()) {
-    PackedVector::Reader reader(main.codes());
-    for (uint64_t i = 0; i < main.size(); ++i) {
-      ++histogram[reader.Next()];
-    }
+    simd::HistogramPacked(main.codes(), 0, main.size(), histogram.data());
   }
 
   // Merge main histogram with the delta's sorted unique traversal — the
@@ -93,11 +93,23 @@ std::vector<GroupSumResult<W, WM>> GroupBySum(
   std::vector<uint64_t> counts(group_main.unique_values(), 0);
   std::vector<uint64_t> sums(group_main.unique_values(), 0);
   if (!group_main.empty()) {
-    PackedVector::Reader reader(group_main.codes());
-    for (uint64_t i = 0; i < group_main.size(); ++i) {
-      const uint32_t code = reader.Next();
-      ++counts[code];
-      sums[code] += measure_main.GetValue(i).key();
+    // Both columns decode in vectorized blocks; the measure materializes
+    // through its code→key table (one gatherable array, not a dictionary
+    // binary structure), so the per-row work is two array reads.
+    const std::vector<uint64_t> measure_keys =
+        DictionaryKeyTable(measure_main);
+    constexpr uint64_t kBlock = 4096;
+    std::vector<uint32_t> gcodes(kBlock), mcodes(kBlock);
+    for (uint64_t start = 0; start < group_main.size(); start += kBlock) {
+      const uint64_t len = std::min(kBlock, group_main.size() - start);
+      simd::DecodeCodesPacked(group_main.codes(), start, start + len,
+                              gcodes.data());
+      simd::DecodeCodesPacked(measure_main.codes(), start, start + len,
+                              mcodes.data());
+      for (uint64_t i = 0; i < len; ++i) {
+        ++counts[gcodes[i]];
+        sums[gcodes[i]] += measure_keys[mcodes[i]];
+      }
     }
   }
 

@@ -51,16 +51,14 @@ uint64_t CountEqualsDeltaPrefix(const DeltaPartition<W>& delta,
   return n;
 }
 
-/// Appends the row positions (offset by `base`) of main tuples equal to `v`.
+/// Appends the row positions (offset by `base`) of main tuples equal to `v`
+/// — the vectorized movemask/ctz emission of simd_kernels.h.
 template <size_t W>
 void CollectEqualsMain(const MainPartition<W>& main, const FixedValue<W>& v,
                        uint64_t base, std::vector<uint64_t>* rows) {
   const auto code = main.dictionary().Find(v);
   if (!code.has_value()) return;
-  PackedVector::Reader reader(main.codes());
-  for (uint64_t i = 0; i < main.size(); ++i) {
-    if (reader.Next() == *code) rows->push_back(base + i);
-  }
+  simd::CollectEqualPacked(main.codes(), 0, main.size(), *code, base, rows);
 }
 
 /// Appends the row positions (offset by `base`) of delta tuples equal to `v`.

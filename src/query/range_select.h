@@ -69,11 +69,8 @@ void CollectRangeMain(const MainPartition<W>& main, const FixedValue<W>& lo,
   const uint32_t c_lo = main.dictionary().LowerBound(lo);
   const uint32_t c_hi = main.dictionary().UpperBound(hi);
   if (c_lo >= c_hi) return;
-  PackedVector::Reader reader(main.codes());
-  for (uint64_t i = 0; i < main.size(); ++i) {
-    const uint32_t code = reader.Next();
-    if (code >= c_lo && code < c_hi) rows->push_back(base + i);
-  }
+  simd::CollectRangePacked(main.codes(), 0, main.size(), c_lo, c_hi - 1,
+                           base, rows);
 }
 
 /// Appends row positions (offset by `base`) of delta tuples in [lo, hi].

@@ -9,20 +9,34 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
+#include "simd/simd_kernels.h"
 #include "storage/delta_partition.h"
 #include "storage/main_partition.h"
 
 namespace deltamerge::query {
 
-/// Calls fn(tuple_index, value) for every main tuple; returns tuples visited.
+/// Tuples per decode block of the materializing scans: large enough to
+/// amortize the vectorized unpack, small enough to stay L1-resident.
+inline constexpr uint64_t kScanBlockTuples = 4096;
+
+/// Calls fn(tuple_index, value) for every main tuple; returns tuples
+/// visited. Codes unpack in vectorized blocks (DecodeCodesPacked), then
+/// materialize through the dictionary per tuple.
 template <size_t W, typename Fn>
 uint64_t ScanMain(const MainPartition<W>& main, Fn&& fn) {
-  PackedVector::Reader reader(main.codes());
   const auto& dict = main.dictionary();
-  for (uint64_t i = 0; i < main.size(); ++i) {
-    fn(i, dict.At(reader.Next()));
+  std::vector<uint32_t> codes(
+      std::min<uint64_t>(kScanBlockTuples, main.size()));
+  for (uint64_t start = 0; start < main.size(); start += kScanBlockTuples) {
+    const uint64_t len = std::min(kScanBlockTuples, main.size() - start);
+    simd::DecodeCodesPacked(main.codes(), start, start + len, codes.data());
+    for (uint64_t i = 0; i < len; ++i) {
+      fn(start + i, dict.At(codes[i]));
+    }
   }
   return main.size();
 }
@@ -39,13 +53,20 @@ uint64_t ScanDelta(const DeltaPartition<W>& delta, Fn&& fn) {
 
 /// Predicate-counting scan over the main partition. The predicate is
 /// evaluated on dictionary codes where possible by the callers in
-/// range_select.h; this variant materializes, for predicates that need the
-/// value itself.
+/// range_select.h; this variant is for predicates that need the value
+/// itself. Dictionary encoding makes it cheap anyway: the predicate runs
+/// ONCE per distinct value, then the code sweep counts matches through the
+/// resulting 0/1 translate table with the vectorized sum kernel.
 template <size_t W, typename Pred>
 uint64_t CountIfMain(const MainPartition<W>& main, Pred&& pred) {
-  uint64_t count = 0;
-  ScanMain(main, [&](uint64_t, const FixedValue<W>& v) { count += pred(v); });
-  return count;
+  if (main.empty()) return 0;
+  const auto& dict = main.dictionary();
+  std::vector<uint64_t> match(main.unique_values());
+  for (uint32_t c = 0; c < match.size(); ++c) {
+    match[c] = pred(dict.At(c)) ? 1 : 0;
+  }
+  return simd::SumPackedTranslated(main.codes(), 0, main.size(),
+                                   match.data());
 }
 
 template <size_t W, typename Pred>

@@ -2,6 +2,7 @@
 
 #include "storage/validity.h"
 
+#include <algorithm>
 #include <cstddef>
 
 namespace deltamerge {
@@ -66,6 +67,24 @@ std::vector<uint64_t> ValidityVector::CopyWordsPrefix(uint64_t rows) const {
                             words_.begin() + static_cast<ptrdiff_t>(nwords));
   if ((rows & 63) != 0 && !out.empty()) {
     out.back() &= (uint64_t{1} << (rows & 63)) - 1;
+  }
+  return out;
+}
+
+std::vector<uint64_t> ValidityVector::CopyWordsAtTs(uint64_t rows,
+                                                    uint64_t read_ts) const {
+  DM_DCHECK(rows == 0 || insert_ts_[rows - 1] <= read_ts);
+  std::vector<uint64_t> out = CopyWordsPrefix(rows);
+  // Invalidation timestamps are monotone (commit order), so the entries to
+  // resurrect — committed after read_ts — form a suffix of the log. A ts-0
+  // entry is the pre-MVCC sentinel ("invalid at every read timestamp") and
+  // never qualifies, matching IsValidAtTs.
+  auto it = std::lower_bound(tombstones_.begin(), tombstones_.end(), read_ts,
+                             [](const Tombstone& t, uint64_t ts) {
+                               return t.ts <= ts;
+                             });
+  for (; it != tombstones_.end(); ++it) {
+    if (it->row < rows) out[it->row >> 6] |= uint64_t{1} << (it->row & 63);
   }
   return out;
 }

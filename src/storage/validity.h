@@ -105,6 +105,18 @@ class ValidityVector {
   /// Cheap (one memcpy); safe to call under the table's commit lock.
   std::vector<uint64_t> CopyWordsPrefix(uint64_t rows) const;
 
+  /// The validity bitmap AS OF read timestamp `read_ts`, for the first
+  /// `rows` rows: the current words with every row whose invalidation
+  /// committed after `read_ts` resurrected from the tombstone log. O(words
+  /// + log-suffix). Feeds the validity-masked SIMD kernels: a snapshot
+  /// copies its at-ts bitmap once under the shared lock, then sweeps the
+  /// pinned main with no lock held. Requires every row < `rows` to have
+  /// been inserted at or before `read_ts` (always true for a Snapshot's
+  /// visible prefix — insert timestamps are monotone, which is also how
+  /// the precondition is DCHECKed) and, like IsValidAtTs, that entries
+  /// above `read_ts` have not been pruned.
+  std::vector<uint64_t> CopyWordsAtTs(uint64_t rows, uint64_t read_ts) const;
+
   /// The insert timestamps of the first `rows` rows — persisted alongside
   /// the words so recovered rows keep their MVCC history (a checkpoint also
   /// records the commit clock; recovery seeds the clock from it so these

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "simd/simd_kernels.h"
@@ -76,6 +77,139 @@ TEST_P(SimdScanWidthTest, CountRangeMatchesScalar) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllWidths, SimdScanWidthTest,
+                         ::testing::Range(1, 33));
+
+// ---------------------------------------------------------------------------
+// The scalar-tail contract sweep: every kernel bit-exact against its scalar
+// twin for all widths 1–32 and all lengths 0–64 (every residual size,
+// including runs straddling packed words), at several begin offsets and
+// validity-stream bit offsets.
+// ---------------------------------------------------------------------------
+
+class SimdKernelSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimdKernelSweepTest, EveryKernelBitExactAcrossLengths) {
+  const uint8_t bits = static_cast<uint8_t>(GetParam());
+  Rng rng(300 + bits);
+  const uint64_t mask = LowBitsMask(bits);
+  // Codes draw from a bounded domain so the translate table stays
+  // allocatable at width 32; the packed representation still uses the full
+  // width (random probes exercise the whole mask domain).
+  const uint64_t domain =
+      std::min<uint64_t>(mask + 1, 4096);  // codes are < domain
+  std::vector<uint64_t> table(domain);
+  for (auto& t : table) t = rng.Next();
+
+  for (uint64_t n = 0; n <= 64; ++n) {
+    PackedVector v(n, bits);
+    PackedVector v2(n, std::max<uint8_t>(1, bits / 2));
+    PackedVector v3(n, static_cast<uint8_t>(std::min(32, bits + 7)));
+    for (uint64_t i = 0; i < n; ++i) {
+      v.Set(i, static_cast<uint32_t>(rng.Below(domain)));
+      v2.Set(i, static_cast<uint32_t>(rng.Next() & LowBitsMask(v2.bits())));
+      v3.Set(i, static_cast<uint32_t>(rng.Next() & LowBitsMask(v3.bits())));
+    }
+    for (const uint64_t valid_base : {uint64_t{0}, uint64_t{3},
+                                      uint64_t{63}}) {
+      std::vector<uint64_t> valid((valid_base + n + 63) / 64 + 1);
+      for (auto& w : valid) w = rng.Next();
+      for (uint64_t begin : {uint64_t{0}, uint64_t{1}, uint64_t{13}}) {
+        if (begin > n) continue;
+        const uint64_t end = n;
+        const uint32_t code = static_cast<uint32_t>(
+            (rng.Next() & 1) ? rng.Below(domain) : (rng.Next() & mask));
+        uint32_t lo = static_cast<uint32_t>(rng.Below(domain));
+        uint32_t hi = static_cast<uint32_t>(rng.Below(domain));
+        if (hi < lo) std::swap(lo, hi);
+        SCOPED_TRACE(testing::Message()
+                     << "bits=" << int(bits) << " n=" << n << " ["
+                     << begin << "," << end << ") code=" << code << " lo="
+                     << lo << " hi=" << hi << " vbase=" << valid_base);
+
+        // Counts.
+        ASSERT_EQ(simd::CountEqualPacked(v, begin, end, code),
+                  simd::CountEqualPackedScalar(v, begin, end, code));
+        ASSERT_EQ(simd::CountRangePacked(v, begin, end, lo, hi),
+                  simd::CountRangePackedScalar(v, begin, end, lo, hi));
+
+        // Collects.
+        std::vector<uint64_t> got, want;
+        simd::CollectEqualPacked(v, begin, end, code, 1000, &got);
+        simd::CollectEqualPackedScalar(v, begin, end, code, 1000, &want);
+        ASSERT_EQ(got, want);
+        got.clear();
+        want.clear();
+        simd::CollectRangePacked(v, begin, end, lo, hi, 7, &got);
+        simd::CollectRangePackedScalar(v, begin, end, lo, hi, 7, &want);
+        ASSERT_EQ(got, want);
+
+        // Translate-and-sum.
+        ASSERT_EQ(simd::SumPackedTranslated(v, begin, end, table.data()),
+                  simd::SumPackedTranslatedScalar(v, begin, end,
+                                                  table.data()));
+
+        // Decode + histogram.
+        std::vector<uint32_t> dec_got(end - begin + 1, 0xDEAD),
+            dec_want(end - begin + 1, 0xDEAD);
+        simd::DecodeCodesPacked(v, begin, end, dec_got.data());
+        simd::DecodeCodesPackedScalar(v, begin, end, dec_want.data());
+        ASSERT_EQ(dec_got, dec_want);
+        std::vector<uint64_t> hist_got(domain, 0), hist_want(domain, 0);
+        simd::HistogramPacked(v, begin, end, hist_got.data());
+        simd::HistogramPackedScalar(v, begin, end, hist_want.data());
+        ASSERT_EQ(hist_got, hist_want);
+
+        // Validity-masked variants.
+        ASSERT_EQ(simd::CountEqualPackedMasked(v, begin, end, code,
+                                               valid.data(), valid_base),
+                  simd::CountEqualPackedMaskedScalar(
+                      v, begin, end, code, valid.data(), valid_base));
+        ASSERT_EQ(simd::CountRangePackedMasked(v, begin, end, lo, hi,
+                                               valid.data(), valid_base),
+                  simd::CountRangePackedMaskedScalar(
+                      v, begin, end, lo, hi, valid.data(), valid_base));
+        got.clear();
+        want.clear();
+        simd::CollectEqualPackedMasked(v, begin, end, code, 0, valid.data(),
+                                       valid_base, &got);
+        simd::CollectEqualPackedMaskedScalar(v, begin, end, code, 0,
+                                             valid.data(), valid_base,
+                                             &want);
+        ASSERT_EQ(got, want);
+        ASSERT_EQ(
+            simd::SumPackedTranslatedMasked(v, begin, end, table.data(),
+                                            valid.data(), valid_base),
+            simd::SumPackedTranslatedMaskedScalar(
+                v, begin, end, table.data(), valid.data(), valid_base));
+
+        // Fused conjunction over three columns of differing widths.
+        const simd::ConjunctPredicate conj[3] = {
+            {&v, lo, hi},
+            {&v2, 0, static_cast<uint32_t>(rng.Next() &
+                                           LowBitsMask(v2.bits()))},
+            {&v3, static_cast<uint32_t>(rng.Next() & 3),
+             static_cast<uint32_t>(rng.Next() & LowBitsMask(v3.bits()))}};
+        ASSERT_EQ(simd::CountConjunctionPacked(conj, begin, end),
+                  simd::CountConjunctionPackedScalar(conj, begin, end));
+
+        // Shared-sweep multi-predicate counts (one empty predicate rides
+        // along and must stay zero).
+        const simd::CodeRange multi[4] = {
+            {lo, hi},
+            {code, code},
+            {1, 0},  // empty
+            {0, static_cast<uint32_t>(mask)}};
+        uint64_t mc_got[4] = {0, 0, 0, 0}, mc_want[4] = {0, 0, 0, 0};
+        simd::MultiCountRangePacked(v, begin, end, multi, mc_got);
+        simd::MultiCountRangePackedScalar(v, begin, end, multi, mc_want);
+        for (int j = 0; j < 4; ++j) ASSERT_EQ(mc_got[j], mc_want[j]) << j;
+        ASSERT_EQ(mc_got[2], 0u);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, SimdKernelSweepTest,
                          ::testing::Range(1, 33));
 
 TEST(SimdScan, AllEqualAndNoneEqual) {
